@@ -1,0 +1,69 @@
+//! E9: causality substrate microbenchmarks — vector-clock construction,
+//! O(1) `precedes` queries, and controlled-deposet extended-clock
+//! recomputation.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pctl_core::{ControlRelation, ControlledDeposet};
+use pctl_deposet::generator::{random_deposet, RandomConfig};
+use pctl_deposet::trace;
+
+fn bench_clock_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causality/clock_build");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(15);
+    for events in [200usize, 2000, 20000] {
+        let cfg = RandomConfig { processes: 8, events, send_prob: 0.3, flip_prob: 0.3 };
+        let dep = random_deposet(&cfg, 1);
+        // Round-trip through the trace forces full revalidation + clock
+        // recomputation.
+        let json = trace::to_json(&dep);
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, _| {
+            b.iter(|| trace::from_json(&json).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_precedes(c: &mut Criterion) {
+    let cfg = RandomConfig { processes: 8, events: 5000, send_prob: 0.3, flip_prob: 0.3 };
+    let dep = random_deposet(&cfg, 2);
+    let ids: Vec<_> = dep.state_ids().collect();
+    c.bench_function("causality/precedes_1k_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1000 {
+                let s = ids[(i * 37) % ids.len()];
+                let t = ids[(i * 101 + 13) % ids.len()];
+                if dep.precedes(s, t) {
+                    acc += 1;
+                }
+            }
+            acc
+        });
+    });
+}
+
+fn bench_extended_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causality/extended_clocks");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(15);
+    for events in [500usize, 5000] {
+        let cfg = RandomConfig { processes: 8, events, send_prob: 0.3, flip_prob: 0.3 };
+        let dep = random_deposet(&cfg, 3);
+        // A small cross-process control relation.
+        let rel = ControlRelation::from_pairs([(
+            dep.top(pctl_deposet::ProcessId(0)),
+            dep.top(pctl_deposet::ProcessId(1)),
+        )]);
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, _| {
+            b.iter(|| ControlledDeposet::new(&dep, rel.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_build, bench_precedes, bench_extended_clocks);
+criterion_main!(benches);

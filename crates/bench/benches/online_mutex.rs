@@ -1,0 +1,45 @@
+//! E4/E5: on-line strategy and the k-mutex baselines on the same workload
+//! (wall time here is simulator throughput; the protocol metrics live in
+//! `fig3_online`).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pctl_core::online::PeerSelect;
+use pctl_mutex::driver::WorkloadConfig;
+use pctl_mutex::{run_antitoken, run_central, run_suzuki};
+
+fn cfg(n: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        processes: n,
+        entries_per_process: 6,
+        think: (20, 60),
+        cs: (5, 15),
+        seed: 1,
+        delay: 10,
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmutex");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(20);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("anti-token", n), &n, |b, &n| {
+            b.iter(|| run_antitoken(&cfg(n), PeerSelect::NextInRing));
+        });
+        group.bench_with_input(BenchmarkId::new("anti-token-bcast", n), &n, |b, &n| {
+            b.iter(|| run_antitoken(&cfg(n), PeerSelect::Broadcast));
+        });
+        group.bench_with_input(BenchmarkId::new("centralized", n), &n, |b, &n| {
+            b.iter(|| run_central(&cfg(n), n - 1));
+        });
+        group.bench_with_input(BenchmarkId::new("suzuki-kasami", n), &n, |b, &n| {
+            b.iter(|| run_suzuki(&cfg(n), n - 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E1: NP-hardness in practice — exhaustive SGSD on the Figure-1 gadget
+//! grows exponentially with the number of SAT variables, while DPLL solves
+//! the same formulas in microseconds.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pctl_core::reduction::reduce_sat_to_sgsd;
+use pctl_core::sat::{satisfiable, Cnf};
+use pctl_core::sgsd::sgsd;
+
+fn bench_sgsd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgsd/exhaustive");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(10);
+    for m in [4usize, 6, 8] {
+        let cnf = Cnf::random_ksat(m, (m as f64 * 4.3) as usize, 3, 42);
+        let inst = reduce_sat_to_sgsd(&cnf);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| sgsd(&inst.deposet, &inst.predicate, usize::MAX).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dpll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgsd/dpll");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(30);
+    for m in [4usize, 8, 16] {
+        let cnf = Cnf::random_ksat(m, (m as f64 * 4.3) as usize, 3, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| satisfiable(&cnf));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgsd/reduce");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.sample_size(30);
+    for m in [8usize, 32, 128] {
+        let cnf = Cnf::random_ksat(m, (m as f64 * 4.3) as usize, 3, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| reduce_sat_to_sgsd(&cnf));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgsd, bench_dpll, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Directed-graph utilities: topological sort, cycle extraction, and bitset
+//! transitive closure.
+//!
+//! Used by the control layer in two places:
+//!
+//! 1. **Interference checking.** Adding a control relation `C→` to a deposet
+//!    is only valid if the extended causality `(→ ∪ C→)⁺` remains
+//!    irreflexive (Section 3 of the paper). We model the states as graph
+//!    nodes, `im ∪ ; ∪ C→` as edges, and reject the control relation iff the
+//!    graph has a cycle — returning the offending cycle as a diagnostic.
+//! 2. **Extended clocks.** After a successful interference check, extended
+//!    vector clocks are recomputed by dynamic programming over a topological
+//!    order of the same graph.
+//!
+//! The transitive closure (used as ground truth in tests and for small-graph
+//! reachability queries) is computed with bit-parallel DP over the
+//! topological order: O(V·E/64) time, O(V²/64) space.
+
+use std::fmt;
+
+/// A directed graph on `n` densely-numbered nodes, specialised for DAG
+/// workflows (topological sorting, closure) but tolerant of cycles (it
+/// reports them instead of looping).
+#[derive(Clone, Debug, Default)]
+pub struct Dag {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+/// Error returned when a graph expected to be acyclic contains a cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleError {
+    /// Nodes forming a directed cycle, in order; `cycle[i] → cycle[i+1]` and
+    /// the last node has an edge back to the first.
+    pub cycle: Vec<u32>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle through nodes {:?}", self.cycle)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+impl Dag {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Dag { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Add the directed edge `u → v`. Parallel edges are permitted (the
+    /// algorithms are insensitive to them).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        debug_assert!(u < self.adj.len() && v < self.adj.len());
+        self.adj[u].push(v as u32);
+        self.edge_count += 1;
+    }
+
+    /// Successors of `u`.
+    #[inline]
+    pub fn successors(&self, u: usize) -> &[u32] {
+        &self.adj[u]
+    }
+
+    /// Kahn topological sort. Returns a topological order, or the cycle that
+    /// prevents one.
+    pub fn topo_sort(&self) -> Result<Vec<u32>, CycleError> {
+        let n = self.adj.len();
+        let mut indeg = vec![0u32; n];
+        for succs in &self.adj {
+            for &v in succs {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for &v in &self.adj[u as usize] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(CycleError { cycle: self.extract_cycle(&indeg) })
+        }
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_sort().is_ok()
+    }
+
+    /// Find a concrete cycle among nodes with nonzero residual in-degree.
+    /// Such nodes lie on or downstream of a cycle; we first trim away nodes
+    /// with no successor inside the region (pure downstream nodes), after
+    /// which every remaining node has an in-region successor and a forward
+    /// walk must revisit a node.
+    fn extract_cycle(&self, indeg: &[u32]) -> Vec<u32> {
+        let n = self.adj.len();
+        let mut in_cycle_region: Vec<bool> = (0..n).map(|v| indeg[v] > 0).collect();
+        loop {
+            let mut trimmed = false;
+            for v in 0..n {
+                if in_cycle_region[v]
+                    && !self.adj[v].iter().any(|&w| in_cycle_region[w as usize])
+                {
+                    in_cycle_region[v] = false;
+                    trimmed = true;
+                }
+            }
+            if !trimmed {
+                break;
+            }
+        }
+        let start = (0..n).find(|&v| in_cycle_region[v]).expect("cycle region nonempty");
+        // Walk forward within the region until a repeat.
+        let mut seen_at = vec![usize::MAX; n];
+        let mut path: Vec<u32> = Vec::new();
+        let mut cur = start;
+        loop {
+            if seen_at[cur] != usize::MAX {
+                return path[seen_at[cur]..].to_vec();
+            }
+            seen_at[cur] = path.len();
+            path.push(cur as u32);
+            cur = self.adj[cur]
+                .iter()
+                .map(|&v| v as usize)
+                .find(|&v| in_cycle_region[v])
+                .expect("node in cycle region has a successor in cycle region")
+        }
+    }
+
+    /// Bit-parallel transitive closure. `result.reaches(u, v)` is true iff
+    /// there is a nonempty path `u →⁺ v`.
+    ///
+    /// Requires the graph to be acyclic.
+    pub fn transitive_closure(&self) -> Result<Reachability, CycleError> {
+        let order = self.topo_sort()?;
+        let n = self.adj.len();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        // Process in reverse topological order so successors' rows are done.
+        for &u in order.iter().rev() {
+            let u = u as usize;
+            // Own successors + their closures.
+            // Borrow-splitting: collect successor rows first.
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                bits[u * words + v / 64] |= 1u64 << (v % 64);
+                let (head, tail) = if u < v {
+                    let (a, b) = bits.split_at_mut(v * words);
+                    (&mut a[u * words..u * words + words], &b[..words])
+                } else {
+                    let (a, b) = bits.split_at_mut(u * words);
+                    (&mut b[..words], &a[v * words..v * words + words])
+                };
+                for (h, t) in head.iter_mut().zip(tail) {
+                    *h |= *t;
+                }
+            }
+        }
+        Ok(Reachability { words, bits })
+    }
+}
+
+/// Dense reachability matrix produced by [`Dag::transitive_closure`].
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Whether there is a nonempty directed path from `u` to `v`.
+    #[inline]
+    pub fn reaches(&self, u: usize, v: usize) -> bool {
+        self.bits[u * self.words + v / 64] >> (v % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_sorts() {
+        let g = Dag::new(0);
+        assert_eq!(g.topo_sort().unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn chain_topo_order_respects_edges() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let order = g.topo_sort().unwrap();
+        let pos: Vec<usize> =
+            (0..4).map(|v| order.iter().position(|&x| x == v as u32).unwrap()).collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Dag::new(2);
+        g.add_edge(1, 1);
+        let err = g.topo_sort().unwrap_err();
+        assert_eq!(err.cycle, vec![1]);
+    }
+
+    #[test]
+    fn two_cycle_detected_with_witness() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let err = g.topo_sort().unwrap_err();
+        // Witness must be a real cycle.
+        assert!(!err.cycle.is_empty());
+        for w in err.cycle.windows(2) {
+            assert!(g.successors(w[0] as usize).contains(&w[1]));
+        }
+        let (&first, &last) = (err.cycle.first().unwrap(), err.cycle.last().unwrap());
+        assert!(g.successors(last as usize).contains(&first));
+    }
+
+    #[test]
+    fn cycle_with_downstream_tail_still_yields_witness() {
+        // 0 → 1 → 2 → 1, plus tail 1 → 3 (3 is downstream of the cycle and
+        // must be trimmed before the forward walk).
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 3);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let err = g.topo_sort().unwrap_err();
+        let mut sorted = err.cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+    }
+
+    #[test]
+    fn closure_on_a_diamond() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let r = g.transitive_closure().unwrap();
+        assert!(r.reaches(0, 3));
+        assert!(r.reaches(0, 1));
+        assert!(!r.reaches(1, 2));
+        assert!(!r.reaches(3, 0));
+        assert!(!r.reaches(0, 0), "closure is irreflexive on a DAG");
+    }
+
+    #[test]
+    fn closure_rejects_cycles() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.transitive_closure().is_err());
+    }
+
+    #[test]
+    fn closure_on_wide_graph_crosses_word_boundary() {
+        // 130 nodes: a chain, so node 0 reaches node 129 (bit in word 2).
+        let n = 130;
+        let mut g = Dag::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        let r = g.transitive_closure().unwrap();
+        assert!(r.reaches(0, 129));
+        assert!(r.reaches(64, 65));
+        assert!(!r.reaches(129, 0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Typed identifiers for processes, local states and messages.
+//!
+//! Using newtypes instead of raw integers makes it impossible to confuse a
+//! process index with a state index, which matters in algorithms (like the
+//! off-line control algorithm of the paper's Figure 2) that juggle both in
+//! tight loops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sequential process `P_i` in the distributed system.
+///
+/// Processes are numbered densely from `0` to `n - 1`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The process index as a `usize`, for indexing per-process tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(u32::try_from(i).expect("process index fits in u32"))
+    }
+}
+
+/// Identifier of a local state: the `index`-th state in the sequential
+/// execution of process `process`.
+///
+/// Index `0` is the special start state `⊥_i`; the largest index on a
+/// process is the special final state `⊤_i` (see deposet constraint D1/D2 in
+/// the paper, Section 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId {
+    /// The owning process.
+    pub process: ProcessId,
+    /// Position in the process's local state sequence (0-based).
+    pub index: u32,
+}
+
+impl StateId {
+    /// Construct a state id from raw parts.
+    #[inline]
+    pub fn new(process: impl Into<ProcessId>, index: u32) -> Self {
+        StateId { process: process.into(), index }
+    }
+
+    /// The state index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.index as usize
+    }
+
+    /// The id of the state immediately following this one on the same
+    /// process (the `im` successor), without bounds knowledge.
+    #[inline]
+    pub fn successor(self) -> StateId {
+        StateId { process: self.process, index: self.index + 1 }
+    }
+
+    /// The id of the state immediately preceding this one on the same
+    /// process, or `None` for the initial state.
+    #[inline]
+    pub fn predecessor(self) -> Option<StateId> {
+        self.index.checked_sub(1).map(|i| StateId { process: self.process, index: i })
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s({},{})", self.process.0, self.index)
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}[{}]", self.process.0, self.index)
+    }
+}
+
+/// Identifier of an application message, dense per computation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MsgId(pub u32);
+
+impl MsgId {
+    /// The message index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let p = ProcessId::from(7usize);
+        assert_eq!(p.index(), 7);
+        assert_eq!(format!("{p}"), "P7");
+        assert_eq!(format!("{p:?}"), "P7");
+    }
+
+    #[test]
+    fn state_id_neighbours() {
+        let s = StateId::new(2usize, 5);
+        assert_eq!(s.successor(), StateId::new(2usize, 6));
+        assert_eq!(s.predecessor(), Some(StateId::new(2usize, 4)));
+        assert_eq!(StateId::new(0usize, 0).predecessor(), None);
+    }
+
+    #[test]
+    fn state_id_ordering_is_process_major() {
+        // Ordering is only used for canonical container ordering; it sorts
+        // by process first, then index.
+        let a = StateId::new(0usize, 9);
+        let b = StateId::new(1usize, 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ids_serde_roundtrip() {
+        let s = StateId::new(3usize, 4);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StateId = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,62 @@
+//! Lamport scalar clocks.
+//!
+//! Scalar clocks are consistent with causality (`s → t ⇒ L(s) < L(t)`) but
+//! not characterizing. The simulator uses them for deterministic tie-break
+//! ordering of trace events; the deposet layer uses vector clocks for the
+//! full `→` relation.
+
+use serde::{Deserialize, Serialize};
+
+/// A Lamport logical clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct LamportClock(pub u64);
+
+impl LamportClock {
+    /// The initial clock value.
+    pub const ZERO: LamportClock = LamportClock(0);
+
+    /// Advance for a local or send event and return the new value.
+    #[inline]
+    pub fn tick(&mut self) -> LamportClock {
+        self.0 += 1;
+        *self
+    }
+
+    /// Advance for a receive event carrying timestamp `msg` and return the
+    /// new value: `max(local, msg) + 1`.
+    #[inline]
+    pub fn receive(&mut self, msg: LamportClock) -> LamportClock {
+        self.0 = self.0.max(msg.0) + 1;
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_increments() {
+        let mut c = LamportClock::ZERO;
+        assert_eq!(c.tick(), LamportClock(1));
+        assert_eq!(c.tick(), LamportClock(2));
+    }
+
+    #[test]
+    fn receive_takes_max_plus_one() {
+        let mut c = LamportClock(3);
+        assert_eq!(c.receive(LamportClock(10)), LamportClock(11));
+        assert_eq!(c.receive(LamportClock(2)), LamportClock(12));
+    }
+
+    #[test]
+    fn clock_condition_on_a_message_chain() {
+        // send on A, receive on B: L(send) < L(recv).
+        let mut a = LamportClock::ZERO;
+        let send = a.tick();
+        let mut b = LamportClock(7);
+        let recv = b.receive(send);
+        assert!(send < recv);
+    }
+}

@@ -1,0 +1,61 @@
+//! The four-way outcome of a causal comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing two states/events under Lamport's happened-before
+/// relation `→` (the paper's *causally precedes*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Causality {
+    /// The left operand causally precedes the right (`s → t`).
+    Before,
+    /// The right operand causally precedes the left (`t → s`).
+    After,
+    /// Neither precedes the other (`s ∥ t`, *concurrent*).
+    Concurrent,
+    /// Same state/event.
+    Equal,
+}
+
+impl Causality {
+    /// `s →= t`: before or equal (the paper's `s →̲ t`).
+    #[inline]
+    pub fn before_or_equal(self) -> bool {
+        matches!(self, Causality::Before | Causality::Equal)
+    }
+
+    /// Concurrency test `s ∥ t`.
+    #[inline]
+    pub fn is_concurrent(self) -> bool {
+        matches!(self, Causality::Concurrent)
+    }
+
+    /// Swap the operands.
+    #[inline]
+    pub fn reverse(self) -> Causality {
+        match self {
+            Causality::Before => Causality::After,
+            Causality::After => Causality::Before,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for c in [Causality::Before, Causality::After, Causality::Concurrent, Causality::Equal] {
+            assert_eq!(c.reverse().reverse(), c);
+        }
+    }
+
+    #[test]
+    fn before_or_equal_semantics() {
+        assert!(Causality::Before.before_or_equal());
+        assert!(Causality::Equal.before_or_equal());
+        assert!(!Causality::After.before_or_equal());
+        assert!(!Causality::Concurrent.before_or_equal());
+    }
+}

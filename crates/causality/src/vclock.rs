@@ -1,0 +1,185 @@
+//! Fidge–Mattern vector clocks.
+//!
+//! A vector clock timestamps each local state `s` of process `P_i` with a
+//! vector `V(s)` of length `n` such that `V(s)[j]` is the number of states
+//! of `P_j` that causally precede or equal `s` along `→`. With this scheme
+//! (Mattern, *Virtual Time and Global States of Distributed Systems*, 1989 —
+//! reference \[8] of the paper):
+//!
+//! * `s → t`  ⇔  `s ≠ t` and `V(s)[proc(s)] ≤ V(t)[proc(s)]`,
+//! * `s ∥ t`  ⇔  neither precedes the other.
+//!
+//! The deposet crate assigns clocks at trace-construction time; this module
+//! only implements the clock algebra (tick, merge, comparison).
+
+use crate::ids::ProcessId;
+use crate::order::Causality;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A vector clock over a fixed number of processes.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VectorClock {
+    entries: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock for `n` processes.
+    pub fn zero(n: usize) -> Self {
+        VectorClock { entries: vec![0; n] }
+    }
+
+    /// Build a clock from raw entries.
+    pub fn from_entries(entries: Vec<u32>) -> Self {
+        VectorClock { entries }
+    }
+
+    /// Number of processes this clock covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock covers zero processes (degenerate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The component for process `p`.
+    #[inline]
+    pub fn get(&self, p: ProcessId) -> u32 {
+        self.entries[p.index()]
+    }
+
+    /// Raw components.
+    #[inline]
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// Increment the component of process `p` (a local step of `p`).
+    #[inline]
+    pub fn tick(&mut self, p: ProcessId) {
+        self.entries[p.index()] += 1;
+    }
+
+    /// Component-wise maximum with `other` (message receipt).
+    ///
+    /// # Panics
+    /// Panics if the clocks have different lengths.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.entries.len(), other.entries.len(), "clock width mismatch");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` component-wise.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
+    }
+
+    /// Full causal comparison of two *clock values*.
+    ///
+    /// Note that for *state* comparisons the deposet layer uses the cheaper
+    /// single-component test (`V(s)[proc(s)] ≤ V(t)[proc(s)]`); this method
+    /// is the general vector comparison, correct for any two events/states.
+    pub fn causality(&self, other: &VectorClock) -> Causality {
+        let le = self.dominated_by(other);
+        let ge = other.dominated_by(self);
+        match (le, ge) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::Before,
+            (false, true) => Causality::After,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// The partial order of the clock lattice: `Some(Less)` iff strictly
+    /// dominated, `None` iff concurrent.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.causality(other) {
+            Causality::Equal => Some(Ordering::Equal),
+            Causality::Before => Some(Ordering::Less),
+            Causality::After => Some(Ordering::Greater),
+            Causality::Concurrent => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(e: &[u32]) -> VectorClock {
+        VectorClock::from_entries(e.to_vec())
+    }
+
+    #[test]
+    fn zero_is_dominated_by_everything() {
+        let z = VectorClock::zero(3);
+        assert!(z.dominated_by(&vc(&[0, 0, 0])));
+        assert!(z.dominated_by(&vc(&[1, 2, 3])));
+        assert_eq!(z.causality(&vc(&[1, 0, 0])), Causality::Before);
+    }
+
+    #[test]
+    fn tick_and_merge() {
+        let mut a = VectorClock::zero(3);
+        a.tick(ProcessId(0));
+        a.tick(ProcessId(0));
+        let mut b = VectorClock::zero(3);
+        b.tick(ProcessId(1));
+        b.merge(&a);
+        assert_eq!(b.entries(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn concurrent_clocks() {
+        let a = vc(&[1, 0]);
+        let b = vc(&[0, 1]);
+        assert_eq!(a.causality(&b), Causality::Concurrent);
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn strict_domination_is_before() {
+        let a = vc(&[1, 2, 0]);
+        let b = vc(&[2, 2, 0]);
+        assert_eq!(a.causality(&b), Causality::Before);
+        assert_eq!(b.causality(&a), Causality::After);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn equal_clocks() {
+        let a = vc(&[3, 1]);
+        assert_eq!(a.causality(&a.clone()), Causality::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock width mismatch")]
+    fn merge_width_mismatch_panics() {
+        let mut a = VectorClock::zero(2);
+        a.merge(&VectorClock::zero(3));
+    }
+}

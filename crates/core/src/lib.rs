@@ -1,0 +1,42 @@
+//! Predicate control for active debugging of distributed programs.
+//!
+//! This crate implements the contributions of Tarafdar & Garg (IPPS 1998):
+//!
+//! * [`control`] — control relations `C→`, interference checking, and
+//!   controlled deposets (Section 3);
+//! * [`offline`] — the efficient off-line control algorithm for disjunctive
+//!   predicates (Figure 2), in both the O(n²p) and the naive O(n³p)
+//!   variants, with infeasibility certificates ([`overlap`], Lemma 2);
+//! * [`mod@sgsd`] / [`sat`] / [`reduction`] — the NP-hardness machinery of
+//!   Section 4: SGSD, DPLL, and the SAT → SGSD gadget of Figure 1;
+//! * [`verify`] — executable evidence for the correctness theorems:
+//!   chain-structure checks and exhaustive verification of control
+//!   strategies on small instances;
+//! * [`online`] — the on-line control strategy of Figure 3 (the scapegoat /
+//!   "anti-token" protocol) as a sans-I/O state machine plus simulator
+//!   processes, the broadcast variant, and the Theorem 3 impossibility
+//!   scenario;
+//! * [`cnf_control`] — the conclusions' extension beyond disjunctive
+//!   predicates: control of conjunctions of disjunctive clauses, sound when
+//!   the per-clause chains do not interfere (which the paper's *locally
+//!   independent* / mutually-separated condition guarantees).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cnf_control;
+pub mod control;
+pub mod offline;
+pub mod online;
+pub mod overlap;
+pub mod reduction;
+pub mod sat;
+pub mod sgsd;
+pub mod verify;
+
+pub use control::{ControlError, ControlRelation, ControlledDeposet};
+pub use offline::{
+    control_disjunctive, control_intervals, Engine, Infeasible, OfflineOptions, OfflineStats,
+    SelectPolicy,
+};
+pub use sgsd::{sgsd, SgsdOutcome};

@@ -1,0 +1,156 @@
+//! The SAT → SGSD reduction (paper Figure 1, proof of Lemma 1).
+//!
+//! For a CNF formula `b` over variables `x₀ … x_{m-1}`:
+//!
+//! * each variable `x_k` becomes a process with two states — `x = true`
+//!   then `x = false` (a global state's choice of position encodes an
+//!   assignment);
+//! * one extra process `x_m` has three states — `true`, `false`, `true`;
+//! * the SGSD predicate is `B = b ∨ x_m`.
+//!
+//! Every global sequence drives `x_m` through its middle `false` state; at
+//! that instant `B` forces `b` to hold under the assignment encoded by the
+//! other processes. Conversely, for a satisfying assignment `A`, the
+//! sequence: move exactly the `A(x)=false` processes down, dip `x_m` to
+//! false and back, then move the rest, satisfies `B` throughout. Hence
+//! `SGSD(reduce(b)) ⇔ SAT(b)`, and SGSD (and with it off-line predicate
+//! control, Theorem 1) is NP-hard.
+
+use crate::sat::Cnf;
+use pctl_deposet::{
+    Deposet, DeposetBuilder, GlobalPredicate, GlobalSequence, GlobalState, LocalPredicate,
+};
+
+/// Output of the reduction: the gadget computation and the predicate to
+/// hand to SGSD.
+pub struct SgsdInstance {
+    /// The Figure-1 deposet (`m + 1` processes, no messages).
+    pub deposet: Deposet,
+    /// `B = b ∨ x_m`.
+    pub predicate: GlobalPredicate,
+}
+
+/// Build the Figure-1 gadget for `cnf`.
+pub fn reduce_sat_to_sgsd(cnf: &Cnf) -> SgsdInstance {
+    let m = cnf.num_vars;
+    let mut b = DeposetBuilder::new(m + 1);
+    for v in 0..m {
+        b.init_vars(v, &[("x", 1)]);
+        b.internal(v, &[("x", 0)]);
+    }
+    b.init_vars(m, &[("x", 1)]);
+    b.internal(m, &[("x", 0)]);
+    b.internal(m, &[("x", 1)]);
+    let deposet = b.finish().expect("gadget is a valid deposet");
+
+    let clause_preds: Vec<GlobalPredicate> = cnf
+        .clauses
+        .iter()
+        .map(|clause| {
+            GlobalPredicate::Or(
+                clause
+                    .iter()
+                    .map(|l| {
+                        let var = LocalPredicate::var("x");
+                        let local = if l.positive { var } else { var.negated() };
+                        GlobalPredicate::local(l.var, local)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let formula = GlobalPredicate::And(clause_preds);
+    let predicate = GlobalPredicate::Or(vec![
+        formula,
+        GlobalPredicate::local(m, LocalPredicate::var("x")),
+    ]);
+    SgsdInstance { deposet, predicate }
+}
+
+/// Read the variable assignment encoded by a global state of the gadget:
+/// process `k` at its first state ⇒ `x_k = true`.
+pub fn decode_assignment(g: &GlobalState, num_vars: usize) -> Vec<bool> {
+    (0..num_vars).map(|v| g.indices()[v] == 0).collect()
+}
+
+/// Extract a satisfying assignment of the original formula from a
+/// satisfying global sequence of the gadget: the assignment at the moment
+/// `x_m` is false.
+pub fn extract_assignment(seq: &GlobalSequence, num_vars: usize) -> Option<Vec<bool>> {
+    seq.states()
+        .iter()
+        .find(|g| g.indices()[num_vars] == 1)
+        .map(|g| decode_assignment(g, num_vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{dpll, satisfiable, Cnf, Lit};
+    use crate::sgsd::{sgsd, SgsdOutcome};
+
+    #[test]
+    fn gadget_shape_matches_figure_1() {
+        let cnf = Cnf::random_ksat(4, 6, 3, 0);
+        let inst = reduce_sat_to_sgsd(&cnf);
+        assert_eq!(inst.deposet.process_count(), 5);
+        for v in 0..4usize {
+            assert_eq!(inst.deposet.len_of(v.into()), 2);
+        }
+        assert_eq!(inst.deposet.len_of(4usize.into()), 3);
+        assert!(inst.deposet.messages().is_empty());
+    }
+
+    #[test]
+    fn satisfiable_formula_gives_satisfiable_sgsd_with_model() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1): model x1 = true.
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0), Lit::pos(1)]],
+        };
+        let inst = reduce_sat_to_sgsd(&cnf);
+        let out = sgsd(&inst.deposet, &inst.predicate, 1_000_000).unwrap();
+        let SgsdOutcome::Satisfiable(seq) = out else { panic!("expected satisfiable") };
+        let a = extract_assignment(&seq, 2).expect("x_m dips false somewhere");
+        assert!(cnf.eval(&a), "extracted assignment must be a model");
+    }
+
+    #[test]
+    fn unsatisfiable_formula_gives_unsatisfiable_sgsd() {
+        // x0 ∧ ¬x0.
+        let cnf = Cnf { num_vars: 1, clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]] };
+        let inst = reduce_sat_to_sgsd(&cnf);
+        assert!(!sgsd(&inst.deposet, &inst.predicate, 1_000_000).unwrap().is_satisfiable());
+    }
+
+    #[test]
+    fn reduction_agrees_with_dpll_on_random_instances() {
+        for seed in 0..25 {
+            let cnf = Cnf::random_ksat(5, 21, 3, seed);
+            let inst = reduce_sat_to_sgsd(&cnf);
+            let sgsd_sat =
+                sgsd(&inst.deposet, &inst.predicate, 5_000_000).unwrap().is_satisfiable();
+            assert_eq!(
+                sgsd_sat,
+                satisfiable(&cnf),
+                "reduction disagrees with DPLL on seed {seed}: {cnf}"
+            );
+        }
+    }
+
+    #[test]
+    fn extracted_assignments_match_some_model_structure() {
+        for seed in 0..10 {
+            let cnf = Cnf::random_ksat(4, 10, 3, seed);
+            let inst = reduce_sat_to_sgsd(&cnf);
+            if let SgsdOutcome::Satisfiable(seq) =
+                sgsd(&inst.deposet, &inst.predicate, 5_000_000).unwrap()
+            {
+                let a = extract_assignment(&seq, 4).unwrap();
+                assert!(cnf.eval(&a));
+                // DPLL must agree the formula is satisfiable.
+                assert!(dpll(&cnf).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! CNF formulas and a DPLL SAT solver.
+//!
+//! Substrate for the paper's NP-hardness construction (Section 4): SAT is
+//! reduced to *Satisfying Global Sequence Detection* (SGSD), so we need SAT
+//! instances, a reference solver to cross-check the reduction, and a random
+//! instance generator for the scaling experiment (E1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A literal: variable index (0-based) plus polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` = positive occurrence.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// Truth value under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "¬")?;
+        }
+        write!(f, "x{}", self.var)
+    }
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// Clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// A formula with no clauses (trivially satisfiable).
+    pub fn trivial(num_vars: usize) -> Cnf {
+        Cnf { num_vars, clauses: Vec::new() }
+    }
+
+    /// Evaluate under a full assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Uniform random k-SAT instance.
+    pub fn random_ksat(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> Cnf {
+        assert!(k >= 1 && k <= num_vars);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                // k distinct variables, random polarity.
+                let mut vars: Vec<usize> = Vec::with_capacity(k);
+                while vars.len() < k {
+                    let v = rng.gen_range(0..num_vars);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                vars.into_iter()
+                    .map(|v| Lit { var: v, positive: rng.gen_bool(0.5) })
+                    .collect()
+            })
+            .collect();
+        Cnf { num_vars, clauses }
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// DPLL with unit propagation and pure-literal elimination. Returns a
+/// satisfying assignment or `None`.
+pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if solve(cnf, &mut assignment) {
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Satisfiability check only.
+pub fn satisfiable(cnf: &Cnf) -> bool {
+    dpll(cnf).is_some()
+}
+
+fn solve(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint; detect conflicts.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in &cnf.clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut satisfied = false;
+            let mut unassigned_count = 0;
+            for &l in clause {
+                match assignment[l.var] {
+                    Some(v) if v == l.positive => {
+                        satisfied = true;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        unassigned_count += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => {
+                    // Conflict: undo trail.
+                    for &v in &trail {
+                        assignment[v] = None;
+                    }
+                    return false;
+                }
+                1 => {
+                    let l = unassigned.unwrap();
+                    assignment[l.var] = Some(l.positive);
+                    trail.push(l.var);
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+    // Pure literal elimination.
+    let mut polarity: Vec<(bool, bool)> = vec![(false, false); cnf.num_vars];
+    for clause in &cnf.clauses {
+        // Only consider clauses not yet satisfied.
+        if clause.iter().any(|l| assignment[l.var] == Some(l.positive)) {
+            continue;
+        }
+        for &l in clause {
+            if assignment[l.var].is_none() {
+                if l.positive {
+                    polarity[l.var].0 = true;
+                } else {
+                    polarity[l.var].1 = true;
+                }
+            }
+        }
+    }
+    for v in 0..cnf.num_vars {
+        if assignment[v].is_none() {
+            match polarity[v] {
+                (true, false) => {
+                    assignment[v] = Some(true);
+                    trail.push(v);
+                }
+                (false, true) => {
+                    assignment[v] = Some(false);
+                    trail.push(v);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Branch on the first unassigned variable occurring in an unsatisfied
+    // clause.
+    let mut branch_var = None;
+    'outer: for clause in &cnf.clauses {
+        if clause.iter().any(|l| assignment[l.var] == Some(l.positive)) {
+            continue;
+        }
+        for &l in clause {
+            if assignment[l.var].is_none() {
+                branch_var = Some(l.var);
+                break 'outer;
+            }
+        }
+    }
+    let Some(v) = branch_var else {
+        // All clauses satisfied.
+        return true;
+    };
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if solve(cnf, assignment) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    for u in trail {
+        assignment[u] = None;
+    }
+    false
+}
+
+/// Exhaustive satisfiability (ground truth for small formulas).
+pub fn satisfiable_brute(cnf: &Cnf) -> bool {
+    assert!(cnf.num_vars <= 24, "brute force limited to 24 variables");
+    (0u64..(1u64 << cnf.num_vars)).any(|bits| {
+        let assignment: Vec<bool> = (0..cnf.num_vars).map(|v| bits >> v & 1 == 1).collect();
+        cnf.eval(&assignment)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf(num_vars: usize, clauses: &[&[(usize, bool)]]) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: clauses
+                .iter()
+                .map(|c| c.iter().map(|&(v, pos)| Lit { var: v, positive: pos }).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn trivial_formula_is_sat() {
+        assert!(satisfiable(&Cnf::trivial(3)));
+        let a = dpll(&Cnf::trivial(2)).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let f = Cnf { num_vars: 1, clauses: vec![vec![]] };
+        assert!(!satisfiable(&f));
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        // (x0) ∧ (¬x0) — unsat.
+        let f = cnf(1, &[&[(0, true)], &[(0, false)]]);
+        assert!(!satisfiable(&f));
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x1) — sat with x1 = true.
+        let g = cnf(2, &[&[(0, true), (1, true)], &[(0, false), (1, true)]]);
+        let a = dpll(&g).unwrap();
+        assert!(g.eval(&a));
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x0; ¬x0∨x1; ¬x1∨x2; ¬x2 — unsat via pure propagation.
+        let f = cnf(
+            3,
+            &[
+                &[(0, true)],
+                &[(0, false), (1, true)],
+                &[(1, false), (2, true)],
+                &[(2, false)],
+            ],
+        );
+        assert!(!satisfiable(&f));
+    }
+
+    #[test]
+    fn dpll_assignment_actually_satisfies() {
+        for seed in 0..30 {
+            let f = Cnf::random_ksat(8, 20, 3, seed);
+            if let Some(a) = dpll(&f) {
+                assert!(f.eval(&a), "dpll returned a non-model for seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force() {
+        for seed in 0..60 {
+            // Around the 3-SAT phase transition (ratio ~4.3) for hard mixes.
+            let f = Cnf::random_ksat(6, 26, 3, seed);
+            assert_eq!(satisfiable(&f), satisfiable_brute(&f), "seed {seed}: {f}");
+        }
+    }
+
+    #[test]
+    fn ksat_generator_shape() {
+        let f = Cnf::random_ksat(10, 15, 3, 1);
+        assert_eq!(f.clauses.len(), 15);
+        for c in &f.clauses {
+            assert_eq!(c.len(), 3);
+            let mut vars: Vec<usize> = c.iter().map(|l| l.var).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "vars within a clause are distinct");
+        }
+        // Determinism.
+        assert_eq!(f, Cnf::random_ksat(10, 15, 3, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = cnf(2, &[&[(0, true), (1, false)]]);
+        assert_eq!(format!("{f}"), "(x0 ∨ ¬x1)");
+        assert_eq!(format!("{}", Cnf::trivial(0)), "⊤");
+    }
+}

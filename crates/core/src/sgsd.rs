@@ -1,0 +1,110 @@
+//! Satisfying Global Sequence Detection (SGSD) — paper Section 4.
+//!
+//! *Given a deposet and a global predicate `B`, does some global sequence
+//! satisfy `B` (i.e. every global state along it satisfies `B`)?*
+//!
+//! SGSD is NP-complete (paper Lemma 1), and deciding whether a satisfying
+//! control strategy exists is equivalent to it: a satisfying strategy can
+//! be read off a satisfying sequence (allow exactly that sequence) and vice
+//! versa (simulate the strategy). So this exhaustive solver doubles as the
+//! ground-truth oracle for the off-line control algorithm's feasibility
+//! answers, and as the expensive half of the NP-hardness experiment (E1).
+
+use pctl_deposet::lattice::LatticeBudgetExceeded;
+use pctl_deposet::sequences::find_satisfying_sequence;
+use pctl_deposet::{Deposet, GlobalPredicate, GlobalSequence};
+
+/// Outcome of the SGSD search.
+#[derive(Debug)]
+pub enum SgsdOutcome {
+    /// A satisfying sequence exists; here is one.
+    Satisfiable(GlobalSequence),
+    /// Provably no satisfying sequence exists.
+    Unsatisfiable,
+}
+
+impl SgsdOutcome {
+    /// Whether a satisfying sequence was found.
+    pub fn is_satisfiable(&self) -> bool {
+        matches!(self, SgsdOutcome::Satisfiable(_))
+    }
+}
+
+/// Decide SGSD for `pred` on `dep`, visiting at most `limit` global states
+/// (the search is exponential in the worst case — inherent, per Lemma 1).
+pub fn sgsd(
+    dep: &Deposet,
+    pred: &GlobalPredicate,
+    limit: usize,
+) -> Result<SgsdOutcome, LatticeBudgetExceeded> {
+    match find_satisfying_sequence(dep, limit, |d, g| pred.eval(d, g))? {
+        Some(seq) => Ok(SgsdOutcome::Satisfiable(seq)),
+        None => Ok(SgsdOutcome::Unsatisfiable),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pctl_deposet::{DeposetBuilder, DisjunctivePredicate, LocalPredicate};
+
+    #[test]
+    fn mutex_trace_has_a_satisfying_sequence() {
+        // Two overlapping critical sections: a sequence avoiding ⟨cs,cs⟩
+        // exists (serialize them).
+        let mut b = DeposetBuilder::new(2);
+        for p in 0..2 {
+            b.init_vars(p, &[("cs", 0)]);
+            b.internal(p, &[("cs", 1)]);
+            b.internal(p, &[("cs", 0)]);
+        }
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one_not(2, "cs").to_global();
+        let out = sgsd(&dep, &pred, 100_000).unwrap();
+        let SgsdOutcome::Satisfiable(seq) = out else { panic!("expected satisfiable") };
+        assert_eq!(seq.validate(&dep), Ok(()));
+        assert!(seq.satisfies(&dep, |d, g| pred.eval(d, g)));
+    }
+
+    #[test]
+    fn all_false_processes_are_unsatisfiable() {
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[]);
+        b.internal(1, &[]);
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(2, "up").to_global();
+        assert!(!sgsd(&dep, &pred, 100_000).unwrap().is_satisfiable());
+    }
+
+    #[test]
+    fn subset_step_needed_for_satisfaction() {
+        // The "swap" instance: B = exactly-one-token, expressible as a
+        // boolean combination of local predicates.
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("tok", 1)]);
+        b.internal(0, &[("tok", 0)]);
+        b.internal(1, &[("tok", 1)]);
+        let dep = b.finish().unwrap();
+        let t0 = GlobalPredicate::local(0usize, LocalPredicate::var("tok"));
+        let t1 = GlobalPredicate::local(1usize, LocalPredicate::var("tok"));
+        let exactly_one = GlobalPredicate::And(vec![
+            GlobalPredicate::Or(vec![t0.clone(), t1.clone()]),
+            GlobalPredicate::Not(Box::new(GlobalPredicate::And(vec![t0, t1]))),
+        ]);
+        let out = sgsd(&dep, &exactly_one, 100_000).unwrap();
+        let SgsdOutcome::Satisfiable(seq) = out else { panic!("needs the diagonal step") };
+        assert_eq!(seq.states().len(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut b = DeposetBuilder::new(2);
+        for _ in 0..8 {
+            b.internal(0, &[]);
+            b.internal(1, &[]);
+        }
+        let dep = b.finish().unwrap();
+        let pred = GlobalPredicate::Const(true);
+        assert!(sgsd(&dep, &pred, 2).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Executable verification of control strategies.
+//!
+//! The paper's correctness proofs (Theorem 2 and the lemmas deferred to the
+//! companion TR \[12]) are reproduced here as machine-checkable evidence:
+//!
+//! * [`verify_disjunctive`] — *soundness*: the synthesized relation does
+//!   not interfere with causality, and every consistent global state of the
+//!   controlled computation satisfies `B`. Since every global sequence
+//!   moves through consistent global states only, and every consistent
+//!   global state lies on some global sequence, this is exactly "the
+//!   controlled deposet satisfies `B`".
+//! * [`chain_structure`] — the structural invariant behind the proof: the
+//!   output is a chain anchored at `⊥` or at crossed-interval endpoints,
+//!   with every arrow pointing back into a false interval (or `⊤`).
+//! * [`agrees_with_oracle`] — *completeness* cross-check on small
+//!   instances: the algorithm answers "infeasible" exactly when no
+//!   satisfying interleaving exists (the enforceable semantics; see
+//!   `crate::overlap`'s module docs).
+
+use crate::control::{ControlError, ControlRelation, ControlledDeposet};
+use crate::offline::{control_disjunctive, OfflineOptions};
+use pctl_deposet::lattice::LatticeBudgetExceeded;
+use pctl_deposet::{Deposet, DisjunctivePredicate, GlobalState};
+use std::fmt;
+
+/// Verification failure.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The relation cannot even be applied.
+    Control(ControlError),
+    /// The controlled lattice is too large to check exhaustively.
+    Budget(LatticeBudgetExceeded),
+    /// A consistent global state of the controlled computation violates the
+    /// predicate.
+    Violation {
+        /// The offending global state.
+        state: GlobalState,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Control(e) => write!(f, "control relation invalid: {e}"),
+            VerifyError::Budget(e) => write!(f, "verification budget exceeded: {e}"),
+            VerifyError::Violation { state } => {
+                write!(f, "controlled global state {state} violates the predicate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Exhaustively verify that `rel` makes `dep` satisfy the disjunctive
+/// predicate `pred` (see module docs). `limit` bounds the number of
+/// controlled-consistent global states visited.
+pub fn verify_disjunctive(
+    dep: &Deposet,
+    pred: &DisjunctivePredicate,
+    rel: &ControlRelation,
+    limit: usize,
+) -> Result<(), VerifyError> {
+    let c = ControlledDeposet::new(dep, rel.clone()).map_err(VerifyError::Control)?;
+    for g in c.consistent_global_states(limit).map_err(VerifyError::Budget)? {
+        if !pred.eval(dep, &g) {
+            return Err(VerifyError::Violation { state: g });
+        }
+    }
+    Ok(())
+}
+
+/// Structural facts about an algorithm output used in the paper's proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainStructure {
+    /// Every arrow source is a valid chain anchor: `⊥ᵢ` with the local
+    /// predicate true there, or the last (`hi`) state of a crossed false
+    /// interval — i.e. a false state whose successor is true. (The
+    /// algorithm anchors at `I.hi` rather than its successor; see
+    /// `offline::Run::state_of`.)
+    pub sources_anchor: bool,
+    /// Every arrow target state falsifies its process's local predicate or
+    /// is the final state `⊤` of its process.
+    pub targets_false_or_top: bool,
+    /// No arrow connects a process to itself.
+    pub no_self_arrows: bool,
+}
+
+impl ChainStructure {
+    /// All structural invariants hold.
+    pub fn holds(&self) -> bool {
+        self.sources_anchor && self.targets_false_or_top && self.no_self_arrows
+    }
+}
+
+/// Check the chain-structure invariants of a control relation produced by
+/// the off-line algorithm.
+pub fn chain_structure(
+    dep: &Deposet,
+    pred: &DisjunctivePredicate,
+    rel: &ControlRelation,
+) -> ChainStructure {
+    let mut s = ChainStructure {
+        sources_anchor: true,
+        targets_false_or_top: true,
+        no_self_arrows: true,
+    };
+    for &(x, y) in rel.pairs() {
+        let x_true = pred.local(x.process).eval(dep.state(x));
+        let anchor_at_bottom = x == dep.bottom(x.process) && x_true;
+        let succ = x.successor();
+        let anchor_at_interval_end = !x_true
+            && dep.contains(succ)
+            && pred.local(x.process).eval(dep.state(succ));
+        if !(anchor_at_bottom || anchor_at_interval_end) {
+            s.sources_anchor = false;
+        }
+        let is_top = y == dep.top(y.process);
+        if !is_top && pred.local(y.process).eval(dep.state(y)) {
+            s.targets_false_or_top = false;
+        }
+        if x.process == y.process {
+            s.no_self_arrows = false;
+        }
+    }
+    s
+}
+
+/// Cross-check the off-line algorithm's feasibility answer against the
+/// exhaustive *interleaving* oracle (the enforceable semantics — see
+/// `crate::overlap`'s module docs). Returns `Ok(true)` when they agree.
+pub fn agrees_with_oracle(
+    dep: &Deposet,
+    pred: &DisjunctivePredicate,
+    opts: OfflineOptions,
+    limit: usize,
+) -> Result<bool, LatticeBudgetExceeded> {
+    let algo_feasible = control_disjunctive(dep, pred, opts).is_ok();
+    let p = pred.clone();
+    let oracle =
+        pctl_deposet::sequences::find_satisfying_interleaving(dep, limit, move |d, g| {
+            p.eval(d, g)
+        })?;
+    Ok(algo_feasible == oracle.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pctl_causality::StateId;
+    use pctl_deposet::DeposetBuilder;
+
+    fn mutex_dep() -> (Deposet, DisjunctivePredicate) {
+        let mut b = DeposetBuilder::new(2);
+        for p in 0..2 {
+            b.init_vars(p, &[("cs", 0)]);
+            b.internal(p, &[("cs", 1)]);
+            b.internal(p, &[("cs", 0)]);
+        }
+        (b.finish().unwrap(), DisjunctivePredicate::at_least_one_not(2, "cs"))
+    }
+
+    #[test]
+    fn verify_accepts_algorithm_output() {
+        let (dep, pred) = mutex_dep();
+        let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).unwrap();
+        assert!(verify_disjunctive(&dep, &pred, &rel, 10_000).is_ok());
+        assert!(chain_structure(&dep, &pred, &rel).holds());
+    }
+
+    #[test]
+    fn verify_rejects_empty_relation_when_control_needed() {
+        let (dep, pred) = mutex_dep();
+        let err =
+            verify_disjunctive(&dep, &pred, &ControlRelation::empty(), 10_000).unwrap_err();
+        match err {
+            VerifyError::Violation { state } => {
+                assert_eq!(state, GlobalState::from_indices(vec![1, 1]));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_rejects_interfering_relation() {
+        let (dep, pred) = mutex_dep();
+        let rel = ControlRelation::from_pairs([
+            (StateId::new(0usize, 1), StateId::new(1usize, 1)),
+            (StateId::new(1usize, 1), StateId::new(0usize, 1)),
+        ]);
+        assert!(matches!(
+            verify_disjunctive(&dep, &pred, &rel, 10_000),
+            Err(VerifyError::Control(ControlError::Interference { .. }))
+        ));
+    }
+
+    #[test]
+    fn verify_budget_is_honored() {
+        let (dep, pred) = mutex_dep();
+        let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).unwrap();
+        assert!(matches!(
+            verify_disjunctive(&dep, &pred, &rel, 1),
+            Err(VerifyError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn algorithm_matches_oracle_on_small_instances() {
+        use pctl_deposet::generator::{pipelined_workload, CsConfig};
+        for seed in 0..15 {
+            let cfg = CsConfig {
+                processes: 3,
+                sections_per_process: 2,
+                max_cs_len: 2,
+                max_gap_len: 2,
+            };
+            let dep = pipelined_workload(&cfg, seed);
+            let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
+            assert!(
+                agrees_with_oracle(&dep, &pred, OfflineOptions::default(), 5_000_000).unwrap(),
+                "feasibility disagreement on seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_chain_structure_is_reported() {
+        let (dep, pred) = mutex_dep();
+        // The mutex trace has each process: ¬cs(0), cs(1), ¬cs(2).
+        // Source at state 1 is a valid anchor (false, successor true)…
+        let rel = ControlRelation::from_pairs([(
+            StateId::new(0usize, 1),
+            StateId::new(1usize, 1),
+        )]);
+        assert!(chain_structure(&dep, &pred, &rel).sources_anchor);
+        // …but a source at a true interior state is not an anchor…
+        let rel_bad = ControlRelation::from_pairs([(
+            StateId::new(0usize, 2),
+            StateId::new(1usize, 1),
+        )]);
+        let s = chain_structure(&dep, &pred, &rel_bad);
+        assert!(!s.sources_anchor);
+        assert!(s.targets_false_or_top);
+        assert!(s.no_self_arrows);
+        assert!(!s.holds());
+        // …a true target is flagged…
+        let rel_tt = ControlRelation::from_pairs([(
+            StateId::new(0usize, 1),
+            StateId::new(1usize, 2),
+        )]);
+        // state (1,2) is ¬cs = true for the predicate ∨¬cs… careful: the
+        // local predicate is ¬cs, so cs=0 states are TRUE. Target (1,2)
+        // has cs=0 ⇒ predicate true ⇒ flagged (and it is also ⊤ of P1,
+        // which excuses it). Use an interior true target instead: (1,0).
+        let _ = rel_tt;
+        let rel_interior_true = ControlRelation::from_pairs([(
+            StateId::new(0usize, 1),
+            StateId::new(1usize, 0),
+        )]);
+        assert!(!chain_structure(&dep, &pred, &rel_interior_true).targets_false_or_top);
+        // …and a self arrow is flagged.
+        let rel2 = ControlRelation::from_pairs([(
+            StateId::new(0usize, 0),
+            StateId::new(0usize, 1),
+        )]);
+        assert!(!chain_structure(&dep, &pred, &rel2).no_self_arrows);
+    }
+}

@@ -1,0 +1,233 @@
+//! Seeded random workload generators.
+//!
+//! Three families, used across the workspace's tests and benchmarks:
+//!
+//! * [`random_deposet`] — unconstrained random computations (messages,
+//!   internal events, random boolean variable flips). Ground truth for
+//!   property-based testing of causality, detection and control.
+//! * [`cs_workload`] — per-process critical-section workloads with **no
+//!   messages** and no false interval touching `⊥`/`⊤`, which makes the
+//!   disjunctive predicate `∨ᵢ ¬csᵢ` provably controllable (no overlapping
+//!   false-interval set can exist without cross-process causality or
+//!   boundary intervals). This is the scaling workload for the paper's
+//!   Figure 2 algorithm (experiment E2).
+//! * [`pipelined_workload`] — critical sections plus a ring of messages, to
+//!   exercise the algorithm's causality checks and produce a realistic mix
+//!   of feasible and infeasible instances.
+//!
+//! Everything is driven by a caller-supplied seed; identical seeds give
+//! identical computations, bit for bit.
+
+use crate::builder::{DeposetBuilder, MsgToken};
+use crate::model::Deposet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_deposet`].
+#[derive(Clone, Debug)]
+pub struct RandomConfig {
+    /// Number of processes.
+    pub processes: usize,
+    /// Total number of events across all processes.
+    pub events: usize,
+    /// Probability that a scheduled event is a send (vs internal), given an
+    /// empty inbox; receives happen eagerly with probability 1/2 when
+    /// possible.
+    pub send_prob: f64,
+    /// Probability that an event flips the process's boolean variable `ok`.
+    pub flip_prob: f64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { processes: 3, events: 30, send_prob: 0.3, flip_prob: 0.3 }
+    }
+}
+
+/// Generate a random valid deposet. All sent messages are delivered (the
+/// tail of the schedule drains every inbox), so the result never has
+/// in-flight messages.
+pub fn random_deposet(cfg: &RandomConfig, seed: u64) -> Deposet {
+    assert!(cfg.processes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DeposetBuilder::new(cfg.processes);
+    for p in 0..cfg.processes {
+        b.init_vars(p, &[("ok", 1)]);
+    }
+    let mut inbox: Vec<Vec<MsgToken>> = (0..cfg.processes).map(|_| Vec::new()).collect();
+    for _ in 0..cfg.events {
+        let p = rng.gen_range(0..cfg.processes);
+        let flip = rng.gen_bool(cfg.flip_prob);
+        let updates: Vec<(&str, i64)> = if flip {
+            let cur = b.var(p, "ok").unwrap_or(1);
+            vec![("ok", 1 - cur)]
+        } else {
+            vec![]
+        };
+        if !inbox[p].is_empty() && rng.gen_bool(0.5) {
+            let tok = inbox[p].remove(0);
+            b.recv(p, tok, &updates);
+        } else if cfg.processes > 1 && rng.gen_bool(cfg.send_prob) {
+            let mut q = rng.gen_range(0..cfg.processes - 1);
+            if q >= p {
+                q += 1;
+            }
+            let tok = b.send_with(p, "m", &updates);
+            inbox[q].push(tok);
+        } else {
+            b.internal(p, &updates);
+        }
+    }
+    // Drain inboxes so every message is delivered.
+    for (p, pending) in inbox.into_iter().enumerate() {
+        for tok in pending {
+            b.recv(p, tok, &[]);
+        }
+    }
+    b.finish().expect("generator produces valid deposets")
+}
+
+/// Parameters for [`cs_workload`] and [`pipelined_workload`].
+#[derive(Clone, Debug)]
+pub struct CsConfig {
+    /// Number of processes.
+    pub processes: usize,
+    /// Critical sections (false intervals of `¬cs`) per process — the
+    /// paper's `p`.
+    pub sections_per_process: usize,
+    /// Maximum states inside a critical section (≥ 1).
+    pub max_cs_len: usize,
+    /// Maximum states between critical sections (≥ 1).
+    pub max_gap_len: usize,
+}
+
+impl Default for CsConfig {
+    fn default() -> Self {
+        CsConfig { processes: 4, sections_per_process: 8, max_cs_len: 3, max_gap_len: 3 }
+    }
+}
+
+/// Critical-section workload with no messages: each process alternates
+/// non-critical gaps and critical sections (`cs = 1` runs). The first and
+/// last states are always non-critical, so the disjunctive predicate
+/// "at least one process not in its CS" is always controllable.
+pub fn cs_workload(cfg: &CsConfig, seed: u64) -> Deposet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DeposetBuilder::new(cfg.processes);
+    for p in 0..cfg.processes {
+        b.init_vars(p, &[("cs", 0)]);
+        for _ in 0..cfg.sections_per_process {
+            // gap (≥ 1 non-critical state already present before each CS)
+            for _ in 0..rng.gen_range(0..cfg.max_gap_len) {
+                b.internal(p, &[]);
+            }
+            b.internal(p, &[("cs", 1)]);
+            for _ in 0..rng.gen_range(0..cfg.max_cs_len) {
+                b.internal(p, &[]);
+            }
+            b.internal(p, &[("cs", 0)]);
+        }
+    }
+    b.finish().expect("cs workload is valid")
+}
+
+/// Critical-section workload threaded with a ring of messages: after each
+/// critical section, process `p` sends to `(p + 1) mod n`, and receives its
+/// own pending messages before entering the next section. Produces causality
+/// between sections, so instances may be feasible or infeasible.
+pub fn pipelined_workload(cfg: &CsConfig, seed: u64) -> Deposet {
+    let n = cfg.processes;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DeposetBuilder::new(n);
+    let mut inbox: Vec<Vec<MsgToken>> = (0..n).map(|_| Vec::new()).collect();
+    for p in 0..n {
+        b.init_vars(p, &[("cs", 0)]);
+    }
+    for round in 0..cfg.sections_per_process {
+        for p in 0..n {
+            while !inbox[p].is_empty() {
+                let tok = inbox[p].remove(0);
+                b.recv(p, tok, &[]);
+            }
+            for _ in 0..rng.gen_range(0..cfg.max_gap_len) {
+                b.internal(p, &[]);
+            }
+            b.internal(p, &[("cs", 1)]);
+            for _ in 0..rng.gen_range(0..cfg.max_cs_len) {
+                b.internal(p, &[]);
+            }
+            b.internal(p, &[("cs", 0)]);
+            if n > 1 && round + 1 < cfg.sections_per_process {
+                let tok = b.send(p, "ring");
+                inbox[(p + 1) % n].push(tok);
+            }
+        }
+    }
+    for (p, pending) in inbox.into_iter().enumerate() {
+        for tok in pending {
+            b.recv(p, tok, &[]);
+        }
+    }
+    b.finish().expect("pipelined workload is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intervals::FalseIntervals;
+    use crate::predicate::DisjunctivePredicate;
+    use pctl_causality::ProcessId;
+
+    #[test]
+    fn random_deposet_is_deterministic_per_seed() {
+        let cfg = RandomConfig::default();
+        let a = random_deposet(&cfg, 99);
+        let b = random_deposet(&cfg, 99);
+        assert_eq!(a.total_states(), b.total_states());
+        assert_eq!(a.messages(), b.messages());
+        let c = random_deposet(&cfg, 100);
+        // Overwhelmingly likely to differ.
+        assert!(
+            a.total_states() != c.total_states()
+                || a.messages() != c.messages()
+                || (0..a.process_count())
+                    .any(|p| a.states_of(ProcessId(p as u32)) != c.states_of(ProcessId(p as u32)))
+        );
+    }
+
+    #[test]
+    fn cs_workload_has_requested_interval_counts() {
+        let cfg = CsConfig { processes: 3, sections_per_process: 5, ..CsConfig::default() };
+        let d = cs_workload(&cfg, 1);
+        let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one_not(3, "cs"));
+        for p in d.processes() {
+            assert_eq!(f.of(p).len(), 5, "each process has exactly 5 CS intervals");
+            // No interval touches ⊥ or ⊤.
+            for i in f.of(p) {
+                assert!(i.lo > 0);
+                assert!((i.hi as usize) < d.len_of(p) - 1);
+            }
+        }
+        assert!(d.messages().is_empty());
+    }
+
+    #[test]
+    fn pipelined_workload_has_messages_and_intervals() {
+        let cfg = CsConfig { processes: 3, sections_per_process: 4, ..CsConfig::default() };
+        let d = pipelined_workload(&cfg, 2);
+        assert!(!d.messages().is_empty());
+        let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one_not(3, "cs"));
+        for p in d.processes() {
+            assert_eq!(f.of(p).len(), 4);
+        }
+    }
+
+    #[test]
+    fn single_process_random_deposet() {
+        let cfg = RandomConfig { processes: 1, events: 10, send_prob: 0.5, flip_prob: 0.5 };
+        let d = random_deposet(&cfg, 3);
+        assert_eq!(d.process_count(), 1);
+        assert!(d.messages().is_empty(), "single process cannot send to others");
+        assert_eq!(d.total_states(), 11);
+    }
+}

@@ -1,0 +1,240 @@
+//! False-intervals of local predicates.
+//!
+//! The paper's Section 5 divides each process's state sequence into maximal
+//! runs that are *true* or *false* with respect to its local predicate
+//! `lᵢ`; the control algorithm operates exclusively on the *false intervals*
+//! (`I.lo` / `I.hi` are the first and last states of a maximal false run).
+//! Extraction happens once per (deposet, predicate) pair so that predicate
+//! evaluation cost is paid once.
+
+use crate::model::Deposet;
+use crate::predicate::{DisjunctivePredicate, LocalPredicate};
+use pctl_causality::{ProcessId, StateId};
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of consecutive states on one process where the local
+/// predicate is false. `lo ≤ hi`, both inclusive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Owning process.
+    pub process: ProcessId,
+    /// Index of the first false state.
+    pub lo: u32,
+    /// Index of the last false state.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// `I.lo` as a state id.
+    pub fn lo_state(&self) -> StateId {
+        StateId { process: self.process, index: self.lo }
+    }
+
+    /// `I.hi` as a state id.
+    pub fn hi_state(&self) -> StateId {
+        StateId { process: self.process, index: self.hi }
+    }
+
+    /// Number of states in the interval.
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo + 1) as usize
+    }
+
+    /// Intervals are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether state index `k` lies inside the interval.
+    pub fn contains_index(&self, k: u32) -> bool {
+        self.lo <= k && k <= self.hi
+    }
+}
+
+/// Per-process sorted false-interval lists for a disjunctive predicate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FalseIntervals {
+    per_proc: Vec<Vec<Interval>>,
+}
+
+impl FalseIntervals {
+    /// Extract the false intervals of each `lᵢ` from `dep`.
+    ///
+    /// # Panics
+    /// Panics if the predicate arity differs from the process count.
+    pub fn extract(dep: &Deposet, pred: &DisjunctivePredicate) -> Self {
+        assert_eq!(
+            pred.arity(),
+            dep.process_count(),
+            "disjunctive predicate arity must equal process count"
+        );
+        let per_proc = dep
+            .processes()
+            .map(|p| extract_one(dep, p, pred.local(p)))
+            .collect();
+        FalseIntervals { per_proc }
+    }
+
+    /// Extract from explicit per-process local predicates.
+    pub fn extract_each(dep: &Deposet, locals: &[LocalPredicate]) -> Self {
+        assert_eq!(locals.len(), dep.process_count());
+        let per_proc = dep
+            .processes()
+            .map(|p| extract_one(dep, p, &locals[p.index()]))
+            .collect();
+        FalseIntervals { per_proc }
+    }
+
+    /// Build from precomputed interval lists (must be sorted and disjoint
+    /// per process — callers from tests/generators).
+    pub fn from_raw(per_proc: Vec<Vec<Interval>>) -> Self {
+        for (p, iv) in per_proc.iter().enumerate() {
+            for w in iv.windows(2) {
+                assert!(
+                    w[0].hi + 1 < w[1].lo,
+                    "intervals on P{p} must be disjoint, non-adjacent and sorted"
+                );
+            }
+            for i in iv {
+                assert!(i.lo <= i.hi && i.process == ProcessId(p as u32));
+            }
+        }
+        FalseIntervals { per_proc }
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// The false intervals of process `p`, in increasing order.
+    pub fn of(&self, p: ProcessId) -> &[Interval] {
+        &self.per_proc[p.index()]
+    }
+
+    /// Maximum number of false intervals on any process (the paper's `p`).
+    pub fn max_per_process(&self) -> usize {
+        self.per_proc.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of false intervals.
+    pub fn total(&self) -> usize {
+        self.per_proc.iter().map(Vec::len).sum()
+    }
+
+    /// The first false interval of `p` whose `lo` is at or after state
+    /// index `from` — the algorithm's `N(i)` lookup is built on this.
+    pub fn next_at_or_after(&self, p: ProcessId, from: u32) -> Option<&Interval> {
+        let iv = &self.per_proc[p.index()];
+        let pos = iv.partition_point(|i| i.lo < from);
+        iv.get(pos)
+    }
+
+    /// The false interval of `p` containing state index `k`, if any.
+    pub fn containing(&self, p: ProcessId, k: u32) -> Option<&Interval> {
+        let iv = &self.per_proc[p.index()];
+        let pos = iv.partition_point(|i| i.hi < k);
+        iv.get(pos).filter(|i| i.contains_index(k))
+    }
+}
+
+fn extract_one(dep: &Deposet, p: ProcessId, local: &LocalPredicate) -> Vec<Interval> {
+    let states = dep.states_of(p);
+    let mut out = Vec::new();
+    let mut run_start: Option<u32> = None;
+    for (k, st) in states.iter().enumerate() {
+        let truth = local.eval(st);
+        match (truth, run_start) {
+            (false, None) => run_start = Some(k as u32),
+            (true, Some(lo)) => {
+                out.push(Interval { process: p, lo, hi: k as u32 - 1 });
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(lo) = run_start {
+        out.push(Interval { process: p, lo, hi: states.len() as u32 - 1 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeposetBuilder;
+    use crate::predicate::DisjunctivePredicate;
+
+    /// One process whose `ok` variable follows the given pattern.
+    fn pattern_dep(pattern: &[i64]) -> Deposet {
+        let mut b = DeposetBuilder::new(1);
+        b.init_vars(0, &[("ok", pattern[0])]);
+        for &v in &pattern[1..] {
+            b.internal(0, &[("ok", v)]);
+        }
+        b.finish().unwrap()
+    }
+
+    fn intervals_for(pattern: &[i64]) -> Vec<(u32, u32)> {
+        let d = pattern_dep(pattern);
+        let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one(1, "ok"));
+        f.of(ProcessId(0)).iter().map(|i| (i.lo, i.hi)).collect()
+    }
+
+    #[test]
+    fn extraction_finds_maximal_runs() {
+        assert_eq!(intervals_for(&[1, 0, 0, 1, 0, 1]), vec![(1, 2), (4, 4)]);
+        assert_eq!(intervals_for(&[0, 0, 0]), vec![(0, 2)], "all-false is one run");
+        assert_eq!(intervals_for(&[1, 1, 1]), vec![], "all-true has no runs");
+        assert_eq!(intervals_for(&[0, 1, 0]), vec![(0, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let i = Interval { process: ProcessId(2), lo: 3, hi: 5 };
+        assert_eq!(i.lo_state(), StateId::new(2usize, 3));
+        assert_eq!(i.hi_state(), StateId::new(2usize, 5));
+        assert_eq!(i.len(), 3);
+        assert!(i.contains_index(4));
+        assert!(!i.contains_index(6));
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn next_at_or_after_and_containing() {
+        let d = pattern_dep(&[1, 0, 0, 1, 0, 1]);
+        let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one(1, "ok"));
+        let p = ProcessId(0);
+        assert_eq!(f.next_at_or_after(p, 0).map(|i| i.lo), Some(1));
+        assert_eq!(f.next_at_or_after(p, 1).map(|i| i.lo), Some(1));
+        assert_eq!(f.next_at_or_after(p, 2).map(|i| i.lo), Some(4));
+        assert_eq!(f.next_at_or_after(p, 5), None);
+        assert_eq!(f.containing(p, 2).map(|i| i.lo), Some(1));
+        assert_eq!(f.containing(p, 3), None);
+        assert_eq!(f.containing(p, 4).map(|i| (i.lo, i.hi)), Some((4, 4)));
+    }
+
+    #[test]
+    fn stats() {
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("ok", 1)]);
+        b.init_vars(1, &[("ok", 0)]);
+        b.internal(0, &[("ok", 0)]);
+        b.internal(0, &[("ok", 1)]);
+        b.internal(1, &[("ok", 1)]);
+        let d = b.finish().unwrap();
+        let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one(2, "ok"));
+        assert_eq!(f.total(), 2);
+        assert_eq!(f.max_per_process(), 1);
+        assert_eq!(f.process_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn from_raw_rejects_adjacent_intervals() {
+        FalseIntervals::from_raw(vec![vec![
+            Interval { process: ProcessId(0), lo: 0, hi: 1 },
+            Interval { process: ProcessId(0), lo: 2, hi: 3 },
+        ]]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Enumeration and model checking over the lattice of consistent global
+//! states `(G_c, ≤)`.
+//!
+//! Any consistent global state (= ideal of the `→` poset) is reachable from
+//! `⊥` by repeatedly advancing a single process while staying consistent, so
+//! a BFS over [`GlobalState::consistent_successors`] enumerates the whole
+//! lattice. The lattice can be exponentially large; every entry point takes
+//! an explicit `limit` and fails softly when it is exceeded, which is how
+//! the NP-hardness of the general problem manifests operationally.
+
+use crate::global::GlobalState;
+use crate::model::Deposet;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// Error: the lattice exploration exceeded the caller's state budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatticeBudgetExceeded {
+    /// The budget that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for LatticeBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lattice exploration exceeded budget of {} global states", self.limit)
+    }
+}
+
+impl std::error::Error for LatticeBudgetExceeded {}
+
+/// Enumerate every consistent global state of `dep`, up to `limit` states.
+///
+/// Returned in BFS order from `⊥` (a linear extension of `≤`).
+pub fn consistent_global_states(
+    dep: &Deposet,
+    limit: usize,
+) -> Result<Vec<GlobalState>, LatticeBudgetExceeded> {
+    let init = GlobalState::initial(dep.process_count());
+    debug_assert!(init.is_consistent(dep));
+    let mut seen: HashSet<GlobalState> = HashSet::new();
+    let mut queue: VecDeque<GlobalState> = VecDeque::new();
+    let mut out = Vec::new();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    while let Some(g) = queue.pop_front() {
+        out.push(g.clone());
+        if out.len() > limit {
+            return Err(LatticeBudgetExceeded { limit });
+        }
+        for (_, h) in g.consistent_successors(dep) {
+            if seen.insert(h.clone()) {
+                queue.push_back(h);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Count the consistent global states (subject to the same budget).
+pub fn count_consistent_global_states(
+    dep: &Deposet,
+    limit: usize,
+) -> Result<usize, LatticeBudgetExceeded> {
+    consistent_global_states(dep, limit).map(|v| v.len())
+}
+
+/// Model-check a predicate over every consistent global state: returns all
+/// consistent global states where `pred` holds (used by detection and by
+/// exhaustive verification of control strategies on small instances).
+pub fn find_all_consistent<F>(
+    dep: &Deposet,
+    limit: usize,
+    mut pred: F,
+) -> Result<Vec<GlobalState>, LatticeBudgetExceeded>
+where
+    F: FnMut(&Deposet, &GlobalState) -> bool,
+{
+    Ok(consistent_global_states(dep, limit)?
+        .into_iter()
+        .filter(|g| pred(dep, g))
+        .collect())
+}
+
+/// Does some consistent global state satisfy `pred`? (*Possibly φ* in the
+/// predicate-detection literature.) Short-circuits the BFS.
+pub fn possibly<F>(
+    dep: &Deposet,
+    limit: usize,
+    mut pred: F,
+) -> Result<Option<GlobalState>, LatticeBudgetExceeded>
+where
+    F: FnMut(&Deposet, &GlobalState) -> bool,
+{
+    let init = GlobalState::initial(dep.process_count());
+    let mut seen: HashSet<GlobalState> = HashSet::new();
+    let mut queue: VecDeque<GlobalState> = VecDeque::new();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    let mut visited = 0usize;
+    while let Some(g) = queue.pop_front() {
+        visited += 1;
+        if visited > limit {
+            return Err(LatticeBudgetExceeded { limit });
+        }
+        if pred(dep, &g) {
+            return Ok(Some(g));
+        }
+        for (_, h) in g.consistent_successors(dep) {
+            if seen.insert(h.clone()) {
+                queue.push_back(h);
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeposetBuilder;
+    use pctl_causality::ProcessId;
+
+    #[test]
+    fn independent_processes_form_a_grid() {
+        // Two processes with 2 internal events each, no messages: the
+        // lattice is the full 3×3 grid of index pairs.
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[]);
+        b.internal(0, &[]);
+        b.internal(1, &[]);
+        b.internal(1, &[]);
+        let d = b.finish().unwrap();
+        let all = consistent_global_states(&d, 100).unwrap();
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn message_cuts_the_grid() {
+        // P0 send → P1 recv. Grid is 2×2 = 4 cuts, minus the inconsistent
+        // ⟨0,1⟩ = 3.
+        let mut b = DeposetBuilder::new(2);
+        let t = b.send(0, "m");
+        b.recv(1, t, &[]);
+        let d = b.finish().unwrap();
+        assert_eq!(count_consistent_global_states(&d, 100).unwrap(), 3);
+    }
+
+    #[test]
+    fn bfs_order_is_a_linear_extension() {
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[]);
+        b.internal(1, &[]);
+        let d = b.finish().unwrap();
+        let all = consistent_global_states(&d, 100).unwrap();
+        // ⊥ first, ⊤ last, and no state appears before one of its lower
+        // covers' predecessors.
+        assert_eq!(all.first().unwrap(), &GlobalState::initial(2));
+        assert_eq!(all.last().unwrap(), &GlobalState::final_of(&d));
+        for (i, g) in all.iter().enumerate() {
+            for h in &all[i + 1..] {
+                assert!(!h.leq(g) || h == g, "{h:?} ≤ {g:?} but listed later");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut b = DeposetBuilder::new(2);
+        for _ in 0..5 {
+            b.internal(0, &[]);
+            b.internal(1, &[]);
+        }
+        let d = b.finish().unwrap();
+        // 36 consistent cuts; budget of 10 must fail.
+        assert_eq!(
+            consistent_global_states(&d, 10).unwrap_err(),
+            LatticeBudgetExceeded { limit: 10 }
+        );
+        assert_eq!(count_consistent_global_states(&d, 100).unwrap(), 36);
+    }
+
+    #[test]
+    fn possibly_finds_a_witness() {
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[("x", 1)]);
+        b.internal(1, &[("x", 1)]);
+        let d = b.finish().unwrap();
+        // Both processes have x=1 simultaneously only at ⟨1,1⟩.
+        let hit = possibly(&d, 100, |dep, g| {
+            g.states().all(|s| dep.state(s).vars.get_bool("x"))
+        })
+        .unwrap();
+        assert_eq!(hit, Some(GlobalState::from_indices(vec![1, 1])));
+        // Nothing has x=2.
+        let miss = possibly(&d, 100, |dep, g| {
+            g.states().any(|s| dep.state(s).vars.get("x") == Some(2))
+        })
+        .unwrap();
+        assert_eq!(miss, None);
+    }
+
+    #[test]
+    fn find_all_consistent_filters() {
+        let mut b = DeposetBuilder::new(1);
+        b.internal(0, &[("x", 1)]);
+        b.internal(0, &[("x", 0)]);
+        let d = b.finish().unwrap();
+        let hits = find_all_consistent(&d, 100, |dep, g| {
+            dep.state(g.state_of(ProcessId(0))).vars.get_bool("x")
+        })
+        .unwrap();
+        assert_eq!(hits, vec![GlobalState::from_indices(vec![1])]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Local and global predicates.
+//!
+//! Following the paper (Section 3): a *local predicate* for process `P_i` is
+//! a boolean function of `P_i`'s variables; a *global predicate* `B` is a
+//! boolean combination (`¬ ∨ ∧`) of local predicates. `B` is *disjunctive*
+//! when it can be written `l₁ ∨ l₂ ∨ … ∨ lₙ` with `lᵢ` local to `Pᵢ`.
+//!
+//! Predicates are plain data (serde-able), so a debugging session's safety
+//! properties can be stored alongside the trace and replayed later.
+
+use crate::model::Deposet;
+use crate::state::LocalState;
+use pctl_causality::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A boolean function of a single process's variables.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalPredicate {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// Boolean variable is true (nonzero). Unset variables read as false.
+    Var(String),
+    /// Comparison of a variable against a constant. Unset variables read as 0.
+    Cmp {
+        /// Variable name.
+        var: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: i64,
+    },
+    /// Negation.
+    Not(Box<LocalPredicate>),
+    /// Conjunction (empty = true).
+    And(Vec<LocalPredicate>),
+    /// Disjunction (empty = false).
+    Or(Vec<LocalPredicate>),
+}
+
+/// Comparison operators for [`LocalPredicate::Cmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+impl LocalPredicate {
+    /// Shorthand: boolean variable is true.
+    pub fn var(name: impl Into<String>) -> Self {
+        LocalPredicate::Var(name.into())
+    }
+
+    /// Shorthand: boolean variable is false.
+    pub fn not_var(name: impl Into<String>) -> Self {
+        LocalPredicate::Not(Box::new(LocalPredicate::Var(name.into())))
+    }
+
+    /// Shorthand: `var op value`.
+    pub fn cmp(var: impl Into<String>, op: CmpOp, value: i64) -> Self {
+        LocalPredicate::Cmp { var: var.into(), op, value }
+    }
+
+    /// Evaluate against a local state.
+    pub fn eval(&self, state: &LocalState) -> bool {
+        match self {
+            LocalPredicate::True => true,
+            LocalPredicate::False => false,
+            LocalPredicate::Var(name) => state.vars.get_bool(name),
+            LocalPredicate::Cmp { var, op, value } => {
+                op.apply(state.vars.get(var).unwrap_or(0), *value)
+            }
+            LocalPredicate::Not(p) => !p.eval(state),
+            LocalPredicate::And(ps) => ps.iter().all(|p| p.eval(state)),
+            LocalPredicate::Or(ps) => ps.iter().any(|p| p.eval(state)),
+        }
+    }
+
+    /// Negate, flattening double negations.
+    pub fn negated(self) -> Self {
+        match self {
+            LocalPredicate::True => LocalPredicate::False,
+            LocalPredicate::False => LocalPredicate::True,
+            LocalPredicate::Not(inner) => *inner,
+            other => LocalPredicate::Not(Box::new(other)),
+        }
+    }
+}
+
+impl fmt::Display for LocalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalPredicate::True => write!(f, "true"),
+            LocalPredicate::False => write!(f, "false"),
+            LocalPredicate::Var(v) => write!(f, "{v}"),
+            LocalPredicate::Cmp { var, op, value } => {
+                let op = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "{var} {op} {value}")
+            }
+            LocalPredicate::Not(p) => write!(f, "¬({p})"),
+            LocalPredicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            LocalPredicate::Or(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A global predicate: boolean combination of process-bound local
+/// predicates, evaluated on global states.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlobalPredicate {
+    /// Constant.
+    Const(bool),
+    /// `pred` evaluated on the local state of `process` within the global
+    /// state.
+    Local {
+        /// Which process's state the predicate reads.
+        process: ProcessId,
+        /// The local predicate.
+        pred: LocalPredicate,
+    },
+    /// Negation.
+    Not(Box<GlobalPredicate>),
+    /// Conjunction (empty = true).
+    And(Vec<GlobalPredicate>),
+    /// Disjunction (empty = false).
+    Or(Vec<GlobalPredicate>),
+}
+
+impl GlobalPredicate {
+    /// Bind a local predicate to a process.
+    pub fn local(process: impl Into<ProcessId>, pred: LocalPredicate) -> Self {
+        GlobalPredicate::Local { process: process.into(), pred }
+    }
+
+    /// Evaluate on the global state `g` (a vector of per-process state
+    /// indices) of `dep`.
+    ///
+    /// # Panics
+    /// Panics if `g` has the wrong arity or refers to out-of-range states.
+    pub fn eval(&self, dep: &Deposet, g: &crate::global::GlobalState) -> bool {
+        match self {
+            GlobalPredicate::Const(b) => *b,
+            GlobalPredicate::Local { process, pred } => pred.eval(dep.state(g.state_of(*process))),
+            GlobalPredicate::Not(p) => !p.eval(dep, g),
+            GlobalPredicate::And(ps) => ps.iter().all(|p| p.eval(dep, g)),
+            GlobalPredicate::Or(ps) => ps.iter().any(|p| p.eval(dep, g)),
+        }
+    }
+}
+
+/// A disjunctive predicate `B = l₁ ∨ … ∨ lₙ`, one local predicate per
+/// process. This is the class for which the paper gives efficient control
+/// algorithms (Sections 5 and 6).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisjunctivePredicate {
+    locals: Vec<LocalPredicate>,
+}
+
+impl DisjunctivePredicate {
+    /// Build from one local predicate per process (index = process id).
+    pub fn new(locals: Vec<LocalPredicate>) -> Self {
+        DisjunctivePredicate { locals }
+    }
+
+    /// Two-process mutual exclusion `¬cs₀ ∨ ¬cs₁` generalised to n
+    /// processes: *at least one process outside its critical section*
+    /// ((n−1)-mutual exclusion; the paper's examples (1) and (4)).
+    pub fn at_least_one_not(n: usize, var: &str) -> Self {
+        DisjunctivePredicate { locals: (0..n).map(|_| LocalPredicate::not_var(var)).collect() }
+    }
+
+    /// *At least one process has `var` true* (the paper's example (2):
+    /// at least one server is available).
+    pub fn at_least_one(n: usize, var: &str) -> Self {
+        DisjunctivePredicate { locals: (0..n).map(|_| LocalPredicate::var(var)).collect() }
+    }
+
+    /// Number of processes the predicate covers.
+    pub fn arity(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// The local predicate of process `p`.
+    pub fn local(&self, p: ProcessId) -> &LocalPredicate {
+        &self.locals[p.index()]
+    }
+
+    /// All local predicates, indexed by process.
+    pub fn locals(&self) -> &[LocalPredicate] {
+        &self.locals
+    }
+
+    /// Evaluate on a global state: true iff some local disjunct holds.
+    pub fn eval(&self, dep: &Deposet, g: &crate::global::GlobalState) -> bool {
+        (0..self.locals.len()).any(|i| {
+            let p = ProcessId(i as u32);
+            self.locals[i].eval(dep.state(g.state_of(p)))
+        })
+    }
+
+    /// Lower into the general [`GlobalPredicate`] form.
+    pub fn to_global(&self) -> GlobalPredicate {
+        GlobalPredicate::Or(
+            self.locals
+                .iter()
+                .enumerate()
+                .map(|(i, l)| GlobalPredicate::local(i, l.clone()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Variables;
+
+    fn st(pairs: &[(&str, i64)]) -> LocalState {
+        LocalState::new(Variables::from_pairs(pairs.iter().copied()))
+    }
+
+    #[test]
+    fn var_predicates() {
+        let p = LocalPredicate::var("cs");
+        assert!(p.eval(&st(&[("cs", 1)])));
+        assert!(!p.eval(&st(&[("cs", 0)])));
+        assert!(!p.eval(&st(&[])), "unset variable reads false");
+        assert!(LocalPredicate::not_var("cs").eval(&st(&[])));
+    }
+
+    #[test]
+    fn cmp_predicates() {
+        let p = LocalPredicate::cmp("x", CmpOp::Ge, 5);
+        assert!(p.eval(&st(&[("x", 5)])));
+        assert!(!p.eval(&st(&[("x", 4)])));
+        assert!(!p.eval(&st(&[])), "unset variable reads 0");
+        assert!(LocalPredicate::cmp("x", CmpOp::Lt, 1).eval(&st(&[])));
+        assert!(LocalPredicate::cmp("x", CmpOp::Ne, 3).eval(&st(&[("x", 2)])));
+        assert!(LocalPredicate::cmp("x", CmpOp::Eq, 2).eval(&st(&[("x", 2)])));
+        assert!(LocalPredicate::cmp("x", CmpOp::Le, 2).eval(&st(&[("x", 2)])));
+        assert!(LocalPredicate::cmp("x", CmpOp::Gt, 1).eval(&st(&[("x", 2)])));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = LocalPredicate::And(vec![
+            LocalPredicate::var("a"),
+            LocalPredicate::Or(vec![LocalPredicate::var("b"), LocalPredicate::var("c")]),
+        ]);
+        assert!(p.eval(&st(&[("a", 1), ("c", 1)])));
+        assert!(!p.eval(&st(&[("a", 1)])));
+        assert!(LocalPredicate::And(vec![]).eval(&st(&[])), "empty ∧ is true");
+        assert!(!LocalPredicate::Or(vec![]).eval(&st(&[])), "empty ∨ is false");
+    }
+
+    #[test]
+    fn negated_flattens_double_negation() {
+        let p = LocalPredicate::var("x").negated().negated();
+        assert_eq!(p, LocalPredicate::var("x"));
+        assert_eq!(LocalPredicate::True.negated(), LocalPredicate::False);
+        assert_eq!(LocalPredicate::False.negated(), LocalPredicate::True);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = LocalPredicate::Or(vec![
+            LocalPredicate::not_var("cs"),
+            LocalPredicate::cmp("x", CmpOp::Lt, 3),
+        ]);
+        assert_eq!(format!("{p}"), "(¬(cs) ∨ x < 3)");
+    }
+
+    #[test]
+    fn disjunctive_constructors() {
+        let d = DisjunctivePredicate::at_least_one(3, "avail");
+        assert_eq!(d.arity(), 3);
+        assert_eq!(d.local(ProcessId(1)), &LocalPredicate::var("avail"));
+        let m = DisjunctivePredicate::at_least_one_not(2, "cs");
+        assert_eq!(m.local(ProcessId(0)), &LocalPredicate::not_var("cs"));
+    }
+
+    #[test]
+    fn predicate_serde_roundtrip() {
+        let d = DisjunctivePredicate::at_least_one(2, "ok").to_global();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: GlobalPredicate = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,148 @@
+//! Canonical example computations, including the paper's Figure 4.
+//!
+//! [`replicated_servers`] reconstructs Section 7's running example: a
+//! replicated server system with three servers whose availability windows
+//! make the safety property *"at least one server is available"* violable
+//! at exactly two consistent global states `G` and `H`, and with two
+//! labeled states `e` (server 2 recovering) and `f` (server 0 failing)
+//! whose concurrency is the example's second bug. The debugging narrative
+//! (example binary `active_debugging` and experiment E6) runs the paper's
+//! whole C1 → C2 → C3 → C4 cycle on this computation.
+
+use crate::builder::DeposetBuilder;
+use crate::global::GlobalState;
+use crate::model::Deposet;
+use crate::predicate::{DisjunctivePredicate, LocalPredicate};
+use pctl_causality::StateId;
+
+/// The Figure 4 scenario: computation plus the two safety predicates and
+/// the landmarks the narrative talks about.
+pub struct Figure4 {
+    /// The traced computation `C1`.
+    pub deposet: Deposet,
+    /// Safety property for bug 1: at least one server available.
+    pub availability: DisjunctivePredicate,
+    /// Safety property for bug 2: `e` must happen before `f`, encoded
+    /// disjunctively as `after_e ∨ before_f` (the paper's example (3)).
+    pub order_e_before_f: DisjunctivePredicate,
+    /// The two consistent global states where bug 1 is possible.
+    pub g: GlobalState,
+    /// See [`Figure4::g`].
+    pub h: GlobalState,
+    /// State `e`: server 2 becomes available again.
+    pub e: StateId,
+    /// State `f`: server 0 becomes unavailable.
+    pub f: StateId,
+}
+
+/// Build the Figure 4 computation `C1`.
+///
+/// Per-process layout (`avail` = server availability):
+///
+/// ```text
+/// P0:  s0 avail ── s1 ✖(f) ── s2 ✖ ── s3 avail
+/// P1:  s0 avail ── s1 ✖    ── s2 avail ── s3 (recv status)
+/// P2:  s0 avail ── s1 ✖    ── s2 avail(e) ── s3 (send status→P1 … state)
+/// ```
+///
+/// No causality crosses the unavailability windows, so both
+/// `G = ⟨1,1,1⟩` and `H = ⟨2,1,1⟩` are consistent all-unavailable states,
+/// and `e ∥ f`.
+pub fn replicated_servers() -> Figure4 {
+    let mut b = DeposetBuilder::new(3);
+    // P0: fails at f, stays down one extra state, recovers.
+    b.init_vars(0, &[("avail", 1), ("before_f", 1)]);
+    b.internal(0, &[("avail", 0), ("before_f", 0)]);
+    b.label(0, "f");
+    b.internal(0, &[]);
+    b.internal(0, &[("avail", 1)]);
+    // P1: one-state outage.
+    b.init_vars(1, &[("avail", 1)]);
+    b.internal(1, &[("avail", 0)]);
+    b.internal(1, &[("avail", 1)]);
+    // P2: one-state outage, then recovery labeled e.
+    b.init_vars(2, &[("avail", 1), ("after_e", 0)]);
+    b.internal(2, &[("avail", 0)]);
+    b.internal(2, &[("avail", 1), ("after_e", 1)]);
+    b.label(2, "e");
+    // A status message P2 → P1 after both have recovered (application
+    // traffic; it does not relate the outage windows).
+    let t = b.send(2, "status");
+    b.recv(1, t, &[]);
+    let deposet = b.finish().expect("figure 4 computation is valid");
+
+    let availability = DisjunctivePredicate::at_least_one(3, "avail");
+    let order_e_before_f = DisjunctivePredicate::new(vec![
+        LocalPredicate::var("before_f"),
+        LocalPredicate::False,
+        LocalPredicate::var("after_e"),
+    ]);
+    Figure4 {
+        g: GlobalState::from_indices(vec![1, 1, 1]),
+        h: GlobalState::from_indices(vec![2, 1, 1]),
+        e: StateId::new(2usize, 2),
+        f: StateId::new(0usize, 1),
+        deposet,
+        availability,
+        order_e_before_f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_and_h_are_the_only_all_unavailable_cuts() {
+        let fig = replicated_servers();
+        let dep = &fig.deposet;
+        assert!(fig.g.is_consistent(dep));
+        assert!(fig.h.is_consistent(dep));
+        assert!(!fig.availability.eval(dep, &fig.g));
+        assert!(!fig.availability.eval(dep, &fig.h));
+        let violations: Vec<GlobalState> =
+            crate::lattice::find_all_consistent(dep, 100_000, |d, g| {
+                !fig.availability.eval(d, g)
+            })
+            .unwrap();
+        assert_eq!(violations, vec![fig.g.clone(), fig.h.clone()]);
+    }
+
+    #[test]
+    fn e_and_f_are_concurrent_in_c1() {
+        let fig = replicated_servers();
+        assert!(fig.deposet.concurrent(fig.e, fig.f));
+        assert_eq!(fig.deposet.state(fig.e).label.as_deref(), Some("e"));
+        assert_eq!(fig.deposet.state(fig.f).label.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn order_predicate_is_violated_exactly_when_f_before_e() {
+        let fig = replicated_servers();
+        let dep = &fig.deposet;
+        for g in crate::lattice::consistent_global_states(dep, 100_000).unwrap() {
+            let f_passed = g.index_of(fig.f.process) >= fig.f.index;
+            let e_passed = g.index_of(fig.e.process) >= fig.e.index;
+            assert_eq!(
+                fig.order_e_before_f.eval(dep, &g),
+                !f_passed || e_passed,
+                "cut {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_predicates_are_feasible_for_c1() {
+        use crate::sequences::find_satisfying_sequence;
+        let fig = replicated_servers();
+        let dep = &fig.deposet;
+        let avail = fig.availability.clone();
+        assert!(find_satisfying_sequence(dep, 1_000_000, move |d, g| avail.eval(d, g))
+            .unwrap()
+            .is_some());
+        let order = fig.order_e_before_f.clone();
+        assert!(find_satisfying_sequence(dep, 1_000_000, move |d, g| order.eval(d, g))
+            .unwrap()
+            .is_some());
+    }
+}

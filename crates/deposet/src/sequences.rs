@@ -1,0 +1,501 @@
+//! Global sequences — the paper's model of a global execution.
+//!
+//! A *global sequence* is a sequence of consistent global states ordered by
+//! `≤` whose restriction to any process `Pᵢ` is `Sᵢ` with stutters: it runs
+//! from `⊥` to `⊤` and each step advances a nonempty *subset* of processes
+//! by exactly one local state ("multiple local events can take place
+//! simultaneously" — no interleaving is enforced).
+//!
+//! The subset semantics matters: a step that advances two processes at once
+//! can jump over an inconsistent or predicate-violating "diagonal" state
+//! that no single-step path avoids. [`subset_step_successors`] enumerates
+//! these moves (exponential in the number of processes, by nature — this is
+//! where the NP-hardness of SGSD lives).
+
+use crate::global::GlobalState;
+use crate::model::Deposet;
+use pctl_causality::ProcessId;
+use rand_compat::RngLike;
+use std::fmt;
+
+/// Minimal abstraction over an RNG so this crate does not depend on a
+/// specific `rand` version; the simulator and tests adapt their RNGs.
+pub mod rand_compat {
+    /// Anything that can produce a uniform `usize` below a bound.
+    pub trait RngLike {
+        /// Uniform sample in `0..bound` (`bound ≥ 1`).
+        fn below(&mut self, bound: usize) -> usize;
+    }
+}
+
+/// Validation failure for a candidate global sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SequenceError {
+    /// The sequence has no states.
+    Empty,
+    /// First state is not `⊥`.
+    NotInitial,
+    /// Last state is not `⊤`.
+    NotFinal,
+    /// Step `at → at+1` advances some process by more than one state, or
+    /// advances nothing.
+    BadStep {
+        /// Index of the offending step's source state.
+        at: usize,
+    },
+    /// The state at `at` is not consistent.
+    Inconsistent {
+        /// Index of the inconsistent state.
+        at: usize,
+    },
+    /// The state at `at` indexes outside the deposet.
+    OutOfBounds {
+        /// Index of the out-of-range state.
+        at: usize,
+    },
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::Empty => write!(f, "empty global sequence"),
+            SequenceError::NotInitial => write!(f, "global sequence does not start at ⊥"),
+            SequenceError::NotFinal => write!(f, "global sequence does not end at ⊤"),
+            SequenceError::BadStep { at } => {
+                write!(f, "step {at} does not advance a nonempty subset by one state each")
+            }
+            SequenceError::Inconsistent { at } => write!(f, "state {at} is inconsistent"),
+            SequenceError::OutOfBounds { at } => write!(f, "state {at} is out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+/// A validated-on-demand global sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalSequence {
+    states: Vec<GlobalState>,
+}
+
+impl GlobalSequence {
+    /// Wrap a raw sequence (validate separately with
+    /// [`validate`](Self::validate)).
+    pub fn new(states: Vec<GlobalState>) -> Self {
+        GlobalSequence { states }
+    }
+
+    /// The underlying states.
+    pub fn states(&self) -> &[GlobalState] {
+        &self.states
+    }
+
+    /// Number of global states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Check the full global-sequence contract against `dep` (see module
+    /// docs).
+    pub fn validate(&self, dep: &Deposet) -> Result<(), SequenceError> {
+        if self.states.is_empty() {
+            return Err(SequenceError::Empty);
+        }
+        let n = dep.process_count();
+        for (at, g) in self.states.iter().enumerate() {
+            if !g.in_bounds(dep) {
+                return Err(SequenceError::OutOfBounds { at });
+            }
+            if !g.is_consistent(dep) {
+                return Err(SequenceError::Inconsistent { at });
+            }
+        }
+        if self.states[0] != GlobalState::initial(n) {
+            return Err(SequenceError::NotInitial);
+        }
+        if *self.states.last().unwrap() != GlobalState::final_of(dep) {
+            return Err(SequenceError::NotFinal);
+        }
+        for (at, w) in self.states.windows(2).enumerate() {
+            let (g, h) = (&w[0], &w[1]);
+            let mut advanced = 0usize;
+            for i in 0..n {
+                match h.indices()[i].checked_sub(g.indices()[i]) {
+                    Some(0) => {}
+                    Some(1) => advanced += 1,
+                    _ => return Err(SequenceError::BadStep { at }),
+                }
+            }
+            if advanced == 0 {
+                return Err(SequenceError::BadStep { at });
+            }
+        }
+        Ok(())
+    }
+
+    /// A global sequence *satisfies* a predicate iff every global state in
+    /// it does (the paper's satisfaction notion).
+    pub fn satisfies<F>(&self, dep: &Deposet, mut pred: F) -> bool
+    where
+        F: FnMut(&Deposet, &GlobalState) -> bool,
+    {
+        self.states.iter().all(|g| pred(dep, g))
+    }
+}
+
+/// All consistent cuts reachable from `g` in one subset step: advance every
+/// process in a nonempty subset by exactly one state, keeping consistency.
+///
+/// Cost is `O(2ⁿ · n²)`; intended for small `n` (SGSD search, exhaustive
+/// verification).
+pub fn subset_step_successors(dep: &Deposet, g: &GlobalState) -> Vec<GlobalState> {
+    let n = dep.process_count();
+    assert!(n <= 20, "subset stepping is exponential; refusing n > 20");
+    let movable: Vec<ProcessId> = dep
+        .processes()
+        .filter(|&p| (g.index_of(p) as usize) + 1 < dep.len_of(p))
+        .collect();
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << movable.len()) {
+        let procs = movable
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &p)| p);
+        let h = g.advanced_all(procs);
+        if h.is_consistent(dep) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+/// Search for a global sequence `⊥ → ⊤` every state of which satisfies
+/// `pred`, using subset steps (see module docs). Returns the witness
+/// sequence, `Ok(None)` when provably none exists, or an error when the
+/// search exceeds `limit` visited global states.
+///
+/// This is the engine behind the paper's *Satisfying Global Sequence
+/// Detection* (SGSD) problem — NP-complete in general (paper Lemma 1), so
+/// worst-case exponential time is inherent, and the budget is mandatory.
+pub fn find_satisfying_sequence<F>(
+    dep: &Deposet,
+    limit: usize,
+    mut pred: F,
+) -> Result<Option<GlobalSequence>, crate::lattice::LatticeBudgetExceeded>
+where
+    F: FnMut(&Deposet, &GlobalState) -> bool,
+{
+    use std::collections::HashMap;
+    let n = dep.process_count();
+    let init = GlobalState::initial(n);
+    let goal = GlobalState::final_of(dep);
+    if !pred(dep, &init) {
+        return Ok(None);
+    }
+    // BFS over B-satisfying consistent cuts with subset steps; parents for
+    // witness reconstruction.
+    let mut parent: HashMap<GlobalState, GlobalState> = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    parent.insert(init.clone(), init.clone());
+    queue.push_back(init.clone());
+    let mut visited = 0usize;
+    while let Some(g) = queue.pop_front() {
+        visited += 1;
+        if visited > limit {
+            return Err(crate::lattice::LatticeBudgetExceeded { limit });
+        }
+        if g == goal {
+            let mut path = vec![g.clone()];
+            let mut cur = g;
+            while parent[&cur] != cur {
+                cur = parent[&cur].clone();
+                path.push(cur.clone());
+            }
+            path.reverse();
+            return Ok(Some(GlobalSequence::new(path)));
+        }
+        for h in subset_step_successors(dep, &g) {
+            if !parent.contains_key(&h) && pred(dep, &h) {
+                parent.insert(h.clone(), g.clone());
+                queue.push_back(h);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Like [`find_satisfying_sequence`] but restricted to *interleavings*:
+/// every step advances exactly one process. This is the satisfaction
+/// notion realizable by message-based control systems — asynchronous
+/// messages can enforce strict precedence but never the exact simultaneity
+/// that a subset step expresses — so it is the ground-truth oracle for
+/// control feasibility (see `pctl-core`'s `overlap` module docs).
+pub fn find_satisfying_interleaving<F>(
+    dep: &Deposet,
+    limit: usize,
+    mut pred: F,
+) -> Result<Option<GlobalSequence>, crate::lattice::LatticeBudgetExceeded>
+where
+    F: FnMut(&Deposet, &GlobalState) -> bool,
+{
+    use std::collections::HashMap;
+    let n = dep.process_count();
+    let init = GlobalState::initial(n);
+    let goal = GlobalState::final_of(dep);
+    if !pred(dep, &init) {
+        return Ok(None);
+    }
+    let mut parent: HashMap<GlobalState, GlobalState> = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    parent.insert(init.clone(), init.clone());
+    queue.push_back(init.clone());
+    let mut visited = 0usize;
+    while let Some(g) = queue.pop_front() {
+        visited += 1;
+        if visited > limit {
+            return Err(crate::lattice::LatticeBudgetExceeded { limit });
+        }
+        if g == goal {
+            let mut path = vec![g.clone()];
+            let mut cur = g;
+            while parent[&cur] != cur {
+                cur = parent[&cur].clone();
+                path.push(cur.clone());
+            }
+            path.reverse();
+            return Ok(Some(GlobalSequence::new(path)));
+        }
+        for (_, h) in g.consistent_successors(dep) {
+            if !parent.contains_key(&h) && pred(dep, &h) {
+                parent.insert(h.clone(), g.clone());
+                queue.push_back(h);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Sample a uniform-ish random maximal global sequence by repeatedly taking
+/// a random *singleton* consistent advance (singleton steps always exist
+/// while `g ≠ ⊤`, since the enabled minimal elements of the residual poset
+/// are nonempty). Used for randomized testing and for driving replays.
+pub fn random_global_sequence<R: RngLike>(dep: &Deposet, rng: &mut R) -> GlobalSequence {
+    let mut g = GlobalState::initial(dep.process_count());
+    let mut states = vec![g.clone()];
+    loop {
+        let succs: Vec<GlobalState> =
+            g.consistent_successors(dep).map(|(_, h)| h).collect();
+        if succs.is_empty() {
+            break;
+        }
+        g = succs[rng.below(succs.len())].clone();
+        states.push(g.clone());
+    }
+    GlobalSequence::new(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeposetBuilder;
+
+    struct Lcg(u64);
+    impl RngLike for Lcg {
+        fn below(&mut self, bound: usize) -> usize {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as usize) % bound
+        }
+    }
+
+    fn msg_dep() -> Deposet {
+        let mut b = DeposetBuilder::new(2);
+        let t = b.send(0, "m");
+        b.recv(1, t, &[]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_singleton_path() {
+        let d = msg_dep();
+        let seq = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![1, 0]),
+            GlobalState::from_indices(vec![1, 1]),
+        ]);
+        assert_eq!(seq.validate(&d), Ok(()));
+    }
+
+    #[test]
+    fn simultaneous_step_is_valid() {
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[]);
+        b.internal(1, &[]);
+        let d = b.finish().unwrap();
+        let seq = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![1, 1]),
+        ]);
+        assert_eq!(seq.validate(&d), Ok(()));
+    }
+
+    #[test]
+    fn rejects_inconsistent_and_malformed_sequences() {
+        let d = msg_dep();
+        let inconsistent = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![0, 1]),
+            GlobalState::from_indices(vec![1, 1]),
+        ]);
+        assert_eq!(inconsistent.validate(&d), Err(SequenceError::Inconsistent { at: 1 }));
+
+        let skips = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![1, 1]),
+        ]);
+        // ⟨0,0⟩→⟨1,1⟩ advances both by one — fine per-step, but wait: it is
+        // consistent and a legal subset step, so this one must be VALID.
+        assert_eq!(skips.validate(&d), Ok(()));
+
+        let jump = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![1, 0]),
+        ]);
+        assert_eq!(jump.validate(&d), Err(SequenceError::NotFinal));
+
+        assert_eq!(GlobalSequence::new(vec![]).validate(&d), Err(SequenceError::Empty));
+
+        let stutter_step = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![1, 0]),
+            GlobalState::from_indices(vec![1, 1]),
+        ]);
+        assert_eq!(stutter_step.validate(&d), Err(SequenceError::BadStep { at: 0 }));
+
+        let double_jump = GlobalSequence::new(vec![
+            GlobalState::from_indices(vec![0, 0]),
+            GlobalState::from_indices(vec![1, 0]),
+            GlobalState::from_indices(vec![1, 1]),
+        ]);
+        assert_eq!(double_jump.validate(&d), Ok(()));
+
+        let oob = GlobalSequence::new(vec![GlobalState::from_indices(vec![0, 9])]);
+        assert_eq!(oob.validate(&d), Err(SequenceError::OutOfBounds { at: 0 }));
+    }
+
+    #[test]
+    fn subset_steps_can_cross_a_diagonal() {
+        // Classic swap: P0 has states x=1,x=0; P1 has x=0,x=1.
+        // Predicate "exactly one x" can only be maintained by the joint
+        // step ⟨0,0⟩→⟨1,1⟩ if singles violate it.
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("x", 1)]);
+        b.internal(0, &[("x", 0)]);
+        b.internal(1, &[("x", 1)]);
+        let d = b.finish().unwrap();
+        let succs = subset_step_successors(&d, &GlobalState::initial(2));
+        assert!(succs.contains(&GlobalState::from_indices(vec![1, 1])));
+        assert!(succs.contains(&GlobalState::from_indices(vec![1, 0])));
+        assert!(succs.contains(&GlobalState::from_indices(vec![0, 1])));
+        assert_eq!(succs.len(), 3);
+    }
+
+    #[test]
+    fn subset_steps_respect_consistency() {
+        let d = msg_dep();
+        let succs = subset_step_successors(&d, &GlobalState::initial(2));
+        // ⟨0,1⟩ is inconsistent; ⟨1,0⟩ and ⟨1,1⟩ are fine.
+        assert!(succs.contains(&GlobalState::from_indices(vec![1, 0])));
+        assert!(succs.contains(&GlobalState::from_indices(vec![1, 1])));
+        assert!(!succs.contains(&GlobalState::from_indices(vec![0, 1])));
+        assert_eq!(succs.len(), 2);
+    }
+
+    #[test]
+    fn random_sequence_is_always_valid() {
+        let mut b = DeposetBuilder::new(3);
+        let t0 = b.send(0, "a");
+        b.recv(1, t0, &[]);
+        let t1 = b.send(1, "b");
+        b.recv(2, t1, &[]);
+        b.internal(0, &[]);
+        b.internal(2, &[]);
+        let d = b.finish().unwrap();
+        let mut rng = Lcg(42);
+        for _ in 0..50 {
+            let seq = random_global_sequence(&d, &mut rng);
+            assert_eq!(seq.validate(&d), Ok(()));
+        }
+    }
+
+    #[test]
+    fn find_satisfying_sequence_uses_subset_steps() {
+        // Swap scenario: predicate "exactly one x=1" holds at ⊥ and ⊤ only
+        // via the diagonal; singleton paths violate it.
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("x", 1)]);
+        b.internal(0, &[("x", 0)]);
+        b.internal(1, &[("x", 1)]);
+        let d = b.finish().unwrap();
+        let exactly_one = |dep: &Deposet, g: &GlobalState| {
+            g.states().filter(|&s| dep.state(s).vars.get_bool("x")).count() == 1
+        };
+        let seq = find_satisfying_sequence(&d, 1000, exactly_one).unwrap().unwrap();
+        assert_eq!(seq.validate(&d), Ok(()));
+        assert!(seq.satisfies(&d, exactly_one));
+        assert_eq!(seq.states().len(), 2, "must take the diagonal in one step");
+    }
+
+    #[test]
+    fn find_satisfying_sequence_detects_infeasibility() {
+        // Predicate that fails at ⊤: no satisfying sequence can exist.
+        let mut b = DeposetBuilder::new(1);
+        b.internal(0, &[("bad", 1)]);
+        let d = b.finish().unwrap();
+        let ok = |dep: &Deposet, g: &GlobalState| {
+            !dep.state(g.state_of(ProcessId(0))).vars.get_bool("bad")
+        };
+        assert_eq!(find_satisfying_sequence(&d, 1000, ok).unwrap(), None);
+        // And at ⊥:
+        let mut b2 = DeposetBuilder::new(1);
+        b2.init_vars(0, &[("bad", 1)]);
+        b2.internal(0, &[("bad", 0)]);
+        let d2 = b2.finish().unwrap();
+        assert_eq!(find_satisfying_sequence(&d2, 1000, ok).unwrap(), None);
+    }
+
+    #[test]
+    fn find_satisfying_sequence_respects_budget() {
+        let mut b = DeposetBuilder::new(2);
+        for _ in 0..6 {
+            b.internal(0, &[]);
+            b.internal(1, &[]);
+        }
+        let d = b.finish().unwrap();
+        let r = find_satisfying_sequence(&d, 3, |_, _| true);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn satisfies_checks_every_state() {
+        let mut b = DeposetBuilder::new(1);
+        b.init_vars(0, &[("ok", 1)]);
+        b.internal(0, &[("ok", 0)]);
+        b.internal(0, &[("ok", 1)]);
+        let d = b.finish().unwrap();
+        let mut rng = Lcg(7);
+        let seq = random_global_sequence(&d, &mut rng);
+        assert!(!seq.satisfies(&d, |dep, g| {
+            dep.state(g.state_of(ProcessId(0))).vars.get_bool("ok")
+        }));
+        assert!(seq.satisfies(&d, |_, _| true));
+    }
+
+    use pctl_causality::ProcessId;
+}

@@ -1,0 +1,157 @@
+//! Local states and their variable payloads.
+//!
+//! In the paper's model (Section 3) "a state corresponds to an assignment of
+//! values to all variables in the process". We represent that assignment as
+//! a sorted map from variable names to 64-bit integers; booleans are encoded
+//! as 0/1. Local predicates are evaluated against this payload.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Variable assignment carried by a local state.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Variables {
+    vars: BTreeMap<String, i64>,
+}
+
+impl Variables {
+    /// Empty assignment.
+    pub fn new() -> Self {
+        Variables::default()
+    }
+
+    /// Build from an iterator of `(name, value)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> Self {
+        Variables { vars: pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect() }
+    }
+
+    /// Value of `name`, or `None` if unset.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.vars.get(name).copied()
+    }
+
+    /// Value of `name` interpreted as a boolean; unset variables are `false`.
+    pub fn get_bool(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|v| v != 0)
+    }
+
+    /// Set `name` to `value`, returning the previous value.
+    pub fn set(&mut self, name: &str, value: i64) -> Option<i64> {
+        self.vars.insert(name.to_owned(), value)
+    }
+
+    /// Set a boolean variable.
+    pub fn set_bool(&mut self, name: &str, value: bool) -> Option<i64> {
+        self.set(name, i64::from(value))
+    }
+
+    /// Iterate over `(name, value)` pairs in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of variables set.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variables are set.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+impl<'a> FromIterator<(&'a str, i64)> for Variables {
+    fn from_iter<T: IntoIterator<Item = (&'a str, i64)>>(iter: T) -> Self {
+        Variables::from_pairs(iter)
+    }
+}
+
+/// A local state: one point in the sequential execution of a process.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalState {
+    /// Variable assignment in effect at this state.
+    pub vars: Variables,
+    /// Optional human-readable label (used by the paper's Figure 4 example
+    /// to name states `a` … `f`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+}
+
+impl LocalState {
+    /// A state with the given assignment and no label.
+    pub fn new(vars: Variables) -> Self {
+        LocalState { vars, label: None }
+    }
+
+    /// Attach a label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+impl fmt::Display for LocalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = &self.label {
+            write!(f, "{l}")?;
+        }
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_bool_is_false() {
+        let v = Variables::new();
+        assert!(!v.get_bool("avail"));
+        assert_eq!(v.get("avail"), None);
+    }
+
+    #[test]
+    fn set_and_read_back() {
+        let mut v = Variables::new();
+        assert_eq!(v.set("x", 3), None);
+        assert_eq!(v.set("x", 4), Some(3));
+        assert_eq!(v.get("x"), Some(4));
+        v.set_bool("flag", true);
+        assert!(v.get_bool("flag"));
+        v.set_bool("flag", false);
+        assert!(!v.get_bool("flag"));
+    }
+
+    #[test]
+    fn from_pairs_sorted_iteration() {
+        let v = Variables::from_pairs([("b", 2), ("a", 1)]);
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![("a", 1), ("b", 2)]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn display_renders_label_and_vars() {
+        let s = LocalState::new(Variables::from_pairs([("cs", 1)])).with_label("e");
+        assert_eq!(format!("{s}"), "e{cs=1}");
+    }
+
+    #[test]
+    fn state_serde_roundtrip() {
+        let s = LocalState::new(Variables::from_pairs([("x", -7)])).with_label("a");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LocalState = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the deposet layer, using random computations as
+//! the universe and brute-force definitions as ground truth.
+
+use pctl_causality::{Dag, ProcessId, StateId};
+use pctl_deposet::generator::{random_deposet, RandomConfig};
+use pctl_deposet::lattice::consistent_global_states;
+use pctl_deposet::sequences::rand_compat::RngLike;
+use pctl_deposet::sequences::random_global_sequence;
+use pctl_deposet::{trace, Deposet, GlobalState};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = (RandomConfig, u64)> {
+    (1usize..5, 0usize..25, 0u64..1_000_000).prop_map(|(n, events, seed)| {
+        (
+            RandomConfig { processes: n, events, send_prob: 0.4, flip_prob: 0.4 },
+            seed,
+        )
+    })
+}
+
+/// Ground truth `→` by explicit transitive closure over `im ∪ ;`.
+fn ground_truth_reach(dep: &Deposet) -> (Vec<usize>, pctl_causality::graph::Reachability) {
+    let offsets = dep.offsets();
+    let total = *offsets.last().unwrap();
+    let mut g = Dag::new(total);
+    for p in dep.processes() {
+        for k in 0..dep.len_of(p).saturating_sub(1) {
+            g.add_edge(offsets[p.index()] + k, offsets[p.index()] + k + 1);
+        }
+    }
+    for m in dep.messages() {
+        g.add_edge(
+            offsets[m.from.process.index()] + m.from.idx(),
+            offsets[m.to.process.index()] + m.to.idx(),
+        );
+    }
+    (offsets, g.transitive_closure().expect("valid deposet is acyclic"))
+}
+
+struct Lcg(u64);
+impl RngLike for Lcg {
+    fn below(&mut self, bound: usize) -> usize {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vector-clock `precedes` agrees exactly with the transitive closure
+    /// of `im ∪ ;` on every state pair.
+    #[test]
+    fn vclock_precedes_matches_transitive_closure((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let (offsets, reach) = ground_truth_reach(&dep);
+        let node = |s: StateId| offsets[s.process.index()] + s.idx();
+        let ids: Vec<StateId> = dep.state_ids().collect();
+        for &s in &ids {
+            for &t in &ids {
+                let truth = s != t && reach.reaches(node(s), node(t));
+                prop_assert_eq!(
+                    dep.precedes(s, t),
+                    truth,
+                    "precedes({:?},{:?}) disagrees with closure", s, t
+                );
+            }
+        }
+    }
+
+    /// `is_consistent` agrees with the definition: all members pairwise
+    /// concurrent.
+    #[test]
+    fn consistency_matches_pairwise_concurrency((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        // Enumerate ALL global states (bounded: products of small chains).
+        let sizes: Vec<usize> = dep.processes().map(|p| dep.len_of(p)).collect();
+        let total: usize = sizes.iter().product();
+        prop_assume!(total <= 4096);
+        let n = sizes.len();
+        for mut code in 0..total {
+            let mut idx = vec![0u32; n];
+            for (i, &sz) in sizes.iter().enumerate() {
+                idx[i] = (code % sz) as u32;
+                code /= sz;
+            }
+            let g = GlobalState::from_indices(idx);
+            let definition = {
+                let members: Vec<StateId> = g.states().collect();
+                members.iter().enumerate().all(|(a, &s)| {
+                    members.iter().skip(a + 1).all(|&t| dep.concurrent(s, t))
+                })
+            };
+            prop_assert_eq!(g.is_consistent(&dep), definition, "cut {:?}", g);
+        }
+    }
+
+    /// Every cut enumerated by the lattice BFS is consistent, the BFS finds
+    /// the same set as brute force, and ⊥/⊤ are present.
+    #[test]
+    fn lattice_enumeration_is_sound_and_complete((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let sizes: Vec<usize> = dep.processes().map(|p| dep.len_of(p)).collect();
+        let total: usize = sizes.iter().product();
+        prop_assume!(total <= 4096);
+        let bfs = consistent_global_states(&dep, total + 1).unwrap();
+        let mut brute = Vec::new();
+        let n = sizes.len();
+        for mut code in 0..total {
+            let mut idx = vec![0u32; n];
+            for (i, &sz) in sizes.iter().enumerate() {
+                idx[i] = (code % sz) as u32;
+                code /= sz;
+            }
+            let g = GlobalState::from_indices(idx);
+            if g.is_consistent(&dep) {
+                brute.push(g);
+            }
+        }
+        let mut bfs_sorted = bfs.clone();
+        bfs_sorted.sort();
+        brute.sort();
+        prop_assert_eq!(bfs_sorted, brute);
+        prop_assert!(bfs.contains(&GlobalState::initial(n)));
+        prop_assert!(bfs.contains(&GlobalState::final_of(&dep)));
+    }
+
+    /// Random maximal global sequences always validate.
+    #[test]
+    fn random_sequences_validate((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let mut rng = Lcg(seed ^ 0xdead_beef);
+        for _ in 0..5 {
+            let seq = random_global_sequence(&dep, &mut rng);
+            prop_assert_eq!(seq.validate(&dep), Ok(()));
+        }
+    }
+
+    /// Trace JSON round-trip is the identity on structure and clocks.
+    #[test]
+    fn trace_roundtrip_identity((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let back = trace::from_json(&trace::to_json(&dep)).unwrap();
+        prop_assert_eq!(back.process_count(), dep.process_count());
+        for p in dep.processes() {
+            prop_assert_eq!(back.states_of(p), dep.states_of(p));
+            prop_assert_eq!(back.events_of(p), dep.events_of(p));
+        }
+        prop_assert_eq!(back.messages(), dep.messages());
+        for s in dep.state_ids() {
+            prop_assert_eq!(back.clock(s), dep.clock(s));
+        }
+    }
+
+    /// The meet and join of two consistent cuts are consistent (the lattice
+    /// property, Mattern [8]).
+    #[test]
+    fn consistent_cuts_form_a_lattice((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let all = match consistent_global_states(&dep, 2000) {
+            Ok(v) => v,
+            Err(_) => return Ok(()), // too big; skip
+        };
+        prop_assume!(all.len() <= 60);
+        for a in &all {
+            for b in &all {
+                prop_assert!(a.meet(b).is_consistent(&dep), "meet of {:?} {:?}", a, b);
+                prop_assert!(a.join(b).is_consistent(&dep), "join of {:?} {:?}", a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn processes_iterator_is_dense() {
+    let dep = random_deposet(&RandomConfig::default(), 5);
+    let ps: Vec<ProcessId> = dep.processes().collect();
+    assert_eq!(ps, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+}

@@ -1,0 +1,187 @@
+//! Weak conjunctive predicate detection (Garg & Waldecker — the paper's
+//! reference \[4], used by its Section 7 debugging cycle).
+//!
+//! *Possibly(∧ᵢ lᵢ)*: does some consistent global state satisfy every local
+//! conjunct? The classic queue-based algorithm keeps one candidate state
+//! per process (the earliest not-yet-eliminated state satisfying its
+//! conjunct) and repeatedly eliminates any candidate that causally precedes
+//! another: if `cand[i] → cand[j]`, then `cand[i]` also precedes every
+//! later candidate of `j` (same process, later states), and since a
+//! solution's `j`-component can only be `cand[j]` or later, `cand[i]` can
+//! never appear in a solution — advance `i`. When no elimination applies
+//! the candidates are pairwise concurrent: the *earliest* satisfying
+//! consistent cut. Complexity O(n²·m) for m candidate states, versus the
+//! exponential lattice walk.
+
+use pctl_causality::{ProcessId, StateId};
+use pctl_deposet::{Deposet, GlobalState, LocalPredicate};
+
+/// Find the earliest consistent global state where every `locals[i]` holds
+/// on process `i`, or `None`.
+pub fn possibly_conjunction(dep: &Deposet, locals: &[LocalPredicate]) -> Option<GlobalState> {
+    assert_eq!(locals.len(), dep.process_count());
+    // Candidate queues: indices of satisfying states per process.
+    let queues: Vec<Vec<u32>> = dep
+        .processes()
+        .map(|p| {
+            dep.states_of(p)
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| locals[p.index()].eval(s))
+                .map(|(k, _)| k as u32)
+                .collect()
+        })
+        .collect();
+    let n = queues.len();
+    let mut head = vec![0usize; n];
+    if queues.iter().any(Vec::is_empty) {
+        return None;
+    }
+    let cand = |head: &[usize], i: usize| -> StateId {
+        StateId::new(ProcessId(i as u32), queues[i][head[i]])
+    };
+    loop {
+        // Find an eliminable candidate.
+        let mut advanced = false;
+        'scan: for i in 0..n {
+            for j in 0..n {
+                if i != j && dep.precedes(cand(&head, i), cand(&head, j)) {
+                    head[i] += 1;
+                    if head[i] == queues[i].len() {
+                        return None;
+                    }
+                    advanced = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !advanced {
+            let g =
+                GlobalState::from_indices((0..n).map(|i| queues[i][head[i]]).collect());
+            debug_assert!(g.is_consistent(dep));
+            return Some(g);
+        }
+    }
+}
+
+/// Detect a *violation* of a disjunctive predicate `B = ∨ᵢ lᵢ`: a
+/// consistent global state where every `lᵢ` is false (i.e.
+/// possibly(∧ᵢ ¬lᵢ)). This is the detector a debugging session runs before
+/// reaching for predicate control.
+pub fn detect_disjunctive_violation(
+    dep: &Deposet,
+    pred: &pctl_deposet::DisjunctivePredicate,
+) -> Option<GlobalState> {
+    let negated: Vec<LocalPredicate> =
+        pred.locals().iter().map(|l| l.clone().negated()).collect();
+    possibly_conjunction(dep, &negated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pctl_deposet::lattice::find_all_consistent;
+    use pctl_deposet::{DeposetBuilder, DisjunctivePredicate};
+
+    #[test]
+    fn finds_earliest_satisfying_cut() {
+        // Both processes set flag twice; earliest joint cut is ⟨1,1⟩.
+        let mut b = DeposetBuilder::new(2);
+        for p in 0..2 {
+            b.internal(p, &[("flag", 1)]);
+            b.internal(p, &[("flag", 0)]);
+            b.internal(p, &[("flag", 1)]);
+        }
+        let dep = b.finish().unwrap();
+        let locals = vec![LocalPredicate::var("flag"), LocalPredicate::var("flag")];
+        let g = possibly_conjunction(&dep, &locals).unwrap();
+        assert_eq!(g, GlobalState::from_indices(vec![1, 1]));
+    }
+
+    #[test]
+    fn causality_forces_later_candidates() {
+        // P0's flag state precedes P1's only flag state: they can't be cut
+        // together unless concurrent. P0 flag at state 1 → (msg) P1 flag at
+        // state 1: must advance P0 to its second flag state.
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[("flag", 1)]);
+        let t = b.send_with(0, "m", &[("flag", 0)]);
+        b.recv(1, t, &[("flag", 1)]);
+        b.internal(0, &[("flag", 1)]); // state 3 on P0, concurrent with P1's
+        let dep = b.finish().unwrap();
+        let locals = vec![LocalPredicate::var("flag"), LocalPredicate::var("flag")];
+        let g = possibly_conjunction(&dep, &locals).unwrap();
+        assert!(g.is_consistent(&dep));
+        assert_eq!(g.index_of(ProcessId(1)), 1);
+        assert_eq!(g.index_of(ProcessId(0)), 3, "P0's first flag state is eliminated");
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_returns_none() {
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[("flag", 1)]);
+        b.internal(1, &[]);
+        let dep = b.finish().unwrap();
+        // P1 never sets flag.
+        let locals = vec![LocalPredicate::var("flag"), LocalPredicate::var("flag")];
+        assert_eq!(possibly_conjunction(&dep, &locals), None);
+        // And a chain where every candidate is eliminated:
+        let mut b2 = DeposetBuilder::new(2);
+        b2.internal(0, &[("flag", 1)]);
+        let t = b2.send_with(0, "m", &[("flag", 0)]);
+        b2.recv(1, t, &[("flag", 1)]);
+        let dep2 = b2.finish().unwrap();
+        // P0's flag precedes P1's flag and has no later candidate.
+        assert_eq!(possibly_conjunction(&dep2, &locals), None);
+    }
+
+    #[test]
+    fn agrees_with_lattice_reference_on_random_traces() {
+        use pctl_deposet::generator::{random_deposet, RandomConfig};
+        for seed in 0..40 {
+            let cfg = RandomConfig { processes: 3, events: 18, ..RandomConfig::default() };
+            let dep = random_deposet(&cfg, seed);
+            let locals = vec![
+                LocalPredicate::var("ok"),
+                LocalPredicate::not_var("ok"),
+                LocalPredicate::var("ok"),
+            ];
+            let fast = possibly_conjunction(&dep, &locals);
+            let reference = find_all_consistent(&dep, 100_000, |d, g| {
+                (0..3).all(|i| locals[i].eval(d.state(g.state_of(ProcessId(i as u32)))))
+            })
+            .unwrap();
+            assert_eq!(
+                fast.is_some(),
+                !reference.is_empty(),
+                "seed {seed}: GW and lattice disagree"
+            );
+            if let Some(g) = fast {
+                assert!(reference.contains(&g));
+                // GW returns the minimum satisfying cut.
+                for r in &reference {
+                    assert!(g.meet(r) == g || !g.leq(r) || g == *r);
+                    assert!(g.leq(&g.join(r)));
+                }
+                let min = reference.iter().fold(reference[0].clone(), |a, b| a.meet(b));
+                assert_eq!(g, min, "GW finds the infimum of satisfying cuts");
+            }
+        }
+    }
+
+    #[test]
+    fn violation_detection_is_negated_conjunction() {
+        // Two servers both unavailable at overlapping times.
+        let mut b = DeposetBuilder::new(2);
+        for p in 0..2 {
+            b.init_vars(p, &[("avail", 1)]);
+            b.internal(p, &[("avail", 0)]);
+            b.internal(p, &[("avail", 1)]);
+        }
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(2, "avail");
+        let g = detect_disjunctive_violation(&dep, &pred).unwrap();
+        assert_eq!(g, GlobalState::from_indices(vec![1, 1]));
+        assert!(!pred.eval(&dep, &g));
+    }
+}

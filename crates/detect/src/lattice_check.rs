@@ -1,0 +1,117 @@
+//! Reference detectors over the consistent-global-state lattice:
+//! *possibly* and *definitely* for arbitrary global predicates.
+//!
+//! These are exponential-time oracles (the lattice can have `O(kⁿ)`
+//! states); the polynomial detectors in [`crate::conjunctive`] and
+//! [`crate::strong`] are validated against them. `definitely(φ)` is
+//! computed by the dual search: φ is *definite* iff no global sequence
+//! avoids φ everywhere, i.e. iff there is no `¬φ`-satisfying sequence.
+
+use pctl_deposet::lattice::{self, LatticeBudgetExceeded};
+use pctl_deposet::sequences::find_satisfying_sequence;
+use pctl_deposet::{Deposet, GlobalPredicate, GlobalState};
+
+/// Some consistent global state satisfies `pred` (returns a witness).
+pub fn possibly(
+    dep: &Deposet,
+    pred: &GlobalPredicate,
+    limit: usize,
+) -> Result<Option<GlobalState>, LatticeBudgetExceeded> {
+    lattice::possibly(dep, limit, |d, g| pred.eval(d, g))
+}
+
+/// Every global sequence (subset steps allowed — the paper's semantics)
+/// passes through a `pred`-state.
+pub fn definitely(
+    dep: &Deposet,
+    pred: &GlobalPredicate,
+    limit: usize,
+) -> Result<bool, LatticeBudgetExceeded> {
+    let avoiding = find_satisfying_sequence(dep, limit, |d, g| !pred.eval(d, g))?;
+    Ok(avoiding.is_none())
+}
+
+/// Every *interleaved* execution passes through a `pred`-state — the
+/// enforceable-semantics counterpart of [`definitely`], matching the
+/// interval-overlap detector in [`crate::strong`].
+pub fn definitely_interleaving(
+    dep: &Deposet,
+    pred: &GlobalPredicate,
+    limit: usize,
+) -> Result<bool, LatticeBudgetExceeded> {
+    let avoiding =
+        pctl_deposet::sequences::find_satisfying_interleaving(dep, limit, |d, g| {
+            !pred.eval(d, g)
+        })?;
+    Ok(avoiding.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pctl_deposet::{DeposetBuilder, DisjunctivePredicate, LocalPredicate};
+
+    fn two_cs() -> Deposet {
+        let mut b = DeposetBuilder::new(2);
+        for p in 0..2 {
+            b.init_vars(p, &[("cs", 0)]);
+            b.internal(p, &[("cs", 1)]);
+            b.internal(p, &[("cs", 0)]);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn possibly_but_not_definitely() {
+        let dep = two_cs();
+        // "both in CS" is possible (cut ⟨1,1⟩) but avoidable.
+        let both = GlobalPredicate::And(vec![
+            GlobalPredicate::local(0usize, LocalPredicate::var("cs")),
+            GlobalPredicate::local(1usize, LocalPredicate::var("cs")),
+        ]);
+        assert!(possibly(&dep, &both, 100_000).unwrap().is_some());
+        assert!(!definitely(&dep, &both, 100_000).unwrap());
+    }
+
+    #[test]
+    fn definitely_when_unavoidable() {
+        // Single process passing through a bad state: unavoidable.
+        let mut b = DeposetBuilder::new(1);
+        b.internal(0, &[("bad", 1)]);
+        b.internal(0, &[("bad", 0)]);
+        let dep = b.finish().unwrap();
+        let bad = GlobalPredicate::local(0usize, LocalPredicate::var("bad"));
+        assert!(definitely(&dep, &bad, 100_000).unwrap());
+        assert!(possibly(&dep, &bad, 100_000).unwrap().is_some());
+    }
+
+    #[test]
+    fn impossible_predicate() {
+        let dep = two_cs();
+        let never = GlobalPredicate::local(0usize, LocalPredicate::var("nonexistent"));
+        assert_eq!(possibly(&dep, &never, 100_000).unwrap(), None);
+        assert!(!definitely(&dep, &never, 100_000).unwrap());
+    }
+
+    #[test]
+    fn definitely_interleaving_matches_strong_detection() {
+        use crate::strong::definitely_all_false;
+        use pctl_deposet::generator::{random_deposet, RandomConfig};
+        for seed in 0..15 {
+            let dep = random_deposet(
+                &RandomConfig { processes: 3, events: 12, ..RandomConfig::default() },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one(3, "ok");
+            let all_false = GlobalPredicate::Not(Box::new(pred.to_global()));
+            let reference = definitely_interleaving(&dep, &all_false, 2_000_000).unwrap();
+            let fast = definitely_all_false(&dep, &pred).is_some();
+            assert_eq!(reference, fast, "seed {seed}");
+            // The subset-step notion is weaker or equal: definitely ⇒
+            // definitely_interleaving.
+            if definitely(&dep, &all_false, 2_000_000).unwrap() {
+                assert!(fast, "seed {seed}: subset-definitely without overlap");
+            }
+        }
+    }
+}

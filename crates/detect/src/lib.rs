@@ -1,0 +1,35 @@
+//! Global-predicate detection substrate for the active-debugging cycle.
+//!
+//! The paper's debugging loop (Section 7) interleaves *detection* — find a
+//! bad consistent global state in a traced computation — with *control* —
+//! replay under added causality so the bad state cannot recur. This crate
+//! supplies the detection half:
+//!
+//! * [`conjunctive`] — weak conjunctive detection (Garg–Waldecker,
+//!   reference \[4]): `possibly(∧ lᵢ)` in polynomial time, which doubles as
+//!   the disjunctive-violation detector used before invoking control;
+//! * [`strong`] — definitely-detection via overlapping interval sets
+//!   (Lemma 2): decides infeasibility of disjunctive predicates;
+//! * [`lattice_check`] — exponential reference oracles (*possibly* /
+//!   *definitely* for arbitrary predicates) used to validate the fast
+//!   detectors;
+//! * [`online_checker`] — the *on-line* formulation: runtime vector clocks
+//!   plus a checker process running the elimination incrementally, for
+//!   detecting bugs in computations as they run (the paper's on-line
+//!   debugging scenario);
+//! * [`snapshot`] — Chandy–Lamport snapshots (reference \[3]) on the
+//!   simulator, with per-run consistency proofs against the trace.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conjunctive;
+pub mod lattice_check;
+pub mod online_checker;
+pub mod snapshot;
+pub mod strong;
+
+pub use conjunctive::{detect_disjunctive_violation, possibly_conjunction};
+pub use online_checker::{run_online_detection, CheckerState};
+pub use lattice_check::{definitely, definitely_interleaving, possibly};
+pub use strong::{definitely_all_false, find_overlap, overlapping};

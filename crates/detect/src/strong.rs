@@ -1,0 +1,217 @@
+//! Strong (definitely) conjunctive detection via interval overlap —
+//! the detection side of the paper's Lemma 2.
+//!
+//! *Definitely(∧ᵢ qᵢ)* holds iff **every** interleaved execution passes a
+//! consistent global state where all conjuncts hold. For conjuncts given by
+//! per-process intervals (maximal runs where `qᵢ` holds), this is exactly
+//! the existence of an *overlapping* interval set:
+//!
+//! ```text
+//! ∀ i ≠ j:  (pred(Iᵢ.lo) → succ(Iⱼ.hi))  ∨  (Iᵢ.lo = ⊥ᵢ)  ∨  (Iⱼ.hi = ⊤ⱼ)
+//! ```
+//!
+//! (`pred(lo)`/`succ(hi)` — the intervals' entering and ending *events* —
+//! are the state-based translation of the paper's event-based condition;
+//! the literal `lo → hi` reading is incomplete. The decided notion is the
+//! *enforceable*, interleaving-based one; see `pctl-core`'s `overlap`
+//! module docs for the derivation and counterexamples.)
+//!
+//! Applied with `qᵢ = ¬lᵢ` this decides infeasibility of the disjunctive
+//! predicate `∨ᵢ lᵢ` (no control strategy can exist — the paper's
+//! "No Controller Exists" case).
+//!
+//! The polynomial search mirrors the crossing loop of the off-line control
+//! algorithm: while some pair `(i, j)` has `crossable(N(i), N(j))`, the
+//! interval `N(j)` can be discarded (it can be fully crossed before `N(i)`
+//! — or any later interval of `i` — is entered, so it belongs to no
+//! overlapping set); if some process runs out of intervals there is no
+//! overlap; if no pair is crossable the current fronts overlap.
+
+use pctl_deposet::{Deposet, FalseIntervals, Interval, ProcessId};
+
+/// Check the overlap condition on a full set (one interval per process).
+pub fn overlapping(dep: &Deposet, set: &[Interval]) -> bool {
+    assert_eq!(set.len(), dep.process_count());
+    for (i, ii) in set.iter().enumerate() {
+        for (j, ij) in set.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let lo_bottom = ii.lo == 0;
+            let hi_top = (ij.hi as usize) == dep.len_of(ij.process) - 1;
+            if lo_bottom || hi_top {
+                continue;
+            }
+            let entry = ii.lo_state().predecessor().expect("lo ≠ ⊥");
+            let exit = ij.hi_state().successor();
+            if !dep.precedes(entry, exit) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Polynomial search for an overlapping set among `intervals` (one
+/// interval per process drawn from each process's list). Returns the
+/// witness or `None`.
+pub fn find_overlap(dep: &Deposet, intervals: &FalseIntervals) -> Option<Vec<Interval>> {
+    let n = dep.process_count();
+    assert_eq!(intervals.process_count(), n);
+    let mut pos = vec![0usize; n];
+    let front = |pos: &[usize], i: usize| -> Option<Interval> {
+        intervals.of(ProcessId(i as u32)).get(pos[i]).copied()
+    };
+    loop {
+        // Exhausted process ⇒ no overlapping set.
+        if (0..n).any(|i| front(&pos, i).is_none()) {
+            return None;
+        }
+        // Look for a crossable pair.
+        let mut crossed = false;
+        'scan: for i in 0..n {
+            let ii = front(&pos, i).unwrap();
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let ij = front(&pos, j).unwrap();
+                let in_range = ii.lo != 0 && (ij.hi as usize) < dep.len_of(ij.process) - 1;
+                let crossable = in_range
+                    && !dep.precedes(
+                        ii.lo_state().predecessor().expect("lo ≠ ⊥"),
+                        ij.hi_state().successor(),
+                    );
+                if crossable {
+                    pos[j] += 1;
+                    crossed = true;
+                    break 'scan;
+                }
+            }
+        }
+        if !crossed {
+            let witness: Vec<Interval> = (0..n).map(|i| front(&pos, i).unwrap()).collect();
+            debug_assert!(overlapping(dep, &witness));
+            return Some(witness);
+        }
+    }
+}
+
+/// Definitely-detection for a disjunctive predicate's negation: does every
+/// global sequence hit a state where all of `pred`'s disjuncts are false?
+/// (Equivalently: is `pred` infeasible for the computation?)
+pub fn definitely_all_false(
+    dep: &Deposet,
+    pred: &pctl_deposet::DisjunctivePredicate,
+) -> Option<Vec<Interval>> {
+    let intervals = FalseIntervals::extract(dep, pred);
+    find_overlap(dep, &intervals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pctl_deposet::{DeposetBuilder, DisjunctivePredicate};
+
+    /// Brute-force overlap search (ground truth).
+    fn brute(dep: &Deposet, intervals: &FalseIntervals) -> bool {
+        let per: Vec<&[Interval]> =
+            dep.processes().map(|p| intervals.of(p)).collect();
+        if per.iter().any(|v| v.is_empty()) {
+            return false;
+        }
+        fn rec(
+            dep: &Deposet,
+            per: &[&[Interval]],
+            chosen: &mut Vec<Interval>,
+            k: usize,
+        ) -> bool {
+            if k == per.len() {
+                return overlapping(dep, chosen);
+            }
+            for &iv in per[k] {
+                chosen.push(iv);
+                if rec(dep, per, chosen, k + 1) {
+                    return true;
+                }
+                chosen.pop();
+            }
+            false
+        }
+        rec(dep, &per, &mut Vec::new(), 0)
+    }
+
+    #[test]
+    fn whole_lifetime_false_overlaps() {
+        let mut b = DeposetBuilder::new(2);
+        b.internal(0, &[]);
+        b.internal(1, &[]);
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(2, "up");
+        let w = definitely_all_false(&dep, &pred).expect("overlap");
+        assert!(overlapping(&dep, &w));
+    }
+
+    #[test]
+    fn concurrent_interior_intervals_do_not_overlap() {
+        let mut b = DeposetBuilder::new(3);
+        for p in 0..3 {
+            b.init_vars(p, &[("up", 1)]);
+            b.internal(p, &[("up", 0)]);
+            b.internal(p, &[("up", 1)]);
+        }
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(3, "up");
+        assert_eq!(definitely_all_false(&dep, &pred), None);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_workloads() {
+        use pctl_deposet::generator::{pipelined_workload, random_deposet, CsConfig, RandomConfig};
+        for seed in 0..25 {
+            let dep = pipelined_workload(
+                &CsConfig { processes: 3, sections_per_process: 3, ..CsConfig::default() },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
+            let iv = FalseIntervals::extract(&dep, &pred);
+            assert_eq!(
+                find_overlap(&dep, &iv).is_some(),
+                brute(&dep, &iv),
+                "pipelined seed {seed}"
+            );
+        }
+        for seed in 0..25 {
+            let dep = random_deposet(
+                &RandomConfig { processes: 3, events: 20, ..RandomConfig::default() },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one(3, "ok");
+            let iv = FalseIntervals::extract(&dep, &pred);
+            assert_eq!(
+                find_overlap(&dep, &iv).is_some(),
+                brute(&dep, &iv),
+                "random seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_iff_no_satisfying_interleaving() {
+        // Lemma 2 both ways, on small random traces, against exhaustive
+        // interleaving search (the enforceable semantics).
+        use pctl_deposet::generator::{random_deposet, RandomConfig};
+        use pctl_deposet::sequences::find_satisfying_interleaving;
+        for seed in 0..40 {
+            let dep = random_deposet(
+                &RandomConfig { processes: 3, events: 14, ..RandomConfig::default() },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one(3, "ok");
+            let overlap = definitely_all_false(&dep, &pred).is_some();
+            let seq = find_satisfying_interleaving(&dep, 2_000_000, |d, g| pred.eval(d, g))
+                .expect("budget");
+            assert_eq!(overlap, seq.is_none(), "seed {seed}: Lemma 2 violated");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! k-mutual exclusion on the simulator: the paper's Section 6 application
+//! and its baselines.
+//!
+//! * [`antitoken`] — (n−1)-mutual exclusion as on-line disjunctive
+//!   predicate control (`lᵢ = ¬csᵢ`): the scapegoat role is a single
+//!   *anti-token* (a liability, not a privilege);
+//! * [`multi`] — the generalization the paper's evaluation hints at:
+//!   `m` anti-tokens give (n−m)-mutual exclusion for any `k`;
+//! * [`central`] — centralized-coordinator k-mutex (3 messages/entry);
+//! * [`suzuki`] — `k` independent Suzuki–Kasami token instances
+//!   (Θ(n) messages per contended entry);
+//! * [`driver`] — the shared think/CS workload and the post-run safety
+//!   sweep;
+//! * [`compare`] — the head-to-head harness behind the Section 6 numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod antitoken;
+pub mod central;
+pub mod compare;
+pub mod driver;
+pub mod multi;
+pub mod suzuki;
+
+pub use antitoken::run_antitoken;
+pub use multi::run_multi_antitoken;
+pub use central::run_central;
+pub use compare::{compare_all, compare_at_k, AlgoReport};
+pub use driver::{max_concurrent, WorkloadConfig};
+pub use suzuki::run_suzuki;

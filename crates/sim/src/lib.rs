@@ -1,0 +1,22 @@
+//! Deterministic discrete-event simulation of asynchronous message-passing
+//! systems, with built-in deposet tracing.
+//!
+//! This crate is the runtime substrate for the paper's *on-line* scenarios:
+//! the on-line predicate-control strategy (Figure 3), the k-mutual-exclusion
+//! evaluation (Section 6), and controlled replay. See [`sim`] for the
+//! programming model ([`Process`] + [`Ctx`]) and DESIGN.md for why a
+//! simulator stands in for the authors' runtime.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod sim;
+pub mod time;
+
+pub use metrics::{Metrics, Summary};
+pub use sim::{Ctx, DelayModel, Payload, Process, SimConfig, SimResult, Simulation, StopReason, TimerId};
+pub use time::SimTime;
+
+// Re-export ids for downstream convenience.
+pub use pctl_deposet::ProcessId;

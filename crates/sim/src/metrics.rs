@@ -1,0 +1,129 @@
+//! Simulation metrics: named counters and latency samples.
+//!
+//! The benchmark harness reads these to reproduce the paper's analytic
+//! claims (control messages per critical-section entry, response-time
+//! bounds `[2T, 2T + E_max]`, …).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated metrics for one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    samples: BTreeMap<String, Vec<u64>>,
+}
+
+/// Summary statistics over one sample series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Metrics {
+    /// Increment counter `name` by `by`.
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one latency/size sample under `name`.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.samples.entry(name.to_owned()).or_default().push(value);
+    }
+
+    /// Raw samples for `name`.
+    pub fn samples(&self, name: &str) -> &[u64] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Summary statistics for `name`, or `None` when no samples exist.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        let s = self.samples.get(name)?;
+        if s.is_empty() {
+            return None;
+        }
+        let (mut min, mut max, mut sum) = (u64::MAX, 0u64, 0u128);
+        for &v in s {
+            min = min.min(v);
+            max = max.max(v);
+            sum += u128::from(v);
+        }
+        Some(Summary { count: s.len(), min, max, mean: sum as f64 / s.len() as f64 })
+    }
+
+    /// All counter names (sorted).
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// All sample series names (sorted).
+    pub fn sample_names(&self) -> impl Iterator<Item = &str> {
+        self.samples.keys().map(String::as_str)
+    }
+
+    /// Merge another run's metrics into this one (for aggregation across
+    /// seeds).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.samples {
+            self.samples.entry(k.clone()).or_default().extend_from_slice(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        assert_eq!(m.counter("msgs"), 0);
+        m.add("msgs", 2);
+        m.add("msgs", 3);
+        assert_eq!(m.counter("msgs"), 5);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut m = Metrics::default();
+        for v in [10, 20, 30] {
+            m.record("lat", v);
+        }
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean - 20.0).abs() < 1e-9);
+        assert!(m.summary("nothing").is_none());
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let mut a = Metrics::default();
+        a.add("c", 1);
+        a.record("x", 5);
+        let mut b = Metrics::default();
+        b.add("c", 2);
+        b.record("x", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.samples("x"), &[5, 7]);
+        assert_eq!(a.counter_names().collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(a.sample_names().collect::<Vec<_>>(), vec!["x"]);
+    }
+}

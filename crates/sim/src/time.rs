@@ -1,0 +1,74 @@
+//! Simulated time.
+//!
+//! Discrete ticks (interpreted as microseconds in the benchmark harness,
+//! though nothing depends on the unit). Simulated time only advances when
+//! the event queue advances, so runs are fully deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.checked_sub(rhs.0).expect("time moved backwards")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + 5;
+        assert_eq!(t, SimTime(5));
+        let mut u = t;
+        u += 3;
+        assert_eq!(u - t, 3);
+        assert_eq!(t.since(u), 0, "saturating");
+        assert_eq!(u.since(t), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+}

@@ -1,0 +1,58 @@
+//! (n−1)-mutual exclusion via on-line predicate control, compared against
+//! classical k-mutex algorithms (paper Section 6).
+//!
+//! Run with: `cargo run --example mutual_exclusion [-- <n>]`
+
+use predicate_control::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    assert!(n >= 2, "need at least two processes");
+    println!("k-mutual exclusion with n = {n}, k = n-1 = {}\n", n - 1);
+
+    let cfg = WorkloadConfig {
+        processes: n,
+        entries_per_process: 8,
+        think: (20, 60),
+        cs: (5, 15),
+        seed: 1,
+        delay: 10,
+    };
+
+    println!(
+        "{:<18} {:>11} {:>11} {:>10} {:>9} {:>9}",
+        "algorithm", "msgs/entry", "resp mean", "resp max", "max conc", "safe"
+    );
+    for rep in compare_all(&cfg) {
+        let (mean, max) = rep
+            .response
+            .map(|s| (s.mean, s.max))
+            .unwrap_or((0.0, 0));
+        println!(
+            "{:<18} {:>11.3} {:>11.1} {:>10} {:>9} {:>9}",
+            rep.algo,
+            rep.msgs_per_entry,
+            mean,
+            max,
+            rep.max_concurrent,
+            !rep.deadlocked && rep.max_concurrent <= rep.k
+        );
+        assert!(!rep.deadlocked && rep.max_concurrent <= rep.k);
+    }
+
+    println!(
+        "\nThe anti-token (scapegoat) pays messages only when its own holder wants\n\
+         the critical section — amortized ~2 messages per n entries — while the\n\
+         baselines pay per entry. The single anti-token is a liability, not a\n\
+         privilege: exactly the paper's Section 6 observation for large k."
+    );
+
+    // The safety property, verified on the traced computation itself.
+    let r = run_antitoken(&cfg, predicate_control::control::online::PeerSelect::Random);
+    let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
+    assert!(
+        detect_disjunctive_violation(&r.deposet, &pred).is_none(),
+        "no consistent global state has all {n} processes in their CS"
+    );
+    println!("\ntrace-level check: no consistent global state violates ∨ᵢ ¬csᵢ ✓");
+}

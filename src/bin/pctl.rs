@@ -1,0 +1,297 @@
+//! `pctl` — command-line active debugging for traced distributed
+//! computations.
+//!
+//! Operates on the JSON trace format of `pctl-deposet` (see
+//! `trace::to_json`). Typical session:
+//!
+//! ```text
+//! pctl gen --workload pipelined --processes 4 --sections 6 --seed 7 > c1.json
+//! pctl info c1.json
+//! pctl detect c1.json --at-least-one-not cs
+//! pctl control c1.json --at-least-one-not cs > control.json
+//! pctl replay c1.json --control control.json --at-least-one-not cs
+//! pctl dot c1.json > c1.dot
+//! ```
+
+use predicate_control::control::offline::{Engine, SelectPolicy};
+use predicate_control::deposet::generator::{
+    cs_workload, pipelined_workload, random_deposet, CsConfig, RandomConfig,
+};
+use predicate_control::deposet::{dot, lattice, trace, Deposet};
+use predicate_control::prelude::*;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pctl — predicate control for active debugging of distributed programs
+
+USAGE:
+  pctl info <trace.json>
+  pctl detect <trace.json> (--at-least-one VAR | --at-least-one-not VAR)
+  pctl control <trace.json> (--at-least-one VAR | --at-least-one-not VAR)
+               [--naive] [--random-seed N]   (control relation JSON on stdout)
+  pctl verify <trace.json> --control <control.json>
+               (--at-least-one VAR | --at-least-one-not VAR) [--limit N]
+  pctl replay <trace.json> [--control <control.json>]
+              [--at-least-one VAR | --at-least-one-not VAR]
+  pctl dot <trace.json> [--control <control.json>] [--vars]
+  pctl gen --workload (cs|pipelined|random) [--processes N] [--sections N]
+           [--events N] [--seed N]          (trace JSON on stdout)
+
+The predicate flags build the disjunctive property  B = ∨ᵢ lᵢ  with
+lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                    _ => None,
+                };
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn value(&self, name: &str) -> Result<Option<&str>, String> {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v)),
+            Some(None) => Err(format!("--{name} requires a value")),
+        }
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number '{v}'")),
+        }
+    }
+}
+
+fn load_trace(path: &str) -> Result<Deposet, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    trace::from_json(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_control(path: &str) -> Result<ControlRelation, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))
+}
+
+fn predicate(args: &Args, dep: &Deposet) -> Result<DisjunctivePredicate, String> {
+    let n = dep.process_count();
+    match (args.value("at-least-one")?, args.value("at-least-one-not")?) {
+        (Some(v), None) => Ok(DisjunctivePredicate::at_least_one(n, v)),
+        (None, Some(v)) => Ok(DisjunctivePredicate::at_least_one_not(n, v)),
+        (None, None) => Err("missing predicate: --at-least-one VAR or --at-least-one-not VAR".into()),
+        _ => Err("give exactly one of --at-least-one / --at-least-one-not".into()),
+    }
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("info: missing trace path")?;
+    let dep = load_trace(path)?;
+    println!("processes : {}", dep.process_count());
+    println!("states    : {}", dep.total_states());
+    println!("messages  : {}", dep.messages().len());
+    for p in dep.processes() {
+        let vars: std::collections::BTreeSet<&str> = dep
+            .states_of(p)
+            .iter()
+            .flat_map(|s| s.vars.iter().map(|(k, _)| k))
+            .collect();
+        println!(
+            "  {p}: {} states, vars {{{}}}",
+            dep.len_of(p),
+            vars.into_iter().collect::<Vec<_>>().join(", ")
+        );
+    }
+    match lattice::count_consistent_global_states(&dep, 2_000_000) {
+        Ok(c) => println!("consistent global states: {c}"),
+        Err(_) => println!("consistent global states: > 2,000,000 (not enumerated)"),
+    }
+    Ok(())
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("detect: missing trace path")?;
+    let dep = load_trace(path)?;
+    let pred = predicate(args, &dep)?;
+    match detect_disjunctive_violation(&dep, &pred) {
+        Some(g) => {
+            println!("VIOLATION possible at consistent global state {g}");
+            for p in dep.processes() {
+                let s = g.state_of(p);
+                println!("  {p} @ state {}: {}", s.index, dep.state(s));
+            }
+            if let Some(w) = definitely_all_false(&dep, &pred) {
+                println!("moreover the property is INFEASIBLE (overlapping intervals):");
+                for iv in w {
+                    println!("  {} states [{}..{}]", iv.process, iv.lo, iv.hi);
+                }
+            }
+        }
+        None => println!("no consistent global state violates the property"),
+    }
+    Ok(())
+}
+
+fn cmd_control(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("control: missing trace path")?;
+    let dep = load_trace(path)?;
+    let pred = predicate(args, &dep)?;
+    let engine = if args.flag("naive").is_some() { Engine::Naive } else { Engine::Optimized };
+    let policy = match args.value("random-seed")? {
+        Some(s) => SelectPolicy::Random {
+            seed: s.parse().map_err(|_| "--random-seed: bad number")?,
+        },
+        None => SelectPolicy::First,
+    };
+    match control_disjunctive(&dep, &pred, OfflineOptions { policy, engine }) {
+        Ok(rel) => {
+            eprintln!("control relation with {} tuple(s): {rel}", rel.len());
+            println!("{}", serde_json::to_string_pretty(&rel).expect("serializable"));
+            Ok(())
+        }
+        Err(inf) => Err(format!("{inf}")),
+    }
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("verify: missing trace path")?;
+    let dep = load_trace(path)?;
+    let pred = predicate(args, &dep)?;
+    let cpath = args.value("control")?.ok_or("verify: missing --control")?;
+    let rel = load_control(cpath)?;
+    let limit = args.num("limit", 2_000_000usize)?;
+    verify_disjunctive(&dep, &pred, &rel, limit).map_err(|e| format!("{e}"))?;
+    println!(
+        "OK: every consistent global state of the controlled computation satisfies the property"
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("replay: missing trace path")?;
+    let dep = load_trace(path)?;
+    let rel = match args.value("control")? {
+        Some(p) => load_control(p)?,
+        None => ControlRelation::empty(),
+    };
+    let out = replay(&dep, &rel, &ReplayConfig::default());
+    println!(
+        "replay: completed={} faithful={} control messages={} stalls={}",
+        out.completed(),
+        out.fidelity(&dep),
+        out.sim.metrics.counter("msgs_ctrl"),
+        out.sim.metrics.counter("replay_stalls"),
+    );
+    if !out.completed() {
+        return Err("replay did not complete".into());
+    }
+    if args.flag("at-least-one").is_some() || args.flag("at-least-one-not").is_some() {
+        let pred = predicate(args, &dep)?;
+        match detect_disjunctive_violation(out.deposet(), &pred) {
+            Some(g) => println!("replayed computation still violates the property at {g}"),
+            None => println!("replayed computation satisfies the property on every consistent cut"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("dot: missing trace path")?;
+    let dep = load_trace(path)?;
+    let extra = match args.value("control")? {
+        Some(p) => load_control(p)?.pairs().to_vec(),
+        None => Vec::new(),
+    };
+    let opts = dot::DotOptions {
+        extra_edges: extra,
+        highlights: vec![],
+        show_vars: args.flag("vars").is_some(),
+    };
+    print!("{}", dot::to_dot(&dep, &opts));
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let workload = args.value("workload")?.ok_or("gen: missing --workload")?.to_owned();
+    let processes = args.num("processes", 4usize)?;
+    let sections = args.num("sections", 6usize)?;
+    let events = args.num("events", 40usize)?;
+    let seed = args.num("seed", 0u64)?;
+    let dep = match workload.as_str() {
+        "cs" => cs_workload(
+            &CsConfig {
+                processes,
+                sections_per_process: sections,
+                max_cs_len: 3,
+                max_gap_len: 3,
+            },
+            seed,
+        ),
+        "pipelined" => pipelined_workload(
+            &CsConfig {
+                processes,
+                sections_per_process: sections,
+                max_cs_len: 3,
+                max_gap_len: 3,
+            },
+            seed,
+        ),
+        "random" => random_deposet(
+            &RandomConfig { processes, events, send_prob: 0.35, flip_prob: 0.35 },
+            seed,
+        ),
+        other => return Err(format!("gen: unknown workload '{other}' (cs|pipelined|random)")),
+    };
+    println!("{}", trace::to_json(&dep));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "info" => cmd_info(&args),
+        "detect" => cmd_detect(&args),
+        "control" => cmd_control(&args),
+        "verify" => cmd_verify(&args),
+        "replay" => cmd_replay(&args),
+        "dot" => cmd_dot(&args),
+        "gen" => cmd_gen(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! **predicate-control** — active debugging of distributed programs via
+//! predicate control.
+//!
+//! A full reproduction of Tarafdar & Garg, *Predicate Control for Active
+//! Debugging of Distributed Programs* (IPPS 1998), as a Rust workspace.
+//! This facade crate re-exports every subsystem; see DESIGN.md for the
+//! architecture and EXPERIMENTS.md for the reproduced evaluation.
+//!
+//! # The idea
+//!
+//! Traditional distributed debugging is passive: observe a traced
+//! computation, find a bad global state, re-run and hope. *Predicate
+//! control* makes the replay active: given a safety property `B` (e.g.
+//! "at least one server is always available"), synthesize extra causal
+//! dependencies — control messages — such that **every** execution of the
+//! controlled computation satisfies `B`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use predicate_control::prelude::*;
+//!
+//! // Trace a computation: two processes with overlapping critical sections.
+//! let mut b = DeposetBuilder::new(2);
+//! for p in 0..2 {
+//!     b.init_vars(p, &[("cs", 0)]);
+//!     b.internal(p, &[("cs", 1)]);
+//!     b.internal(p, &[("cs", 0)]);
+//! }
+//! let computation = b.finish().unwrap();
+//!
+//! // Safety: at least one process outside its critical section.
+//! let safety = DisjunctivePredicate::at_least_one_not(2, "cs");
+//!
+//! // A violation is possible…
+//! assert!(detect_disjunctive_violation(&computation, &safety).is_some());
+//!
+//! // …so synthesize control (the paper's Figure 2 algorithm)…
+//! let control = control_disjunctive(&computation, &safety, OfflineOptions::default())
+//!     .expect("feasible");
+//!
+//! // …and replay under control: the bug cannot recur.
+//! let outcome = replay(&computation, &control, &ReplayConfig::default());
+//! assert!(outcome.completed() && outcome.fidelity(&computation));
+//! assert!(detect_disjunctive_violation(outcome.deposet(), &safety).is_none());
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`causality`] | `pctl-causality` | vector/Lamport clocks, DAG utilities |
+//! | [`deposet`] | `pctl-deposet` | the computation model, lattice, predicates, traces |
+//! | [`sim`] | `pctl-sim` | deterministic discrete-event simulator with tracing |
+//! | [`control`] | `pctl-core` | off-line + on-line predicate control, NP-hardness machinery |
+//! | [`detect`] | `pctl-detect` | predicate detection (weak/strong conjunctive, snapshots) |
+//! | [`mutex`] | `pctl-mutex` | (n−1)-mutex via control + k-mutex baselines |
+//! | [`replay`] | `pctl-replay` | controlled re-execution of traces |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pctl_causality as causality;
+pub use pctl_core as control;
+pub use pctl_deposet as deposet;
+pub use pctl_detect as detect;
+pub use pctl_mutex as mutex;
+pub use pctl_replay as replay;
+pub use pctl_sim as sim;
+
+/// Everything a typical debugging session needs.
+pub mod prelude {
+    pub use pctl_causality::{MsgId, ProcessId, StateId, VectorClock};
+    pub use pctl_core::cnf_control::{control_cnf, mutually_separated, CnfPredicate};
+    pub use pctl_core::online::{PeerSelect, Phase, ScapegoatController};
+    pub use pctl_core::verify::{chain_structure, verify_disjunctive};
+    pub use pctl_core::{
+        control_disjunctive, sgsd, ControlRelation, ControlledDeposet, Engine, Infeasible,
+        OfflineOptions, SelectPolicy, SgsdOutcome,
+    };
+    pub use pctl_deposet::{
+        CmpOp, Deposet, DeposetBuilder, DisjunctivePredicate, GlobalPredicate, GlobalState,
+        LocalPredicate, LocalState, Variables,
+    };
+    pub use pctl_detect::{
+        definitely_all_false, detect_disjunctive_violation, possibly_conjunction,
+    };
+    pub use pctl_mutex::{compare_all, run_antitoken, run_central, run_suzuki, WorkloadConfig};
+    pub use pctl_replay::{replay, ReplayConfig, ReplayOutcome};
+    pub use pctl_sim::{DelayModel, Process, SimConfig, Simulation};
+}

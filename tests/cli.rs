@@ -1,0 +1,138 @@
+//! End-to-end tests of the `pctl` command-line tool: a full debugging
+//! session through the binary interface (gen → info → detect → control →
+//! verify → replay → dot).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn pctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pctl"))
+        .args(args)
+        .output()
+        .expect("spawn pctl")
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pctl-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn full_session_through_the_cli() {
+    let trace = tmpfile("c1.json");
+    let control = tmpfile("ctl.json");
+
+    // gen
+    let out = pctl(&[
+        "gen", "--workload", "cs", "--processes", "3", "--sections", "4", "--seed", "11",
+    ]);
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(&trace, &out.stdout).unwrap();
+
+    // info
+    let out = pctl(&["info", trace.to_str().unwrap()]);
+    assert!(out.status.success());
+    let info = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(info.contains("processes : 3"), "{info}");
+    assert!(info.contains("vars {cs}"), "{info}");
+
+    // detect: overlapping critical sections exist in this workload
+    let out = pctl(&["detect", trace.to_str().unwrap(), "--at-least-one-not", "cs"]);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("VIOLATION possible"),
+        "expected a detectable violation"
+    );
+
+    // control
+    let out = pctl(&["control", trace.to_str().unwrap(), "--at-least-one-not", "cs"]);
+    assert!(out.status.success(), "control failed: {}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(&control, &out.stdout).unwrap();
+
+    // verify
+    let out = pctl(&[
+        "verify",
+        trace.to_str().unwrap(),
+        "--control",
+        control.to_str().unwrap(),
+        "--at-least-one-not",
+        "cs",
+    ]);
+    assert!(out.status.success(), "verify failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    // replay under control: bug gone
+    let out = pctl(&[
+        "replay",
+        trace.to_str().unwrap(),
+        "--control",
+        control.to_str().unwrap(),
+        "--at-least-one-not",
+        "cs",
+    ]);
+    assert!(out.status.success(), "replay failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("completed=true faithful=true"), "{text}");
+    assert!(text.contains("satisfies the property"), "{text}");
+
+    // dot renders with control edges
+    let out = pctl(&[
+        "dot",
+        trace.to_str().unwrap(),
+        "--control",
+        control.to_str().unwrap(),
+        "--vars",
+    ]);
+    assert!(out.status.success());
+    let dotsrc = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(dotsrc.contains("digraph deposet"), "{dotsrc}");
+    assert!(dotsrc.contains("style=dashed"), "control edge rendered: {dotsrc}");
+
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(control);
+}
+
+#[test]
+fn cli_reports_infeasibility_cleanly() {
+    // A 1-process trace where the variable is never true — infeasible.
+    let trace = tmpfile("bad.json");
+    let out = pctl(&[
+        "gen", "--workload", "random", "--processes", "2", "--events", "10", "--seed", "3",
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&trace, &out.stdout).unwrap();
+    // 'never' is unset everywhere ⇒ at-least-one never ⇒ infeasible.
+    let out = pctl(&["control", trace.to_str().unwrap(), "--at-least-one", "never"]);
+    assert!(!out.status.success(), "expected failure for an infeasible property");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no controller exists"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn cli_usage_and_errors() {
+    let out = pctl(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = pctl(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = pctl(&["detect", "/nonexistent.json", "--at-least-one", "x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    // Missing predicate flag.
+    let out = pctl(&["gen", "--workload", "cs"]);
+    assert!(out.status.success());
+    let trace = tmpfile("nopred.json");
+    std::fs::write(&trace, &out.stdout).unwrap();
+    let out = pctl(&["detect", trace.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing predicate"));
+    let _ = std::fs::remove_file(trace);
+}
