@@ -2,11 +2,11 @@
 //! O(1) `precedes` queries, and controlled-deposet extended-clock
 //! recomputation.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pctl_core::{ControlRelation, ControlledDeposet};
 use pctl_deposet::generator::{random_deposet, RandomConfig};
 use pctl_deposet::trace;
+use std::time::Duration;
 
 fn bench_clock_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("causality/clock_build");
@@ -14,7 +14,12 @@ fn bench_clock_build(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(15);
     for events in [200usize, 2000, 20000] {
-        let cfg = RandomConfig { processes: 8, events, send_prob: 0.3, flip_prob: 0.3 };
+        let cfg = RandomConfig {
+            processes: 8,
+            events,
+            send_prob: 0.3,
+            flip_prob: 0.3,
+        };
         let dep = random_deposet(&cfg, 1);
         // Round-trip through the trace forces full revalidation + clock
         // recomputation.
@@ -27,7 +32,12 @@ fn bench_clock_build(c: &mut Criterion) {
 }
 
 fn bench_precedes(c: &mut Criterion) {
-    let cfg = RandomConfig { processes: 8, events: 5000, send_prob: 0.3, flip_prob: 0.3 };
+    let cfg = RandomConfig {
+        processes: 8,
+        events: 5000,
+        send_prob: 0.3,
+        flip_prob: 0.3,
+    };
     let dep = random_deposet(&cfg, 2);
     let ids: Vec<_> = dep.state_ids().collect();
     c.bench_function("causality/precedes_1k_pairs", |b| {
@@ -51,7 +61,12 @@ fn bench_extended_clocks(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(15);
     for events in [500usize, 5000] {
-        let cfg = RandomConfig { processes: 8, events, send_prob: 0.3, flip_prob: 0.3 };
+        let cfg = RandomConfig {
+            processes: 8,
+            events,
+            send_prob: 0.3,
+            flip_prob: 0.3,
+        };
         let dep = random_deposet(&cfg, 3);
         // A small cross-process control relation.
         let rel = ControlRelation::from_pairs([(
@@ -65,5 +80,10 @@ fn bench_extended_clocks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clock_build, bench_precedes, bench_extended_clocks);
+criterion_group!(
+    benches,
+    bench_clock_build,
+    bench_precedes,
+    bench_extended_clocks
+);
 criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! strong overlap detection (definitely ¬B, the infeasibility oracle of
 //! Lemma 2) scale polynomially where the lattice reference is exponential.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pctl_detect::{detect_disjunctive_violation, find_overlap};
 use pctl_deposet::generator::{cs_workload, pipelined_workload, CsConfig};
 use pctl_deposet::{DisjunctivePredicate, FalseIntervals};
+use pctl_detect::{detect_disjunctive_violation, find_overlap};
+use std::time::Duration;
 
 fn bench_weak(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect/weak_conjunctive");
@@ -14,8 +14,12 @@ fn bench_weak(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(20);
     for n in [4usize, 16, 64] {
-        let cfg =
-            CsConfig { processes: n, sections_per_process: 32, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: 32,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = cs_workload(&cfg, 3);
         let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -31,8 +35,12 @@ fn bench_strong(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(20);
     for n in [4usize, 16, 64] {
-        let cfg =
-            CsConfig { processes: n, sections_per_process: 32, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: 32,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = pipelined_workload(&cfg, 3);
         let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
         let iv = FalseIntervals::extract(&dep, &pred);
@@ -49,8 +57,12 @@ fn bench_interval_extraction(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(20);
     for p in [32usize, 128, 512] {
-        let cfg =
-            CsConfig { processes: 16, sections_per_process: p, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: 16,
+            sections_per_process: p,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = cs_workload(&cfg, 3);
         let pred = DisjunctivePredicate::at_least_one_not(16, "cs");
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {

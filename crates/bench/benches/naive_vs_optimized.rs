@@ -2,11 +2,11 @@
 //! optimized O(n²p) incremental maintenance, plus the select-policy
 //! ablation (First vs Random tie-breaking).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
 use pctl_deposet::generator::{cs_workload, CsConfig};
 use pctl_deposet::{DisjunctivePredicate, FalseIntervals};
+use std::time::Duration;
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
@@ -14,20 +14,23 @@ fn bench_engines(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(15);
     for n in [8usize, 16, 32] {
-        let cfg =
-            CsConfig { processes: n, sections_per_process: 32, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: 32,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = cs_workload(&cfg, 7);
         let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
         let iv = FalseIntervals::extract(&dep, &pred);
         for engine in [Engine::Optimized, Engine::Naive] {
-            let opts = OfflineOptions { policy: SelectPolicy::Random { seed: 3 }, engine };
-            group.bench_with_input(
-                BenchmarkId::new(format!("{engine:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| control_intervals(&dep, &iv, opts));
-                },
-            );
+            let opts = OfflineOptions {
+                policy: SelectPolicy::Random { seed: 3 },
+                engine,
+            };
+            group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), n), &n, |b, _| {
+                b.iter(|| control_intervals(&dep, &iv, opts));
+            });
         }
     }
     group.finish();
@@ -39,14 +42,23 @@ fn bench_policies(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(15);
     let n = 16usize;
-    let cfg = CsConfig { processes: n, sections_per_process: 64, max_cs_len: 2, max_gap_len: 2 };
+    let cfg = CsConfig {
+        processes: n,
+        sections_per_process: 64,
+        max_cs_len: 2,
+        max_gap_len: 2,
+    };
     let dep = cs_workload(&cfg, 9);
     let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
     let iv = FalseIntervals::extract(&dep, &pred);
-    for (name, policy) in
-        [("first", SelectPolicy::First), ("random", SelectPolicy::Random { seed: 3 })]
-    {
-        let opts = OfflineOptions { policy, engine: Engine::Optimized };
+    for (name, policy) in [
+        ("first", SelectPolicy::First),
+        ("random", SelectPolicy::Random { seed: 3 }),
+    ] {
+        let opts = OfflineOptions {
+            policy,
+            engine: Engine::Optimized,
+        };
         group.bench_function(name, |b| {
             b.iter(|| control_intervals(&dep, &iv, opts));
         });

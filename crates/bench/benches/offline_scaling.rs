@@ -3,14 +3,17 @@
 //! Series `offline/n/*` should grow ≈ quadratically, `offline/p/*`
 //! ≈ linearly (the paper's O(n²p)).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
 use pctl_deposet::generator::{cs_workload, pipelined_workload, CsConfig};
 use pctl_deposet::{DisjunctivePredicate, FalseIntervals};
+use std::time::Duration;
 
 fn opts() -> OfflineOptions {
-    OfflineOptions { policy: SelectPolicy::Random { seed: 3 }, engine: Engine::Optimized }
+    OfflineOptions {
+        policy: SelectPolicy::Random { seed: 3 },
+        engine: Engine::Optimized,
+    }
 }
 
 fn bench_n(c: &mut Criterion) {
@@ -19,8 +22,12 @@ fn bench_n(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(20);
     for n in [4usize, 8, 16, 32, 64] {
-        let cfg =
-            CsConfig { processes: n, sections_per_process: 32, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: 32,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = cs_workload(&cfg, 7);
         let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
         let iv = FalseIntervals::extract(&dep, &pred);
@@ -37,8 +44,12 @@ fn bench_p(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(20);
     for p in [16usize, 64, 256] {
-        let cfg =
-            CsConfig { processes: 16, sections_per_process: p, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: 16,
+            sections_per_process: p,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = cs_workload(&cfg, 11);
         let pred = DisjunctivePredicate::at_least_one_not(16, "cs");
         let iv = FalseIntervals::extract(&dep, &pred);
@@ -55,8 +66,12 @@ fn bench_message_rich(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(20);
     for n in [4usize, 16, 64] {
-        let cfg =
-            CsConfig { processes: n, sections_per_process: 16, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: 16,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = pipelined_workload(&cfg, 5);
         let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
         let iv = FalseIntervals::extract(&dep, &pred);

@@ -2,11 +2,11 @@
 //! (wall time here is simulator throughput; the protocol metrics live in
 //! `fig3_online`).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pctl_core::online::PeerSelect;
 use pctl_mutex::driver::WorkloadConfig;
 use pctl_mutex::{run_antitoken, run_central, run_suzuki};
+use std::time::Duration;
 
 fn cfg(n: usize) -> WorkloadConfig {
     WorkloadConfig {

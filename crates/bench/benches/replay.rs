@@ -1,13 +1,13 @@
 //! Controlled-replay throughput: re-executing traced computations with and
 //! without control enforcement (E6's mechanism under load).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pctl_core::offline::{control_disjunctive, OfflineOptions};
 use pctl_core::ControlRelation;
 use pctl_deposet::generator::{cs_workload, CsConfig};
 use pctl_deposet::DisjunctivePredicate;
 use pctl_replay::{replay, ReplayConfig};
+use std::time::Duration;
 
 fn bench_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("replay");
@@ -15,8 +15,12 @@ fn bench_replay(c: &mut Criterion) {
     group.measurement_time(Duration::from_millis(900));
     group.sample_size(15);
     for n in [4usize, 8] {
-        let cfg =
-            CsConfig { processes: n, sections_per_process: 16, max_cs_len: 2, max_gap_len: 2 };
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: 16,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        };
         let dep = cs_workload(&cfg, 5);
         let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
         let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).unwrap();

@@ -2,11 +2,11 @@
 //! grows exponentially with the number of SAT variables, while DPLL solves
 //! the same formulas in microseconds.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pctl_core::reduction::reduce_sat_to_sgsd;
 use pctl_core::sat::{satisfiable, Cnf};
 use pctl_core::sgsd::sgsd;
+use std::time::Duration;
 
 fn bench_sgsd(c: &mut Criterion) {
     let mut group = c.benchmark_group("sgsd/exhaustive");

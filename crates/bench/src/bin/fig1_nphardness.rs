@@ -20,7 +20,13 @@ use pctl_core::sgsd::sgsd;
 fn main() {
     println!("E1: SAT -> SGSD reduction (paper Fig. 1, Lemma 1, Thm 1)\n");
     let mut table = Table::new(&[
-        "vars", "clauses", "instances", "sat", "agree", "sgsd median", "dpll median",
+        "vars",
+        "clauses",
+        "instances",
+        "sat",
+        "agree",
+        "sgsd median",
+        "dpll median",
         "lattice states",
     ]);
     let mut scaling: Vec<(f64, f64)> = Vec::new();
@@ -70,9 +76,11 @@ fn main() {
     // the doubling factor per added variable over the top half of the
     // sweep (small sizes are noise-dominated).
     let top = &scaling[scaling.len() / 2..];
-    let per_var: Vec<f64> =
-        top.windows(2).map(|w| w[1].1 / w[0].1.max(1e-12)).collect();
-    let geo_mean = per_var.iter().product::<f64>().powf(1.0 / per_var.len() as f64);
+    let per_var: Vec<f64> = top.windows(2).map(|w| w[1].1 / w[0].1.max(1e-12)).collect();
+    let geo_mean = per_var
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / per_var.len() as f64);
     println!("\nexhaustive-SGSD growth factor per extra variable (top half): {geo_mean:.2}x");
     println!("(the gadget lattice doubles per variable; factor ≈ 2 ⇒ exponential)");
     let slope = loglog_slope(&scaling);

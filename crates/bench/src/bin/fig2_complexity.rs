@@ -27,7 +27,10 @@ use pctl_deposet::generator::{cs_workload, pipelined_workload, CsConfig};
 use pctl_deposet::{DisjunctivePredicate, FalseIntervals};
 
 fn opts(engine: Engine) -> OfflineOptions {
-    OfflineOptions { policy: SelectPolicy::Random { seed: 3 }, engine }
+    OfflineOptions {
+        policy: SelectPolicy::Random { seed: 3 },
+        engine,
+    }
 }
 
 fn main() {
@@ -37,7 +40,14 @@ fn main() {
     let p = 32usize;
     println!("concurrent workload (no causal help), p = {p}:\n");
     let mut table = Table::new(&[
-        "n", "iters", "|C|", "|C|<=np", "optimized", "naive", "opt checks", "naive checks",
+        "n",
+        "iters",
+        "|C|",
+        "|C|<=np",
+        "optimized",
+        "naive",
+        "opt checks",
+        "naive checks",
     ]);
     let mut t_opt_pts: Vec<(f64, f64)> = Vec::new();
     let mut t_naive_pts: Vec<(f64, f64)> = Vec::new();
@@ -174,10 +184,18 @@ fn main() {
         let (res, _) = control_intervals(&dep, &iv, opts(Engine::Optimized));
         let rel = res.expect("feasible");
         let total_cs = iv.total();
-        assert!(rel.len() <= total_cs, "one message per CS worst case (Section 5)");
+        assert!(
+            rel.len() <= total_cs,
+            "one message per CS worst case (Section 5)"
+        );
         let verified = verify_disjunctive(&dep, &pred, &rel, 5_000_000).is_ok();
         assert!(verified);
-        table_m.row(vec![cell(seed), cell(total_cs), cell(rel.len()), cell(verified)]);
+        table_m.row(vec![
+            cell(seed),
+            cell(total_cs),
+            cell(rel.len()),
+            cell(verified),
+        ]);
     }
     println!("\ntwo-process mutual exclusion (Section 5 Evaluation):");
     table_m.print();

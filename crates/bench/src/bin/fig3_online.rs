@@ -24,8 +24,16 @@ fn main() {
     let delay = 10u64;
     let e_max = 15u64;
     let mut table = Table::new(&[
-        "n", "entries", "ctrl msgs", "msgs/entry", "msgs per n entries", "resp min",
-        "resp mean", "resp max", "2T", "2T+Emax",
+        "n",
+        "entries",
+        "ctrl msgs",
+        "msgs/entry",
+        "msgs per n entries",
+        "resp min",
+        "resp mean",
+        "resp max",
+        "2T",
+        "2T+Emax",
     ]);
     for n in [2usize, 4, 8, 16, 32] {
         // Aggregate over seeds for stable means.
@@ -47,8 +55,7 @@ fn main() {
             ctrl += r.metrics.counter("msgs_ctrl");
             responses.extend(r.metrics.samples("response"));
         }
-        let handover_resp: Vec<u64> =
-            responses.iter().copied().filter(|&r| r > 0).collect();
+        let handover_resp: Vec<u64> = responses.iter().copied().filter(|&r| r > 0).collect();
         let (rmin, rmax) = (
             handover_resp.iter().min().copied().unwrap_or(0),
             handover_resp.iter().max().copied().unwrap_or(0),
@@ -80,7 +87,14 @@ fn main() {
     // --- algorithm comparison at k = n-1 (Section 6) -----------------------
     println!("\ncomparison at k = n-1 (same workload, 5 seeds averaged):\n");
     let mut cmp = Table::new(&[
-        "algo", "n", "k", "msgs/entry", "resp mean", "resp max", "max conc", "ok",
+        "algo",
+        "n",
+        "k",
+        "msgs/entry",
+        "resp mean",
+        "resp max",
+        "max conc",
+        "ok",
     ]);
     for n in [4usize, 8, 16] {
         // Average across seeds per algorithm.
@@ -132,7 +146,12 @@ fn main() {
     let n = 12usize;
     println!("\ncrossover at n = {n}: m = n-k anti-tokens vs k privilege tokens\n");
     let mut cross = Table::new(&[
-        "k", "m", "anti-token-m msgs/entry", "suzuki-k msgs/entry", "centralized", "winner",
+        "k",
+        "m",
+        "anti-token-m msgs/entry",
+        "suzuki-k msgs/entry",
+        "centralized",
+        "winner",
     ]);
     for k in [1usize, 2, 4, 6, 8, 10, 11] {
         let mut anti = 0.0;
@@ -150,7 +169,11 @@ fn main() {
             };
             let reports = compare_at_k(&cfg, k);
             for rep in &reports {
-                assert!(!rep.deadlocked && rep.max_concurrent <= rep.k, "{} k={k}", rep.algo);
+                assert!(
+                    !rep.deadlocked && rep.max_concurrent <= rep.k,
+                    "{} k={k}",
+                    rep.algo
+                );
             }
             anti += reports[0].msgs_per_entry;
             cen += reports[1].msgs_per_entry;

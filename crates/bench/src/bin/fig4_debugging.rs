@@ -10,8 +10,8 @@
 use pctl_bench::{cell, Table};
 use pctl_core::online::{phased_system, PeerSelect, Phase};
 use pctl_core::{control_disjunctive, ControlledDeposet, OfflineOptions};
-use pctl_detect::detect_disjunctive_violation;
 use pctl_deposet::scenarios::replicated_servers;
+use pctl_detect::detect_disjunctive_violation;
 use pctl_replay::{replay, ReplayConfig};
 use pctl_sim::{DelayModel, SimConfig, Simulation};
 
@@ -59,9 +59,14 @@ fn main() {
     steps.row(vec![
         cell("C2"),
         cell("detect: e and f at the same time?"),
-        cell(format!("e ∥ f in C2: {e_f_concurrent_in_c2} (bug2 possible)")),
+        cell(format!(
+            "e ∥ f in C2: {e_f_concurrent_in_c2} (bug2 possible)"
+        )),
     ]);
-    assert!(e_f_concurrent_in_c2, "availability control must not fix bug2 by accident");
+    assert!(
+        e_f_concurrent_in_c2,
+        "availability control must not fix bug2 by accident"
+    );
 
     // C3: control with "e before f".
     let rel_order = control_disjunctive(dep, &fig.order_e_before_f, opts).expect("feasible");
@@ -94,7 +99,11 @@ fn main() {
         })
         .collect();
     let procs = phased_system(3, scripts, PeerSelect::NextInRing);
-    let cfg = SimConfig { seed: 1, delay: DelayModel::Fixed(5), ..SimConfig::default() };
+    let cfg = SimConfig {
+        seed: 1,
+        delay: DelayModel::Fixed(5),
+        ..SimConfig::default()
+    };
     let run = Simulation::new(cfg, procs).run();
     assert!(!run.deadlocked());
     let fresh_violation = detect_disjunctive_violation(

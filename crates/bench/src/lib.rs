@@ -7,6 +7,8 @@
 //! * `fig2_complexity` — E2: off-line algorithm scaling and `|C|` bounds;
 //! * `fig3_online` — E4/E5: on-line strategy overhead and the k-mutex
 //!   comparison;
+//! * `fig3_faults` — E7: the hardened on-line strategy under injected
+//!   message loss and scapegoat crashes;
 //! * `fig4_debugging` — E6: the Section 7 active-debugging walkthrough.
 
 #![warn(missing_docs)]
@@ -25,7 +27,10 @@ impl Table {
     /// New table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
         assert!(!headers.is_empty());
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringifies each cell).
@@ -107,8 +112,10 @@ pub fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
 /// exponent (`y ≈ c·xᵏ ⇒ slope ≈ k`).
 pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     assert!(points.len() >= 2);
-    let logged: Vec<(f64, f64)> =
-        points.iter().map(|&(x, y)| (x.ln(), y.max(1e-12).ln())).collect();
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| (x.ln(), y.max(1e-12).ln()))
+        .collect();
     let n = logged.len() as f64;
     let sx: f64 = logged.iter().map(|p| p.0).sum();
     let sy: f64 = logged.iter().map(|p| p.1).sum();
@@ -143,8 +150,7 @@ mod tests {
     #[test]
     fn loglog_slope_recovers_exponents() {
         // y = 3 x²
-        let pts: Vec<(f64, f64)> =
-            (1..10).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (1..10).map(|x| (x as f64, 3.0 * (x * x) as f64)).collect();
         assert!((loglog_slope(&pts) - 2.0).abs() < 1e-9);
         // y = 5 x
         let lin: Vec<(f64, f64)> = (1..10).map(|x| (x as f64, 5.0 * x as f64)).collect();

@@ -46,7 +46,10 @@ impl std::error::Error for CycleError {}
 impl Dag {
     /// An edgeless graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        Dag { adj: vec![Vec::new(); n], edge_count: 0 }
+        Dag {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Number of nodes.
@@ -99,7 +102,9 @@ impl Dag {
         if order.len() == n {
             Ok(order)
         } else {
-            Err(CycleError { cycle: self.extract_cycle(&indeg) })
+            Err(CycleError {
+                cycle: self.extract_cycle(&indeg),
+            })
         }
     }
 
@@ -119,9 +124,7 @@ impl Dag {
         loop {
             let mut trimmed = false;
             for v in 0..n {
-                if in_cycle_region[v]
-                    && !self.adj[v].iter().any(|&w| in_cycle_region[w as usize])
-                {
+                if in_cycle_region[v] && !self.adj[v].iter().any(|&w| in_cycle_region[w as usize]) {
                     in_cycle_region[v] = false;
                     trimmed = true;
                 }
@@ -130,7 +133,9 @@ impl Dag {
                 break;
             }
         }
-        let start = (0..n).find(|&v| in_cycle_region[v]).expect("cycle region nonempty");
+        let start = (0..n)
+            .find(|&v| in_cycle_region[v])
+            .expect("cycle region nonempty");
         // Walk forward within the region until a repeat.
         let mut seen_at = vec![usize::MAX; n];
         let mut path: Vec<u32> = Vec::new();
@@ -214,8 +219,9 @@ mod tests {
         g.add_edge(1, 2);
         g.add_edge(2, 3);
         let order = g.topo_sort().unwrap();
-        let pos: Vec<usize> =
-            (0..4).map(|v| order.iter().position(|&x| x == v as u32).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|v| order.iter().position(|&x| x == v as u32).unwrap())
+            .collect();
         assert!(pos[0] < pos[1] && pos[1] < pos[2] && pos[2] < pos[3]);
     }
 

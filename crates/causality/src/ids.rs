@@ -59,7 +59,10 @@ impl StateId {
     /// Construct a state id from raw parts.
     #[inline]
     pub fn new(process: impl Into<ProcessId>, index: u32) -> Self {
-        StateId { process: process.into(), index }
+        StateId {
+            process: process.into(),
+            index,
+        }
     }
 
     /// The state index as a `usize`.
@@ -72,14 +75,20 @@ impl StateId {
     /// process (the `im` successor), without bounds knowledge.
     #[inline]
     pub fn successor(self) -> StateId {
-        StateId { process: self.process, index: self.index + 1 }
+        StateId {
+            process: self.process,
+            index: self.index + 1,
+        }
     }
 
     /// The id of the state immediately preceding this one on the same
     /// process, or `None` for the initial state.
     #[inline]
     pub fn predecessor(self) -> Option<StateId> {
-        self.index.checked_sub(1).map(|i| StateId { process: self.process, index: i })
+        self.index.checked_sub(1).map(|i| StateId {
+            process: self.process,
+            index: i,
+        })
     }
 }
 

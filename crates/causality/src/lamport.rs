@@ -8,7 +8,9 @@
 use serde::{Deserialize, Serialize};
 
 /// A Lamport logical clock.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct LamportClock(pub u64);
 

@@ -46,7 +46,12 @@ mod tests {
 
     #[test]
     fn reverse_is_involutive() {
-        for c in [Causality::Before, Causality::After, Causality::Concurrent, Causality::Equal] {
+        for c in [
+            Causality::Before,
+            Causality::After,
+            Causality::Concurrent,
+            Causality::Equal,
+        ] {
             assert_eq!(c.reverse().reverse(), c);
         }
     }

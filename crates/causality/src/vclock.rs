@@ -28,7 +28,9 @@ pub struct VectorClock {
 impl VectorClock {
     /// The zero clock for `n` processes.
     pub fn zero(n: usize) -> Self {
-        VectorClock { entries: vec![0; n] }
+        VectorClock {
+            entries: vec![0; n],
+        }
     }
 
     /// Build a clock from raw entries.
@@ -71,7 +73,11 @@ impl VectorClock {
     /// # Panics
     /// Panics if the clocks have different lengths.
     pub fn merge(&mut self, other: &VectorClock) {
-        assert_eq!(self.entries.len(), other.entries.len(), "clock width mismatch");
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "clock width mismatch"
+        );
         for (a, b) in self.entries.iter_mut().zip(&other.entries) {
             *a = (*a).max(*b);
         }

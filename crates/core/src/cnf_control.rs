@@ -123,8 +123,12 @@ pub fn control_cnf(
 ) -> Result<ControlRelation, CnfControlError> {
     let mut merged = ControlRelation::empty();
     for (ci, clause) in pred.clauses().iter().enumerate() {
-        let rel = control_disjunctive(dep, clause, opts)
-            .map_err(|witness| CnfControlError::ClauseInfeasible { clause: ci, witness })?;
+        let rel = control_disjunctive(dep, clause, opts).map_err(|witness| {
+            CnfControlError::ClauseInfeasible {
+                clause: ci,
+                witness,
+            }
+        })?;
         merged = merged.merged(&rel);
     }
     // Soundness gate: the union must still be a partial order, and each
@@ -250,8 +254,7 @@ mod tests {
         b.internal(1, &[("cs", 1)]);
         b.internal(1, &[("cs", 0)]);
         let dep = b.finish().unwrap();
-        let locals =
-            vec![LocalPredicate::not_var("cs"), LocalPredicate::not_var("cs")];
+        let locals = vec![LocalPredicate::not_var("cs"), LocalPredicate::not_var("cs")];
         assert!(mutually_separated(&dep, &locals));
         // And the unordered version is not separated.
         let dep2 = three_cs();

@@ -68,9 +68,7 @@ impl ControlRelation {
 
     /// Union of two relations (used when composing per-clause controls).
     pub fn merged(&self, other: &ControlRelation) -> ControlRelation {
-        ControlRelation::from_pairs(
-            self.pairs.iter().chain(other.pairs.iter()).copied(),
-        )
+        ControlRelation::from_pairs(self.pairs.iter().chain(other.pairs.iter()).copied())
     }
 }
 
@@ -105,7 +103,10 @@ impl fmt::Display for ControlError {
         match self {
             ControlError::UnknownState(s) => write!(f, "control pair references unknown state {s}"),
             ControlError::Interference { cycle } => {
-                write!(f, "control relation interferes with causality; cycle through ")?;
+                write!(
+                    f,
+                    "control relation interferes with causality; cycle through "
+                )?;
                 for (i, s) in cycle.iter().enumerate() {
                     if i > 0 {
                         write!(f, " → ")?;
@@ -173,8 +174,10 @@ impl<'a> ControlledDeposet<'a> {
         for &(x, y) in control.pairs() {
             preds[node(y)].push(x);
         }
-        let mut ext_clocks: Vec<Vec<VectorClock>> =
-            dep.processes().map(|p| vec![VectorClock::zero(n); dep.len_of(p)]).collect();
+        let mut ext_clocks: Vec<Vec<VectorClock>> = dep
+            .processes()
+            .map(|p| vec![VectorClock::zero(n); dep.len_of(p)])
+            .collect();
         for &v in &order {
             let s = locate(v as usize);
             let mut vc = if s.index == 0 {
@@ -189,7 +192,11 @@ impl<'a> ControlledDeposet<'a> {
             vc.tick(s.process);
             ext_clocks[s.process.index()][s.idx()] = vc;
         }
-        Ok(ControlledDeposet { base: dep, control, ext_clocks })
+        Ok(ControlledDeposet {
+            base: dep,
+            control,
+            ext_clocks,
+        })
     }
 
     /// The underlying computation.
@@ -381,11 +388,16 @@ mod tests {
         let c = ControlledDeposet::new(&d, rel).unwrap();
         let controlled = c.consistent_global_states(1000).unwrap();
         for g in &controlled {
-            assert!(g.is_consistent(&d), "controlled cut {g:?} must be base-consistent");
+            assert!(
+                g.is_consistent(&d),
+                "controlled cut {g:?} must be base-consistent"
+            );
         }
-        let base_count =
-            pctl_deposet::lattice::count_consistent_global_states(&d, 1000).unwrap();
-        assert!(controlled.len() < base_count, "control strictly restricts this lattice");
+        let base_count = pctl_deposet::lattice::count_consistent_global_states(&d, 1000).unwrap();
+        assert!(
+            controlled.len() < base_count,
+            "control strictly restricts this lattice"
+        );
     }
 
     #[test]

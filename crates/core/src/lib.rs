@@ -15,7 +15,9 @@
 //! * [`online`] — the on-line control strategy of Figure 3 (the scapegoat /
 //!   "anti-token" protocol) as a sans-I/O state machine plus simulator
 //!   processes, the broadcast variant, and the Theorem 3 impossibility
-//!   scenario;
+//!   scenario; [`online::ft`] hardens it against message loss, duplication,
+//!   reordering and crash/restart faults, with the post-run safety audit in
+//!   [`verify::sweep_faulty_run`];
 //! * [`cnf_control`] — the conclusions' extension beyond disjunctive
 //!   predicates: control of conjunctions of disjunctive clauses, sound when
 //!   the per-clause chains do not interfere (which the paper's *locally

@@ -29,9 +29,7 @@
 //! interval, i.e. `|C→| = O(np)` (Section 5, Evaluation).
 
 use crate::control::ControlRelation;
-use pctl_deposet::{
-    Deposet, DisjunctivePredicate, FalseIntervals, Interval, ProcessId, StateId,
-};
+use pctl_deposet::{Deposet, DisjunctivePredicate, FalseIntervals, Interval, ProcessId, StateId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -69,7 +67,10 @@ pub struct OfflineOptions {
 
 impl Default for OfflineOptions {
     fn default() -> Self {
-        OfflineOptions { policy: SelectPolicy::First, engine: Engine::Optimized }
+        OfflineOptions {
+            policy: SelectPolicy::First,
+            engine: Engine::Optimized,
+        }
     }
 }
 
@@ -159,7 +160,10 @@ impl<'a> Run<'a> {
         let cur = (0..n)
             .map(|i| Cursor {
                 pos: 0,
-                at_lo: iv.of(ProcessId(i as u32)).first().is_some_and(|first| first.lo == 0),
+                at_lo: iv
+                    .of(ProcessId(i as u32))
+                    .first()
+                    .is_some_and(|first| first.lo == 0),
             })
             .collect();
         Run {
@@ -339,9 +343,8 @@ impl<'a> Run<'a> {
     fn add_control(&mut self, k_new: usize, k_prev: Option<usize>) {
         let p = ProcessId(k_new as u32);
         let c = self.cur[k_new];
-        let bottom_is_true_anchor = c.pos == 0
-            && !c.at_lo
-            && self.iv.of(p).first().is_none_or(|i| i.lo > 0);
+        let bottom_is_true_anchor =
+            c.pos == 0 && !c.at_lo && self.iv.of(p).first().is_none_or(|i| i.lo > 0);
         if bottom_is_true_anchor {
             // Chain can start afresh at ⊥ of the new maintainer.
             self.chain.clear();
@@ -379,7 +382,10 @@ impl<'a> Run<'a> {
                     // Forced past: the interval's own exit event
                     // happens-before the frontier (`pred(succ(hi)) = hi`).
                     if iv.hi < last && self.dep.precedes(iv.hi_state(), frontier) {
-                        self.cur[i] = Cursor { pos: c.pos + 1, at_lo: false };
+                        self.cur[i] = Cursor {
+                            pos: c.pos + 1,
+                            at_lo: false,
+                        };
                         self.stats.advances += 1;
                     } else {
                         break;
@@ -433,8 +439,9 @@ impl<'a> Run<'a> {
             let Some((k_new, l)) = pair else {
                 // L2–L3: no valid pair ⇒ the residual next-intervals form an
                 // overlapping set (Lemma 2 / [12]).
-                let witness: Vec<Interval> =
-                    (0..n).map(|i| *self.n_interval(i).expect("loop guard")).collect();
+                let witness: Vec<Interval> = (0..n)
+                    .map(|i| *self.n_interval(i).expect("loop guard"))
+                    .collect();
                 debug_assert!(
                     crate::overlap::is_overlapping(self.dep, &witness),
                     "infeasibility witness must overlap"
@@ -447,9 +454,15 @@ impl<'a> Run<'a> {
             // L6–L9: cross N(l) and advance everything causally dragged
             // along. l's own interval is crossed by the loop itself:
             // `hi → succ(hi)` strictly.
-            let t = self.n_interval(l).expect("valid pair ⇒ interval").hi_state();
+            let t = self
+                .n_interval(l)
+                .expect("valid pair ⇒ interval")
+                .hi_state();
             let changed = self.advance_to(t);
-            debug_assert!(changed.contains(&l), "the crossed interval is behind the frontier");
+            debug_assert!(
+                changed.contains(&l),
+                "the crossed interval is behind the frontier"
+            );
             if self.opts.engine == Engine::Optimized {
                 for &i in &changed {
                     self.reseed(i);
@@ -475,10 +488,22 @@ mod tests {
 
     fn opts_all() -> Vec<OfflineOptions> {
         vec![
-            OfflineOptions { policy: SelectPolicy::First, engine: Engine::Optimized },
-            OfflineOptions { policy: SelectPolicy::First, engine: Engine::Naive },
-            OfflineOptions { policy: SelectPolicy::Random { seed: 7 }, engine: Engine::Optimized },
-            OfflineOptions { policy: SelectPolicy::Random { seed: 7 }, engine: Engine::Naive },
+            OfflineOptions {
+                policy: SelectPolicy::First,
+                engine: Engine::Optimized,
+            },
+            OfflineOptions {
+                policy: SelectPolicy::First,
+                engine: Engine::Naive,
+            },
+            OfflineOptions {
+                policy: SelectPolicy::Random { seed: 7 },
+                engine: Engine::Optimized,
+            },
+            OfflineOptions {
+                policy: SelectPolicy::Random { seed: 7 },
+                engine: Engine::Naive,
+            },
         ]
     }
 
@@ -487,7 +512,10 @@ mod tests {
     fn assert_controls(dep: &Deposet, pred: &DisjunctivePredicate, rel: &ControlRelation) {
         let c = ControlledDeposet::new(dep, rel.clone()).expect("no interference");
         for g in c.consistent_global_states(100_000).unwrap() {
-            assert!(pred.eval(dep, &g), "controlled cut {g:?} violates predicate (C = {rel})");
+            assert!(
+                pred.eval(dep, &g),
+                "controlled cut {g:?} violates predicate (C = {rel})"
+            );
         }
     }
 
@@ -500,7 +528,10 @@ mod tests {
             b.internal(p, &[("cs", 1)]);
             b.internal(p, &[("cs", 0)]);
         }
-        (b.finish().unwrap(), DisjunctivePredicate::at_least_one_not(2, "cs"))
+        (
+            b.finish().unwrap(),
+            DisjunctivePredicate::at_least_one_not(2, "cs"),
+        )
     }
 
     #[test]
@@ -530,7 +561,10 @@ mod tests {
         let pred = DisjunctivePredicate::at_least_one(2, "avail");
         for opts in opts_all() {
             let rel = control_disjunctive(&dep, &pred, opts).expect("feasible");
-            assert!(rel.is_empty(), "P0 true throughout ⇒ empty chain, got {rel}");
+            assert!(
+                rel.is_empty(),
+                "P0 true throughout ⇒ empty chain, got {rel}"
+            );
         }
     }
 
@@ -609,15 +643,21 @@ mod tests {
     #[test]
     fn chain_size_is_bounded_by_crossed_intervals() {
         use pctl_deposet::generator::{cs_workload, CsConfig};
-        let cfg = CsConfig { processes: 4, sections_per_process: 6, ..CsConfig::default() };
+        let cfg = CsConfig {
+            processes: 4,
+            sections_per_process: 6,
+            ..CsConfig::default()
+        };
         let dep = cs_workload(&cfg, 11);
         let pred = DisjunctivePredicate::at_least_one_not(4, "cs");
         let intervals = FalseIntervals::extract(&dep, &pred);
-        let (res, stats) =
-            control_intervals(&dep, &intervals, OfflineOptions::default());
+        let (res, stats) = control_intervals(&dep, &intervals, OfflineOptions::default());
         let rel = res.expect("cs workload is always feasible");
         assert!(rel.len() <= stats.iterations, "≤ one tuple per iteration");
-        assert!(stats.iterations <= intervals.total(), "≤ one iteration per interval");
+        assert!(
+            stats.iterations <= intervals.total(),
+            "≤ one iteration per interval"
+        );
         assert_controls(&dep, &pred, &rel);
     }
 
@@ -625,18 +665,28 @@ mod tests {
     fn engines_agree_on_feasibility() {
         use pctl_deposet::generator::{pipelined_workload, CsConfig};
         for seed in 0..20 {
-            let cfg = CsConfig { processes: 3, sections_per_process: 3, ..CsConfig::default() };
+            let cfg = CsConfig {
+                processes: 3,
+                sections_per_process: 3,
+                ..CsConfig::default()
+            };
             let dep = pipelined_workload(&cfg, seed);
             let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
             let a = control_disjunctive(
                 &dep,
                 &pred,
-                OfflineOptions { policy: SelectPolicy::First, engine: Engine::Optimized },
+                OfflineOptions {
+                    policy: SelectPolicy::First,
+                    engine: Engine::Optimized,
+                },
             );
             let b = control_disjunctive(
                 &dep,
                 &pred,
-                OfflineOptions { policy: SelectPolicy::First, engine: Engine::Naive },
+                OfflineOptions {
+                    policy: SelectPolicy::First,
+                    engine: Engine::Naive,
+                },
             );
             assert_eq!(a.is_ok(), b.is_ok(), "engines disagree on seed {seed}");
             if let (Ok(ra), Ok(rb)) = (a, b) {
@@ -709,7 +759,10 @@ mod tests {
             LocalPredicate::var("before_y"),
         ]);
         let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).unwrap();
-        assert!(!rel.is_empty(), "an empty chain would leave the bad cut reachable");
+        assert!(
+            !rel.is_empty(),
+            "an empty chain would leave the bad cut reachable"
+        );
         assert_controls(&dep, &pred, &rel);
     }
 

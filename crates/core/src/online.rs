@@ -24,6 +24,13 @@
 //! [`PhasedProcess`] couples it with a scripted application (alternating
 //! true/false phases of the traced variable `ok`) on the discrete-event
 //! simulator, measuring entries and response times.
+//!
+//! This baseline protocol assumes the paper's reliable channels and
+//! immortal processes. The [`ft`] submodule hardens it against message
+//! loss, duplication, reordering, and crash/restart faults injected by
+//! `pctl_sim::FaultPlan`.
+
+pub mod ft;
 
 use pctl_deposet::ProcessId;
 use pctl_sim::{Ctx, Payload, Process, SimTime, TimerId};
@@ -136,7 +143,10 @@ impl ScapegoatController {
                 .iter()
                 .map(|&p| {
                     assert_ne!(p, self.me, "cannot hand the scapegoat role to oneself");
-                    CtrlAction::Send { to: p, msg: CtrlMsg::Req { from: self.me } }
+                    CtrlAction::Send {
+                        to: p,
+                        msg: CtrlMsg::Req { from: self.me },
+                    }
                 })
                 .collect(),
         )
@@ -156,7 +166,10 @@ impl ScapegoatController {
                 // also what rules out circular waits (Theorem 4).
                 if self.local_true && !self.waiting_ack {
                     self.scapegoat = true;
-                    vec![CtrlAction::Send { to: from, msg: CtrlMsg::Ack }]
+                    vec![CtrlAction::Send {
+                        to: from,
+                        msg: CtrlMsg::Ack,
+                    }]
                 } else {
                     self.pending.push_back(from);
                     vec![]
@@ -186,7 +199,10 @@ impl ScapegoatController {
         let mut actions = Vec::new();
         while let Some(j) = self.pending.pop_front() {
             self.scapegoat = true;
-            actions.push(CtrlAction::Send { to: j, msg: CtrlMsg::Ack });
+            actions.push(CtrlAction::Send {
+                to: j,
+                msg: CtrlMsg::Ack,
+            });
         }
         actions
     }
@@ -250,8 +266,10 @@ impl PhasedProcess {
 
     fn peers(&self, ctx: &mut Ctx<'_, CtrlMsg>) -> Vec<ProcessId> {
         let me = ctx.me().index();
-        let others: Vec<ProcessId> =
-            (0..self.n).filter(|&i| i != me).map(|i| ProcessId(i as u32)).collect();
+        let others: Vec<ProcessId> = (0..self.n)
+            .filter(|&i| i != me)
+            .map(|i| ProcessId(i as u32))
+            .collect();
         match self.select {
             PeerSelect::Broadcast => others,
             PeerSelect::NextInRing => vec![ProcessId(((me + 1) % self.n) as u32)],
@@ -345,8 +363,13 @@ pub fn phased_system(
         .into_iter()
         .enumerate()
         .map(|(i, script)| {
-            Box::new(PhasedProcess::new(ProcessId(i as u32), n, i == 0, select, script))
-                as Box<dyn Process<CtrlMsg>>
+            Box::new(PhasedProcess::new(
+                ProcessId(i as u32),
+                n,
+                i == 0,
+                select,
+                script,
+            )) as Box<dyn Process<CtrlMsg>>
         })
         .collect()
 }
@@ -374,7 +397,11 @@ mod tests {
 
     fn run(n: usize, phases: usize, select: PeerSelect, seed: u64) -> pctl_sim::SimResult {
         let procs = phased_system(n, uniform_scripts(n, phases, 20, 10), select);
-        let config = SimConfig { seed, delay: DelayModel::Fixed(5), ..SimConfig::default() };
+        let config = SimConfig {
+            seed,
+            delay: DelayModel::Fixed(5),
+            ..SimConfig::default()
+        };
         Simulation::new(config, procs).run()
     }
 
@@ -392,13 +419,22 @@ mod tests {
         };
         assert_eq!(
             actions,
-            vec![CtrlAction::Send { to: ProcessId(1), msg: CtrlMsg::Req { from: ProcessId(0) } }]
+            vec![CtrlAction::Send {
+                to: ProcessId(1),
+                msg: CtrlMsg::Req { from: ProcessId(0) }
+            }]
         );
         assert!(c0.is_blocked());
         // P1 is true: accepts role, acks.
         let a1 = c1.on_message(CtrlMsg::Req { from: ProcessId(0) });
         assert!(c1.is_scapegoat());
-        assert_eq!(a1, vec![CtrlAction::Send { to: ProcessId(0), msg: CtrlMsg::Ack }]);
+        assert_eq!(
+            a1,
+            vec![CtrlAction::Send {
+                to: ProcessId(0),
+                msg: CtrlMsg::Ack
+            }]
+        );
         // Ack unblocks P0 and strips its role.
         let a0 = c0.on_message(CtrlMsg::Ack);
         assert_eq!(a0, vec![CtrlAction::Grant]);
@@ -411,11 +447,19 @@ mod tests {
         let mut c1 = ScapegoatController::new(ProcessId(1), false);
         assert_eq!(c1.request_false(&[ProcessId(0)]), FalsifyDecision::Granted);
         // Req arrives while false: deferred.
-        assert!(c1.on_message(CtrlMsg::Req { from: ProcessId(0) }).is_empty());
+        assert!(c1
+            .on_message(CtrlMsg::Req { from: ProcessId(0) })
+            .is_empty());
         assert!(!c1.is_scapegoat());
         // Recovery answers it.
         let a = c1.notify_true();
-        assert_eq!(a, vec![CtrlAction::Send { to: ProcessId(0), msg: CtrlMsg::Ack }]);
+        assert_eq!(
+            a,
+            vec![CtrlAction::Send {
+                to: ProcessId(0),
+                msg: CtrlMsg::Ack
+            }]
+        );
         assert!(c1.is_scapegoat());
     }
 
@@ -427,12 +471,20 @@ mod tests {
         let _ = c0.request_false(&[ProcessId(1)]);
         assert!(c0.is_blocked());
         // Req arrives while c0 is blocked (and still true): deferred.
-        assert!(c0.on_message(CtrlMsg::Req { from: ProcessId(1) }).is_empty());
+        assert!(c0
+            .on_message(CtrlMsg::Req { from: ProcessId(1) })
+            .is_empty());
         // Once c0's own handover completes and it recovers, the pending
         // request is answered.
         assert_eq!(c0.on_message(CtrlMsg::Ack), vec![CtrlAction::Grant]);
         let a = c0.notify_true();
-        assert_eq!(a, vec![CtrlAction::Send { to: ProcessId(1), msg: CtrlMsg::Ack }]);
+        assert_eq!(
+            a,
+            vec![CtrlAction::Send {
+                to: ProcessId(1),
+                msg: CtrlMsg::Ack
+            }]
+        );
         assert!(c0.is_scapegoat());
     }
 
@@ -510,7 +562,11 @@ mod tests {
         // conjunction) on systems too large for lattice enumeration.
         use pctl_deposet::LocalPredicate;
         for n in [4usize, 6, 8] {
-            for select in [PeerSelect::NextInRing, PeerSelect::Random, PeerSelect::Broadcast] {
+            for select in [
+                PeerSelect::NextInRing,
+                PeerSelect::Random,
+                PeerSelect::Broadcast,
+            ] {
                 for seed in 0..4 {
                     let procs = phased_system(n, uniform_scripts(n, 5, 15, 8), select);
                     let config = SimConfig {
@@ -541,13 +597,23 @@ mod tests {
         // safety even if it cannot finish cleanly).
         let scripts = vec![
             // P0 wants one very late falsification.
-            vec![Phase { true_len: 200, false_len: Some(5) }],
+            vec![Phase {
+                true_len: 200,
+                false_len: Some(5),
+            }],
             // P1 does all its work early then is done (true forever — A2
             // holds, so this run completes; the assertion is liveness).
-            vec![Phase { true_len: 10, false_len: Some(5) }],
+            vec![Phase {
+                true_len: 10,
+                false_len: Some(5),
+            }],
         ];
         let procs = phased_system(2, scripts, PeerSelect::NextInRing);
-        let config = SimConfig { seed: 0, delay: DelayModel::Fixed(5), ..SimConfig::default() };
+        let config = SimConfig {
+            seed: 0,
+            delay: DelayModel::Fixed(5),
+            ..SimConfig::default()
+        };
         let r = Simulation::new(config, procs).run();
         assert!(!r.deadlocked(), "A2 holds ⇒ the late handover is answered");
         let pred = DisjunctivePredicate::at_least_one(2, "ok");
@@ -561,12 +627,21 @@ mod tests {
         // P1 goes false forever (violating A1); scapegoat P0 then requests
         // P1 and blocks for good: the run is a deadlock.
         let scripts = vec![
-            vec![Phase { true_len: 50, false_len: Some(10) }],
-            vec![Phase { true_len: 10, false_len: None }],
+            vec![Phase {
+                true_len: 50,
+                false_len: Some(10),
+            }],
+            vec![Phase {
+                true_len: 10,
+                false_len: None,
+            }],
         ];
         let procs = phased_system(2, scripts, PeerSelect::NextInRing);
-        let config =
-            SimConfig { seed: 0, delay: DelayModel::Fixed(5), ..SimConfig::default() };
+        let config = SimConfig {
+            seed: 0,
+            delay: DelayModel::Fixed(5),
+            ..SimConfig::default()
+        };
         let r = Simulation::new(config, procs).run();
         assert!(r.deadlocked(), "violating A1 must deadlock the strategy");
         // Safety is still never violated — the strategy blocks rather than

@@ -199,7 +199,10 @@ mod tests {
         let dep = b.finish().unwrap();
         let pred = DisjunctivePredicate::at_least_one(2, "ok");
         let iv = FalseIntervals::extract(&dep, &pred);
-        assert!(!iv.of(pctl_deposet::ProcessId(0)).is_empty() || iv.of(pctl_deposet::ProcessId(0)).is_empty());
+        assert!(
+            !iv.of(pctl_deposet::ProcessId(0)).is_empty()
+                || iv.of(pctl_deposet::ProcessId(0)).is_empty()
+        );
         // P0 has no false interval ⇒ no overlapping set.
         assert_eq!(find_overlap_brute(&dep, &iv), None);
     }

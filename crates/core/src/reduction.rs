@@ -106,11 +106,16 @@ mod tests {
         // (x0 ∨ x1) ∧ (¬x0 ∨ x1): model x1 = true.
         let cnf = Cnf {
             num_vars: 2,
-            clauses: vec![vec![Lit::pos(0), Lit::pos(1)], vec![Lit::neg(0), Lit::pos(1)]],
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(1)],
+            ],
         };
         let inst = reduce_sat_to_sgsd(&cnf);
         let out = sgsd(&inst.deposet, &inst.predicate, 1_000_000).unwrap();
-        let SgsdOutcome::Satisfiable(seq) = out else { panic!("expected satisfiable") };
+        let SgsdOutcome::Satisfiable(seq) = out else {
+            panic!("expected satisfiable")
+        };
         let a = extract_assignment(&seq, 2).expect("x_m dips false somewhere");
         assert!(cnf.eval(&a), "extracted assignment must be a model");
     }
@@ -118,9 +123,14 @@ mod tests {
     #[test]
     fn unsatisfiable_formula_gives_unsatisfiable_sgsd() {
         // x0 ∧ ¬x0.
-        let cnf = Cnf { num_vars: 1, clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]] };
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        };
         let inst = reduce_sat_to_sgsd(&cnf);
-        assert!(!sgsd(&inst.deposet, &inst.predicate, 1_000_000).unwrap().is_satisfiable());
+        assert!(!sgsd(&inst.deposet, &inst.predicate, 1_000_000)
+            .unwrap()
+            .is_satisfiable());
     }
 
     #[test]
@@ -128,8 +138,9 @@ mod tests {
         for seed in 0..25 {
             let cnf = Cnf::random_ksat(5, 21, 3, seed);
             let inst = reduce_sat_to_sgsd(&cnf);
-            let sgsd_sat =
-                sgsd(&inst.deposet, &inst.predicate, 5_000_000).unwrap().is_satisfiable();
+            let sgsd_sat = sgsd(&inst.deposet, &inst.predicate, 5_000_000)
+                .unwrap()
+                .is_satisfiable();
             assert_eq!(
                 sgsd_sat,
                 satisfiable(&cnf),

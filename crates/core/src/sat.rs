@@ -22,12 +22,18 @@ pub struct Lit {
 impl Lit {
     /// Positive literal of `var`.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal of `var`.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// Truth value under an assignment.
@@ -57,13 +63,18 @@ pub struct Cnf {
 impl Cnf {
     /// A formula with no clauses (trivially satisfiable).
     pub fn trivial(num_vars: usize) -> Cnf {
-        Cnf { num_vars, clauses: Vec::new() }
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
     }
 
     /// Evaluate under a full assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
         assert_eq!(assignment.len(), self.num_vars);
-        self.clauses.iter().all(|c| c.iter().any(|l| l.eval(assignment)))
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
     }
 
     /// Uniform random k-SAT instance.
@@ -81,7 +92,10 @@ impl Cnf {
                     }
                 }
                 vars.into_iter()
-                    .map(|v| Lit { var: v, positive: rng.gen_bool(0.5) })
+                    .map(|v| Lit {
+                        var: v,
+                        positive: rng.gen_bool(0.5),
+                    })
                     .collect()
             })
             .collect();
@@ -254,7 +268,14 @@ mod tests {
             num_vars,
             clauses: clauses
                 .iter()
-                .map(|c| c.iter().map(|&(v, pos)| Lit { var: v, positive: pos }).collect())
+                .map(|c| {
+                    c.iter()
+                        .map(|&(v, pos)| Lit {
+                            var: v,
+                            positive: pos,
+                        })
+                        .collect()
+                })
                 .collect(),
         }
     }
@@ -268,7 +289,10 @@ mod tests {
 
     #[test]
     fn empty_clause_is_unsat() {
-        let f = Cnf { num_vars: 1, clauses: vec![vec![]] };
+        let f = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![]],
+        };
         assert!(!satisfiable(&f));
     }
 

@@ -61,7 +61,9 @@ mod tests {
         let dep = b.finish().unwrap();
         let pred = DisjunctivePredicate::at_least_one_not(2, "cs").to_global();
         let out = sgsd(&dep, &pred, 100_000).unwrap();
-        let SgsdOutcome::Satisfiable(seq) = out else { panic!("expected satisfiable") };
+        let SgsdOutcome::Satisfiable(seq) = out else {
+            panic!("expected satisfiable")
+        };
         assert_eq!(seq.validate(&dep), Ok(()));
         assert!(seq.satisfies(&dep, |d, g| pred.eval(d, g)));
     }
@@ -92,7 +94,9 @@ mod tests {
             GlobalPredicate::Not(Box::new(GlobalPredicate::And(vec![t0, t1]))),
         ]);
         let out = sgsd(&dep, &exactly_one, 100_000).unwrap();
-        let SgsdOutcome::Satisfiable(seq) = out else { panic!("needs the diagonal step") };
+        let SgsdOutcome::Satisfiable(seq) = out else {
+            panic!("needs the diagonal step")
+        };
         assert_eq!(seq.states().len(), 2);
     }
 

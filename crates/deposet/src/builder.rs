@@ -50,7 +50,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::InFlightMessages(ms) => {
-                write!(f, "messages never received: {ms:?} (call allow_in_flight() if intended)")
+                write!(
+                    f,
+                    "messages never received: {ms:?} (call allow_in_flight() if intended)"
+                )
             }
             BuildError::Invalid(e) => write!(f, "invalid deposet: {e}"),
         }
@@ -178,7 +181,11 @@ impl DeposetBuilder {
         let p = p.into();
         let from = self.current(p);
         let id = MsgId(self.messages.len() as u32);
-        self.messages.push(PendingMessage { tag: tag.to_owned(), from, to: None });
+        self.messages.push(PendingMessage {
+            tag: tag.to_owned(),
+            from,
+            to: None,
+        });
         self.push_state(p, EventKind::Send(id), updates);
         MsgToken { id }
     }
@@ -199,7 +206,10 @@ impl DeposetBuilder {
         let p = p.into();
         let to = self.push_state(p, EventKind::Recv(token.id), updates);
         let pm = &mut self.messages[token.id.index()];
-        debug_assert!(pm.to.is_none(), "token is affine; double receive impossible");
+        debug_assert!(
+            pm.to.is_none(),
+            "token is affine; double receive impossible"
+        );
         pm.to = Some(to);
         to
     }
@@ -290,7 +300,11 @@ mod tests {
         assert_eq!(d.state(s).vars.get("x"), Some(1), "inherited");
         assert_eq!(d.state(s).vars.get("y"), Some(3), "updated");
         let bottom = d.bottom(ProcessId(0));
-        assert_eq!(d.state(bottom).vars.get("y"), Some(2), "old state untouched");
+        assert_eq!(
+            d.state(bottom).vars.get("y"),
+            Some(2),
+            "old state untouched"
+        );
     }
 
     #[test]

@@ -28,16 +28,16 @@ pub fn to_dot(dep: &Deposet, opts: &DotOptions) -> String {
     let mut out = String::new();
     out.push_str("digraph deposet {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
     for p in dep.processes() {
-        let _ = writeln!(out, "  subgraph cluster_p{} {{\n    label=\"P{}\";", p.0, p.0);
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_p{} {{\n    label=\"P{}\";",
+            p.0, p.0
+        );
         for (k, st) in dep.states_of(p).iter().enumerate() {
             let id = StateId::new(p, k as u32);
-            let mut label = st
-                .label
-                .clone()
-                .unwrap_or_else(|| format!("{}:{}", p.0, k));
+            let mut label = st.label.clone().unwrap_or_else(|| format!("{}:{}", p.0, k));
             if opts.show_vars {
-                let vars: Vec<String> =
-                    st.vars.iter().map(|(n, v)| format!("{n}={v}")).collect();
+                let vars: Vec<String> = st.vars.iter().map(|(n, v)| format!("{n}={v}")).collect();
                 if !vars.is_empty() {
                     let _ = write!(label, "\\n{}", vars.join(","));
                 }

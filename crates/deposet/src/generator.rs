@@ -40,7 +40,12 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        RandomConfig { processes: 3, events: 30, send_prob: 0.3, flip_prob: 0.3 }
+        RandomConfig {
+            processes: 3,
+            events: 30,
+            send_prob: 0.3,
+            flip_prob: 0.3,
+        }
     }
 }
 
@@ -103,7 +108,12 @@ pub struct CsConfig {
 
 impl Default for CsConfig {
     fn default() -> Self {
-        CsConfig { processes: 4, sections_per_process: 8, max_cs_len: 3, max_gap_len: 3 }
+        CsConfig {
+            processes: 4,
+            sections_per_process: 8,
+            max_cs_len: 3,
+            max_gap_len: 3,
+        }
     }
 }
 
@@ -197,7 +207,11 @@ mod tests {
 
     #[test]
     fn cs_workload_has_requested_interval_counts() {
-        let cfg = CsConfig { processes: 3, sections_per_process: 5, ..CsConfig::default() };
+        let cfg = CsConfig {
+            processes: 3,
+            sections_per_process: 5,
+            ..CsConfig::default()
+        };
         let d = cs_workload(&cfg, 1);
         let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one_not(3, "cs"));
         for p in d.processes() {
@@ -213,7 +227,11 @@ mod tests {
 
     #[test]
     fn pipelined_workload_has_messages_and_intervals() {
-        let cfg = CsConfig { processes: 3, sections_per_process: 4, ..CsConfig::default() };
+        let cfg = CsConfig {
+            processes: 3,
+            sections_per_process: 4,
+            ..CsConfig::default()
+        };
         let d = pipelined_workload(&cfg, 2);
         assert!(!d.messages().is_empty());
         let f = FalseIntervals::extract(&d, &DisjunctivePredicate::at_least_one_not(3, "cs"));
@@ -224,10 +242,18 @@ mod tests {
 
     #[test]
     fn single_process_random_deposet() {
-        let cfg = RandomConfig { processes: 1, events: 10, send_prob: 0.5, flip_prob: 0.5 };
+        let cfg = RandomConfig {
+            processes: 1,
+            events: 10,
+            send_prob: 0.5,
+            flip_prob: 0.5,
+        };
         let d = random_deposet(&cfg, 3);
         assert_eq!(d.process_count(), 1);
-        assert!(d.messages().is_empty(), "single process cannot send to others");
+        assert!(
+            d.messages().is_empty(),
+            "single process cannot send to others"
+        );
         assert_eq!(d.total_states(), 11);
     }
 }

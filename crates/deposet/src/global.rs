@@ -28,7 +28,9 @@ impl GlobalState {
 
     /// The final global state `⊤ = (⊤₁, …, ⊤ₙ)` of `dep`.
     pub fn final_of(dep: &Deposet) -> Self {
-        GlobalState { cut: dep.processes().map(|p| dep.top(p).index).collect() }
+        GlobalState {
+            cut: dep.processes().map(|p| dep.top(p).index).collect(),
+        }
     }
 
     /// Build from explicit per-process state indices.
@@ -51,12 +53,18 @@ impl GlobalState {
     /// The state id of process `p` within this global state.
     #[inline]
     pub fn state_of(&self, p: ProcessId) -> StateId {
-        StateId { process: p, index: self.cut[p.index()] }
+        StateId {
+            process: p,
+            index: self.cut[p.index()],
+        }
     }
 
     /// All member state ids.
     pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
-        self.cut.iter().enumerate().map(|(p, &k)| StateId::new(p, k))
+        self.cut
+            .iter()
+            .enumerate()
+            .map(|(p, &k)| StateId::new(p, k))
     }
 
     /// Raw indices.
@@ -66,21 +74,30 @@ impl GlobalState {
 
     /// Lattice order `self ≤ other` (component-wise).
     pub fn leq(&self, other: &GlobalState) -> bool {
-        self.cut.len() == other.cut.len()
-            && self.cut.iter().zip(&other.cut).all(|(a, b)| a <= b)
+        self.cut.len() == other.cut.len() && self.cut.iter().zip(&other.cut).all(|(a, b)| a <= b)
     }
 
     /// Lattice meet (component-wise minimum).
     pub fn meet(&self, other: &GlobalState) -> GlobalState {
         GlobalState {
-            cut: self.cut.iter().zip(&other.cut).map(|(a, b)| *a.min(b)).collect(),
+            cut: self
+                .cut
+                .iter()
+                .zip(&other.cut)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
         }
     }
 
     /// Lattice join (component-wise maximum).
     pub fn join(&self, other: &GlobalState) -> GlobalState {
         GlobalState {
-            cut: self.cut.iter().zip(&other.cut).map(|(a, b)| *a.max(b)).collect(),
+            cut: self
+                .cut
+                .iter()
+                .zip(&other.cut)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
         }
     }
 
@@ -146,7 +163,9 @@ impl GlobalState {
             // says: every state of q that the new state causally depends on
             // lies strictly inside the cut (index < cut[q] + 1 ⇒ no member
             // of the cut precedes the new state).
-            let ok = dep.processes().all(|q| q == p || v.get(q) <= self.cut[q.index()]);
+            let ok = dep
+                .processes()
+                .all(|q| q == p || v.get(q) <= self.cut[q.index()]);
             ok.then(|| (p, self.advanced(p)))
         })
     }
@@ -246,6 +265,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(format!("{}", GlobalState::from_indices(vec![1, 2])), "⟨1,2⟩");
+        assert_eq!(
+            format!("{}", GlobalState::from_indices(vec![1, 2])),
+            "⟨1,2⟩"
+        );
     }
 }

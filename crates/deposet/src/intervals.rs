@@ -27,12 +27,18 @@ pub struct Interval {
 impl Interval {
     /// `I.lo` as a state id.
     pub fn lo_state(&self) -> StateId {
-        StateId { process: self.process, index: self.lo }
+        StateId {
+            process: self.process,
+            index: self.lo,
+        }
     }
 
     /// `I.hi` as a state id.
     pub fn hi_state(&self) -> StateId {
-        StateId { process: self.process, index: self.hi }
+        StateId {
+            process: self.process,
+            index: self.hi,
+        }
     }
 
     /// Number of states in the interval.
@@ -147,14 +153,22 @@ fn extract_one(dep: &Deposet, p: ProcessId, local: &LocalPredicate) -> Vec<Inter
         match (truth, run_start) {
             (false, None) => run_start = Some(k as u32),
             (true, Some(lo)) => {
-                out.push(Interval { process: p, lo, hi: k as u32 - 1 });
+                out.push(Interval {
+                    process: p,
+                    lo,
+                    hi: k as u32 - 1,
+                });
                 run_start = None;
             }
             _ => {}
         }
     }
     if let Some(lo) = run_start {
-        out.push(Interval { process: p, lo, hi: states.len() as u32 - 1 });
+        out.push(Interval {
+            process: p,
+            lo,
+            hi: states.len() as u32 - 1,
+        });
     }
     out
 }
@@ -184,14 +198,22 @@ mod tests {
     #[test]
     fn extraction_finds_maximal_runs() {
         assert_eq!(intervals_for(&[1, 0, 0, 1, 0, 1]), vec![(1, 2), (4, 4)]);
-        assert_eq!(intervals_for(&[0, 0, 0]), vec![(0, 2)], "all-false is one run");
+        assert_eq!(
+            intervals_for(&[0, 0, 0]),
+            vec![(0, 2)],
+            "all-false is one run"
+        );
         assert_eq!(intervals_for(&[1, 1, 1]), vec![], "all-true has no runs");
         assert_eq!(intervals_for(&[0, 1, 0]), vec![(0, 0), (2, 2)]);
     }
 
     #[test]
     fn interval_accessors() {
-        let i = Interval { process: ProcessId(2), lo: 3, hi: 5 };
+        let i = Interval {
+            process: ProcessId(2),
+            lo: 3,
+            hi: 5,
+        };
         assert_eq!(i.lo_state(), StateId::new(2usize, 3));
         assert_eq!(i.hi_state(), StateId::new(2usize, 5));
         assert_eq!(i.len(), 3);
@@ -233,8 +255,16 @@ mod tests {
     #[should_panic(expected = "disjoint")]
     fn from_raw_rejects_adjacent_intervals() {
         FalseIntervals::from_raw(vec![vec![
-            Interval { process: ProcessId(0), lo: 0, hi: 1 },
-            Interval { process: ProcessId(0), lo: 2, hi: 3 },
+            Interval {
+                process: ProcessId(0),
+                lo: 0,
+                hi: 1,
+            },
+            Interval {
+                process: ProcessId(0),
+                lo: 2,
+                hi: 3,
+            },
         ]]);
     }
 }

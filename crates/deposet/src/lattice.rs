@@ -22,7 +22,11 @@ pub struct LatticeBudgetExceeded {
 
 impl fmt::Display for LatticeBudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lattice exploration exceeded budget of {} global states", self.limit)
+        write!(
+            f,
+            "lattice exploration exceeded budget of {} global states",
+            self.limit
+        )
     }
 }
 

@@ -60,7 +60,11 @@ impl fmt::Display for DeposetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeposetError::EmptyProcess(p) => write!(f, "process {p} has no states"),
-            DeposetError::EventCountMismatch { process, states, events } => write!(
+            DeposetError::EventCountMismatch {
+                process,
+                states,
+                events,
+            } => write!(
                 f,
                 "process {process} has {states} states but {events} events (want states-1)"
             ),
@@ -128,7 +132,10 @@ impl Deposet {
             if events[fp].get(m.from.idx()) != Some(&EventKind::Send(m.id)) {
                 return Err(DeposetError::BadMessageEndpoints(m.id));
             }
-            let ri = m.to.idx().checked_sub(1).ok_or(DeposetError::BadMessageEndpoints(m.id))?;
+            let ri =
+                m.to.idx()
+                    .checked_sub(1)
+                    .ok_or(DeposetError::BadMessageEndpoints(m.id))?;
             if events[tp].get(ri) != Some(&EventKind::Recv(m.id)) {
                 return Err(DeposetError::BadMessageEndpoints(m.id));
             }
@@ -155,10 +162,17 @@ impl Deposet {
             }
         }
         if sends != messages.len() || recvs != messages.len() {
-            return Err(DeposetError::BadMessageEndpoints(MsgId(messages.len() as u32)));
+            return Err(DeposetError::BadMessageEndpoints(MsgId(
+                messages.len() as u32
+            )));
         }
 
-        let mut dep = Deposet { states, events, messages, clocks: Vec::new() };
+        let mut dep = Deposet {
+            states,
+            events,
+            messages,
+            clocks: Vec::new(),
+        };
         dep.clocks = dep.compute_clocks()?;
         Ok(dep)
     }
@@ -182,8 +196,11 @@ impl Deposet {
             );
         }
         let order = g.topo_sort().map_err(|_| DeposetError::CausalityCycle)?;
-        let mut clocks: Vec<Vec<VectorClock>> =
-            self.states.iter().map(|s| vec![VectorClock::zero(n); s.len()]).collect();
+        let mut clocks: Vec<Vec<VectorClock>> = self
+            .states
+            .iter()
+            .map(|s| vec![VectorClock::zero(n); s.len()])
+            .collect();
         // Map flattened node -> (p, k).
         let locate = |node: usize| -> (usize, usize) {
             let p = offsets.partition_point(|&o| o <= node) - 1;
@@ -468,7 +485,13 @@ mod tests {
         // P1: s0 -recv m0-> s1 -send m1-> s2
         // m0 sent after (0,1) received producing (1,1): (0,1) ; (1,1)
         // m1 sent after (1,1) received producing (0,1): (1,1) ; (0,1) — cycle.
-        let st = || vec![LocalState::default(), LocalState::default(), LocalState::default()];
+        let st = || {
+            vec![
+                LocalState::default(),
+                LocalState::default(),
+                LocalState::default(),
+            ]
+        };
         let m0 = Message {
             id: MsgId(0),
             tag: String::new(),

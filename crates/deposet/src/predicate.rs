@@ -83,7 +83,11 @@ impl LocalPredicate {
 
     /// Shorthand: `var op value`.
     pub fn cmp(var: impl Into<String>, op: CmpOp, value: i64) -> Self {
-        LocalPredicate::Cmp { var: var.into(), op, value }
+        LocalPredicate::Cmp {
+            var: var.into(),
+            op,
+            value,
+        }
     }
 
     /// Evaluate against a local state.
@@ -179,7 +183,10 @@ pub enum GlobalPredicate {
 impl GlobalPredicate {
     /// Bind a local predicate to a process.
     pub fn local(process: impl Into<ProcessId>, pred: LocalPredicate) -> Self {
-        GlobalPredicate::Local { process: process.into(), pred }
+        GlobalPredicate::Local {
+            process: process.into(),
+            pred,
+        }
     }
 
     /// Evaluate on the global state `g` (a vector of per-process state
@@ -216,13 +223,17 @@ impl DisjunctivePredicate {
     /// processes: *at least one process outside its critical section*
     /// ((n−1)-mutual exclusion; the paper's examples (1) and (4)).
     pub fn at_least_one_not(n: usize, var: &str) -> Self {
-        DisjunctivePredicate { locals: (0..n).map(|_| LocalPredicate::not_var(var)).collect() }
+        DisjunctivePredicate {
+            locals: (0..n).map(|_| LocalPredicate::not_var(var)).collect(),
+        }
     }
 
     /// *At least one process has `var` true* (the paper's example (2):
     /// at least one server is available).
     pub fn at_least_one(n: usize, var: &str) -> Self {
-        DisjunctivePredicate { locals: (0..n).map(|_| LocalPredicate::var(var)).collect() }
+        DisjunctivePredicate {
+            locals: (0..n).map(|_| LocalPredicate::var(var)).collect(),
+        }
     }
 
     /// Number of processes the predicate covers.
@@ -299,8 +310,14 @@ mod tests {
         ]);
         assert!(p.eval(&st(&[("a", 1), ("c", 1)])));
         assert!(!p.eval(&st(&[("a", 1)])));
-        assert!(LocalPredicate::And(vec![]).eval(&st(&[])), "empty ∧ is true");
-        assert!(!LocalPredicate::Or(vec![]).eval(&st(&[])), "empty ∨ is false");
+        assert!(
+            LocalPredicate::And(vec![]).eval(&st(&[])),
+            "empty ∧ is true"
+        );
+        assert!(
+            !LocalPredicate::Or(vec![]).eval(&st(&[])),
+            "empty ∨ is false"
+        );
     }
 
     #[test]

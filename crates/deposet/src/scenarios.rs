@@ -101,10 +101,8 @@ mod tests {
         assert!(!fig.availability.eval(dep, &fig.g));
         assert!(!fig.availability.eval(dep, &fig.h));
         let violations: Vec<GlobalState> =
-            crate::lattice::find_all_consistent(dep, 100_000, |d, g| {
-                !fig.availability.eval(d, g)
-            })
-            .unwrap();
+            crate::lattice::find_all_consistent(dep, 100_000, |d, g| !fig.availability.eval(d, g))
+                .unwrap();
         assert_eq!(violations, vec![fig.g.clone(), fig.h.clone()]);
     }
 
@@ -137,12 +135,16 @@ mod tests {
         let fig = replicated_servers();
         let dep = &fig.deposet;
         let avail = fig.availability.clone();
-        assert!(find_satisfying_sequence(dep, 1_000_000, move |d, g| avail.eval(d, g))
-            .unwrap()
-            .is_some());
+        assert!(
+            find_satisfying_sequence(dep, 1_000_000, move |d, g| avail.eval(d, g))
+                .unwrap()
+                .is_some()
+        );
         let order = fig.order_e_before_f.clone();
-        assert!(find_satisfying_sequence(dep, 1_000_000, move |d, g| order.eval(d, g))
-            .unwrap()
-            .is_some());
+        assert!(
+            find_satisfying_sequence(dep, 1_000_000, move |d, g| order.eval(d, g))
+                .unwrap()
+                .is_some()
+        );
     }
 }

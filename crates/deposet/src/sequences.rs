@@ -62,7 +62,10 @@ impl fmt::Display for SequenceError {
             SequenceError::NotInitial => write!(f, "global sequence does not start at ⊥"),
             SequenceError::NotFinal => write!(f, "global sequence does not end at ⊤"),
             SequenceError::BadStep { at } => {
-                write!(f, "step {at} does not advance a nonempty subset by one state each")
+                write!(
+                    f,
+                    "step {at} does not advance a nonempty subset by one state each"
+                )
             }
             SequenceError::Inconsistent { at } => write!(f, "state {at} is inconsistent"),
             SequenceError::OutOfBounds { at } => write!(f, "state {at} is out of bounds"),
@@ -289,8 +292,7 @@ pub fn random_global_sequence<R: RngLike>(dep: &Deposet, rng: &mut R) -> GlobalS
     let mut g = GlobalState::initial(dep.process_count());
     let mut states = vec![g.clone()];
     loop {
-        let succs: Vec<GlobalState> =
-            g.consistent_successors(dep).map(|(_, h)| h).collect();
+        let succs: Vec<GlobalState> = g.consistent_successors(dep).map(|(_, h)| h).collect();
         if succs.is_empty() {
             break;
         }
@@ -308,7 +310,10 @@ mod tests {
     struct Lcg(u64);
     impl RngLike for Lcg {
         fn below(&mut self, bound: usize) -> usize {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((self.0 >> 33) as usize) % bound
         }
     }
@@ -352,7 +357,10 @@ mod tests {
             GlobalState::from_indices(vec![0, 1]),
             GlobalState::from_indices(vec![1, 1]),
         ]);
-        assert_eq!(inconsistent.validate(&d), Err(SequenceError::Inconsistent { at: 1 }));
+        assert_eq!(
+            inconsistent.validate(&d),
+            Err(SequenceError::Inconsistent { at: 1 })
+        );
 
         let skips = GlobalSequence::new(vec![
             GlobalState::from_indices(vec![0, 0]),
@@ -368,7 +376,10 @@ mod tests {
         ]);
         assert_eq!(jump.validate(&d), Err(SequenceError::NotFinal));
 
-        assert_eq!(GlobalSequence::new(vec![]).validate(&d), Err(SequenceError::Empty));
+        assert_eq!(
+            GlobalSequence::new(vec![]).validate(&d),
+            Err(SequenceError::Empty)
+        );
 
         let stutter_step = GlobalSequence::new(vec![
             GlobalState::from_indices(vec![0, 0]),
@@ -376,7 +387,10 @@ mod tests {
             GlobalState::from_indices(vec![1, 0]),
             GlobalState::from_indices(vec![1, 1]),
         ]);
-        assert_eq!(stutter_step.validate(&d), Err(SequenceError::BadStep { at: 0 }));
+        assert_eq!(
+            stutter_step.validate(&d),
+            Err(SequenceError::BadStep { at: 0 })
+        );
 
         let double_jump = GlobalSequence::new(vec![
             GlobalState::from_indices(vec![0, 0]),
@@ -444,9 +458,14 @@ mod tests {
         b.internal(1, &[("x", 1)]);
         let d = b.finish().unwrap();
         let exactly_one = |dep: &Deposet, g: &GlobalState| {
-            g.states().filter(|&s| dep.state(s).vars.get_bool("x")).count() == 1
+            g.states()
+                .filter(|&s| dep.state(s).vars.get_bool("x"))
+                .count()
+                == 1
         };
-        let seq = find_satisfying_sequence(&d, 1000, exactly_one).unwrap().unwrap();
+        let seq = find_satisfying_sequence(&d, 1000, exactly_one)
+            .unwrap()
+            .unwrap();
         assert_eq!(seq.validate(&d), Ok(()));
         assert!(seq.satisfies(&d, exactly_one));
         assert_eq!(seq.states().len(), 2, "must take the diagonal in one step");

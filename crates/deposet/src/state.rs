@@ -24,7 +24,9 @@ impl Variables {
 
     /// Build from an iterator of `(name, value)` pairs.
     pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> Self {
-        Variables { vars: pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect() }
+        Variables {
+            vars: pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        }
     }
 
     /// Value of `name`, or `None` if unset.

@@ -12,7 +12,12 @@ use proptest::prelude::*;
 fn arb_config() -> impl Strategy<Value = (RandomConfig, u64)> {
     (1usize..5, 0usize..25, 0u64..1_000_000).prop_map(|(n, events, seed)| {
         (
-            RandomConfig { processes: n, events, send_prob: 0.4, flip_prob: 0.4 },
+            RandomConfig {
+                processes: n,
+                events,
+                send_prob: 0.4,
+                flip_prob: 0.4,
+            },
             seed,
         )
     })
@@ -34,13 +39,19 @@ fn ground_truth_reach(dep: &Deposet) -> (Vec<usize>, pctl_causality::graph::Reac
             offsets[m.to.process.index()] + m.to.idx(),
         );
     }
-    (offsets, g.transitive_closure().expect("valid deposet is acyclic"))
+    (
+        offsets,
+        g.transitive_closure().expect("valid deposet is acyclic"),
+    )
 }
 
 struct Lcg(u64);
 impl RngLike for Lcg {
     fn below(&mut self, bound: usize) -> usize {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((self.0 >> 33) as usize) % bound
     }
 }

@@ -56,8 +56,7 @@ pub fn possibly_conjunction(dep: &Deposet, locals: &[LocalPredicate]) -> Option<
             }
         }
         if !advanced {
-            let g =
-                GlobalState::from_indices((0..n).map(|i| queues[i][head[i]]).collect());
+            let g = GlobalState::from_indices((0..n).map(|i| queues[i][head[i]]).collect());
             debug_assert!(g.is_consistent(dep));
             return Some(g);
         }
@@ -72,8 +71,7 @@ pub fn detect_disjunctive_violation(
     dep: &Deposet,
     pred: &pctl_deposet::DisjunctivePredicate,
 ) -> Option<GlobalState> {
-    let negated: Vec<LocalPredicate> =
-        pred.locals().iter().map(|l| l.clone().negated()).collect();
+    let negated: Vec<LocalPredicate> = pred.locals().iter().map(|l| l.clone().negated()).collect();
     possibly_conjunction(dep, &negated)
 }
 
@@ -113,7 +111,11 @@ mod tests {
         let g = possibly_conjunction(&dep, &locals).unwrap();
         assert!(g.is_consistent(&dep));
         assert_eq!(g.index_of(ProcessId(1)), 1);
-        assert_eq!(g.index_of(ProcessId(0)), 3, "P0's first flag state is eliminated");
+        assert_eq!(
+            g.index_of(ProcessId(0)),
+            3,
+            "P0's first flag state is eliminated"
+        );
     }
 
     #[test]
@@ -139,7 +141,11 @@ mod tests {
     fn agrees_with_lattice_reference_on_random_traces() {
         use pctl_deposet::generator::{random_deposet, RandomConfig};
         for seed in 0..40 {
-            let cfg = RandomConfig { processes: 3, events: 18, ..RandomConfig::default() };
+            let cfg = RandomConfig {
+                processes: 3,
+                events: 18,
+                ..RandomConfig::default()
+            };
             let dep = random_deposet(&cfg, seed);
             let locals = vec![
                 LocalPredicate::var("ok"),
@@ -163,7 +169,9 @@ mod tests {
                     assert!(g.meet(r) == g || !g.leq(r) || g == *r);
                     assert!(g.leq(&g.join(r)));
                 }
-                let min = reference.iter().fold(reference[0].clone(), |a, b| a.meet(b));
+                let min = reference
+                    .iter()
+                    .fold(reference[0].clone(), |a, b| a.meet(b));
                 assert_eq!(g, min, "GW finds the infimum of satisfying cuts");
             }
         }

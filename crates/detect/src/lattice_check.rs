@@ -40,9 +40,7 @@ pub fn definitely_interleaving(
     limit: usize,
 ) -> Result<bool, LatticeBudgetExceeded> {
     let avoiding =
-        pctl_deposet::sequences::find_satisfying_interleaving(dep, limit, |d, g| {
-            !pred.eval(d, g)
-        })?;
+        pctl_deposet::sequences::find_satisfying_interleaving(dep, limit, |d, g| !pred.eval(d, g))?;
     Ok(avoiding.is_none())
 }
 
@@ -99,7 +97,11 @@ mod tests {
         use pctl_deposet::generator::{random_deposet, RandomConfig};
         for seed in 0..15 {
             let dep = random_deposet(
-                &RandomConfig { processes: 3, events: 12, ..RandomConfig::default() },
+                &RandomConfig {
+                    processes: 3,
+                    events: 12,
+                    ..RandomConfig::default()
+                },
                 seed,
             );
             let pred = DisjunctivePredicate::at_least_one(3, "ok");

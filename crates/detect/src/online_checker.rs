@@ -36,7 +36,10 @@ pub struct CheckerState {
 impl CheckerState {
     /// A checker for `n` monitored processes.
     pub fn new(n: usize) -> Self {
-        CheckerState { queues: vec![VecDeque::new(); n], detected: None }
+        CheckerState {
+            queues: vec![VecDeque::new(); n],
+            detected: None,
+        }
     }
 
     /// Report that `process`'s local predicate holds at `clock`. Reports
@@ -86,8 +89,11 @@ impl CheckerState {
                 }
             }
             if !eliminated {
-                let cut =
-                    self.queues.iter().map(|q| q.front().unwrap().clone()).collect();
+                let cut = self
+                    .queues
+                    .iter()
+                    .map(|q| q.front().unwrap().clone())
+                    .collect();
                 self.detected = Some(cut);
                 return;
             }
@@ -169,7 +175,9 @@ impl Process<MonMsg> for Monitored {
     }
 
     fn on_timer(&mut self, _t: TimerId, ctx: &mut Ctx<'_, MonMsg>) {
-        let Some((_, value)) = self.phases.pop_front() else { return };
+        let Some((_, value)) = self.phases.pop_front() else {
+            return;
+        };
         self.tick_step(ctx, value);
         if let Some(&(d, _)) = self.phases.front() {
             ctx.set_timer(d);
@@ -214,10 +222,7 @@ pub struct OnlineRun {
 
 /// Run `n` monitored processes with the given per-process phase scripts
 /// (`(delay, predicate_value)` steps) plus a checker as process `n`.
-pub fn run_online_detection(
-    scripts: Vec<Vec<(u64, bool)>>,
-    seed: u64,
-) -> OnlineRun {
+pub fn run_online_detection(scripts: Vec<Vec<(u64, bool)>>, seed: u64) -> OnlineRun {
     let n = scripts.len();
     let slot: Rc<RefCell<Option<Vec<VectorClock>>>> = Rc::new(RefCell::new(None));
     let checker = ProcessId(n as u32);
@@ -232,7 +237,10 @@ pub fn run_online_detection(
             }) as Box<dyn Process<MonMsg>>
         })
         .collect();
-    procs.push(Box::new(Checker { state: CheckerState::new(n), slot: Rc::clone(&slot) }));
+    procs.push(Box::new(Checker {
+        state: CheckerState::new(n),
+        slot: Rc::clone(&slot),
+    }));
     let cfg = SimConfig {
         seed,
         delay: pctl_sim::DelayModel::Uniform { min: 2, max: 12 },
@@ -240,7 +248,11 @@ pub fn run_online_detection(
     };
     let r: SimResult = Simulation::new(cfg, procs).run();
     let detected = slot.borrow().clone();
-    OnlineRun { deposet: r.deposet, detected, sim_end: r.end_time }
+    OnlineRun {
+        deposet: r.deposet,
+        detected,
+        sim_end: r.end_time,
+    }
 }
 
 #[cfg(test)]

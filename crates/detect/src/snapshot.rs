@@ -75,7 +75,9 @@ impl TokenProcess {
     /// would make the recorded cut inconsistent.
     fn record_now(&mut self, ctx: &mut Ctx<'_, TokenMsg>, on_marker: bool) {
         let at = if on_marker {
-            ctx.current_state().predecessor().expect("receive events have predecessors")
+            ctx.current_state()
+                .predecessor()
+                .expect("receive events have predecessors")
         } else {
             ctx.current_state()
         };
@@ -212,8 +214,11 @@ impl SnapshotRun {
 
     /// The recorded cut as a global state of the traced deposet.
     pub fn recorded_cut(&self) -> Option<GlobalState> {
-        let idx: Option<Vec<u32>> =
-            self.recorded.iter().map(|r| r.at.map(|s| s.index)).collect();
+        let idx: Option<Vec<u32>> = self
+            .recorded
+            .iter()
+            .map(|r| r.at.map(|s| s.index))
+            .collect();
         idx.map(GlobalState::from_indices)
     }
 }
@@ -229,9 +234,14 @@ pub fn run_snapshot(
 ) -> SnapshotRun {
     assert!(n >= 2);
     // FIFO channels required by Chandy–Lamport: fixed delay.
-    let config = SimConfig { seed, delay: DelayModel::Fixed(6), ..SimConfig::default() };
-    let slots: Vec<Rc<RefCell<Recorded>>> =
-        (0..n).map(|_| Rc::new(RefCell::new(Recorded::default()))).collect();
+    let config = SimConfig {
+        seed,
+        delay: DelayModel::Fixed(6),
+        ..SimConfig::default()
+    };
+    let slots: Vec<Rc<RefCell<Recorded>>> = (0..n)
+        .map(|_| Rc::new(RefCell::new(Recorded::default())))
+        .collect();
     let procs: Vec<Box<dyn Process<TokenMsg>>> = (0..n)
         .map(|i| {
             Box::new(TokenProcess {

@@ -115,17 +115,11 @@ mod tests {
 
     /// Brute-force overlap search (ground truth).
     fn brute(dep: &Deposet, intervals: &FalseIntervals) -> bool {
-        let per: Vec<&[Interval]> =
-            dep.processes().map(|p| intervals.of(p)).collect();
+        let per: Vec<&[Interval]> = dep.processes().map(|p| intervals.of(p)).collect();
         if per.iter().any(|v| v.is_empty()) {
             return false;
         }
-        fn rec(
-            dep: &Deposet,
-            per: &[&[Interval]],
-            chosen: &mut Vec<Interval>,
-            k: usize,
-        ) -> bool {
+        fn rec(dep: &Deposet, per: &[&[Interval]], chosen: &mut Vec<Interval>, k: usize) -> bool {
             if k == per.len() {
                 return overlapping(dep, chosen);
             }
@@ -170,7 +164,11 @@ mod tests {
         use pctl_deposet::generator::{pipelined_workload, random_deposet, CsConfig, RandomConfig};
         for seed in 0..25 {
             let dep = pipelined_workload(
-                &CsConfig { processes: 3, sections_per_process: 3, ..CsConfig::default() },
+                &CsConfig {
+                    processes: 3,
+                    sections_per_process: 3,
+                    ..CsConfig::default()
+                },
                 seed,
             );
             let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
@@ -183,7 +181,11 @@ mod tests {
         }
         for seed in 0..25 {
             let dep = random_deposet(
-                &RandomConfig { processes: 3, events: 20, ..RandomConfig::default() },
+                &RandomConfig {
+                    processes: 3,
+                    events: 20,
+                    ..RandomConfig::default()
+                },
                 seed,
             );
             let pred = DisjunctivePredicate::at_least_one(3, "ok");
@@ -204,7 +206,11 @@ mod tests {
         use pctl_deposet::sequences::find_satisfying_interleaving;
         for seed in 0..40 {
             let dep = random_deposet(
-                &RandomConfig { processes: 3, events: 14, ..RandomConfig::default() },
+                &RandomConfig {
+                    processes: 3,
+                    events: 14,
+                    ..RandomConfig::default()
+                },
                 seed,
             );
             let pred = DisjunctivePredicate::at_least_one(3, "ok");

@@ -11,8 +11,8 @@
 
 use crate::driver::{Driver, Phase, WorkloadConfig};
 use pctl_core::online::{CtrlAction, CtrlMsg, FalsifyDecision, PeerSelect, ScapegoatController};
-use pctl_sim::{Ctx, DelayModel, Process, SimConfig, SimResult, Simulation, TimerId};
 use pctl_deposet::ProcessId;
+use pctl_sim::{Ctx, DelayModel, Process, SimConfig, SimResult, Simulation, TimerId};
 
 /// A worker process running the anti-token protocol under the shared
 /// workload driver.
@@ -36,8 +36,10 @@ impl AntiTokenProcess {
 
     fn peers(&self, ctx: &mut Ctx<'_, CtrlMsg>) -> Vec<ProcessId> {
         let me = ctx.me().index();
-        let others: Vec<ProcessId> =
-            (0..self.n).filter(|&i| i != me).map(|i| ProcessId(i as u32)).collect();
+        let others: Vec<ProcessId> = (0..self.n)
+            .filter(|&i| i != me)
+            .map(|i| ProcessId(i as u32))
+            .collect();
         match self.select {
             PeerSelect::Broadcast => others,
             PeerSelect::NextInRing => vec![ProcessId(((me + 1) % self.n) as u32)],
@@ -120,7 +122,11 @@ mod tests {
     #[test]
     fn antitoken_maintains_k_mutex() {
         for seed in 0..8 {
-            let cfg = WorkloadConfig { processes: 4, seed, ..WorkloadConfig::default() };
+            let cfg = WorkloadConfig {
+                processes: 4,
+                seed,
+                ..WorkloadConfig::default()
+            };
             let r = run_antitoken(&cfg, PeerSelect::NextInRing);
             assert!(!r.deadlocked(), "seed {seed}");
             assert_eq!(r.metrics.counter("entries"), 20);
@@ -135,7 +141,11 @@ mod tests {
     fn two_process_antitoken_is_full_mutex() {
         // n = 2 ⇒ k = 1: classic mutual exclusion.
         for seed in 0..8 {
-            let cfg = WorkloadConfig { processes: 2, seed, ..WorkloadConfig::default() };
+            let cfg = WorkloadConfig {
+                processes: 2,
+                seed,
+                ..WorkloadConfig::default()
+            };
             let r = run_antitoken(&cfg, PeerSelect::NextInRing);
             assert!(!r.deadlocked());
             assert_eq!(max_concurrent(&r.metrics, 2).max(1), 1, "seed {seed}");
@@ -175,7 +185,10 @@ mod tests {
         // The paper's [2T, 2T + E_max] band assumes the responder is free
         // or in its CS; deferral chains can exceed it, but the band must
         // dominate.
-        assert!(in_paper_band * 2 >= handovers, "band {in_paper_band}/{handovers}");
+        assert!(
+            in_paper_band * 2 >= handovers,
+            "band {in_paper_band}/{handovers}"
+        );
     }
 
     #[test]
@@ -185,7 +198,11 @@ mod tests {
         // larger systems and all peer-selection policies.
         use pctl_deposet::{DisjunctivePredicate, LocalPredicate};
         for n in [4usize, 6, 8] {
-            for select in [PeerSelect::NextInRing, PeerSelect::Random, PeerSelect::Broadcast] {
+            for select in [
+                PeerSelect::NextInRing,
+                PeerSelect::Random,
+                PeerSelect::Broadcast,
+            ] {
                 for seed in 0..4u64 {
                     let cfg = WorkloadConfig {
                         processes: n,
@@ -199,8 +216,7 @@ mod tests {
                     assert!(!r.deadlocked(), "n={n} {select:?} seed={seed}");
                     let all_in_cs: Vec<LocalPredicate> =
                         (0..n).map(|_| LocalPredicate::var("cs")).collect();
-                    let hit =
-                        pctl_detect::possibly_conjunction(&r.deposet, &all_in_cs);
+                    let hit = pctl_detect::possibly_conjunction(&r.deposet, &all_in_cs);
                     assert_eq!(
                         hit, None,
                         "n={n} {select:?} seed={seed}: consistent cut with all in CS"

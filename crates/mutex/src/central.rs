@@ -112,11 +112,17 @@ pub fn run_central(cfg: &WorkloadConfig, k: usize) -> SimResult {
     let coordinator = ProcessId(n as u32);
     let mut procs: Vec<Box<dyn Process<CentralMsg>>> = (0..n)
         .map(|_| {
-            Box::new(Worker { driver: Driver::new(cfg), coordinator })
-                as Box<dyn Process<CentralMsg>>
+            Box::new(Worker {
+                driver: Driver::new(cfg),
+                coordinator,
+            }) as Box<dyn Process<CentralMsg>>
         })
         .collect();
-    procs.push(Box::new(Coordinator { k, active: 0, queue: VecDeque::new() }));
+    procs.push(Box::new(Coordinator {
+        k,
+        active: 0,
+        queue: VecDeque::new(),
+    }));
     let sim_cfg = SimConfig {
         seed: cfg.seed,
         delay: DelayModel::Fixed(cfg.delay),
@@ -149,7 +155,11 @@ mod tests {
 
     #[test]
     fn message_cost_is_three_per_entry() {
-        let cfg = WorkloadConfig { processes: 3, entries_per_process: 4, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            processes: 3,
+            entries_per_process: 4,
+            ..WorkloadConfig::default()
+        };
         let r = run_central(&cfg, 2);
         let entries = r.metrics.counter("entries");
         assert_eq!(r.metrics.counter("msgs_ctrl"), 3 * entries);
@@ -157,7 +167,11 @@ mod tests {
 
     #[test]
     fn response_time_lower_bound_is_round_trip() {
-        let cfg = WorkloadConfig { processes: 2, delay: 10, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            processes: 2,
+            delay: 10,
+            ..WorkloadConfig::default()
+        };
         let r = run_central(&cfg, 1);
         let s = r.metrics.summary("response").unwrap();
         assert!(s.min >= 20, "request+grant is at least 2T, got {}", s.min);

@@ -44,7 +44,11 @@ fn report(algo: &str, k: usize, n: usize, r: &SimResult) -> AlgoReport {
         k,
         entries,
         ctrl_messages: ctrl,
-        msgs_per_entry: if entries > 0 { ctrl as f64 / entries as f64 } else { 0.0 },
+        msgs_per_entry: if entries > 0 {
+            ctrl as f64 / entries as f64
+        } else {
+            0.0
+        },
         response: r.metrics.summary("response"),
         max_concurrent: max_concurrent(&r.metrics, n),
         end_time: r.end_time.0,
@@ -57,8 +61,18 @@ pub fn compare_all(cfg: &WorkloadConfig) -> Vec<AlgoReport> {
     let n = cfg.processes;
     let k = n - 1;
     vec![
-        report("anti-token", k, n, &run_antitoken(cfg, PeerSelect::NextInRing)),
-        report("anti-token-bcast", k, n, &run_antitoken(cfg, PeerSelect::Broadcast)),
+        report(
+            "anti-token",
+            k,
+            n,
+            &run_antitoken(cfg, PeerSelect::NextInRing),
+        ),
+        report(
+            "anti-token-bcast",
+            k,
+            n,
+            &run_antitoken(cfg, PeerSelect::Broadcast),
+        ),
         report("centralized", k, n, &run_central(cfg, k)),
         report("suzuki-kasami-k", k, n, &run_suzuki(cfg, k)),
     ]
@@ -122,6 +136,9 @@ mod tests {
             anti < central && anti < suzuki,
             "anti-token {anti:.2} must beat centralized {central:.2} and token-based {suzuki:.2}"
         );
-        assert!(central == 15.0, "centralized is exactly 3 per entry (got {central})");
+        assert!(
+            central == 15.0,
+            "centralized is exactly 3 per entry (got {central})"
+        );
     }
 }

@@ -122,6 +122,32 @@ impl Driver {
         self.entries_left -= 1;
         self.start_thinking(ctx);
     }
+
+    /// The process restarted after a crash (`pctl_sim::Process::on_restart`).
+    /// Every pre-crash timer is stale, so each phase recovers
+    /// conservatively: an interrupted critical section is abandoned — `cs`
+    /// reset, an exit stamp recorded so [`max_concurrent`] sees a balanced
+    /// span, the entry charged against the quota and counted as
+    /// `aborted_cs` — a pending request is forgotten (the algorithm layer
+    /// re-requests from scratch), and thinking resumes.
+    pub fn on_restart<M: Payload>(&mut self, ctx: &mut Ctx<'_, M>) {
+        match self.phase {
+            Phase::InCs => {
+                ctx.step(&[("cs", 0)]);
+                let me = ctx.me().index();
+                ctx.record(&format!("exit_p{me}"), ctx.now().0);
+                ctx.count("aborted_cs", 1);
+                self.entries_left -= 1;
+                self.start_thinking(ctx);
+            }
+            Phase::Waiting => {
+                self.requested_at = None;
+                self.start_thinking(ctx);
+            }
+            Phase::Thinking => self.start_thinking(ctx),
+            Phase::Done => ctx.set_done(),
+        }
+    }
 }
 
 /// Post-run safety sweep: the maximum number of processes simultaneously

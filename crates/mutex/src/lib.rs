@@ -4,6 +4,9 @@
 //! * [`antitoken`] — (n−1)-mutual exclusion as on-line disjunctive
 //!   predicate control (`lᵢ = ¬csᵢ`): the scapegoat role is a single
 //!   *anti-token* (a liability, not a privilege);
+//! * [`ft_antitoken`] — the same workload on the hardened scapegoat
+//!   protocol, surviving message loss and scapegoat crashes injected by a
+//!   `pctl_sim::FaultPlan`;
 //! * [`multi`] — the generalization the paper's evaluation hints at:
 //!   `m` anti-tokens give (n−m)-mutual exclusion for any `k`;
 //! * [`central`] — centralized-coordinator k-mutex (3 messages/entry);
@@ -20,12 +23,14 @@ pub mod antitoken;
 pub mod central;
 pub mod compare;
 pub mod driver;
+pub mod ft_antitoken;
 pub mod multi;
 pub mod suzuki;
 
 pub use antitoken::run_antitoken;
-pub use multi::run_multi_antitoken;
 pub use central::run_central;
 pub use compare::{compare_all, compare_at_k, AlgoReport};
 pub use driver::{max_concurrent, WorkloadConfig};
+pub use ft_antitoken::run_ft_antitoken;
+pub use multi::run_multi_antitoken;
 pub use suzuki::run_suzuki;

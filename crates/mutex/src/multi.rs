@@ -97,7 +97,10 @@ impl MultiAntiToken {
         let peer = peer.expect("holder needs a peer to hand its role to");
         assert_ne!(peer, self.me);
         self.waiting_ack = true;
-        Some(Action::Send { to: peer, msg: CtrlMsg::Req { from: self.me } })
+        Some(Action::Send {
+            to: peer,
+            msg: CtrlMsg::Req { from: self.me },
+        })
     }
 
     fn can_accept(&self) -> bool {
@@ -110,7 +113,10 @@ impl MultiAntiToken {
             CtrlMsg::Req { from } => {
                 if self.can_accept() {
                     self.holds_role = true;
-                    vec![Action::Send { to: from, msg: CtrlMsg::Ack }]
+                    vec![Action::Send {
+                        to: from,
+                        msg: CtrlMsg::Ack,
+                    }]
                 } else if !self.local_true {
                     // In the CS: will recover (A1) and answer then.
                     self.pending.push_back(from);
@@ -118,7 +124,10 @@ impl MultiAntiToken {
                 } else {
                     // Holder or blocked: bounce so the requester retries a
                     // different peer (prevents holder↔holder deadlock).
-                    vec![Action::Send { to: from, msg: CtrlMsg::Busy }]
+                    vec![Action::Send {
+                        to: from,
+                        msg: CtrlMsg::Busy,
+                    }]
                 }
             }
             CtrlMsg::Ack => {
@@ -145,12 +154,18 @@ impl MultiAntiToken {
         if self.can_accept() {
             if let Some(j) = self.pending.pop_front() {
                 self.holds_role = true;
-                actions.push(Action::Send { to: j, msg: CtrlMsg::Ack });
+                actions.push(Action::Send {
+                    to: j,
+                    msg: CtrlMsg::Ack,
+                });
             }
         }
         // Bounce everyone else; they retry other peers.
         while let Some(j) = self.pending.pop_front() {
-            actions.push(Action::Send { to: j, msg: CtrlMsg::Busy });
+            actions.push(Action::Send {
+                to: j,
+                msg: CtrlMsg::Busy,
+            });
         }
         actions
     }
@@ -260,11 +275,25 @@ mod tests {
     fn controller_handover() {
         let mut holder = MultiAntiToken::new(ProcessId(0), true);
         let mut peer = MultiAntiToken::new(ProcessId(1), false);
-        let req = holder.request_enter(Some(ProcessId(1))).expect("holder blocks");
-        assert_eq!(req, Action::Send { to: ProcessId(1), msg: CtrlMsg::Req { from: ProcessId(0) } });
+        let req = holder
+            .request_enter(Some(ProcessId(1)))
+            .expect("holder blocks");
+        assert_eq!(
+            req,
+            Action::Send {
+                to: ProcessId(1),
+                msg: CtrlMsg::Req { from: ProcessId(0) }
+            }
+        );
         let ack = peer.on_message(CtrlMsg::Req { from: ProcessId(0) });
         assert!(peer.holds_role());
-        assert_eq!(ack, vec![Action::Send { to: ProcessId(0), msg: CtrlMsg::Ack }]);
+        assert_eq!(
+            ack,
+            vec![Action::Send {
+                to: ProcessId(0),
+                msg: CtrlMsg::Ack
+            }]
+        );
         assert_eq!(holder.on_message(CtrlMsg::Ack), vec![Action::Grant]);
         assert!(!holder.holds_role());
     }
@@ -279,10 +308,25 @@ mod tests {
         let _ = b.request_enter(Some(ProcessId(0)));
         let ra = a.on_message(CtrlMsg::Req { from: ProcessId(1) });
         let rb = b.on_message(CtrlMsg::Req { from: ProcessId(0) });
-        assert_eq!(ra, vec![Action::Send { to: ProcessId(1), msg: CtrlMsg::Busy }]);
-        assert_eq!(rb, vec![Action::Send { to: ProcessId(0), msg: CtrlMsg::Busy }]);
+        assert_eq!(
+            ra,
+            vec![Action::Send {
+                to: ProcessId(1),
+                msg: CtrlMsg::Busy
+            }]
+        );
+        assert_eq!(
+            rb,
+            vec![Action::Send {
+                to: ProcessId(0),
+                msg: CtrlMsg::Busy
+            }]
+        );
         assert_eq!(a.on_message(CtrlMsg::Busy), vec![Action::Retry]);
-        assert!(!a.is_blocked(), "retry clears the wait so a new peer can be asked");
+        assert!(
+            !a.is_blocked(),
+            "retry clears the wait so a new peer can be asked"
+        );
     }
 
     #[test]
@@ -291,7 +335,13 @@ mod tests {
         assert!(c.request_enter(None).is_none()); // enters CS free
         assert!(c.on_message(CtrlMsg::Req { from: ProcessId(0) }).is_empty());
         let actions = c.notify_exit();
-        assert_eq!(actions, vec![Action::Send { to: ProcessId(0), msg: CtrlMsg::Ack }]);
+        assert_eq!(
+            actions,
+            vec![Action::Send {
+                to: ProcessId(0),
+                msg: CtrlMsg::Ack
+            }]
+        );
         assert!(c.holds_role());
     }
 
@@ -305,8 +355,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Send { to: ProcessId(0), msg: CtrlMsg::Ack },
-                Action::Send { to: ProcessId(1), msg: CtrlMsg::Busy },
+                Action::Send {
+                    to: ProcessId(0),
+                    msg: CtrlMsg::Ack
+                },
+                Action::Send {
+                    to: ProcessId(1),
+                    msg: CtrlMsg::Busy
+                },
             ]
         );
     }

@@ -84,7 +84,9 @@ impl SkProcess {
         if !self.idle_on(inst) {
             return;
         }
-        let Some(token) = &mut self.tokens[inst as usize] else { return };
+        let Some(token) = &mut self.tokens[inst as usize] else {
+            return;
+        };
         let rn = &self.rn[inst as usize];
         // Refresh the queue with newly unserved requesters.
         for j in 0..self.n as u32 {
@@ -175,7 +177,10 @@ pub fn run_suzuki(cfg: &WorkloadConfig, k: usize) -> SimResult {
         .map(|i| {
             let tokens: Vec<Option<TokenData>> = (0..k)
                 .map(|t| {
-                    (t % n == i).then(|| TokenData { ln: vec![0; n], queue: VecDeque::new() })
+                    (t % n == i).then(|| TokenData {
+                        ln: vec![0; n],
+                        queue: VecDeque::new(),
+                    })
                 })
                 .collect();
             Box::new(SkProcess {
@@ -233,13 +238,20 @@ mod tests {
         assert_eq!(max_concurrent(&r.metrics, 3), 1);
         // Broadcast cost: a contended entry costs n-1 requests + 1 token.
         let entries = r.metrics.counter("entries");
-        assert!(r.metrics.counter("msgs_ctrl") <= entries * 3, "n-1 + 1 = 3 per entry max");
+        assert!(
+            r.metrics.counter("msgs_ctrl") <= entries * 3,
+            "n-1 + 1 = 3 per entry max"
+        );
     }
 
     #[test]
     fn k_equals_n_minus_1_matches_antitoken_semantics() {
         // Safety for the paper's comparison point.
-        let cfg = WorkloadConfig { processes: 4, entries_per_process: 6, ..WorkloadConfig::default() };
+        let cfg = WorkloadConfig {
+            processes: 4,
+            entries_per_process: 6,
+            ..WorkloadConfig::default()
+        };
         let r = run_suzuki(&cfg, 3);
         assert!(!r.deadlocked());
         assert!(max_concurrent(&r.metrics, 4) <= 3);
@@ -259,6 +271,10 @@ mod tests {
         };
         let r = run_suzuki(&cfg, 2); // two tokens: one each — no contention
         assert!(!r.deadlocked());
-        assert_eq!(r.metrics.counter("msgs_ctrl"), 0, "uncontended holders are free");
+        assert_eq!(
+            r.metrics.counter("msgs_ctrl"),
+            0,
+            "uncontended holders are free"
+        );
     }
 }

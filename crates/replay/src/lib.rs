@@ -81,7 +81,11 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { step_delay: 3, delay: DelayModel::Fixed(5), seed: 0 }
+        ReplayConfig {
+            step_delay: 3,
+            delay: DelayModel::Fixed(5),
+            seed: 0,
+        }
     }
 }
 
@@ -165,8 +169,7 @@ impl ReplayProcess {
         }
         let k = self.pos;
         let deltas = self.delta(k);
-        let updates: Vec<(&str, i64)> =
-            deltas.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let updates: Vec<(&str, i64)> = deltas.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         match self.script.events[k] {
             EventKind::Internal => {
                 ctx.step(&updates);
@@ -217,8 +220,11 @@ impl ReplayProcess {
 impl Process<ReplayMsg> for ReplayProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, ReplayMsg>) {
         // Initial variable assignment mirrors ⊥.
-        let init: Vec<(String, i64)> =
-            self.script.states[0].vars.iter().map(|(n, v)| (n.to_owned(), v)).collect();
+        let init: Vec<(String, i64)> = self.script.states[0]
+            .vars
+            .iter()
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect();
         for (n, v) in &init {
             ctx.init_var(n, *v);
         }
@@ -283,9 +289,9 @@ impl ReplayOutcome {
             }
             out
         }
-        original.processes().all(|p| {
-            assignments(original, p) == assignments(&self.sim.deposet, p)
-        })
+        original
+            .processes()
+            .all(|p| assignments(original, p) == assignments(&self.sim.deposet, p))
     }
 }
 
@@ -303,9 +309,7 @@ pub fn replay(original: &Deposet, control: &ControlRelation, cfg: &ReplayConfig)
                 .events_of(p)
                 .iter()
                 .enumerate()
-                .filter_map(|(k, e)| {
-                    e.sent().map(|m| (k, original.message(m).to.process))
-                })
+                .filter_map(|(k, e)| e.sent().map(|m| (k, original.message(m).to.process)))
                 .collect(),
             ctrl_out: BTreeMap::new(),
             ctrl_in: BTreeMap::new(),
@@ -317,14 +321,17 @@ pub fn replay(original: &Deposet, control: &ControlRelation, cfg: &ReplayConfig)
     // needed (transitively) by `x`'s own exit, and the replay would
     // deadlock. Also reject sources/targets with no such events.
     for &(x, y) in control.pairs() {
-        assert!(original.contains(x) && original.contains(y), "control pair out of range");
+        assert!(
+            original.contains(x) && original.contains(y),
+            "control pair out of range"
+        );
         assert!(
             x != original.top(x.process),
             "tuple source {x} is a final state: no event can carry its control message"
         );
-        let entry_pred = y
-            .predecessor()
-            .unwrap_or_else(|| panic!("tuple target {y} is an initial state: nothing can block before it"));
+        let entry_pred = y.predecessor().unwrap_or_else(|| {
+            panic!("tuple target {y} is an initial state: nothing can block before it")
+        });
         let exit = x.successor();
         assert!(
             !original.precedes_eq(entry_pred, exit) || original.precedes(exit, entry_pred),
@@ -337,7 +344,11 @@ pub fn replay(original: &Deposet, control: &ControlRelation, cfg: &ReplayConfig)
             .entry(x.index)
             .or_default()
             .push((idx as u32, y.process));
-        scripts[y.process.index()].ctrl_in.entry(y.index).or_default().push(idx as u32);
+        scripts[y.process.index()]
+            .ctrl_in
+            .entry(y.index)
+            .or_default()
+            .push(idx as u32);
     }
     let procs: Vec<Box<dyn Process<ReplayMsg>>> = scripts
         .into_iter()
@@ -359,7 +370,10 @@ pub fn replay(original: &Deposet, control: &ControlRelation, cfg: &ReplayConfig)
         ..SimConfig::default()
     };
     let sim = Simulation::new(sim_cfg, procs).run();
-    ReplayOutcome { sim, enforced_tuples: control.len() }
+    ReplayOutcome {
+        sim,
+        enforced_tuples: control.len(),
+    }
 }
 
 #[cfg(test)]
@@ -376,7 +390,10 @@ mod tests {
             b.internal(p, &[("cs", 1)]);
             b.internal(p, &[("cs", 0)]);
         }
-        (b.finish().unwrap(), DisjunctivePredicate::at_least_one_not(2, "cs"))
+        (
+            b.finish().unwrap(),
+            DisjunctivePredicate::at_least_one_not(2, "cs"),
+        )
     }
 
     #[test]
@@ -410,14 +427,20 @@ mod tests {
         let (dep, pred) = mutex_trace();
         let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).unwrap();
         let out = replay(&dep, &rel, &ReplayConfig::default());
-        assert!(out.completed(), "non-interfering control cannot deadlock the replay");
+        assert!(
+            out.completed(),
+            "non-interfering control cannot deadlock the replay"
+        );
         assert!(out.fidelity(&dep));
         assert_eq!(out.sim.metrics.counter("msgs_ctrl") as usize, rel.len());
         // The replayed computation itself satisfies B on every consistent
         // cut — the bug cannot recur in the controlled re-execution.
         let re = out.deposet();
         for g in consistent_global_states(re, 1_000_000).unwrap() {
-            assert!(pred.eval(re, &g), "replayed cut {g:?} violates the predicate");
+            assert!(
+                pred.eval(re, &g),
+                "replayed cut {g:?} violates the predicate"
+            );
         }
     }
 
@@ -425,7 +448,14 @@ mod tests {
     fn replay_stalls_are_observable() {
         let (dep, pred) = mutex_trace();
         let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).unwrap();
-        let out = replay(&dep, &rel, &ReplayConfig { step_delay: 1, ..Default::default() });
+        let out = replay(
+            &dep,
+            &rel,
+            &ReplayConfig {
+                step_delay: 1,
+                ..Default::default()
+            },
+        );
         assert!(out.completed());
         // With a tuple to wait for and fast local steps, some process
         // observably blocked at least once.
@@ -449,13 +479,20 @@ mod tests {
         use pctl_deposet::generator::{random_deposet, RandomConfig};
         for seed in 0..6 {
             let dep = random_deposet(
-                &RandomConfig { processes: 3, events: 25, ..RandomConfig::default() },
+                &RandomConfig {
+                    processes: 3,
+                    events: 25,
+                    ..RandomConfig::default()
+                },
                 seed,
             );
             let out = replay(&dep, &ControlRelation::empty(), &ReplayConfig::default());
             assert!(out.completed(), "seed {seed}");
             assert!(out.fidelity(&dep), "seed {seed}");
-            assert_eq!(out.sim.metrics.counter("msgs_app") as usize, dep.messages().len());
+            assert_eq!(
+                out.sim.metrics.counter("msgs_app") as usize,
+                dep.messages().len()
+            );
         }
     }
 }

@@ -56,7 +56,10 @@ pub fn racing_receives(dep: &Deposet) -> Vec<Race> {
                 let first_delivery = dep.message(m1).to;
                 let second_send = dep.message(m2).from;
                 if !dep.precedes_eq(first_delivery, second_send) {
-                    races.push(Race { earlier: m1, later: m2 });
+                    races.push(Race {
+                        earlier: m1,
+                        later: m2,
+                    });
                 }
             }
         }
@@ -163,7 +166,12 @@ mod tests {
         let mut any = false;
         for seed in 0..10 {
             let dep = random_deposet(
-                &RandomConfig { processes: 4, events: 40, send_prob: 0.5, flip_prob: 0.2 },
+                &RandomConfig {
+                    processes: 4,
+                    events: 40,
+                    send_prob: 0.5,
+                    flip_prob: 0.2,
+                },
                 seed,
             );
             if !racing_receives(&dep).is_empty() {

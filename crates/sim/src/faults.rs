@@ -1,0 +1,220 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes every deviation from the paper's idealized
+//! model (reliable channels, immortal processes) that a run should
+//! experience: per-link message drops, duplication, bounded extra delay,
+//! timed network partitions, and scheduled process crashes with optional
+//! restart. The plan is interpreted by the simulator with a dedicated RNG
+//! stream derived from the run seed, so a run is fully reproducible from
+//! `(seed, plan)` — and an empty plan leaves the simulation bit-for-bit
+//! identical to a fault-free run (the fault stream is never sampled and no
+//! extra events are scheduled).
+//!
+//! Faults are observable after the fact:
+//! * counters `msgs_dropped`, `msgs_duplicated`, `crashes`, `restarts` in
+//!   [`crate::Metrics`];
+//! * crash windows in the trace as internal events setting the reserved
+//!   variable `"down"` to 1 (crash) and 0 (restart) — unset variables read
+//!   as 0, so fault-free traces are unchanged.
+
+use crate::time::SimTime;
+use pctl_deposet::ProcessId;
+
+/// Per-link fault rates. `Default` is a clean link.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a message on this link is silently dropped.
+    pub drop_p: f64,
+    /// Probability that a message is delivered twice (the duplicate gets an
+    /// independently sampled delay).
+    pub dup_p: f64,
+    /// Extra delivery delay, sampled uniformly from `0..=extra_delay_max`
+    /// and added on top of the configured [`crate::DelayModel`]. Induces
+    /// reordering beyond what the base model produces.
+    pub extra_delay_max: u64,
+}
+
+impl LinkFaults {
+    /// True when this link behaves like the paper's reliable channel.
+    pub fn is_clean(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.extra_delay_max == 0
+    }
+}
+
+/// A timed network partition: while active, messages crossing between
+/// `side` and its complement are dropped (in both directions).
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// First instant of the partition.
+    pub start: SimTime,
+    /// First instant after the partition (half-open window).
+    pub end: SimTime,
+    /// One side of the cut; every process not listed is on the other side.
+    pub side: Vec<ProcessId>,
+}
+
+impl Partition {
+    /// Does this partition sever the `src → dst` link at time `now`?
+    pub fn severs(&self, src: ProcessId, dst: ProcessId, now: SimTime) -> bool {
+        if now < self.start || now >= self.end {
+            return false;
+        }
+        self.side.contains(&src) != self.side.contains(&dst)
+    }
+}
+
+/// A scheduled crash, with optional restart.
+#[derive(Clone, Copy, Debug)]
+pub struct Crash {
+    /// Which process crashes.
+    pub process: ProcessId,
+    /// When it crashes. While down, the process receives nothing, its
+    /// pending timers are cancelled, and messages addressed to it are lost.
+    pub at: SimTime,
+    /// Ticks until restart; `None` means the process stays down forever.
+    /// On restart the process keeps its in-memory state (the simulator does
+    /// not reset the state machine) but all pre-crash timers are stale;
+    /// `Process::on_restart` runs so it can re-arm them.
+    pub restart_after: Option<u64>,
+}
+
+/// The full fault schedule for one run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Fault rates applied to every link without a specific override.
+    pub default_link: LinkFaults,
+    /// Directed per-link overrides `(src, dst, faults)`; first match wins.
+    pub links: Vec<(ProcessId, ProcessId, LinkFaults)>,
+    /// Timed partition windows.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crashes.
+    pub crashes: Vec<Crash>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing — the simulator's zero-overhead fast path.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Uniform message loss on every link.
+    pub fn uniform_loss(drop_p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_p),
+            "drop probability out of range: {drop_p}"
+        );
+        FaultPlan {
+            default_link: LinkFaults {
+                drop_p,
+                ..LinkFaults::default()
+            },
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add a directed per-link override.
+    pub fn with_link(mut self, src: ProcessId, dst: ProcessId, faults: LinkFaults) -> Self {
+        self.links.push((src, dst, faults));
+        self
+    }
+
+    /// Add a partition window cutting `side` off from everyone else during
+    /// `[start, end)`.
+    pub fn with_partition(mut self, start: SimTime, end: SimTime, side: Vec<ProcessId>) -> Self {
+        assert!(start <= end, "partition window ends before it starts");
+        self.partitions.push(Partition { start, end, side });
+        self
+    }
+
+    /// Schedule a crash of `process` at `at`, restarting `restart_after`
+    /// ticks later (or never, for `None`).
+    pub fn with_crash(
+        mut self,
+        process: ProcessId,
+        at: SimTime,
+        restart_after: Option<u64>,
+    ) -> Self {
+        self.crashes.push(Crash {
+            process,
+            at,
+            restart_after,
+        });
+        self
+    }
+
+    /// True when the plan injects nothing at all — the simulator uses this
+    /// to keep the fault-free path bit-for-bit identical to the seed
+    /// behavior.
+    pub fn is_empty(&self) -> bool {
+        self.default_link.is_clean()
+            && self.links.iter().all(|(_, _, l)| l.is_clean())
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Effective fault rates for the `src → dst` link.
+    pub fn link(&self, src: ProcessId, dst: ProcessId) -> &LinkFaults {
+        self.links
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map(|(_, _, l)| l)
+            .unwrap_or(&self.default_link)
+    }
+
+    /// Is the `src → dst` link severed by a partition at time `now`?
+    pub fn severed(&self, src: ProcessId, dst: ProcessId, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(src, dst, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_detection() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().is_empty());
+        assert!(!FaultPlan::uniform_loss(0.1).is_empty());
+        assert!(FaultPlan::uniform_loss(0.0).is_empty());
+        let p = FaultPlan::none().with_crash(ProcessId(0), SimTime(5), None);
+        assert!(!p.is_empty());
+        let p = FaultPlan::none().with_partition(SimTime(1), SimTime(2), vec![ProcessId(0)]);
+        assert!(!p.is_empty());
+        // A link override that is itself clean still counts as empty.
+        let p = FaultPlan::none().with_link(ProcessId(0), ProcessId(1), LinkFaults::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn link_overrides_are_directed() {
+        let loud = LinkFaults {
+            drop_p: 0.5,
+            ..LinkFaults::default()
+        };
+        let plan = FaultPlan::none().with_link(ProcessId(0), ProcessId(1), loud.clone());
+        assert_eq!(plan.link(ProcessId(0), ProcessId(1)), &loud);
+        assert_eq!(
+            plan.link(ProcessId(1), ProcessId(0)),
+            &LinkFaults::default()
+        );
+        assert_eq!(
+            plan.link(ProcessId(2), ProcessId(3)),
+            &LinkFaults::default()
+        );
+    }
+
+    #[test]
+    fn partitions_sever_cross_side_links_during_window_only() {
+        let plan = FaultPlan::none().with_partition(SimTime(10), SimTime(20), vec![ProcessId(0)]);
+        let (a, b, c) = (ProcessId(0), ProcessId(1), ProcessId(2));
+        assert!(plan.severed(a, b, SimTime(10)));
+        assert!(plan.severed(b, a, SimTime(15)));
+        assert!(plan.severed(a, c, SimTime(19)));
+        // Same side stays connected.
+        assert!(!plan.severed(b, c, SimTime(15)));
+        // Window is half-open.
+        assert!(!plan.severed(a, b, SimTime(9)));
+        assert!(!plan.severed(a, b, SimTime(20)));
+    }
+}

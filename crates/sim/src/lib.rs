@@ -10,12 +10,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod metrics;
 pub mod sim;
 pub mod time;
 
-pub use metrics::{Metrics, Summary};
-pub use sim::{Ctx, DelayModel, Payload, Process, SimConfig, SimResult, Simulation, StopReason, TimerId};
+pub use faults::{Crash, FaultPlan, LinkFaults, Partition};
+pub use metrics::{Metrics, Summary, FAULT_COUNTERS};
+pub use sim::{
+    Ctx, DelayModel, Payload, Process, SimConfig, SimResult, Simulation, StopReason, TimerId,
+};
 pub use time::SimTime;
 
 // Re-export ids for downstream convenience.

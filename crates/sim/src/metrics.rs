@@ -60,7 +60,12 @@ impl Metrics {
             max = max.max(v);
             sum += u128::from(v);
         }
-        Some(Summary { count: s.len(), min, max, mean: sum as f64 / s.len() as f64 })
+        Some(Summary {
+            count: s.len(),
+            min,
+            max,
+            mean: sum as f64 / s.len() as f64,
+        })
     }
 
     /// All counter names (sorted).
@@ -80,10 +85,49 @@ impl Metrics {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
         for (k, v) in &other.samples {
-            self.samples.entry(k.clone()).or_default().extend_from_slice(v);
+            self.samples
+                .entry(k.clone())
+                .or_default()
+                .extend_from_slice(v);
         }
     }
+
+    /// `(name, value)` pairs of the standard fault counters
+    /// ([`FAULT_COUNTERS`]), including zero entries, in a fixed order —
+    /// what summary output should print for a faulty run.
+    pub fn fault_counters(&self) -> Vec<(&'static str, u64)> {
+        FAULT_COUNTERS
+            .iter()
+            .map(|&n| (n, self.counter(n)))
+            .collect()
+    }
+
+    /// One-line rendering of [`fault_counters`](Self::fault_counters), e.g.
+    /// `msgs_dropped=3 msgs_duplicated=0 retransmissions=2 crashes=1
+    /// restarts=1 rejoins=1 regenerations=0 aborted_cs=0`.
+    pub fn fault_line(&self) -> String {
+        self.fault_counters()
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
 }
+
+/// The counters every fault-injected run reports: what the simulator's
+/// fault layer charges (`msgs_dropped`, `msgs_duplicated`, `crashes`,
+/// `restarts`) plus what the hardened protocol layer charges
+/// (`retransmissions`, `rejoins`, `regenerations`, `aborted_cs`).
+pub const FAULT_COUNTERS: &[&str] = &[
+    "msgs_dropped",
+    "msgs_duplicated",
+    "retransmissions",
+    "crashes",
+    "restarts",
+    "rejoins",
+    "regenerations",
+    "aborted_cs",
+];
 
 #[cfg(test)]
 mod tests {
@@ -110,6 +154,21 @@ mod tests {
         assert_eq!(s.max, 30);
         assert!((s.mean - 20.0).abs() < 1e-9);
         assert!(m.summary("nothing").is_none());
+    }
+
+    #[test]
+    fn fault_counters_render_in_fixed_order_with_zeros() {
+        let mut m = Metrics::default();
+        m.add("msgs_dropped", 3);
+        m.add("crashes", 1);
+        let fc = m.fault_counters();
+        assert_eq!(fc.len(), FAULT_COUNTERS.len());
+        assert_eq!(fc[0], ("msgs_dropped", 3));
+        assert!(fc.contains(&("crashes", 1)));
+        assert!(fc.contains(&("retransmissions", 0)));
+        let line = m.fault_line();
+        assert!(line.starts_with("msgs_dropped=3 msgs_duplicated=0"));
+        assert!(line.contains("crashes=1"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! (unspecified) runtime becomes a simulator with parameterized message
 //! delay `T`, which makes the paper's analytic overhead claims measurable.
 
+use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::time::SimTime;
 use pctl_deposet::{Deposet, DeposetBuilder, MsgToken, ProcessId};
@@ -49,6 +50,10 @@ pub trait Process<M: Payload> {
     fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Ctx<'_, M>);
     /// Invoked when a timer set through [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _timer: TimerId, _ctx: &mut Ctx<'_, M>) {}
+    /// Invoked when the process restarts after a scheduled crash (see
+    /// [`crate::faults::Crash`]). In-memory state survives, but all timers
+    /// set before the crash are stale — re-arm them here.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 
 /// Message delay distribution.
@@ -93,6 +98,9 @@ pub struct SimConfig {
     pub max_time: SimTime,
     /// Hard stop after this many dispatched events.
     pub max_events: usize,
+    /// Fault schedule. The default (empty) plan keeps the run bit-for-bit
+    /// identical to the original fault-free simulator.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -102,6 +110,7 @@ impl Default for SimConfig {
             delay: DelayModel::Fixed(10),
             max_time: SimTime(u64::MAX),
             max_events: 1_000_000,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -141,8 +150,25 @@ impl SimResult {
 }
 
 enum Action<M> {
-    Deliver { src: ProcessId, dst: ProcessId, msg: M, token: MsgToken },
-    Timer { dst: ProcessId, id: TimerId },
+    Deliver {
+        src: ProcessId,
+        dst: ProcessId,
+        msg: M,
+        token: MsgToken,
+    },
+    // `inc` pins the timer to the incarnation that set it, so timers armed
+    // before a crash never fire into the restarted incarnation.
+    Timer {
+        dst: ProcessId,
+        id: TimerId,
+        inc: u32,
+    },
+    Crash {
+        dst: ProcessId,
+    },
+    Restart {
+        dst: ProcessId,
+    },
 }
 
 struct Scheduled<M> {
@@ -179,13 +205,82 @@ struct Inner<M> {
     seq: u64,
     next_timer: u64,
     done: Vec<bool>,
+    faults: FaultPlan,
+    // Dedicated fault-decision stream: fault sampling must not perturb the
+    // main `rng` stream handlers draw from, or a fault plan would change
+    // the base behavior it is supposed to perturb.
+    frng: StdRng,
+    faulty: bool,
+    down: Vec<bool>,
+    incarnation: Vec<u32>,
 }
+
+/// Seed offset separating the fault stream from the main stream.
+const FAULT_STREAM_SALT: u64 = 0xFA_17_5E_ED_00_00_00_01;
 
 impl<M: Payload> Inner<M> {
     fn schedule(&mut self, time: SimTime, action: Action<M>) {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { time, seq, action });
+    }
+
+    /// Faulty-path continuation of [`Ctx::send`]: the send event is already
+    /// traced and counted; decide the message's fate in the network.
+    fn send_faulty(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        msg: M,
+        token: MsgToken,
+        at: SimTime,
+    ) {
+        if self.faults.severed(src, dst, self.now) {
+            self.metrics.add("msgs_dropped", 1);
+            // Dropping the token leaves the send in-flight; the builder
+            // rewrites it to an internal event at finish().
+            drop(token);
+            return;
+        }
+        let link = self.faults.link(src, dst).clone();
+        if link.drop_p > 0.0 && self.frng.gen_bool(link.drop_p) {
+            self.metrics.add("msgs_dropped", 1);
+            return;
+        }
+        let mut at = at;
+        if link.extra_delay_max > 0 {
+            at += self.frng.gen_range(0..=link.extra_delay_max);
+        }
+        if link.dup_p > 0.0 && self.frng.gen_bool(link.dup_p) {
+            // A duplicate needs its own send event: the trace model requires
+            // every received message to have a matching send, so channel
+            // duplication appears in the deposet as a second send by `src`.
+            let token2 = self.builder.send_with(src, msg.tag(), &[]);
+            let mut at2 = self.now + self.delay.sample(&mut self.frng);
+            if link.extra_delay_max > 0 {
+                at2 += self.frng.gen_range(0..=link.extra_delay_max);
+            }
+            self.metrics.add("msgs_duplicated", 1);
+            let msg2 = msg.clone();
+            self.schedule(
+                at2,
+                Action::Deliver {
+                    src,
+                    dst,
+                    msg: msg2,
+                    token: token2,
+                },
+            );
+        }
+        self.schedule(
+            at,
+            Action::Deliver {
+                src,
+                dst,
+                msg,
+                token,
+            },
+        );
     }
 }
 
@@ -218,7 +313,19 @@ impl<M: Payload> Ctx<'_, M> {
             self.inner.metrics.add("msgs_app", 1);
         }
         let at = self.inner.now + delay;
-        self.inner.schedule(at, Action::Deliver { src: self.me, dst: to, msg, token });
+        if !self.inner.faulty {
+            self.inner.schedule(
+                at,
+                Action::Deliver {
+                    src: self.me,
+                    dst: to,
+                    msg,
+                    token,
+                },
+            );
+            return;
+        }
+        self.inner.send_faulty(self.me, to, msg, token, at);
     }
 
     /// Set a timer `delay` ticks from now.
@@ -226,7 +333,15 @@ impl<M: Payload> Ctx<'_, M> {
         let id = TimerId(self.inner.next_timer);
         self.inner.next_timer += 1;
         let at = self.inner.now + delay;
-        self.inner.schedule(at, Action::Timer { dst: self.me, id });
+        let inc = self.inner.incarnation[self.me.index()];
+        self.inner.schedule(
+            at,
+            Action::Timer {
+                dst: self.me,
+                id,
+                inc,
+            },
+        );
         id
     }
 
@@ -303,6 +418,7 @@ impl<M: Payload> Simulation<M> {
         let n = processes.len();
         let mut builder = DeposetBuilder::new(n);
         builder.allow_in_flight();
+        let faulty = !config.faults.is_empty();
         Simulation {
             procs: processes.into_iter().map(Some).collect(),
             inner: Inner {
@@ -315,6 +431,11 @@ impl<M: Payload> Simulation<M> {
                 seq: 0,
                 next_timer: 0,
                 done: vec![false; n],
+                faults: config.faults.clone(),
+                frng: StdRng::seed_from_u64(config.seed ^ FAULT_STREAM_SALT),
+                faulty,
+                down: vec![false; n],
+                incarnation: vec![0; n],
             },
             config,
         }
@@ -331,7 +452,10 @@ impl<M: Payload> Simulation<M> {
     {
         let mut proc = self.procs[p.index()].take().expect("no reentrant dispatch");
         {
-            let mut ctx = Ctx { me: p, inner: &mut self.inner };
+            let mut ctx = Ctx {
+                me: p,
+                inner: &mut self.inner,
+            };
             f(proc.as_mut(), &mut ctx);
         }
         self.procs[p.index()] = Some(proc);
@@ -341,6 +465,22 @@ impl<M: Payload> Simulation<M> {
     /// computation plus metrics.
     pub fn run(mut self) -> SimResult {
         let n = self.procs.len();
+        // Schedule the crash plan before anything else so crash/restart
+        // order among same-time events is fixed (and independent of what
+        // the processes do).
+        let crashes = self.inner.faults.crashes.clone();
+        for c in crashes {
+            assert!(
+                c.process.index() < n,
+                "crash plan names unknown process {:?}",
+                c.process
+            );
+            self.inner.schedule(c.at, Action::Crash { dst: c.process });
+            if let Some(after) = c.restart_after {
+                self.inner
+                    .schedule(c.at + after, Action::Restart { dst: c.process });
+            }
+        }
         for i in 0..n {
             self.dispatch(ProcessId(i as u32), |p, ctx| p.on_start(ctx));
         }
@@ -359,18 +499,64 @@ impl<M: Payload> Simulation<M> {
             debug_assert!(ev.time >= self.inner.now, "events dispatched in time order");
             self.inner.now = ev.time;
             match ev.action {
-                Action::Deliver { src, dst, msg, token } => {
-                    self.inner.builder.recv(dst, token, &[]);
-                    self.dispatch(dst, |p, ctx| p.on_message(src, msg, ctx));
+                Action::Deliver {
+                    src,
+                    dst,
+                    msg,
+                    token,
+                } => {
+                    if self.inner.down[dst.index()] {
+                        // Lost at a dead receiver; the unreceived token is
+                        // rewritten to an internal event at finish().
+                        self.inner.metrics.add("msgs_dropped", 1);
+                        drop(token);
+                    } else {
+                        self.inner.builder.recv(dst, token, &[]);
+                        self.dispatch(dst, |p, ctx| p.on_message(src, msg, ctx));
+                    }
                 }
-                Action::Timer { dst, id } => {
-                    self.dispatch(dst, |p, ctx| p.on_timer(id, ctx));
+                Action::Timer { dst, id, inc } => {
+                    // Stale timers (armed by a dead or pre-crash incarnation)
+                    // are discarded silently.
+                    if !self.inner.down[dst.index()] && inc == self.inner.incarnation[dst.index()] {
+                        self.dispatch(dst, |p, ctx| p.on_timer(id, ctx));
+                    }
+                }
+                Action::Crash { dst } => {
+                    if !self.inner.down[dst.index()] {
+                        self.inner.down[dst.index()] = true;
+                        self.inner.metrics.add("crashes", 1);
+                        self.inner.builder.internal(dst, &[("down", 1)]);
+                    }
+                }
+                Action::Restart { dst } => {
+                    if self.inner.down[dst.index()] {
+                        self.inner.down[dst.index()] = false;
+                        self.inner.incarnation[dst.index()] += 1;
+                        self.inner.metrics.add("restarts", 1);
+                        self.inner.builder.internal(dst, &[("down", 0)]);
+                        self.dispatch(dst, |p, ctx| p.on_restart(ctx));
+                    }
                 }
             }
         };
-        let Inner { builder, metrics, now, done, .. } = self.inner;
-        let deposet = builder.finish().expect("simulator traces are valid deposets");
-        SimResult { deposet, metrics, end_time: now, done, stopped }
+        let Inner {
+            builder,
+            metrics,
+            now,
+            done,
+            ..
+        } = self.inner;
+        let deposet = builder
+            .finish()
+            .expect("simulator traces are valid deposets");
+        SimResult {
+            deposet,
+            metrics,
+            end_time: now,
+            done,
+            stopped,
+        }
     }
 }
 
@@ -408,7 +594,9 @@ mod tests {
             ctx.send(ProcessId(1), Ping::Ping(0));
         }
         fn on_message(&mut self, _from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping>) {
-            let Ping::Pong(r) = msg else { panic!("pinger only gets pongs") };
+            let Ping::Pong(r) = msg else {
+                panic!("pinger only gets pongs")
+            };
             ctx.record("rtt", ctx.now().since(self.sent_at));
             ctx.step(&[("round", i64::from(r) + 1)]);
             if r + 1 < self.rounds {
@@ -425,7 +613,9 @@ mod tests {
             ctx.set_done();
         }
         fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping>) {
-            let Ping::Ping(r) = msg else { panic!("ponger only gets pings") };
+            let Ping::Ping(r) = msg else {
+                panic!("ponger only gets pings")
+            };
             ctx.send(from, Ping::Pong(r));
             ctx.count("pongs", 1);
         }
@@ -440,7 +630,10 @@ mod tests {
         Simulation::new(
             config,
             vec![
-                Box::new(Pinger { rounds, sent_at: SimTime::ZERO }),
+                Box::new(Pinger {
+                    rounds,
+                    sent_at: SimTime::ZERO,
+                }),
                 Box::new(Ponger),
             ],
         )
@@ -487,7 +680,9 @@ mod tests {
         assert_eq!(a.end_time, b.end_time);
         let c = ping_sim(8, 3);
         // Delays differ with overwhelming probability.
-        assert!(a.end_time != c.end_time || trace::to_json(&a.deposet) != trace::to_json(&c.deposet));
+        assert!(
+            a.end_time != c.end_time || trace::to_json(&a.deposet) != trace::to_json(&c.deposet)
+        );
     }
 
     #[test]
@@ -579,7 +774,10 @@ mod tests {
             cfg,
             vec![
                 Box::new(Sender) as Box<dyn Process<Seq>>,
-                Box::new(Capture { inner: Receiver { got: vec![] }, slot: Rc::clone(&slot) }),
+                Box::new(Capture {
+                    inner: Receiver { got: vec![] },
+                    slot: Rc::clone(&slot),
+                }),
             ],
         )
         .run();
@@ -622,7 +820,11 @@ mod tests {
                 self.next += 1;
             }
         }
-        let cfg = SimConfig { seed: 9, delay: DelayModel::Fixed(7), ..SimConfig::default() };
+        let cfg = SimConfig {
+            seed: 9,
+            delay: DelayModel::Fixed(7),
+            ..SimConfig::default()
+        };
         let r = Simulation::new(
             cfg,
             vec![
@@ -650,6 +852,345 @@ mod tests {
     }
 
     #[test]
+    fn explicit_empty_fault_plan_is_bit_identical_to_default() {
+        let a = ping_sim(11, 3);
+        let cfg = SimConfig {
+            seed: 11,
+            delay: DelayModel::Uniform { min: 5, max: 15 },
+            faults: crate::faults::FaultPlan::none(),
+            ..SimConfig::default()
+        };
+        let b = Simulation::new(
+            cfg,
+            vec![
+                Box::new(Pinger {
+                    rounds: 3,
+                    sent_at: SimTime::ZERO,
+                }) as Box<dyn Process<Ping>>,
+                Box::new(Ponger),
+            ],
+        )
+        .run();
+        assert_eq!(trace::to_json(&a.deposet), trace::to_json(&b.deposet));
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+    }
+
+    #[test]
+    fn message_loss_drops_and_counts() {
+        // Sender fires 200 one-way messages through a 30%-lossy network.
+        struct Blast;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl Payload for B {}
+        impl Process<B> for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                if ctx.me() == ProcessId(0) {
+                    for _ in 0..200 {
+                        ctx.send(ProcessId(1), B);
+                    }
+                }
+                ctx.set_done();
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, ctx: &mut Ctx<'_, B>) {
+                ctx.count("delivered", 1);
+            }
+        }
+        let cfg = SimConfig {
+            seed: 3,
+            faults: crate::faults::FaultPlan::uniform_loss(0.3),
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, vec![Box::new(Blast) as _, Box::new(Blast) as _]).run();
+        let dropped = r.metrics.counter("msgs_dropped");
+        let delivered = r.metrics.counter("delivered");
+        assert_eq!(dropped + delivered, 200);
+        assert!(
+            (30..90).contains(&dropped),
+            "≈30% of 200 should drop, got {dropped}"
+        );
+        // Dropped sends are rewritten to internal events: the deposet only
+        // keeps delivered messages.
+        assert_eq!(r.deposet.messages().len() as u64, delivered);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_counts() {
+        struct Blast;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl Payload for B {}
+        impl Process<B> for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                if ctx.me() == ProcessId(0) {
+                    for _ in 0..100 {
+                        ctx.send(ProcessId(1), B);
+                    }
+                }
+                ctx.set_done();
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, ctx: &mut Ctx<'_, B>) {
+                ctx.count("delivered", 1);
+            }
+        }
+        let faults = crate::faults::FaultPlan {
+            default_link: crate::faults::LinkFaults {
+                dup_p: 0.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cfg = SimConfig {
+            seed: 4,
+            faults,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, vec![Box::new(Blast) as _, Box::new(Blast) as _]).run();
+        let dup = r.metrics.counter("msgs_duplicated");
+        assert!(
+            (25..75).contains(&dup),
+            "≈50% of 100 should duplicate, got {dup}"
+        );
+        assert_eq!(r.metrics.counter("delivered"), 100 + dup);
+        assert_eq!(r.deposet.messages().len() as u64, 100 + dup);
+    }
+
+    #[test]
+    fn extra_delay_reorders_fixed_delay_channel() {
+        struct Sender;
+        #[derive(Clone, Debug)]
+        struct Seq(u32);
+        impl Payload for Seq {}
+        impl Process<Seq> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Seq>) {
+                if ctx.me() == ProcessId(0) {
+                    for i in 0..20 {
+                        ctx.send(ProcessId(1), Seq(i));
+                    }
+                }
+                ctx.set_done();
+            }
+            fn on_message(&mut self, _: ProcessId, _: Seq, _: &mut Ctx<'_, Seq>) {}
+        }
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Capture(Rc<RefCell<Vec<u32>>>);
+        impl Process<Seq> for Capture {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Seq>) {
+                ctx.set_done();
+            }
+            fn on_message(&mut self, _: ProcessId, m: Seq, _: &mut Ctx<'_, Seq>) {
+                self.0.borrow_mut().push(m.0);
+            }
+        }
+        let slot = Rc::new(RefCell::new(Vec::new()));
+        let faults = crate::faults::FaultPlan {
+            default_link: crate::faults::LinkFaults {
+                extra_delay_max: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let cfg = SimConfig {
+            seed: 6,
+            delay: DelayModel::Fixed(7),
+            faults,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(
+            cfg,
+            vec![
+                Box::new(Sender) as _,
+                Box::new(Capture(Rc::clone(&slot))) as _,
+            ],
+        )
+        .run();
+        assert_eq!(r.stopped, StopReason::Quiescent);
+        let got = slot.borrow().clone();
+        assert_eq!(got.len(), 20, "extra delay never loses messages");
+        assert!(
+            got.windows(2).any(|w| w[0] > w[1]),
+            "extra delay should reorder: {got:?}"
+        );
+    }
+
+    #[test]
+    fn partition_window_cuts_cross_side_traffic_only() {
+        // P0 sends to P1 at t=0 (through, delay 10) and during the
+        // partition window (cut); after the window traffic flows again.
+        struct Script;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl Payload for B {}
+        impl Process<B> for Script {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                if ctx.me() == ProcessId(0) {
+                    ctx.send(ProcessId(1), B); // before window: delivered
+                    ctx.set_timer(50); // inside window [40, 80)
+                    ctx.set_timer(100); // after window
+                }
+                ctx.set_done();
+            }
+            fn on_timer(&mut self, _t: TimerId, ctx: &mut Ctx<'_, B>) {
+                ctx.send(ProcessId(1), B);
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, ctx: &mut Ctx<'_, B>) {
+                ctx.count("delivered", 1);
+            }
+        }
+        let faults = crate::faults::FaultPlan::none().with_partition(
+            SimTime(40),
+            SimTime(80),
+            vec![ProcessId(0)],
+        );
+        let cfg = SimConfig {
+            seed: 0,
+            faults,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, vec![Box::new(Script) as _, Box::new(Script) as _]).run();
+        assert_eq!(
+            r.metrics.counter("delivered"),
+            2,
+            "send inside the window is cut"
+        );
+        assert_eq!(r.metrics.counter("msgs_dropped"), 1);
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_restart_rearms_via_hook() {
+        // P1 crashes at t=20 and restarts at t=60. P0 sends one message
+        // arriving during downtime (lost) and one after restart (delivered).
+        struct Sender;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl Payload for B {}
+        impl Process<B> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                ctx.set_timer(25); // arrives ~35: P1 down
+                ctx.set_timer(70); // arrives ~80: P1 back up
+                ctx.set_done();
+            }
+            fn on_timer(&mut self, _t: TimerId, ctx: &mut Ctx<'_, B>) {
+                ctx.send(ProcessId(1), B);
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, _: &mut Ctx<'_, B>) {}
+        }
+        struct Victim {
+            restarted: bool,
+        }
+        impl Process<B> for Victim {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                // A pre-crash timer that must NOT fire after restart.
+                ctx.set_timer(45);
+                ctx.set_done();
+            }
+            fn on_timer(&mut self, _t: TimerId, ctx: &mut Ctx<'_, B>) {
+                if self.restarted {
+                    ctx.count("post_restart_timer", 1);
+                } else {
+                    ctx.count("stale_timer_fired", 1);
+                }
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, ctx: &mut Ctx<'_, B>) {
+                ctx.count("delivered", 1);
+            }
+            fn on_restart(&mut self, ctx: &mut Ctx<'_, B>) {
+                self.restarted = true;
+                ctx.set_timer(5);
+            }
+        }
+        let faults =
+            crate::faults::FaultPlan::none().with_crash(ProcessId(1), SimTime(20), Some(40));
+        let cfg = SimConfig {
+            seed: 0,
+            faults,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(
+            cfg,
+            vec![
+                Box::new(Sender) as _,
+                Box::new(Victim { restarted: false }) as _,
+            ],
+        )
+        .run();
+        assert_eq!(r.metrics.counter("crashes"), 1);
+        assert_eq!(r.metrics.counter("restarts"), 1);
+        assert_eq!(
+            r.metrics.counter("delivered"),
+            1,
+            "message during downtime is lost"
+        );
+        assert_eq!(r.metrics.counter("msgs_dropped"), 1);
+        assert_eq!(
+            r.metrics.counter("stale_timer_fired"),
+            0,
+            "pre-crash timer must stay dead"
+        );
+        assert_eq!(
+            r.metrics.counter("post_restart_timer"),
+            1,
+            "on_restart re-armed a timer"
+        );
+        // Crash windows are visible in the trace via the reserved "down" var.
+        let downs: Vec<i64> = r
+            .deposet
+            .states_of(ProcessId(1))
+            .iter()
+            .filter_map(|s| s.vars.get("down"))
+            .collect();
+        assert!(
+            downs.contains(&1) && downs.ends_with(&[0]),
+            "down=1 then down=0: {downs:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_and_plan_give_identical_faulty_runs() {
+        let run = |seed: u64| {
+            let faults = crate::faults::FaultPlan {
+                default_link: crate::faults::LinkFaults {
+                    drop_p: 0.15,
+                    dup_p: 0.1,
+                    extra_delay_max: 20,
+                },
+                ..Default::default()
+            }
+            .with_crash(ProcessId(1), SimTime(40), Some(30));
+            let cfg = SimConfig {
+                seed,
+                delay: DelayModel::Uniform { min: 5, max: 15 },
+                faults,
+                max_time: SimTime(500),
+                ..SimConfig::default()
+            };
+            Simulation::new(
+                cfg,
+                vec![
+                    Box::new(Pinger {
+                        rounds: 30,
+                        sent_at: SimTime::ZERO,
+                    }) as Box<dyn Process<Ping>>,
+                    Box::new(Ponger),
+                ],
+            )
+            .run()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(trace::to_json(&a.deposet), trace::to_json(&b.deposet));
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        assert_eq!(a.end_time, b.end_time);
+    }
+
+    #[test]
     fn max_events_limit_stops_runaway_protocols() {
         // Two processes bouncing a message forever.
         struct Bouncer;
@@ -666,7 +1207,10 @@ mod tests {
                 ctx.send(from, B);
             }
         }
-        let cfg = SimConfig { max_events: 100, ..SimConfig::default() };
+        let cfg = SimConfig {
+            max_events: 100,
+            ..SimConfig::default()
+        };
         let r = Simulation::new(cfg, vec![Box::new(Bouncer) as _, Box::new(Bouncer) as _]).run();
         assert_eq!(r.stopped, StopReason::MaxEvents);
         // In-flight message at cutoff is tolerated (allow_in_flight).

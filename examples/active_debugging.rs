@@ -37,16 +37,17 @@ fn main() {
 
     // --- Step 1: detect bug1 -------------------------------------------------
     println!("\n[1] Safety property: at least one server available at all times.");
-    let bad = detect_disjunctive_violation(c1, &fig.availability)
-        .expect("bug1 is possible in C1");
+    let bad = detect_disjunctive_violation(c1, &fig.availability).expect("bug1 is possible in C1");
     println!("    bug1 DETECTED: all servers unavailable is possible, e.g. at {bad}");
-    let all_bad = lattice::find_all_consistent(c1, 100_000, |d, g| {
-        !fig.availability.eval(d, g)
-    })
-    .unwrap();
+    let all_bad =
+        lattice::find_all_consistent(c1, 100_000, |d, g| !fig.availability.eval(d, g)).unwrap();
     println!(
         "    every violating consistent global state: {}",
-        all_bad.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", ")
+        all_bad
+            .iter()
+            .map(|g| g.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert_eq!(all_bad, vec![fig.g.clone(), fig.h.clone()]);
 
@@ -95,7 +96,10 @@ fn main() {
             show_vars: true,
         },
     );
-    println!("\n    (Graphviz of C4 available — {} bytes of DOT)", dot.len());
+    println!(
+        "\n    (Graphviz of C4 available — {} bytes of DOT)",
+        dot.len()
+    );
 
     // --- Step 6: on-line control for fresh runs --------------------------------
     println!("\n[6] Guarding future computations with ON-LINE control:");
@@ -117,10 +121,8 @@ fn main() {
     };
     let run = Simulation::new(cfg, procs).run();
     assert!(!run.deadlocked());
-    let fresh = detect_disjunctive_violation(
-        &run.deposet,
-        &DisjunctivePredicate::at_least_one(3, "ok"),
-    );
+    let fresh =
+        detect_disjunctive_violation(&run.deposet, &DisjunctivePredicate::at_least_one(3, "ok"));
     assert_eq!(fresh, None);
     println!(
         "    fresh run under the scapegoat strategy: {} unavailability windows,",

@@ -13,7 +13,10 @@ use predicate_control::prelude::*;
 use predicate_control::sim::Simulation;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
     println!("{n} dining philosophers; safety: someone is always thinking\n");
 
     // --- Off-line: a traced dinner where all ate at once ---------------------
@@ -65,9 +68,16 @@ fn main() {
         })
         .collect();
     let procs = phased_system(n, scripts, PeerSelect::Random);
-    let cfg = SimConfig { seed: 4, delay: DelayModel::Fixed(4), ..SimConfig::default() };
+    let cfg = SimConfig {
+        seed: 4,
+        delay: DelayModel::Fixed(4),
+        ..SimConfig::default()
+    };
     let run = Simulation::new(cfg, procs).run();
-    assert!(!run.deadlocked(), "scapegoat protocol is deadlock-free under A1/A2");
+    assert!(
+        !run.deadlocked(),
+        "scapegoat protocol is deadlock-free under A1/A2"
+    );
     let fresh_pred = DisjunctivePredicate::at_least_one(n, "ok");
     assert!(detect_disjunctive_violation(&run.deposet, &fresh_pred).is_none());
     println!(

@@ -1,0 +1,74 @@
+//! The hardened anti-token protocol surviving a scripted crash *and* a
+//! network partition, with the post-run safety audit.
+//!
+//! The paper's Figure-3 strategy assumes reliable channels and immortal
+//! processes. This example drops both assumptions at once:
+//!
+//! * 5% uniform message loss on every link,
+//! * a partition isolating P1 during `[120, 200)`,
+//! * the initial scapegoat P0 crashing at t=25 and restarting at t=375.
+//!
+//! The run must still complete every critical-section entry, keep
+//! `max_concurrent ≤ n−1`, and — audited by `sweep_faulty_run` — never
+//! lose the witness for `B = ∨ᵢ ¬csᵢ` on a cut where every process is up.
+//!
+//! Run with: `cargo run --example faulty_mutex [-- <seed>]`
+
+use predicate_control::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    let n = 4usize;
+    let cfg = WorkloadConfig {
+        processes: n,
+        entries_per_process: 6,
+        think: (20, 60),
+        cs: (5, 15),
+        seed,
+        delay: 10,
+    };
+    let plan = FaultPlan::uniform_loss(0.05)
+        .with_partition(SimTime(120), SimTime(200), vec![ProcessId(1)])
+        .with_crash(ProcessId(0), SimTime(25), Some(350));
+
+    println!("hardened (n-1)-mutex, n = {n}, seed = {seed}");
+    println!("faults: 5% loss, P1 partitioned [120,200), P0 crashes @25, restarts @375\n");
+
+    let r = run_ft_antitoken(&cfg, PeerSelect::NextInRing, FtParams::default(), plan);
+
+    println!("outcome        : {:?} at t={}", r.stopped, r.end_time.0);
+    println!("deadlocked     : {}", r.deadlocked());
+    println!(
+        "entries        : {} (quota {})",
+        r.metrics.counter("entries"),
+        n * 6
+    );
+    println!(
+        "max concurrent : {} (k = {})",
+        max_concurrent(&r.metrics, n),
+        n - 1
+    );
+    println!("ctrl messages  : {}", r.metrics.counter("msgs_ctrl"));
+    println!("fault counters : {}", r.metrics.fault_line());
+
+    let report = sweep_faulty_run(&r.deposet, &LocalPredicate::not_var("cs"));
+    println!("\npost-run safety sweep (B = at least one process outside its CS):");
+    println!("  down windows        : {:?}", report.down_windows);
+    match &report.unwitnessed_cut {
+        Some(cut) => println!("  unwitnessed cut     : {cut} (contains the crashed process)"),
+        None => println!("  unwitnessed cut     : none — B witnessed by a live process everywhere"),
+    }
+    match &report.clean_violation {
+        Some(cut) => println!("  CLEAN VIOLATION     : {cut} — protocol bug!"),
+        None => println!("  clean violation     : none — every violating cut is crash-explained"),
+    }
+
+    assert!(!r.deadlocked(), "the hardened protocol must not deadlock");
+    assert_eq!(r.metrics.counter("entries"), (n * 6) as u64);
+    assert!(max_concurrent(&r.metrics, n) < n);
+    assert!(report.safe_modulo_crashes(), "{report:?}");
+    println!("\nall guarantees held: completion under faults, k-mutex, B safe modulo crashes");
+}

@@ -6,7 +6,10 @@
 use predicate_control::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
     assert!(n >= 2, "need at least two processes");
     println!("k-mutual exclusion with n = {n}, k = n-1 = {}\n", n - 1);
 
@@ -24,10 +27,7 @@ fn main() {
         "algorithm", "msgs/entry", "resp mean", "resp max", "max conc", "safe"
     );
     for rep in compare_all(&cfg) {
-        let (mean, max) = rep
-            .response
-            .map(|s| (s.mean, s.max))
-            .unwrap_or((0.0, 0));
+        let (mean, max) = rep.response.map(|s| (s.mean, s.max)).unwrap_or((0.0, 0));
         println!(
             "{:<18} {:>11.3} {:>11.1} {:>10} {:>9} {:>9}",
             rep.algo,

@@ -51,8 +51,7 @@ fn main() {
 
     // Is the leader predicate "locally independent" here? (It is not — the
     // leadership windows overlap, which is exactly why control is needed.)
-    let locals: Vec<LocalPredicate> =
-        (0..3).map(|_| LocalPredicate::not_var("leader")).collect();
+    let locals: Vec<LocalPredicate> = (0..3).map(|_| LocalPredicate::not_var("leader")).collect();
     println!(
         "leadership windows mutually separated: {}",
         mutually_separated(&trace, &locals)
@@ -77,11 +76,14 @@ fn main() {
     }
 
     // --- Verify the conjunction exhaustively ----------------------------------
-    let controlled = ControlledDeposet::new(&trace, merged.clone())
-        .expect("merged relation does not interfere");
+    let controlled =
+        ControlledDeposet::new(&trace, merged.clone()).expect("merged relation does not interfere");
     let mut checked = 0usize;
     for g in controlled.consistent_global_states(1_000_000).unwrap() {
-        assert!(availability.eval(&trace, &g), "availability violated at {g}");
+        assert!(
+            availability.eval(&trace, &g),
+            "availability violated at {g}"
+        );
         assert!(single_leader.eval(&trace, &g), "dual leadership at {g}");
         checked += 1;
     }

@@ -62,7 +62,10 @@ fn main() {
     //    blocking receives; the violation cannot recur.
     let outcome = replay(&computation, &control, &ReplayConfig::default());
     assert!(outcome.completed(), "replay ran to completion");
-    assert!(outcome.fidelity(&computation), "replay reproduced each process's behaviour");
+    assert!(
+        outcome.fidelity(&computation),
+        "replay reproduced each process's behaviour"
+    );
     assert!(
         detect_disjunctive_violation(outcome.deposet(), &safety).is_none(),
         "bug eliminated in the controlled re-execution"

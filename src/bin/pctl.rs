@@ -99,7 +99,9 @@ fn predicate(args: &Args, dep: &Deposet) -> Result<DisjunctivePredicate, String>
     match (args.value("at-least-one")?, args.value("at-least-one-not")?) {
         (Some(v), None) => Ok(DisjunctivePredicate::at_least_one(n, v)),
         (None, Some(v)) => Ok(DisjunctivePredicate::at_least_one_not(n, v)),
-        (None, None) => Err("missing predicate: --at-least-one VAR or --at-least-one-not VAR".into()),
+        (None, None) => {
+            Err("missing predicate: --at-least-one VAR or --at-least-one-not VAR".into())
+        }
         _ => Err("give exactly one of --at-least-one / --at-least-one-not".into()),
     }
 }
@@ -130,7 +132,10 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("detect: missing trace path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("detect: missing trace path")?;
     let dep = load_trace(path)?;
     let pred = predicate(args, &dep)?;
     match detect_disjunctive_violation(&dep, &pred) {
@@ -153,10 +158,17 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_control(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("control: missing trace path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("control: missing trace path")?;
     let dep = load_trace(path)?;
     let pred = predicate(args, &dep)?;
-    let engine = if args.flag("naive").is_some() { Engine::Naive } else { Engine::Optimized };
+    let engine = if args.flag("naive").is_some() {
+        Engine::Naive
+    } else {
+        Engine::Optimized
+    };
     let policy = match args.value("random-seed")? {
         Some(s) => SelectPolicy::Random {
             seed: s.parse().map_err(|_| "--random-seed: bad number")?,
@@ -166,7 +178,10 @@ fn cmd_control(args: &Args) -> Result<(), String> {
     match control_disjunctive(&dep, &pred, OfflineOptions { policy, engine }) {
         Ok(rel) => {
             eprintln!("control relation with {} tuple(s): {rel}", rel.len());
-            println!("{}", serde_json::to_string_pretty(&rel).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rel).expect("serializable")
+            );
             Ok(())
         }
         Err(inf) => Err(format!("{inf}")),
@@ -174,7 +189,10 @@ fn cmd_control(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_verify(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("verify: missing trace path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("verify: missing trace path")?;
     let dep = load_trace(path)?;
     let pred = predicate(args, &dep)?;
     let cpath = args.value("control")?.ok_or("verify: missing --control")?;
@@ -188,7 +206,10 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("replay: missing trace path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("replay: missing trace path")?;
     let dep = load_trace(path)?;
     let rel = match args.value("control")? {
         Some(p) => load_control(p)?,
@@ -232,7 +253,10 @@ fn cmd_dot(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
-    let workload = args.value("workload")?.ok_or("gen: missing --workload")?.to_owned();
+    let workload = args
+        .value("workload")?
+        .ok_or("gen: missing --workload")?
+        .to_owned();
     let processes = args.num("processes", 4usize)?;
     let sections = args.num("sections", 6usize)?;
     let events = args.num("events", 40usize)?;
@@ -257,10 +281,19 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             seed,
         ),
         "random" => random_deposet(
-            &RandomConfig { processes, events, send_prob: 0.35, flip_prob: 0.35 },
+            &RandomConfig {
+                processes,
+                events,
+                send_prob: 0.35,
+                flip_prob: 0.35,
+            },
             seed,
         ),
-        other => return Err(format!("gen: unknown workload '{other}' (cs|pipelined|random)")),
+        other => {
+            return Err(format!(
+                "gen: unknown workload '{other}' (cs|pipelined|random)"
+            ))
+        }
     };
     println!("{}", trace::to_json(&dep));
     Ok(())

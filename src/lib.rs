@@ -72,8 +72,11 @@ pub use pctl_sim as sim;
 pub mod prelude {
     pub use pctl_causality::{MsgId, ProcessId, StateId, VectorClock};
     pub use pctl_core::cnf_control::{control_cnf, mutually_separated, CnfPredicate};
+    pub use pctl_core::online::ft::{FtController, FtParams};
     pub use pctl_core::online::{PeerSelect, Phase, ScapegoatController};
-    pub use pctl_core::verify::{chain_structure, verify_disjunctive};
+    pub use pctl_core::verify::{
+        chain_structure, sweep_faulty_run, verify_disjunctive, FaultSweepReport,
+    };
     pub use pctl_core::{
         control_disjunctive, sgsd, ControlRelation, ControlledDeposet, Engine, Infeasible,
         OfflineOptions, SelectPolicy, SgsdOutcome,
@@ -85,7 +88,12 @@ pub mod prelude {
     pub use pctl_detect::{
         definitely_all_false, detect_disjunctive_violation, possibly_conjunction,
     };
-    pub use pctl_mutex::{compare_all, run_antitoken, run_central, run_suzuki, WorkloadConfig};
+    pub use pctl_mutex::{
+        compare_all, max_concurrent, run_antitoken, run_central, run_ft_antitoken, run_suzuki,
+        WorkloadConfig,
+    };
     pub use pctl_replay::{replay, ReplayConfig, ReplayOutcome};
-    pub use pctl_sim::{DelayModel, Process, SimConfig, Simulation};
+    pub use pctl_sim::{
+        DelayModel, FaultPlan, LinkFaults, Process, SimConfig, SimTime, Simulation,
+    };
 }

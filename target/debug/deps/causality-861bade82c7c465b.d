@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/causality-861bade82c7c465b.d: crates/bench/benches/causality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcausality-861bade82c7c465b.rmeta: crates/bench/benches/causality.rs Cargo.toml
+
+crates/bench/benches/causality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

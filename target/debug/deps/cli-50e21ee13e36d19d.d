@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-50e21ee13e36d19d.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-50e21ee13e36d19d: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pctl=/root/repo/target/debug/pctl

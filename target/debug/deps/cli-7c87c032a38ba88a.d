@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-7c87c032a38ba88a.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-7c87c032a38ba88a.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pctl=placeholder:pctl
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9b221d71f2c0b98b.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9b221d71f2c0b98b: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_pctl=/root/repo/target/debug/pctl

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-31794de044c1cf1b.d: tests/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-31794de044c1cf1b.rmeta: tests/cross_validation.rs Cargo.toml
+
+tests/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-56646a52e1b158bf.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-56646a52e1b158bf: tests/cross_validation.rs
+
+tests/cross_validation.rs:

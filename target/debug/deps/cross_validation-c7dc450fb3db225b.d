@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-c7dc450fb3db225b.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-c7dc450fb3db225b: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection-bdf06b43aaf12067.d: crates/bench/benches/detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection-bdf06b43aaf12067.rmeta: crates/bench/benches/detection.rs Cargo.toml
+
+crates/bench/benches/detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7d82c728ca8f1eac.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7d82c728ca8f1eac: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fcb7d87324027c18.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fcb7d87324027c18: tests/end_to_end.rs
+
+tests/end_to_end.rs:

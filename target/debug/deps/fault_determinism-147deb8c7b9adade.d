@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_determinism-147deb8c7b9adade.d: crates/sim/tests/fault_determinism.rs
+
+/root/repo/target/debug/deps/fault_determinism-147deb8c7b9adade: crates/sim/tests/fault_determinism.rs
+
+crates/sim/tests/fault_determinism.rs:

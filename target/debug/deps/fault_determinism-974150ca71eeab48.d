@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_determinism-974150ca71eeab48.d: crates/sim/tests/fault_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_determinism-974150ca71eeab48.rmeta: crates/sim/tests/fault_determinism.rs Cargo.toml
+
+crates/sim/tests/fault_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-30d795ba99b7a2ea.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-30d795ba99b7a2ea: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_nphardness-686b16ea5e32cc56.d: crates/bench/src/bin/fig1_nphardness.rs
+
+/root/repo/target/debug/deps/fig1_nphardness-686b16ea5e32cc56: crates/bench/src/bin/fig1_nphardness.rs
+
+crates/bench/src/bin/fig1_nphardness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_nphardness-cdf66684b7618a29.d: crates/bench/src/bin/fig1_nphardness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_nphardness-cdf66684b7618a29.rmeta: crates/bench/src/bin/fig1_nphardness.rs Cargo.toml
+
+crates/bench/src/bin/fig1_nphardness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_nphardness-eb4eee616b92fabe.d: crates/bench/src/bin/fig1_nphardness.rs
+
+/root/repo/target/debug/deps/fig1_nphardness-eb4eee616b92fabe: crates/bench/src/bin/fig1_nphardness.rs
+
+crates/bench/src/bin/fig1_nphardness.rs:

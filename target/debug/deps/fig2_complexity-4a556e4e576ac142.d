@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_complexity-4a556e4e576ac142.d: crates/bench/src/bin/fig2_complexity.rs
+
+/root/repo/target/debug/deps/fig2_complexity-4a556e4e576ac142: crates/bench/src/bin/fig2_complexity.rs
+
+crates/bench/src/bin/fig2_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_complexity-689e5651456a8daa.d: crates/bench/src/bin/fig2_complexity.rs
+
+/root/repo/target/debug/deps/fig2_complexity-689e5651456a8daa: crates/bench/src/bin/fig2_complexity.rs
+
+crates/bench/src/bin/fig2_complexity.rs:

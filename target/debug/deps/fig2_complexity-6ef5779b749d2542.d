@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_complexity-6ef5779b749d2542.d: crates/bench/src/bin/fig2_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_complexity-6ef5779b749d2542.rmeta: crates/bench/src/bin/fig2_complexity.rs Cargo.toml
+
+crates/bench/src/bin/fig2_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_complexity-ab119e0a879fd42e.d: crates/bench/src/bin/fig2_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_complexity-ab119e0a879fd42e.rmeta: crates/bench/src/bin/fig2_complexity.rs Cargo.toml
+
+crates/bench/src/bin/fig2_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

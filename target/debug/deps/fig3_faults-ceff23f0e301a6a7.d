@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_faults-ceff23f0e301a6a7.d: crates/bench/src/bin/fig3_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_faults-ceff23f0e301a6a7.rmeta: crates/bench/src/bin/fig3_faults.rs Cargo.toml
+
+crates/bench/src/bin/fig3_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

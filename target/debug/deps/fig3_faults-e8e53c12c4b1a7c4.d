@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_faults-e8e53c12c4b1a7c4.d: crates/bench/src/bin/fig3_faults.rs
+
+/root/repo/target/debug/deps/fig3_faults-e8e53c12c4b1a7c4: crates/bench/src/bin/fig3_faults.rs
+
+crates/bench/src/bin/fig3_faults.rs:

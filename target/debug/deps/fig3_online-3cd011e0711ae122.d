@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_online-3cd011e0711ae122.d: crates/bench/src/bin/fig3_online.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_online-3cd011e0711ae122.rmeta: crates/bench/src/bin/fig3_online.rs Cargo.toml
+
+crates/bench/src/bin/fig3_online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

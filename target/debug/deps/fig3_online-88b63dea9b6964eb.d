@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_online-88b63dea9b6964eb.d: crates/bench/src/bin/fig3_online.rs
+
+/root/repo/target/debug/deps/fig3_online-88b63dea9b6964eb: crates/bench/src/bin/fig3_online.rs
+
+crates/bench/src/bin/fig3_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_online-a01fa53f3e51bb92.d: crates/bench/src/bin/fig3_online.rs
+
+/root/repo/target/debug/deps/fig3_online-a01fa53f3e51bb92: crates/bench/src/bin/fig3_online.rs
+
+crates/bench/src/bin/fig3_online.rs:

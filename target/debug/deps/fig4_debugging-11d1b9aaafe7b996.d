@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_debugging-11d1b9aaafe7b996.d: crates/bench/src/bin/fig4_debugging.rs
+
+/root/repo/target/debug/deps/fig4_debugging-11d1b9aaafe7b996: crates/bench/src/bin/fig4_debugging.rs
+
+crates/bench/src/bin/fig4_debugging.rs:

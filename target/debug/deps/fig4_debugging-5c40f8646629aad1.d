@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_debugging-5c40f8646629aad1.d: crates/bench/src/bin/fig4_debugging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_debugging-5c40f8646629aad1.rmeta: crates/bench/src/bin/fig4_debugging.rs Cargo.toml
+
+crates/bench/src/bin/fig4_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_debugging-9667bee95b313d96.d: crates/bench/src/bin/fig4_debugging.rs
+
+/root/repo/target/debug/deps/fig4_debugging-9667bee95b313d96: crates/bench/src/bin/fig4_debugging.rs
+
+crates/bench/src/bin/fig4_debugging.rs:

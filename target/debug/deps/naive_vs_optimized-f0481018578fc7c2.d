@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/naive_vs_optimized-f0481018578fc7c2.d: crates/bench/benches/naive_vs_optimized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnaive_vs_optimized-f0481018578fc7c2.rmeta: crates/bench/benches/naive_vs_optimized.rs Cargo.toml
+
+crates/bench/benches/naive_vs_optimized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offline_scaling-549b5b7bf68a2754.d: crates/bench/benches/offline_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffline_scaling-549b5b7bf68a2754.rmeta: crates/bench/benches/offline_scaling.rs Cargo.toml
+
+crates/bench/benches/offline_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

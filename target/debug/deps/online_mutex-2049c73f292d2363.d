@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_mutex-2049c73f292d2363.d: crates/bench/benches/online_mutex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_mutex-2049c73f292d2363.rmeta: crates/bench/benches/online_mutex.rs Cargo.toml
+
+crates/bench/benches/online_mutex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

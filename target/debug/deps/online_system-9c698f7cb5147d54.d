@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_system-9c698f7cb5147d54.d: tests/online_system.rs
+
+/root/repo/target/debug/deps/online_system-9c698f7cb5147d54: tests/online_system.rs
+
+tests/online_system.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_system-b097e60e2abe223d.d: tests/online_system.rs
+
+/root/repo/target/debug/deps/online_system-b097e60e2abe223d: tests/online_system.rs
+
+tests/online_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_system-b44f7ed43e812992.d: tests/online_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_system-b44f7ed43e812992.rmeta: tests/online_system.rs Cargo.toml
+
+tests/online_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pctl-381227960d94d9c2.d: src/bin/pctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl-381227960d94d9c2.rmeta: src/bin/pctl.rs Cargo.toml
+
+src/bin/pctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

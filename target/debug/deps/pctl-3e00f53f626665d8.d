@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pctl-3e00f53f626665d8.d: src/bin/pctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl-3e00f53f626665d8.rmeta: src/bin/pctl.rs Cargo.toml
+
+src/bin/pctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

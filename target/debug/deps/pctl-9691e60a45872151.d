@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pctl-9691e60a45872151.d: src/bin/pctl.rs
+
+/root/repo/target/debug/deps/pctl-9691e60a45872151: src/bin/pctl.rs
+
+src/bin/pctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pctl-a2b0eeabd64fbb55.d: src/bin/pctl.rs
+
+/root/repo/target/debug/deps/pctl-a2b0eeabd64fbb55: src/bin/pctl.rs
+
+src/bin/pctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pctl-ba237e31ee7cc554.d: src/bin/pctl.rs
+
+/root/repo/target/debug/deps/pctl-ba237e31ee7cc554: src/bin/pctl.rs
+
+src/bin/pctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pctl-db3711e2e296a9c3.d: src/bin/pctl.rs
+
+/root/repo/target/debug/deps/pctl-db3711e2e296a9c3: src/bin/pctl.rs
+
+src/bin/pctl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pctl_bench-0bc95d9fad689fcb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpctl_bench-0bc95d9fad689fcb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpctl_bench-0bc95d9fad689fcb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

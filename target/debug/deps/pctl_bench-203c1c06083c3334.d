@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pctl_bench-203c1c06083c3334.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pctl_bench-203c1c06083c3334: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pctl_bench-88ac62fb8a672564.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pctl_bench-88ac62fb8a672564: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pctl_bench-8c8fb16bf290a654.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_bench-8c8fb16bf290a654.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pctl_bench-c93995817824935d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpctl_bench-c93995817824935d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpctl_bench-c93995817824935d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pctl_causality-0e7527464e5458c3.d: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+/root/repo/target/debug/deps/libpctl_causality-0e7527464e5458c3.rlib: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+/root/repo/target/debug/deps/libpctl_causality-0e7527464e5458c3.rmeta: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+crates/causality/src/lib.rs:
+crates/causality/src/graph.rs:
+crates/causality/src/ids.rs:
+crates/causality/src/lamport.rs:
+crates/causality/src/order.rs:
+crates/causality/src/vclock.rs:

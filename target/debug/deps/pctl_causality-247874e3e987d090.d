@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pctl_causality-247874e3e987d090.d: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_causality-247874e3e987d090.rmeta: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs Cargo.toml
+
+crates/causality/src/lib.rs:
+crates/causality/src/graph.rs:
+crates/causality/src/ids.rs:
+crates/causality/src/lamport.rs:
+crates/causality/src/order.rs:
+crates/causality/src/vclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pctl_causality-50ddf2e0e9ee80d1.d: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+/root/repo/target/debug/deps/pctl_causality-50ddf2e0e9ee80d1: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+crates/causality/src/lib.rs:
+crates/causality/src/graph.rs:
+crates/causality/src/ids.rs:
+crates/causality/src/lamport.rs:
+crates/causality/src/order.rs:
+crates/causality/src/vclock.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pctl_core-252e22730d6cb785.d: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libpctl_core-252e22730d6cb785.rlib: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libpctl_core-252e22730d6cb785.rmeta: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cnf_control.rs:
+crates/core/src/control.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/overlap.rs:
+crates/core/src/reduction.rs:
+crates/core/src/sat.rs:
+crates/core/src/sgsd.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pctl_core-760d868b0784c1be.d: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_core-760d868b0784c1be.rmeta: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cnf_control.rs:
+crates/core/src/control.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/online/ft.rs:
+crates/core/src/overlap.rs:
+crates/core/src/reduction.rs:
+crates/core/src/sat.rs:
+crates/core/src/sgsd.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pctl_core-fe9cd3d1b643e9bb.d: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/pctl_core-fe9cd3d1b643e9bb: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cnf_control.rs:
+crates/core/src/control.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/online/ft.rs:
+crates/core/src/overlap.rs:
+crates/core/src/reduction.rs:
+crates/core/src/sat.rs:
+crates/core/src/sgsd.rs:
+crates/core/src/verify.rs:

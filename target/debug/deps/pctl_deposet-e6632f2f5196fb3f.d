@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pctl_deposet-e6632f2f5196fb3f.d: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_deposet-e6632f2f5196fb3f.rmeta: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs Cargo.toml
+
+crates/deposet/src/lib.rs:
+crates/deposet/src/builder.rs:
+crates/deposet/src/dot.rs:
+crates/deposet/src/event.rs:
+crates/deposet/src/generator.rs:
+crates/deposet/src/global.rs:
+crates/deposet/src/intervals.rs:
+crates/deposet/src/lattice.rs:
+crates/deposet/src/model.rs:
+crates/deposet/src/predicate.rs:
+crates/deposet/src/scenarios.rs:
+crates/deposet/src/sequences.rs:
+crates/deposet/src/state.rs:
+crates/deposet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pctl_deposet-f594fab555422e0f.d: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs
+
+/root/repo/target/debug/deps/libpctl_deposet-f594fab555422e0f.rlib: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs
+
+/root/repo/target/debug/deps/libpctl_deposet-f594fab555422e0f.rmeta: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs
+
+crates/deposet/src/lib.rs:
+crates/deposet/src/builder.rs:
+crates/deposet/src/dot.rs:
+crates/deposet/src/event.rs:
+crates/deposet/src/generator.rs:
+crates/deposet/src/global.rs:
+crates/deposet/src/intervals.rs:
+crates/deposet/src/lattice.rs:
+crates/deposet/src/model.rs:
+crates/deposet/src/predicate.rs:
+crates/deposet/src/scenarios.rs:
+crates/deposet/src/sequences.rs:
+crates/deposet/src/state.rs:
+crates/deposet/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pctl_detect-6fd53ea2133a0bf6.d: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+/root/repo/target/debug/deps/libpctl_detect-6fd53ea2133a0bf6.rlib: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+/root/repo/target/debug/deps/libpctl_detect-6fd53ea2133a0bf6.rmeta: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/conjunctive.rs:
+crates/detect/src/lattice_check.rs:
+crates/detect/src/online_checker.rs:
+crates/detect/src/snapshot.rs:
+crates/detect/src/strong.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pctl_detect-7b98bee518dcfd06.d: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+/root/repo/target/debug/deps/pctl_detect-7b98bee518dcfd06: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/conjunctive.rs:
+crates/detect/src/lattice_check.rs:
+crates/detect/src/online_checker.rs:
+crates/detect/src/snapshot.rs:
+crates/detect/src/strong.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pctl_detect-c9ea9b71d08c36b2.d: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_detect-c9ea9b71d08c36b2.rmeta: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs Cargo.toml
+
+crates/detect/src/lib.rs:
+crates/detect/src/conjunctive.rs:
+crates/detect/src/lattice_check.rs:
+crates/detect/src/online_checker.rs:
+crates/detect/src/snapshot.rs:
+crates/detect/src/strong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pctl_mutex-214bcd791274b8c1.d: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/debug/deps/libpctl_mutex-214bcd791274b8c1.rlib: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/debug/deps/libpctl_mutex-214bcd791274b8c1.rmeta: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+crates/mutex/src/lib.rs:
+crates/mutex/src/antitoken.rs:
+crates/mutex/src/central.rs:
+crates/mutex/src/compare.rs:
+crates/mutex/src/driver.rs:
+crates/mutex/src/multi.rs:
+crates/mutex/src/suzuki.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pctl_mutex-57e809f0d4fe2e1f.d: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/debug/deps/pctl_mutex-57e809f0d4fe2e1f: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+crates/mutex/src/lib.rs:
+crates/mutex/src/antitoken.rs:
+crates/mutex/src/central.rs:
+crates/mutex/src/compare.rs:
+crates/mutex/src/driver.rs:
+crates/mutex/src/ft_antitoken.rs:
+crates/mutex/src/multi.rs:
+crates/mutex/src/suzuki.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pctl_mutex-5ffdd613a25be594.d: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_mutex-5ffdd613a25be594.rmeta: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs Cargo.toml
+
+crates/mutex/src/lib.rs:
+crates/mutex/src/antitoken.rs:
+crates/mutex/src/central.rs:
+crates/mutex/src/compare.rs:
+crates/mutex/src/driver.rs:
+crates/mutex/src/ft_antitoken.rs:
+crates/mutex/src/multi.rs:
+crates/mutex/src/suzuki.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pctl_mutex-af5c85c849719658.d: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/debug/deps/libpctl_mutex-af5c85c849719658.rlib: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/debug/deps/libpctl_mutex-af5c85c849719658.rmeta: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+crates/mutex/src/lib.rs:
+crates/mutex/src/antitoken.rs:
+crates/mutex/src/central.rs:
+crates/mutex/src/compare.rs:
+crates/mutex/src/driver.rs:
+crates/mutex/src/ft_antitoken.rs:
+crates/mutex/src/multi.rs:
+crates/mutex/src/suzuki.rs:

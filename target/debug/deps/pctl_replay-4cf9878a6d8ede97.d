@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pctl_replay-4cf9878a6d8ede97.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/debug/deps/pctl_replay-4cf9878a6d8ede97: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pctl_replay-81d19c3579dfaaf4.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/debug/deps/libpctl_replay-81d19c3579dfaaf4.rlib: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/debug/deps/libpctl_replay-81d19c3579dfaaf4.rmeta: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:

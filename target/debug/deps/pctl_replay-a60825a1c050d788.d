@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pctl_replay-a60825a1c050d788.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/debug/deps/libpctl_replay-a60825a1c050d788.rlib: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/debug/deps/libpctl_replay-a60825a1c050d788.rmeta: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pctl_replay-a7b5156e61663c24.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_replay-a7b5156e61663c24.rmeta: crates/replay/src/lib.rs crates/replay/src/reduction.rs Cargo.toml
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

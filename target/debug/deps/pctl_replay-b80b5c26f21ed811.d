@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pctl_replay-b80b5c26f21ed811.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/debug/deps/pctl_replay-b80b5c26f21ed811: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pctl_sim-040102e24f3e4e04.d: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpctl_sim-040102e24f3e4e04.rmeta: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pctl_sim-7006dfc808dc5290.d: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/pctl_sim-7006dfc808dc5290: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pctl_sim-7e89d7ee6073e5f7.d: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libpctl_sim-7e89d7ee6073e5f7.rlib: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libpctl_sim-7e89d7ee6073e5f7.rmeta: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:

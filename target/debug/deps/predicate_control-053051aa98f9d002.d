@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predicate_control-053051aa98f9d002.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpredicate_control-053051aa98f9d002.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpredicate_control-053051aa98f9d002.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/predicate_control-1e129ebc43822023.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpredicate_control-1e129ebc43822023.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpredicate_control-1e129ebc43822023.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicate_control-4ddfc38e165e2184.d: src/lib.rs
+
+/root/repo/target/debug/deps/predicate_control-4ddfc38e165e2184: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predicate_control-63b39e72b2c42ec1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredicate_control-63b39e72b2c42ec1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predicate_control-e8b0a69fd33387ff.d: src/lib.rs
+
+/root/repo/target/debug/deps/predicate_control-e8b0a69fd33387ff: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_integration-1024bfe7c9b4e567.d: tests/proptest_integration.rs
+
+/root/repo/target/debug/deps/proptest_integration-1024bfe7c9b4e567: tests/proptest_integration.rs
+
+tests/proptest_integration.rs:

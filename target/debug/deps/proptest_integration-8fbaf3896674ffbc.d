@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_integration-8fbaf3896674ffbc.d: tests/proptest_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_integration-8fbaf3896674ffbc.rmeta: tests/proptest_integration.rs Cargo.toml
+
+tests/proptest_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

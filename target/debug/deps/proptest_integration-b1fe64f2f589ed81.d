@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_integration-b1fe64f2f589ed81.d: tests/proptest_integration.rs
+
+/root/repo/target/debug/deps/proptest_integration-b1fe64f2f589ed81: tests/proptest_integration.rs
+
+tests/proptest_integration.rs:

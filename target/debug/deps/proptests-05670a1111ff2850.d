@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-05670a1111ff2850.d: crates/deposet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-05670a1111ff2850.rmeta: crates/deposet/tests/proptests.rs Cargo.toml
+
+crates/deposet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6d8233e282cb623d.d: crates/causality/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6d8233e282cb623d: crates/causality/tests/proptests.rs
+
+crates/causality/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a78d1c75414d10b2.d: crates/deposet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a78d1c75414d10b2: crates/deposet/tests/proptests.rs
+
+crates/deposet/tests/proptests.rs:

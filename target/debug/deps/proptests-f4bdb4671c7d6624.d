@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f4bdb4671c7d6624.d: crates/causality/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f4bdb4671c7d6624.rmeta: crates/causality/tests/proptests.rs Cargo.toml
+
+crates/causality/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

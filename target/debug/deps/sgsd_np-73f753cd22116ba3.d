@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgsd_np-73f753cd22116ba3.d: crates/bench/benches/sgsd_np.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgsd_np-73f753cd22116ba3.rmeta: crates/bench/benches/sgsd_np.rs Cargo.toml
+
+crates/bench/benches/sgsd_np.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

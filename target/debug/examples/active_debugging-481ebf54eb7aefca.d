@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/active_debugging-481ebf54eb7aefca.d: examples/active_debugging.rs Cargo.toml
+
+/root/repo/target/debug/examples/libactive_debugging-481ebf54eb7aefca.rmeta: examples/active_debugging.rs Cargo.toml
+
+examples/active_debugging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/active_debugging-6bfd4a91b1f273d5.d: examples/active_debugging.rs
+
+/root/repo/target/debug/examples/active_debugging-6bfd4a91b1f273d5: examples/active_debugging.rs
+
+examples/active_debugging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/active_debugging-d30006cbf59d33d1.d: examples/active_debugging.rs
+
+/root/repo/target/debug/examples/active_debugging-d30006cbf59d33d1: examples/active_debugging.rs
+
+examples/active_debugging.rs:

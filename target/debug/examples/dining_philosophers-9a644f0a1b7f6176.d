@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dining_philosophers-9a644f0a1b7f6176.d: examples/dining_philosophers.rs
+
+/root/repo/target/debug/examples/dining_philosophers-9a644f0a1b7f6176: examples/dining_philosophers.rs
+
+examples/dining_philosophers.rs:

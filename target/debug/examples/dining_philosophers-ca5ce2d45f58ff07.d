@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dining_philosophers-ca5ce2d45f58ff07.d: examples/dining_philosophers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdining_philosophers-ca5ce2d45f58ff07.rmeta: examples/dining_philosophers.rs Cargo.toml
+
+examples/dining_philosophers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dining_philosophers-e13ed1591b7a3250.d: examples/dining_philosophers.rs
+
+/root/repo/target/debug/examples/dining_philosophers-e13ed1591b7a3250: examples/dining_philosophers.rs
+
+examples/dining_philosophers.rs:

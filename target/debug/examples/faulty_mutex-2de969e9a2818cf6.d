@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/faulty_mutex-2de969e9a2818cf6.d: examples/faulty_mutex.rs
+
+/root/repo/target/debug/examples/faulty_mutex-2de969e9a2818cf6: examples/faulty_mutex.rs
+
+examples/faulty_mutex.rs:

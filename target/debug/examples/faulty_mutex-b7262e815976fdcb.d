@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/faulty_mutex-b7262e815976fdcb.d: examples/faulty_mutex.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfaulty_mutex-b7262e815976fdcb.rmeta: examples/faulty_mutex.rs Cargo.toml
+
+examples/faulty_mutex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutual_exclusion-27855a69ea552420.d: examples/mutual_exclusion.rs
+
+/root/repo/target/debug/examples/mutual_exclusion-27855a69ea552420: examples/mutual_exclusion.rs
+
+examples/mutual_exclusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutual_exclusion-83e300ebba8780fc.d: examples/mutual_exclusion.rs
+
+/root/repo/target/debug/examples/mutual_exclusion-83e300ebba8780fc: examples/mutual_exclusion.rs
+
+examples/mutual_exclusion.rs:

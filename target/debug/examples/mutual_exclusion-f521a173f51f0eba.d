@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mutual_exclusion-f521a173f51f0eba.d: examples/mutual_exclusion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmutual_exclusion-f521a173f51f0eba.rmeta: examples/mutual_exclusion.rs Cargo.toml
+
+examples/mutual_exclusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

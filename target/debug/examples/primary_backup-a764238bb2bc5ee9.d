@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/primary_backup-a764238bb2bc5ee9.d: examples/primary_backup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprimary_backup-a764238bb2bc5ee9.rmeta: examples/primary_backup.rs Cargo.toml
+
+examples/primary_backup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/primary_backup-b74b82c5806de82c.d: examples/primary_backup.rs
+
+/root/repo/target/debug/examples/primary_backup-b74b82c5806de82c: examples/primary_backup.rs
+
+examples/primary_backup.rs:

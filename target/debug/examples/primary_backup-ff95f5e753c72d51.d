@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/primary_backup-ff95f5e753c72d51.d: examples/primary_backup.rs
+
+/root/repo/target/debug/examples/primary_backup-ff95f5e753c72d51: examples/primary_backup.rs
+
+examples/primary_backup.rs:

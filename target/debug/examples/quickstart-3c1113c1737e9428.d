@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3c1113c1737e9428.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3c1113c1737e9428: examples/quickstart.rs
+
+examples/quickstart.rs:

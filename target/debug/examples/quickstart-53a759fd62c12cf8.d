@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-53a759fd62c12cf8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-53a759fd62c12cf8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_faults-836ddf09ac7d3f33.d: crates/bench/src/bin/fig3_faults.rs
+
+/root/repo/target/release/deps/fig3_faults-836ddf09ac7d3f33: crates/bench/src/bin/fig3_faults.rs
+
+crates/bench/src/bin/fig3_faults.rs:

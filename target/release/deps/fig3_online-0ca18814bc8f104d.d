@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_online-0ca18814bc8f104d.d: crates/bench/src/bin/fig3_online.rs
+
+/root/repo/target/release/deps/fig3_online-0ca18814bc8f104d: crates/bench/src/bin/fig3_online.rs
+
+crates/bench/src/bin/fig3_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pctl-58040a976e8132b1.d: src/bin/pctl.rs
+
+/root/repo/target/release/deps/pctl-58040a976e8132b1: src/bin/pctl.rs
+
+src/bin/pctl.rs:

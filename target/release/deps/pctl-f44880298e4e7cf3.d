@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pctl-f44880298e4e7cf3.d: src/bin/pctl.rs
+
+/root/repo/target/release/deps/pctl-f44880298e4e7cf3: src/bin/pctl.rs
+
+src/bin/pctl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pctl_bench-1c605ea1753a18a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpctl_bench-1c605ea1753a18a0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpctl_bench-1c605ea1753a18a0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

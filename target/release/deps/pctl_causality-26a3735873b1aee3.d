@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pctl_causality-26a3735873b1aee3.d: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+/root/repo/target/release/deps/libpctl_causality-26a3735873b1aee3.rlib: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+/root/repo/target/release/deps/libpctl_causality-26a3735873b1aee3.rmeta: crates/causality/src/lib.rs crates/causality/src/graph.rs crates/causality/src/ids.rs crates/causality/src/lamport.rs crates/causality/src/order.rs crates/causality/src/vclock.rs
+
+crates/causality/src/lib.rs:
+crates/causality/src/graph.rs:
+crates/causality/src/ids.rs:
+crates/causality/src/lamport.rs:
+crates/causality/src/order.rs:
+crates/causality/src/vclock.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pctl_core-98db596af1fef556.d: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libpctl_core-98db596af1fef556.rlib: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libpctl_core-98db596af1fef556.rmeta: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cnf_control.rs:
+crates/core/src/control.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/overlap.rs:
+crates/core/src/reduction.rs:
+crates/core/src/sat.rs:
+crates/core/src/sgsd.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pctl_core-f3fe82dbcb67f69d.d: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libpctl_core-f3fe82dbcb67f69d.rlib: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libpctl_core-f3fe82dbcb67f69d.rmeta: crates/core/src/lib.rs crates/core/src/cnf_control.rs crates/core/src/control.rs crates/core/src/offline.rs crates/core/src/online.rs crates/core/src/online/ft.rs crates/core/src/overlap.rs crates/core/src/reduction.rs crates/core/src/sat.rs crates/core/src/sgsd.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cnf_control.rs:
+crates/core/src/control.rs:
+crates/core/src/offline.rs:
+crates/core/src/online.rs:
+crates/core/src/online/ft.rs:
+crates/core/src/overlap.rs:
+crates/core/src/reduction.rs:
+crates/core/src/sat.rs:
+crates/core/src/sgsd.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/pctl_deposet-571b900bfbd71aa2.d: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs
+
+/root/repo/target/release/deps/libpctl_deposet-571b900bfbd71aa2.rlib: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs
+
+/root/repo/target/release/deps/libpctl_deposet-571b900bfbd71aa2.rmeta: crates/deposet/src/lib.rs crates/deposet/src/builder.rs crates/deposet/src/dot.rs crates/deposet/src/event.rs crates/deposet/src/generator.rs crates/deposet/src/global.rs crates/deposet/src/intervals.rs crates/deposet/src/lattice.rs crates/deposet/src/model.rs crates/deposet/src/predicate.rs crates/deposet/src/scenarios.rs crates/deposet/src/sequences.rs crates/deposet/src/state.rs crates/deposet/src/trace.rs
+
+crates/deposet/src/lib.rs:
+crates/deposet/src/builder.rs:
+crates/deposet/src/dot.rs:
+crates/deposet/src/event.rs:
+crates/deposet/src/generator.rs:
+crates/deposet/src/global.rs:
+crates/deposet/src/intervals.rs:
+crates/deposet/src/lattice.rs:
+crates/deposet/src/model.rs:
+crates/deposet/src/predicate.rs:
+crates/deposet/src/scenarios.rs:
+crates/deposet/src/sequences.rs:
+crates/deposet/src/state.rs:
+crates/deposet/src/trace.rs:

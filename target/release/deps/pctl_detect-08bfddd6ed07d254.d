@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pctl_detect-08bfddd6ed07d254.d: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+/root/repo/target/release/deps/libpctl_detect-08bfddd6ed07d254.rlib: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+/root/repo/target/release/deps/libpctl_detect-08bfddd6ed07d254.rmeta: crates/detect/src/lib.rs crates/detect/src/conjunctive.rs crates/detect/src/lattice_check.rs crates/detect/src/online_checker.rs crates/detect/src/snapshot.rs crates/detect/src/strong.rs
+
+crates/detect/src/lib.rs:
+crates/detect/src/conjunctive.rs:
+crates/detect/src/lattice_check.rs:
+crates/detect/src/online_checker.rs:
+crates/detect/src/snapshot.rs:
+crates/detect/src/strong.rs:

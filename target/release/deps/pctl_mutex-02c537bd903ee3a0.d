@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pctl_mutex-02c537bd903ee3a0.d: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/release/deps/libpctl_mutex-02c537bd903ee3a0.rlib: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/release/deps/libpctl_mutex-02c537bd903ee3a0.rmeta: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+crates/mutex/src/lib.rs:
+crates/mutex/src/antitoken.rs:
+crates/mutex/src/central.rs:
+crates/mutex/src/compare.rs:
+crates/mutex/src/driver.rs:
+crates/mutex/src/multi.rs:
+crates/mutex/src/suzuki.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pctl_mutex-b5e601d15dc0935a.d: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/release/deps/libpctl_mutex-b5e601d15dc0935a.rlib: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+/root/repo/target/release/deps/libpctl_mutex-b5e601d15dc0935a.rmeta: crates/mutex/src/lib.rs crates/mutex/src/antitoken.rs crates/mutex/src/central.rs crates/mutex/src/compare.rs crates/mutex/src/driver.rs crates/mutex/src/ft_antitoken.rs crates/mutex/src/multi.rs crates/mutex/src/suzuki.rs
+
+crates/mutex/src/lib.rs:
+crates/mutex/src/antitoken.rs:
+crates/mutex/src/central.rs:
+crates/mutex/src/compare.rs:
+crates/mutex/src/driver.rs:
+crates/mutex/src/ft_antitoken.rs:
+crates/mutex/src/multi.rs:
+crates/mutex/src/suzuki.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pctl_replay-9fb54e0f98f817ac.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/release/deps/libpctl_replay-9fb54e0f98f817ac.rlib: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/release/deps/libpctl_replay-9fb54e0f98f817ac.rmeta: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:

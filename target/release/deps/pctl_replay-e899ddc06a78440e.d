@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pctl_replay-e899ddc06a78440e.d: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/release/deps/libpctl_replay-e899ddc06a78440e.rlib: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+/root/repo/target/release/deps/libpctl_replay-e899ddc06a78440e.rmeta: crates/replay/src/lib.rs crates/replay/src/reduction.rs
+
+crates/replay/src/lib.rs:
+crates/replay/src/reduction.rs:

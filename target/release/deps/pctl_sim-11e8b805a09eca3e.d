@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pctl_sim-11e8b805a09eca3e.d: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libpctl_sim-11e8b805a09eca3e.rlib: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libpctl_sim-11e8b805a09eca3e.rmeta: crates/sim/src/lib.rs crates/sim/src/faults.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/time.rs:

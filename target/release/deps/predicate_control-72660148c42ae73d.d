@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predicate_control-72660148c42ae73d.d: src/lib.rs
+
+/root/repo/target/release/deps/libpredicate_control-72660148c42ae73d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpredicate_control-72660148c42ae73d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/predicate_control-929c8b227f200e4a.d: src/lib.rs
+
+/root/repo/target/release/deps/libpredicate_control-929c8b227f200e4a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpredicate_control-929c8b227f200e4a.rmeta: src/lib.rs
+
+src/lib.rs:

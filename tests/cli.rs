@@ -25,9 +25,21 @@ fn full_session_through_the_cli() {
 
     // gen
     let out = pctl(&[
-        "gen", "--workload", "cs", "--processes", "3", "--sections", "4", "--seed", "11",
+        "gen",
+        "--workload",
+        "cs",
+        "--processes",
+        "3",
+        "--sections",
+        "4",
+        "--seed",
+        "11",
     ]);
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::write(&trace, &out.stdout).unwrap();
 
     // info
@@ -38,7 +50,12 @@ fn full_session_through_the_cli() {
     assert!(info.contains("vars {cs}"), "{info}");
 
     // detect: overlapping critical sections exist in this workload
-    let out = pctl(&["detect", trace.to_str().unwrap(), "--at-least-one-not", "cs"]);
+    let out = pctl(&[
+        "detect",
+        trace.to_str().unwrap(),
+        "--at-least-one-not",
+        "cs",
+    ]);
     assert!(out.status.success());
     assert!(
         String::from_utf8_lossy(&out.stdout).contains("VIOLATION possible"),
@@ -46,8 +63,17 @@ fn full_session_through_the_cli() {
     );
 
     // control
-    let out = pctl(&["control", trace.to_str().unwrap(), "--at-least-one-not", "cs"]);
-    assert!(out.status.success(), "control failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = pctl(&[
+        "control",
+        trace.to_str().unwrap(),
+        "--at-least-one-not",
+        "cs",
+    ]);
+    assert!(
+        out.status.success(),
+        "control failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::write(&control, &out.stdout).unwrap();
 
     // verify
@@ -59,7 +85,11 @@ fn full_session_through_the_cli() {
         "--at-least-one-not",
         "cs",
     ]);
-    assert!(out.status.success(), "verify failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "verify failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
 
     // replay under control: bug gone
@@ -71,7 +101,11 @@ fn full_session_through_the_cli() {
         "--at-least-one-not",
         "cs",
     ]);
-    assert!(out.status.success(), "replay failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("completed=true faithful=true"), "{text}");
     assert!(text.contains("satisfies the property"), "{text}");
@@ -87,7 +121,10 @@ fn full_session_through_the_cli() {
     assert!(out.status.success());
     let dotsrc = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(dotsrc.contains("digraph deposet"), "{dotsrc}");
-    assert!(dotsrc.contains("style=dashed"), "control edge rendered: {dotsrc}");
+    assert!(
+        dotsrc.contains("style=dashed"),
+        "control edge rendered: {dotsrc}"
+    );
 
     let _ = std::fs::remove_file(trace);
     let _ = std::fs::remove_file(control);
@@ -98,13 +135,29 @@ fn cli_reports_infeasibility_cleanly() {
     // A 1-process trace where the variable is never true — infeasible.
     let trace = tmpfile("bad.json");
     let out = pctl(&[
-        "gen", "--workload", "random", "--processes", "2", "--events", "10", "--seed", "3",
+        "gen",
+        "--workload",
+        "random",
+        "--processes",
+        "2",
+        "--events",
+        "10",
+        "--seed",
+        "3",
     ]);
     assert!(out.status.success());
     std::fs::write(&trace, &out.stdout).unwrap();
     // 'never' is unset everywhere ⇒ at-least-one never ⇒ infeasible.
-    let out = pctl(&["control", trace.to_str().unwrap(), "--at-least-one", "never"]);
-    assert!(!out.status.success(), "expected failure for an infeasible property");
+    let out = pctl(&[
+        "control",
+        trace.to_str().unwrap(),
+        "--at-least-one",
+        "never",
+    ]);
+    assert!(
+        !out.status.success(),
+        "expected failure for an infeasible property"
+    );
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("no controller exists"),
         "{}",

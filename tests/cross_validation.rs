@@ -11,10 +11,22 @@ use predicate_control::prelude::*;
 
 fn all_opts() -> Vec<OfflineOptions> {
     vec![
-        OfflineOptions { policy: SelectPolicy::First, engine: Engine::Optimized },
-        OfflineOptions { policy: SelectPolicy::First, engine: Engine::Naive },
-        OfflineOptions { policy: SelectPolicy::Random { seed: 5 }, engine: Engine::Optimized },
-        OfflineOptions { policy: SelectPolicy::Random { seed: 5 }, engine: Engine::Naive },
+        OfflineOptions {
+            policy: SelectPolicy::First,
+            engine: Engine::Optimized,
+        },
+        OfflineOptions {
+            policy: SelectPolicy::First,
+            engine: Engine::Naive,
+        },
+        OfflineOptions {
+            policy: SelectPolicy::Random { seed: 5 },
+            engine: Engine::Optimized,
+        },
+        OfflineOptions {
+            policy: SelectPolicy::Random { seed: 5 },
+            engine: Engine::Naive,
+        },
     ]
 }
 
@@ -22,7 +34,12 @@ fn all_opts() -> Vec<OfflineOptions> {
 fn offline_algorithm_agrees_with_oracle_on_random_traces() {
     for seed in 0..25u64 {
         let dep = random_deposet(
-            &RandomConfig { processes: 3, events: 16, send_prob: 0.35, flip_prob: 0.45 },
+            &RandomConfig {
+                processes: 3,
+                events: 16,
+                send_prob: 0.35,
+                flip_prob: 0.45,
+            },
             seed,
         );
         let pred = DisjunctivePredicate::at_least_one(3, "ok");
@@ -39,7 +56,12 @@ fn offline_algorithm_agrees_with_oracle_on_random_traces() {
 fn every_feasible_random_instance_verifies_exhaustively() {
     for seed in 0..25u64 {
         let dep = random_deposet(
-            &RandomConfig { processes: 3, events: 18, send_prob: 0.3, flip_prob: 0.4 },
+            &RandomConfig {
+                processes: 3,
+                events: 18,
+                send_prob: 0.3,
+                flip_prob: 0.4,
+            },
             seed,
         );
         let pred = DisjunctivePredicate::at_least_one(3, "ok");
@@ -60,23 +82,32 @@ fn infeasibility_certificates_are_genuine_overlaps() {
     let mut found = 0;
     for seed in 0..60u64 {
         let dep = random_deposet(
-            &RandomConfig { processes: 3, events: 14, send_prob: 0.5, flip_prob: 0.5 },
+            &RandomConfig {
+                processes: 3,
+                events: 14,
+                send_prob: 0.5,
+                flip_prob: 0.5,
+            },
             seed,
         );
         let pred = DisjunctivePredicate::at_least_one(3, "ok");
-        if let Err(inf) =
-            control_disjunctive(&dep, &pred, OfflineOptions::default())
-        {
+        if let Err(inf) = control_disjunctive(&dep, &pred, OfflineOptions::default()) {
             found += 1;
             assert!(is_overlapping(&dep, &inf.witness), "seed {seed}");
             // And no satisfying interleaving exists (exhaustive).
             let p2 = pred.clone();
-            let seq = find_satisfying_interleaving(&dep, 3_000_000, move |d, g| p2.eval(d, g))
-                .unwrap();
-            assert!(seq.is_none(), "seed {seed}: certificate for a feasible instance");
+            let seq =
+                find_satisfying_interleaving(&dep, 3_000_000, move |d, g| p2.eval(d, g)).unwrap();
+            assert!(
+                seq.is_none(),
+                "seed {seed}: certificate for a feasible instance"
+            );
         }
     }
-    assert!(found >= 3, "workload too easy: only {found} infeasible instances");
+    assert!(
+        found >= 3,
+        "workload too easy: only {found} infeasible instances"
+    );
 }
 
 #[test]
@@ -91,8 +122,7 @@ fn strong_detector_matches_control_feasibility() {
         };
         let dep = pipelined_workload(&cfg, seed);
         let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
-        let infeasible =
-            control_disjunctive(&dep, &pred, OfflineOptions::default()).is_err();
+        let infeasible = control_disjunctive(&dep, &pred, OfflineOptions::default()).is_err();
         let overlap = definitely_all_false(&dep, &pred).is_some();
         assert_eq!(infeasible, overlap, "seed {seed}");
     }
@@ -104,7 +134,12 @@ fn weak_detector_agrees_with_verification_failure() {
     // finds one, verification of the empty relation must fail at some cut.
     for seed in 0..25u64 {
         let dep = random_deposet(
-            &RandomConfig { processes: 3, events: 15, send_prob: 0.3, flip_prob: 0.4 },
+            &RandomConfig {
+                processes: 3,
+                events: 15,
+                send_prob: 0.3,
+                flip_prob: 0.4,
+            },
             seed,
         );
         let pred = DisjunctivePredicate::at_least_one(3, "ok");

@@ -15,8 +15,8 @@ fn figure4_full_cycle() {
     // bug1 detectable at exactly G and H.
     let first = detect_disjunctive_violation(c1, &fig.availability).unwrap();
     assert_eq!(first, fig.g);
-    let all = lattice::find_all_consistent(c1, 100_000, |d, g| !fig.availability.eval(d, g))
-        .unwrap();
+    let all =
+        lattice::find_all_consistent(c1, 100_000, |d, g| !fig.availability.eval(d, g)).unwrap();
     assert_eq!(all, vec![fig.g.clone(), fig.h.clone()]);
 
     // C2: availability control removes G and H, keeps e ∥ f.
@@ -31,7 +31,10 @@ fn figure4_full_cycle() {
     let rp = replay(c1, &rel_avail, &ReplayConfig::default());
     assert!(rp.completed());
     assert!(rp.fidelity(c1));
-    assert_eq!(detect_disjunctive_violation(rp.deposet(), &fig.availability), None);
+    assert_eq!(
+        detect_disjunctive_violation(rp.deposet(), &fig.availability),
+        None
+    );
 
     // C3/C4: ordering control; the single control message travels in the
     // event *producing* e (i.e. "from e to f" in the paper's event
@@ -50,8 +53,7 @@ fn figure4_survives_trace_serialization() {
     let fig = replicated_servers();
     let json = trace::to_json(&fig.deposet);
     let reloaded = trace::from_json(&json).unwrap();
-    let rel =
-        control_disjunctive(&reloaded, &fig.availability, OfflineOptions::default()).unwrap();
+    let rel = control_disjunctive(&reloaded, &fig.availability, OfflineOptions::default()).unwrap();
     verify_disjunctive(&reloaded, &fig.availability, &rel, 100_000).unwrap();
     let rp = replay(&reloaded, &rel, &ReplayConfig::default());
     assert!(rp.completed() && rp.fidelity(&reloaded));
@@ -101,7 +103,10 @@ fn replayed_trace_can_be_debugged_again() {
     let second = rp.deposet();
     // The availability predicate arity matches (same process count).
     assert_eq!(second.process_count(), 3);
-    assert_eq!(detect_disjunctive_violation(second, &fig.availability), None);
+    assert_eq!(
+        detect_disjunctive_violation(second, &fig.availability),
+        None
+    );
     // Controlling an already-safe computation yields a verifiable (possibly
     // empty) relation.
     let rel2 = control_disjunctive(second, &fig.availability, OfflineOptions::default())

@@ -23,11 +23,21 @@ fn scripts(n: usize, phases: usize) -> Vec<Vec<Phase>> {
 #[test]
 fn online_strategy_safe_across_policies_sizes_and_delays() {
     for n in [2usize, 3, 5, 8] {
-        for select in [PeerSelect::NextInRing, PeerSelect::Random, PeerSelect::Broadcast] {
-            for (seed, delay) in [(0u64, DelayModel::Fixed(5)), (1, DelayModel::Uniform { min: 1, max: 20 })]
-            {
+        for select in [
+            PeerSelect::NextInRing,
+            PeerSelect::Random,
+            PeerSelect::Broadcast,
+        ] {
+            for (seed, delay) in [
+                (0u64, DelayModel::Fixed(5)),
+                (1, DelayModel::Uniform { min: 1, max: 20 }),
+            ] {
                 let procs = phased_system(n, scripts(n, 4), select);
-                let cfg = SimConfig { seed, delay, ..SimConfig::default() };
+                let cfg = SimConfig {
+                    seed,
+                    delay,
+                    ..SimConfig::default()
+                };
                 let r = Simulation::new(cfg, procs).run();
                 assert!(!r.deadlocked(), "n={n} {select:?} seed={seed}");
                 let all_false: Vec<LocalPredicate> =
@@ -48,7 +58,11 @@ fn online_traces_can_be_recontrolled_offline() {
     // on the produced deposet. The predicate already holds, so the offline
     // answer must be feasible and its output must verify.
     let procs = phased_system(3, scripts(3, 3), PeerSelect::NextInRing);
-    let cfg = SimConfig { seed: 3, delay: DelayModel::Fixed(5), ..SimConfig::default() };
+    let cfg = SimConfig {
+        seed: 3,
+        delay: DelayModel::Fixed(5),
+        ..SimConfig::default()
+    };
     let r = Simulation::new(cfg, procs).run();
     let pred = DisjunctivePredicate::at_least_one(3, "ok");
     let rel = control_disjunctive(&r.deposet, &pred, OfflineOptions::default())
@@ -61,15 +75,24 @@ fn impossibility_without_a1_but_safety_never_broken() {
     // Theorem 3's boundary: violating A1 (a process stays false forever)
     // deadlocks the strategy — but the strategy fails *safe*.
     let scripts = vec![
-        vec![Phase { true_len: 40, false_len: Some(10) }],
-        vec![Phase { true_len: 8, false_len: None }], // violates A1
+        vec![Phase {
+            true_len: 40,
+            false_len: Some(10),
+        }],
+        vec![Phase {
+            true_len: 8,
+            false_len: None,
+        }], // violates A1
     ];
     let procs = phased_system(2, scripts, PeerSelect::NextInRing);
-    let cfg = SimConfig { seed: 0, delay: DelayModel::Fixed(5), ..SimConfig::default() };
+    let cfg = SimConfig {
+        seed: 0,
+        delay: DelayModel::Fixed(5),
+        ..SimConfig::default()
+    };
     let r = Simulation::new(cfg, procs).run();
     assert!(r.deadlocked());
-    let all_false: Vec<LocalPredicate> =
-        (0..2).map(|_| LocalPredicate::not_var("ok")).collect();
+    let all_false: Vec<LocalPredicate> = (0..2).map(|_| LocalPredicate::not_var("ok")).collect();
     assert_eq!(possibly_conjunction(&r.deposet, &all_false), None);
 }
 
@@ -95,7 +118,10 @@ fn mutex_algorithms_all_safe_and_comparable() {
         // The headline comparison: anti-token strictly cheapest in messages.
         let anti = reports.iter().find(|r| r.algo == "anti-token").unwrap();
         let central = reports.iter().find(|r| r.algo == "centralized").unwrap();
-        let suzuki = reports.iter().find(|r| r.algo == "suzuki-kasami-k").unwrap();
+        let suzuki = reports
+            .iter()
+            .find(|r| r.algo == "suzuki-kasami-k")
+            .unwrap();
         assert!(anti.msgs_per_entry < central.msgs_per_entry, "seed {seed}");
         assert!(anti.msgs_per_entry < suzuki.msgs_per_entry, "seed {seed}");
     }

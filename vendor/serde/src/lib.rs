@@ -1,0 +1,362 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal serialization framework with the same *surface* the codebase
+//! uses: `Serialize`/`Deserialize` traits, `#[derive(Serialize,
+//! Deserialize)]`, `#[serde(transparent)]`, and Option-skipping field
+//! semantics. Instead of serde's visitor architecture it uses a simple
+//! value tree ([`value::Value`]), which the vendored `serde_json` renders
+//! and parses. Round-trips are self-consistent; byte compatibility with
+//! upstream serde_json is not a goal (nothing in the repo depends on it).
+//!
+//! Field semantics implemented by the derive:
+//! * struct fields serializing to [`value::Value::Null`] (i.e. `None`
+//!   options) are omitted from objects, and absent fields deserialize from
+//!   `Null` — together these subsume `#[serde(default,
+//!   skip_serializing_if = "Option::is_none")]` on `Option` fields;
+//! * `#[serde(transparent)]` on single-field structs delegates to the
+//!   field;
+//! * enums use the externally-tagged representation: `"Unit"`,
+//!   `{"Newtype": v}`, `{"Struct": {..}}`, `{"Tuple": [..]}`.
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization failure: a human-readable path + expectation message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Error for a type mismatch.
+    pub fn expected(what: &str, ty: &str, got: &Value) -> Self {
+        DeError(format!("expected {what} for {ty}, got {}", got.kind()))
+    }
+
+    /// Prefix the error with a field/variant context.
+    pub fn context(self, ctx: &str) -> Self {
+        DeError(format!("{ctx}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- helpers used by generated code ----
+
+/// Look up `key` in an object's entries; absent keys read as `Null` (which
+/// `Option` fields accept as `None`).
+pub fn field<T: Deserialize>(entries: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    let v = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .unwrap_or(Value::Null);
+    if matches!(v, Value::Null) && !entries.iter().any(|(k, _)| k == key) {
+        // Distinguish "absent" from "present null" only in the error text.
+        return T::from_value(&Value::Null)
+            .map_err(|e| e.context(&format!("missing field `{key}`")));
+    }
+    T::from_value(&v).map_err(|e| e.context(&format!("field `{key}`")))
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::Int(i) if i >= 0 => <$t>::try_from(i as u64)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError::expected("unsigned integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => i64::try_from(u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError::expected("integer", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    ref other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.context(k))?)))
+                .collect(),
+            other => Err(DeError::expected("object", "BTreeMap", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple array", "tuple", other)),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Some(3u32).to_value(), Value::UInt(3));
+    }
+
+    #[test]
+    fn cross_numeric_coercions() {
+        assert_eq!(u64::from_value(&Value::Int(5)), Ok(5));
+        assert_eq!(i64::from_value(&Value::UInt(5)), Ok(5));
+        assert_eq!(f64::from_value(&Value::Int(2)), Ok(2.0));
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        m.insert("b".to_string(), -2i64);
+        assert_eq!(BTreeMap::<String, i64>::from_value(&m.to_value()), Ok(m));
+    }
+}

@@ -1,0 +1,438 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the input item with `proc_macro` directly (no `syn`/`quote`
+//! available offline) and emits source text, which is re-parsed into a
+//! `TokenStream`. Supports the shapes this workspace derives on: named and
+//! tuple structs (newtype structs delegate to the inner field, matching
+//! upstream serde), enums with unit/newtype/tuple/struct variants, and the
+//! `#[serde(transparent)]` attribute. Other `#[serde(...)]` attributes are
+//! accepted and ignored because the uniform field rules (skip `Null` on
+//! serialize, absent ⇒ `Null` on deserialize) already give `Option` fields
+//! the `default` + `skip_serializing_if` behavior the workspace asks for.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Parsed shape of the deriving item.
+struct Input {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- input parsing ----
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+    while is_punct(toks.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            transparent |= attr_mentions(g.stream(), "transparent");
+        }
+        i += 2;
+    }
+    i = skip_vis(&toks, i);
+    let kw = ident(&toks, i);
+    let name = ident(&toks, i + 1);
+    i += 2;
+    // No generics in this workspace's derives; bail loudly if they appear.
+    if is_punct(toks.get(i), '<') {
+        panic!("vendored serde_derive does not support generic types (on `{name}`)");
+    }
+    let data = match kw.as_str() {
+        "struct" => Data::Struct(parse_struct_body(&toks, i, &name)),
+        "enum" => Data::Enum(parse_enum_body(&toks, i, &name)),
+        other => panic!("derive on unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        transparent,
+        data,
+    }
+}
+
+fn parse_struct_body(toks: &[TokenTree], i: usize, name: &str) -> Fields {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("unexpected struct body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_enum_body(toks: &[TokenTree], i: usize, name: &str) -> Vec<Variant> {
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("unexpected enum body for `{name}`: {other:?}"),
+    };
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2; // attribute: `#` + bracket group
+        }
+        let vname = ident(&toks, i);
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip anything up to the variant separator (covers discriminants).
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+    }
+    variants
+}
+
+/// Field names of a `{ .. }` body; types are skipped (angle-bracket aware
+/// so `BTreeMap<String, u64>` does not split a field in two).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        i = skip_vis(&toks, i);
+        names.push(ident(&toks, i));
+        i += 1; // name
+        i += 1; // `:`
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // `,` (or end)
+    }
+    names
+}
+
+/// Arity of a `( .. )` body: count depth-0 comma-separated segments.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn attr_mentions(attr: TokenStream, word: &str) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn ident(toks: &[TokenTree], i: usize) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+// ---- code generation ----
+
+/// Push statements that serialize named fields (available as expressions via
+/// `$access`) into a `Vec<(String, Value)>` named `entries`, skipping `Null`s.
+fn push_named_entries(out: &mut String, fields: &[String], access: &dyn Fn(&str) -> String) {
+    out.push_str("let mut entries: Vec<(String, ::serde::value::Value)> = Vec::new();\n");
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "let v = ::serde::Serialize::to_value(&{});\n\
+             if !matches!(v, ::serde::value::Value::Null) {{ entries.push((\"{f}\".to_string(), v)); }}",
+            access(f)
+        );
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::Struct(Fields::Unit) => body.push_str("::serde::value::Value::Null"),
+        Data::Struct(Fields::Tuple(1)) => {
+            // Newtype structs delegate to the inner value (upstream default,
+            // and what #[serde(transparent)] asks for).
+            body.push_str("::serde::Serialize::to_value(&self.0)");
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            body.push_str("::serde::value::Value::Array(vec![");
+            for i in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            body.push_str("])");
+        }
+        Data::Struct(Fields::Named(fields)) if input.transparent => {
+            let _ = write!(body, "::serde::Serialize::to_value(&self.{})", fields[0]);
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            push_named_entries(&mut body, fields, &|f| format!("self.{f}"));
+            body.push_str("::serde::value::Value::Object(entries)");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn} => ::serde::value::Value::String(\"{vn}\".to_string()),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vn}(f0) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Array(vec![",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = write!(body, "::serde::Serialize::to_value({b}),");
+                        }
+                        body.push_str("])) ]),\n");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = writeln!(body, "{name}::{vn} {{ {} }} => {{", fields.join(", "));
+                        push_named_entries(&mut body, fields, &|f| f.to_string());
+                        let _ = writeln!(
+                            body,
+                            "::serde::value::Value::Object(vec![(\"{vn}\".to_string(), ::serde::value::Value::Object(entries))]) }}"
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_inits(fields: &[String], ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let _ = writeln!(
+            out,
+            "{f}: ::serde::field(entries, \"{f}\").map_err(|e| e.context(\"{ctx}\"))?,"
+        );
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::Struct(Fields::Unit) => {
+            let _ = write!(body, "{{ let _ = v; Ok({name}) }}");
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            let _ = write!(body, "::serde::Deserialize::from_value(v).map({name})");
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let _ = write!(
+                body,
+                "match v {{\n\
+                     ::serde::value::Value::Array(items) if items.len() == {n} => Ok({name}("
+            );
+            for i in 0..*n {
+                let _ = write!(body, "::serde::Deserialize::from_value(&items[{i}])?,");
+            }
+            let _ = write!(
+                body,
+                ")),\n\
+                 other => Err(::serde::DeError::expected(\"{n}-element array\", \"{name}\", other)),\n}}"
+            );
+        }
+        Data::Struct(Fields::Named(fields)) if input.transparent => {
+            let _ = write!(
+                body,
+                "Ok({name} {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                fields[0]
+            );
+        }
+        Data::Struct(Fields::Named(fields)) => {
+            let _ = write!(
+                body,
+                "match v {{\n\
+                     ::serde::value::Value::Object(entries) => Ok({name} {{\n{}}}),\n\
+                     other => Err(::serde::DeError::expected(\"object\", \"{name}\", other)),\n}}",
+                named_field_inits(fields, name)
+            );
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ctx = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = writeln!(
+                            payload_arms,
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(payload).map_err(|e| e.context(\"{ctx}\"))?)),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let _ = write!(
+                            payload_arms,
+                            "\"{vn}\" => match payload {{\n\
+                                 ::serde::value::Value::Array(items) if items.len() == {n} => Ok({name}::{vn}("
+                        );
+                        for i in 0..*n {
+                            let _ = write!(
+                                payload_arms,
+                                "::serde::Deserialize::from_value(&items[{i}]).map_err(|e| e.context(\"{ctx}\"))?,"
+                            );
+                        }
+                        let _ = writeln!(
+                            payload_arms,
+                            ")),\n\
+                             other => Err(::serde::DeError::expected(\"{n}-element array\", \"{ctx}\", other)),\n}},"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let _ = writeln!(
+                            payload_arms,
+                            "\"{vn}\" => match payload {{\n\
+                                 ::serde::value::Value::Object(entries) => Ok({name}::{vn} {{\n{}}}),\n\
+                                 other => Err(::serde::DeError::expected(\"object\", \"{ctx}\", other)),\n}},",
+                            named_field_inits(fields, &ctx)
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "match v {{\n\
+                     ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => Err(::serde::DeError(format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::value::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {payload_arms}\
+                             other => Err(::serde::DeError(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\", other)),\n}}"
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored
+//! `serde` crate's [`Value`] tree as JSON text.
+//!
+//! Guarantees the workspace relies on:
+//! * output is deterministic (object entries keep the order the serializer
+//!   produced them in), so equal values give byte-equal strings;
+//! * `from_str(&to_string(&v))` round-trips every value the workspace's
+//!   derives produce.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::value::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn at(msg: impl Into<String>, pos: usize) -> Self {
+        Error(format!("{} at byte {pos}", msg.into()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at("trailing characters", p.pos));
+    }
+    T::from_value(&v).map_err(|e| Error(e.0))
+}
+
+// ---- writer ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/inf; degrade to null like a lossy printer would.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep a decimal point so the value reparses as a float.
+        let _ = fmt::Write::write_fmt(out, format_args!("{x:.1}"));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::at("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::at(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", start))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::at("invalid float", start))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::at("integer overflow", start))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::at("integer overflow", start))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // Surrogate pair: expect a trailing \uXXXX.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::at("invalid surrogate pair", self.pos))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::at("invalid \\u escape", self.pos))?
+                            };
+                            s.push(c);
+                            continue; // parse_hex4 already advanced
+                        }
+                        _ => return Err(Error::at("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::at("invalid UTF-8", self.pos))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        if self.bytes.len() < start + 4 {
+            return Err(Error::at("truncated \\u escape", start));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..start + 4])
+            .map_err(|_| Error::at("invalid \\u escape", start))?;
+        let cp =
+            u32::from_str_radix(text, 16).map_err(|_| Error::at("invalid \\u escape", start))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let compact = to_string(v).unwrap();
+        let parsed: Value = from_str(&compact).unwrap();
+        assert_eq!(&parsed, v, "compact roundtrip of {compact}");
+        let pretty = to_string_pretty(v).unwrap();
+        let parsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(&parsed, v, "pretty roundtrip of {pretty}");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::UInt(18_446_744_073_709_551_615));
+        roundtrip(&Value::Int(-42));
+        roundtrip(&Value::Float(1.5));
+        roundtrip(&Value::Float(3.0));
+        roundtrip(&Value::String("he\"llo\n\\ wörld \u{0007}".to_string()));
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(&Value::Array(vec![]));
+        roundtrip(&Value::Object(vec![]));
+        roundtrip(&Value::Object(vec![
+            (
+                "a".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Int(-2)]),
+            ),
+            (
+                "b".to_string(),
+                Value::Object(vec![("x".to_string(), Value::Null)]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn integral_float_keeps_decimal_point() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        let back: f64 = from_str("3.0").unwrap();
+        assert_eq!(back, 3.0);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Value::Object(vec![
+            ("z".to_string(), Value::UInt(1)),
+            ("a".to_string(), Value::UInt(2)),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+}
