@@ -50,6 +50,7 @@ fn main() {
         "ctrl msgs",
         "msgs/entry",
         "resp mean",
+        "resp p50/p95/p99",
         "max conc",
         "fully safe",
     ]);
@@ -83,10 +84,13 @@ fn main() {
             );
             safe += u64::from(report.fully_safe());
         }
-        let rmean = if responses.is_empty() {
-            0.0
-        } else {
-            responses.iter().sum::<u64>() as f64 / responses.len() as f64
+        let mut agg = pctl_sim::Metrics::default();
+        for &v in &responses {
+            agg.record("response", v);
+        }
+        let (rmean, rpcts) = match agg.summary("response") {
+            Some(s) => (s.mean, format!("{}/{}/{}", s.p50, s.p95, s.p99)),
+            None => (0.0, "-".to_string()),
         };
         table.row(vec![
             cell(drop_pct),
@@ -96,6 +100,7 @@ fn main() {
             cell(ctrl),
             cell(format!("{:.3}", ctrl as f64 / entries as f64)),
             cell(format!("{rmean:.1}")),
+            cell(rpcts),
             cell(conc),
             cell(format!("{safe}/{SEEDS}")),
         ]);

@@ -31,6 +31,7 @@ fn main() {
         "msgs per n entries",
         "resp min",
         "resp mean",
+        "resp p50/p95/p99",
         "resp max",
         "2T",
         "2T+Emax",
@@ -55,15 +56,21 @@ fn main() {
             ctrl += r.metrics.counter("msgs_ctrl");
             responses.extend(r.metrics.samples("response"));
         }
-        let handover_resp: Vec<u64> = responses.iter().copied().filter(|&r| r > 0).collect();
-        let (rmin, rmax) = (
-            handover_resp.iter().min().copied().unwrap_or(0),
-            handover_resp.iter().max().copied().unwrap_or(0),
-        );
-        let rmean = if handover_resp.is_empty() {
-            0.0
-        } else {
-            handover_resp.iter().sum::<u64>() as f64 / handover_resp.len() as f64
+        // Handover responses only (free entries respond instantly); a
+        // Metrics registry computes the nearest-rank percentiles.
+        let mut agg = pctl_sim::Metrics::default();
+        for v in responses.iter().copied().filter(|&r| r > 0) {
+            agg.record("response", v);
+        }
+        let s = agg.summary("response");
+        let (rmin, rmean, rpcts, rmax) = match s {
+            Some(s) => (
+                s.min,
+                s.mean,
+                format!("{}/{}/{}", s.p50, s.p95, s.p99),
+                s.max,
+            ),
+            None => (0, 0.0, "-".to_string(), 0),
         };
         table.row(vec![
             cell(n),
@@ -73,6 +80,7 @@ fn main() {
             cell(format!("{:.2}", ctrl as f64 * n as f64 / entries as f64)),
             cell(rmin),
             cell(format!("{rmean:.1}")),
+            cell(rpcts),
             cell(rmax),
             cell(2 * delay),
             cell(2 * delay + e_max),

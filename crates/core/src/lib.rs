@@ -38,7 +38,7 @@ pub mod verify;
 
 pub use control::{ControlError, ControlRelation, ControlledDeposet};
 pub use offline::{
-    control_disjunctive, control_intervals, Engine, Infeasible, OfflineOptions, OfflineStats,
-    SelectPolicy,
+    control_disjunctive, control_disjunctive_traced, control_intervals, control_intervals_traced,
+    Engine, Infeasible, OfflineOptions, OfflineStats, SelectPolicy,
 };
 pub use sgsd::{sgsd, SgsdOutcome};

@@ -30,9 +30,11 @@
 
 use crate::control::ControlRelation;
 use pctl_deposet::{Deposet, DisjunctivePredicate, FalseIntervals, Interval, ProcessId, StateId};
+use pctl_obs::{Event, EventKind, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::time::Instant;
 
 /// How `select()` resolves ties among valid pairs (the paper leaves it as
 /// "randomly selected"; correctness is policy-independent).
@@ -103,14 +105,81 @@ pub struct OfflineStats {
     pub advances: usize,
 }
 
+/// Engine-side telemetry: spans and counters on a synthetic lane one past
+/// the computation's processes, stamped with wall-clock microseconds since
+/// the engine started (the offline algorithm runs outside simulated time).
+struct EngineTrace<'r> {
+    rec: &'r mut dyn Recorder,
+    lane: u32,
+    epoch: Instant,
+}
+
+impl<'r> EngineTrace<'r> {
+    fn new(rec: &'r mut dyn Recorder, dep: &Deposet) -> Self {
+        EngineTrace {
+            rec,
+            lane: dep.process_count() as u32,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn ts(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn span(&mut self, name: &str, kind: EventKind) {
+        if self.rec.enabled() {
+            self.rec.record(Event {
+                ts: self.ts(),
+                lane: self.lane,
+                name: name.to_owned(),
+                kind,
+                clock: None,
+            });
+        }
+    }
+
+    fn begin(&mut self, name: &str) {
+        self.span(name, EventKind::SpanBegin);
+    }
+
+    fn end(&mut self, name: &str) {
+        self.span(name, EventKind::SpanEnd);
+    }
+
+    fn instant(&mut self, name: &str) {
+        self.span(name, EventKind::Instant);
+    }
+
+    fn counter(&mut self, name: &str, value: i64) {
+        self.span(name, EventKind::Counter { value });
+    }
+}
+
 /// Run the off-line algorithm on `dep` for disjunctive predicate `pred`.
 pub fn control_disjunctive(
     dep: &Deposet,
     pred: &DisjunctivePredicate,
     opts: OfflineOptions,
 ) -> Result<ControlRelation, Infeasible> {
+    control_disjunctive_traced(dep, pred, opts, &mut NullRecorder)
+}
+
+/// [`control_disjunctive`] with engine telemetry: per-phase spans
+/// (`interval_scan`, `chain_construction`, `overlap_check`) and operation
+/// counters land in `rec` on a synthetic lane after the process lanes.
+pub fn control_disjunctive_traced(
+    dep: &Deposet,
+    pred: &DisjunctivePredicate,
+    opts: OfflineOptions,
+    rec: &mut dyn Recorder,
+) -> Result<ControlRelation, Infeasible> {
+    let mut tr = EngineTrace::new(rec, dep);
+    tr.begin("interval_scan");
     let intervals = FalseIntervals::extract(dep, pred);
-    control_intervals(dep, &intervals, opts).0
+    tr.end("interval_scan");
+    tr.counter("false_intervals", intervals.total() as i64);
+    control_intervals_impl(dep, &intervals, opts, &mut tr).0
 }
 
 /// Run on pre-extracted false intervals, also returning operation counts.
@@ -119,8 +188,38 @@ pub fn control_intervals(
     intervals: &FalseIntervals,
     opts: OfflineOptions,
 ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+    control_intervals_traced(dep, intervals, opts, &mut NullRecorder)
+}
+
+/// [`control_intervals`] with engine telemetry (see
+/// [`control_disjunctive_traced`]).
+pub fn control_intervals_traced(
+    dep: &Deposet,
+    intervals: &FalseIntervals,
+    opts: OfflineOptions,
+    rec: &mut dyn Recorder,
+) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+    let mut tr = EngineTrace::new(rec, dep);
+    control_intervals_impl(dep, intervals, opts, &mut tr)
+}
+
+fn control_intervals_impl(
+    dep: &Deposet,
+    intervals: &FalseIntervals,
+    opts: OfflineOptions,
+    tr: &mut EngineTrace<'_>,
+) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
     let mut run = Run::new(dep, intervals, opts);
-    let outcome = run.execute();
+    tr.begin("chain_construction");
+    let outcome = run.execute(tr);
+    tr.end("chain_construction");
+    tr.counter("iterations", run.stats.iterations as i64);
+    tr.counter("pair_checks", run.stats.pair_checks as i64);
+    tr.counter("advances", run.stats.advances as i64);
+    match &outcome {
+        Ok(rel) => tr.counter("control_tuples", rel.len() as i64),
+        Err(_) => tr.instant("infeasible"),
+    }
     (outcome, run.stats)
 }
 
@@ -416,7 +515,7 @@ impl<'a> Run<'a> {
         changed
     }
 
-    fn execute(&mut self) -> Result<ControlRelation, Infeasible> {
+    fn execute(&mut self, tr: &mut EngineTrace<'_>) -> Result<ControlRelation, Infeasible> {
         let n = self.cur.len();
         // Seed the optimized candidate set once (O(n²)).
         if self.opts.engine == Engine::Optimized {
@@ -439,6 +538,7 @@ impl<'a> Run<'a> {
             let Some((k_new, l)) = pair else {
                 // L2–L3: no valid pair ⇒ the residual next-intervals form an
                 // overlapping set (Lemma 2 / [12]).
+                tr.begin("overlap_check");
                 let witness: Vec<Interval> = (0..n)
                     .map(|i| *self.n_interval(i).expect("loop guard"))
                     .collect();
@@ -446,6 +546,7 @@ impl<'a> Run<'a> {
                     crate::overlap::is_overlapping(self.dep, &witness),
                     "infeasibility witness must overlap"
                 );
+                tr.end("overlap_check");
                 return Err(Infeasible { witness });
             };
             self.stats.iterations += 1;

@@ -284,7 +284,10 @@ impl PhasedProcess {
         for a in actions {
             match a {
                 CtrlAction::Send { to, msg } => ctx.send(to, msg),
-                CtrlAction::Grant => self.enter_false(ctx),
+                CtrlAction::Grant => {
+                    ctx.trace_end("blocked");
+                    self.enter_false(ctx);
+                }
             }
         }
     }
@@ -323,7 +326,15 @@ impl Process<CtrlMsg> for PhasedProcess {
     }
 
     fn on_message(&mut self, _from: ProcessId, msg: CtrlMsg, ctx: &mut Ctx<'_, CtrlMsg>) {
+        let had_role = self.ctrl.is_scapegoat();
         let actions = self.ctrl.on_message(msg);
+        if ctx.recording() && self.ctrl.is_scapegoat() != had_role {
+            ctx.trace_instant(if self.ctrl.is_scapegoat() {
+                "scapegoat_acquired"
+            } else {
+                "scapegoat_released"
+            });
+        }
         self.apply(actions, ctx);
     }
 
@@ -339,12 +350,19 @@ impl Process<CtrlMsg> for PhasedProcess {
             let peers = self.peers(ctx);
             match self.ctrl.request_false(&peers) {
                 FalsifyDecision::Granted => self.enter_false(ctx),
-                FalsifyDecision::Blocked(actions) => self.apply(actions, ctx),
+                FalsifyDecision::Blocked(actions) => {
+                    ctx.trace_begin("blocked");
+                    self.apply(actions, ctx);
+                }
             }
         } else {
             // End of a false phase: recover.
             ctx.step(&[("ok", 1)]);
+            let had_role = self.ctrl.is_scapegoat();
             let actions = self.ctrl.notify_true();
+            if ctx.recording() && !had_role && self.ctrl.is_scapegoat() {
+                ctx.trace_instant("scapegoat_acquired");
+            }
             self.apply(actions, ctx);
             self.begin_next_phase(ctx);
         }

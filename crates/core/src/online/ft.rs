@@ -573,7 +573,10 @@ impl FtPhasedProcess {
         for a in actions {
             match a {
                 FtAction::Send { to, msg } => ctx.send(to, msg),
-                FtAction::Grant => self.enter_false(ctx),
+                FtAction::Grant => {
+                    ctx.trace_end("blocked");
+                    self.enter_false(ctx);
+                }
                 FtAction::Arm { kind, delay } => {
                     if self.finished {
                         // A finished process stops its chains so the run
@@ -622,11 +625,15 @@ impl FtPhasedProcess {
                     .count();
                 if sends > 0 {
                     ctx.count("retransmissions", sends as u64);
+                    ctx.trace_instant("retransmit");
                 }
             }
             FtTimerKind::Watchdog => {
                 if !was_scapegoat && self.ctrl.is_scapegoat() {
                     ctx.count("regenerations", 1);
+                    ctx.trace_instant("watchdog_regenerated");
+                } else if ctx.recording() && !self.ctrl.is_scapegoat() {
+                    ctx.trace_instant("watchdog_tick");
                 }
             }
             FtTimerKind::Heartbeat => {}
@@ -644,7 +651,15 @@ impl Process<FtMsg> for FtPhasedProcess {
     }
 
     fn on_message(&mut self, _from: ProcessId, msg: FtMsg, ctx: &mut Ctx<'_, FtMsg>) {
+        let had_role = self.ctrl.is_scapegoat();
         let actions = self.ctrl.on_message(msg);
+        if ctx.recording() && self.ctrl.is_scapegoat() != had_role {
+            ctx.trace_instant(if self.ctrl.is_scapegoat() {
+                "scapegoat_acquired"
+            } else {
+                "scapegoat_released"
+            });
+        }
         self.apply(actions, ctx);
     }
 
@@ -666,11 +681,18 @@ impl Process<FtMsg> for FtPhasedProcess {
             let peers = self.peers(ctx);
             match self.ctrl.request_false(&peers) {
                 FtDecision::Granted => self.enter_false(ctx),
-                FtDecision::Blocked(actions) => self.apply(actions, ctx),
+                FtDecision::Blocked(actions) => {
+                    ctx.trace_begin("blocked");
+                    self.apply(actions, ctx);
+                }
             }
         } else {
             ctx.step(&[("ok", 1)]);
+            let had_role = self.ctrl.is_scapegoat();
             let actions = self.ctrl.notify_true();
+            if ctx.recording() && !had_role && self.ctrl.is_scapegoat() {
+                ctx.trace_instant("scapegoat_acquired");
+            }
             self.apply(actions, ctx);
             self.begin_next_phase(ctx);
         }
@@ -680,6 +702,11 @@ impl Process<FtMsg> for FtPhasedProcess {
         // All pre-crash timers are stale; forget their routing.
         self.ctrl_timers.clear();
         self.requested_at = None;
+        // A crash may have interrupted an open "blocked" span; close it so
+        // the exported timeline stays balanced.
+        if self.ctrl.is_blocked() {
+            ctx.trace_end("blocked");
+        }
         // Come back predicate-true before sending anything (acks must be
         // sent from a true state), then rejoin as a scapegoat.
         if ctx.var("ok") == Some(0) {
@@ -688,6 +715,7 @@ impl Process<FtMsg> for FtPhasedProcess {
         let actions = self.ctrl.rejoin();
         self.apply(actions, ctx);
         ctx.count("rejoins", 1);
+        ctx.trace_instant("rejoin");
         if self.finished {
             ctx.set_done();
         } else {

@@ -67,7 +67,15 @@ impl Process<CtrlMsg> for AntiTokenProcess {
     }
 
     fn on_message(&mut self, _from: ProcessId, msg: CtrlMsg, ctx: &mut Ctx<'_, CtrlMsg>) {
+        let had_role = self.ctrl.is_scapegoat();
         let actions = self.ctrl.on_message(msg);
+        if ctx.recording() && self.ctrl.is_scapegoat() != had_role {
+            ctx.trace_instant(if self.ctrl.is_scapegoat() {
+                "scapegoat_acquired"
+            } else {
+                "scapegoat_released"
+            });
+        }
         self.apply(actions, ctx);
     }
 
@@ -98,6 +106,16 @@ impl Process<CtrlMsg> for AntiTokenProcess {
 
 /// Run the anti-token workload; `k = n − 1`.
 pub fn run_antitoken(cfg: &WorkloadConfig, select: PeerSelect) -> SimResult {
+    run_antitoken_recorded(cfg, select, Box::new(pctl_sim::NullRecorder))
+}
+
+/// [`run_antitoken`] with a telemetry recorder attached; the recorder
+/// comes back in [`SimResult::recorder`] after the run flushes it.
+pub fn run_antitoken_recorded(
+    cfg: &WorkloadConfig,
+    select: PeerSelect,
+    recorder: Box<dyn pctl_sim::Recorder>,
+) -> SimResult {
     let n = cfg.processes;
     assert!(n >= 2);
     let procs: Vec<Box<dyn Process<CtrlMsg>>> = (0..n)
@@ -111,7 +129,7 @@ pub fn run_antitoken(cfg: &WorkloadConfig, select: PeerSelect) -> SimResult {
         delay: DelayModel::Fixed(cfg.delay),
         ..SimConfig::default()
     };
-    Simulation::new(sim_cfg, procs).run()
+    Simulation::with_recorder(sim_cfg, procs, recorder).run()
 }
 
 #[cfg(test)]

@@ -95,6 +95,7 @@ impl Driver {
         debug_assert_eq!(self.phase, Phase::Thinking);
         self.phase = Phase::Waiting;
         self.requested_at = Some(ctx.now());
+        ctx.trace_begin("wait");
     }
 
     /// Enter the critical section (algorithm granted access).
@@ -104,6 +105,8 @@ impl Driver {
         if let Some(at) = self.requested_at.take() {
             ctx.record("response", ctx.now().since(at));
         }
+        ctx.trace_end("wait");
+        ctx.trace_begin("cs");
         ctx.count("entries", 1);
         ctx.step(&[("cs", 1)]);
         let me = ctx.me().index();
@@ -116,6 +119,7 @@ impl Driver {
     /// the algorithm's release path, then this restarts thinking.
     pub fn exit_cs<M: Payload>(&mut self, ctx: &mut Ctx<'_, M>) {
         debug_assert_eq!(self.phase, Phase::InCs);
+        ctx.trace_end("cs");
         ctx.step(&[("cs", 0)]);
         let me = ctx.me().index();
         ctx.record(&format!("exit_p{me}"), ctx.now().0);
@@ -133,6 +137,9 @@ impl Driver {
     pub fn on_restart<M: Payload>(&mut self, ctx: &mut Ctx<'_, M>) {
         match self.phase {
             Phase::InCs => {
+                // Close the span the crash interrupted so exported
+                // timelines stay balanced.
+                ctx.trace_end("cs");
                 ctx.step(&[("cs", 0)]);
                 let me = ctx.me().index();
                 ctx.record(&format!("exit_p{me}"), ctx.now().0);
@@ -141,6 +148,7 @@ impl Driver {
                 self.start_thinking(ctx);
             }
             Phase::Waiting => {
+                ctx.trace_end("wait");
                 self.requested_at = None;
                 self.start_thinking(ctx);
             }

@@ -27,10 +27,10 @@ pub mod ft_antitoken;
 pub mod multi;
 pub mod suzuki;
 
-pub use antitoken::run_antitoken;
+pub use antitoken::{run_antitoken, run_antitoken_recorded};
 pub use central::run_central;
 pub use compare::{compare_all, compare_at_k, AlgoReport};
 pub use driver::{max_concurrent, WorkloadConfig};
-pub use ft_antitoken::run_ft_antitoken;
+pub use ft_antitoken::{run_ft_antitoken, run_ft_antitoken_recorded};
 pub use multi::run_multi_antitoken;
 pub use suzuki::run_suzuki;

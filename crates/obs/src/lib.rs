@@ -1,0 +1,40 @@
+//! Causal tracing and telemetry for the predicate-control workspace.
+//!
+//! Every controller in this repository — the offline Figure-2 engine, the
+//! online scapegoat protocols, the fault-injecting simulator, the replay
+//! harness — can emit a structured stream of [`Event`]s through a
+//! [`Recorder`]. The stream is *itself causally ordered*: events carry the
+//! emitting lane (process), a monotonic timestamp, and (for simulated
+//! distributed runs) a Fidge–Mattern vector-clock annotation, so the
+//! telemetry of a distributed run can be audited with the same
+//! happened-before machinery the paper applies to the computation it
+//! debugs.
+//!
+//! Three sinks cover the use cases:
+//!
+//! * [`NullRecorder`] — disabled; instrumented code pays one branch. Used
+//!   by default everywhere so the fault-free fast path of the simulator
+//!   stays bit-identical to the uninstrumented build.
+//! * [`RingRecorder`] — bounded in-memory buffer (drop-oldest), for tests
+//!   and for post-run export.
+//! * [`JsonlRecorder`] — streams one JSON object per line to any
+//!   `io::Write`; [`jsonl::parse`] reads the log back.
+//!
+//! [`chrome`] renders an event log (or, via [`timeline`], a raw deposet)
+//! as Chrome `trace_event` JSON: open the file in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev) to see process lanes, message and
+//! control arrows, and predicate truth intervals.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod event;
+pub mod jsonl;
+pub mod recorder;
+pub mod stats;
+pub mod timeline;
+
+pub use event::{Event, EventKind};
+pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};
+pub use stats::EventStats;

@@ -1,0 +1,253 @@
+//! Aggregate statistics over an event log — the engine behind `pctl stats`.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Percentile summary of a duration/value series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean, rounded down.
+    pub mean: u64,
+    /// 50th percentile (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile (nearest-rank).
+    pub p95: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+/// Nearest-rank percentile over a sorted slice: the smallest sample with at
+/// least `p`% of the distribution at or below it.
+pub fn nearest_rank(sorted: &[u64], p: u32) -> u64 {
+    assert!(!sorted.is_empty() && (1..=100).contains(&p));
+    let rank = (sorted.len() as u64 * p as u64).div_ceil(100) as usize;
+    sorted[rank - 1]
+}
+
+impl Percentiles {
+    /// Summarize a series; returns `None` when empty.
+    pub fn of(samples: &[u64]) -> Option<Percentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let sum: u64 = sorted.iter().sum();
+        Some(Percentiles {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            mean: sum / sorted.len() as u64,
+            p50: nearest_rank(&sorted, 50),
+            p95: nearest_rank(&sorted, 95),
+            p99: nearest_rank(&sorted, 99),
+        })
+    }
+}
+
+impl fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={} p50={} p95={} p99={} max={}",
+            self.count, self.min, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Statistics extracted from an event log.
+#[derive(Clone, Debug, Default)]
+pub struct EventStats {
+    /// Total events by kind tag (`instant`, `span`, `counter`, `send`,
+    /// `recv`).
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Instant occurrences by name.
+    pub instants: BTreeMap<String, u64>,
+    /// Completed span durations by name (`end.ts − begin.ts`, per lane,
+    /// innermost-first).
+    pub span_durations: BTreeMap<String, Vec<u64>>,
+    /// Span begins left unmatched at end of log.
+    pub open_spans: u64,
+    /// Delivered messages by name, with send→recv latency when the matching
+    /// send is in the log.
+    pub msg_latencies: BTreeMap<String, Vec<u64>>,
+    /// Sends whose flow id never saw a recv (dropped or still in flight).
+    pub unmatched_sends: u64,
+    /// Events per lane.
+    pub per_lane: BTreeMap<u32, u64>,
+}
+
+impl EventStats {
+    /// Scan an event log.
+    pub fn from_events(events: &[Event]) -> EventStats {
+        let mut st = EventStats::default();
+        // (lane, name) → stack of begin timestamps.
+        let mut open: BTreeMap<(u32, String), Vec<u64>> = BTreeMap::new();
+        // flow id → send timestamp.
+        let mut sends: BTreeMap<u64, u64> = BTreeMap::new();
+        for ev in events {
+            *st.per_lane.entry(ev.lane).or_default() += 1;
+            match &ev.kind {
+                EventKind::Instant => {
+                    *st.by_kind.entry("instant").or_default() += 1;
+                    *st.instants.entry(ev.name.clone()).or_default() += 1;
+                }
+                EventKind::SpanBegin => {
+                    *st.by_kind.entry("span").or_default() += 1;
+                    open.entry((ev.lane, ev.name.clone()))
+                        .or_default()
+                        .push(ev.ts);
+                }
+                EventKind::SpanEnd => {
+                    match open.get_mut(&(ev.lane, ev.name.clone())).and_then(Vec::pop) {
+                        Some(begin) => st
+                            .span_durations
+                            .entry(ev.name.clone())
+                            .or_default()
+                            .push(ev.ts.saturating_sub(begin)),
+                        None => st.open_spans += 1, // end without begin
+                    }
+                }
+                EventKind::Counter { .. } => {
+                    *st.by_kind.entry("counter").or_default() += 1;
+                }
+                EventKind::MsgSend { id, .. } => {
+                    *st.by_kind.entry("send").or_default() += 1;
+                    sends.insert(*id, ev.ts);
+                }
+                EventKind::MsgRecv { id, .. } => {
+                    *st.by_kind.entry("recv").or_default() += 1;
+                    if let Some(sent) = sends.remove(id) {
+                        st.msg_latencies
+                            .entry(ev.name.clone())
+                            .or_default()
+                            .push(ev.ts.saturating_sub(sent));
+                    }
+                }
+            }
+        }
+        st.open_spans += open.values().map(|v| v.len() as u64).sum::<u64>();
+        st.unmatched_sends = sends.len() as u64;
+        st
+    }
+
+    /// Human-readable report (the `pctl stats` output).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("events by kind:\n");
+        for (kind, n) in &self.by_kind {
+            out.push_str(&format!("  {kind:<8} {n}\n"));
+        }
+        out.push_str("events by lane:\n");
+        for (lane, n) in &self.per_lane {
+            out.push_str(&format!("  lane {lane:<4} {n}\n"));
+        }
+        if !self.instants.is_empty() {
+            out.push_str("instants:\n");
+            for (name, n) in &self.instants {
+                out.push_str(&format!("  {name:<24} {n}\n"));
+            }
+        }
+        if !self.span_durations.is_empty() {
+            out.push_str("span durations:\n");
+            for (name, samples) in &self.span_durations {
+                if let Some(p) = Percentiles::of(samples) {
+                    out.push_str(&format!("  {name:<24} {p}\n"));
+                }
+            }
+        }
+        if !self.msg_latencies.is_empty() {
+            out.push_str("message latencies:\n");
+            for (name, samples) in &self.msg_latencies {
+                if let Some(p) = Percentiles::of(samples) {
+                    out.push_str(&format!("  {name:<24} {p}\n"));
+                }
+            }
+        }
+        if self.open_spans > 0 {
+            out.push_str(&format!("open/unmatched spans: {}\n", self.open_spans));
+        }
+        if self.unmatched_sends > 0 {
+            out.push_str(&format!("sends without a recv: {}\n", self.unmatched_sends));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&s, 50), 50);
+        assert_eq!(nearest_rank(&s, 95), 95);
+        assert_eq!(nearest_rank(&s, 99), 99);
+        assert_eq!(nearest_rank(&s, 100), 100);
+        assert_eq!(nearest_rank(&[7], 50), 7);
+        assert_eq!(nearest_rank(&[1, 2], 50), 1);
+    }
+
+    #[test]
+    fn spans_and_latencies_are_paired() {
+        let events = vec![
+            Event {
+                ts: 10,
+                lane: 0,
+                name: "cs".into(),
+                kind: EventKind::SpanBegin,
+                clock: None,
+            },
+            Event {
+                ts: 12,
+                lane: 1,
+                name: "req".into(),
+                kind: EventKind::MsgSend { id: 1, to: 0 },
+                clock: None,
+            },
+            Event {
+                ts: 17,
+                lane: 0,
+                name: "req".into(),
+                kind: EventKind::MsgRecv { id: 1, from: 1 },
+                clock: None,
+            },
+            Event {
+                ts: 25,
+                lane: 0,
+                name: "cs".into(),
+                kind: EventKind::SpanEnd,
+                clock: None,
+            },
+            Event {
+                ts: 30,
+                lane: 1,
+                name: "req".into(),
+                kind: EventKind::MsgSend { id: 2, to: 0 },
+                clock: None,
+            },
+        ];
+        let st = EventStats::from_events(&events);
+        assert_eq!(st.span_durations["cs"], vec![15]);
+        assert_eq!(st.msg_latencies["req"], vec![5]);
+        assert_eq!(st.unmatched_sends, 1);
+        assert_eq!(st.open_spans, 0);
+        let report = st.report();
+        assert!(report.contains("sends without a recv: 1"), "{report}");
+    }
+
+    #[test]
+    fn percentiles_of_empty_is_none() {
+        assert!(Percentiles::of(&[]).is_none());
+        let p = Percentiles::of(&[4, 2, 9]).unwrap();
+        assert_eq!((p.min, p.max, p.mean, p.p50), (2, 9, 5, 4));
+    }
+}

@@ -213,6 +213,7 @@ impl ReplayProcess {
             ctx.set_timer(self.step_delay);
         } else {
             ctx.count("replay_stalls", 1);
+            ctx.trace_instant("replay_stall");
         }
     }
 }
@@ -300,6 +301,21 @@ impl ReplayOutcome {
 /// # Panics
 /// Panics if `control` references states outside `original`.
 pub fn replay(original: &Deposet, control: &ControlRelation, cfg: &ReplayConfig) -> ReplayOutcome {
+    replay_recorded(original, control, cfg, Box::new(pctl_sim::NullRecorder))
+}
+
+/// [`replay`] with a telemetry recorder attached: every replayed message,
+/// variable step, and stall is recorded, and the recorder comes back in
+/// [`SimResult::recorder`] (snapshot it or flush to its sink).
+///
+/// # Panics
+/// Panics if `control` references states outside `original`.
+pub fn replay_recorded(
+    original: &Deposet,
+    control: &ControlRelation,
+    cfg: &ReplayConfig,
+    recorder: Box<dyn pctl_sim::Recorder>,
+) -> ReplayOutcome {
     let mut scripts: Vec<Script> = original
         .processes()
         .map(|p| Script {
@@ -369,7 +385,7 @@ pub fn replay(original: &Deposet, control: &ControlRelation, cfg: &ReplayConfig)
         max_events: 10_000_000,
         ..SimConfig::default()
     };
-    let sim = Simulation::new(sim_cfg, procs).run();
+    let sim = Simulation::with_recorder(sim_cfg, procs, recorder).run();
     ReplayOutcome {
         sim,
         enforced_tuples: control.len(),

@@ -24,3 +24,7 @@ pub use time::SimTime;
 
 // Re-export ids for downstream convenience.
 pub use pctl_deposet::ProcessId;
+
+// Re-export the telemetry surface so simulation users don't need a direct
+// pctl-obs dependency to attach a recorder.
+pub use pctl_obs::{Event, EventKind, JsonlRecorder, NullRecorder, Recorder, RingRecorder};

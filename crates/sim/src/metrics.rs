@@ -1,4 +1,5 @@
-//! Simulation metrics: named counters and latency samples.
+//! Simulation metrics: a registry of named counters (plain and labeled),
+//! gauges, and sample series with percentile summaries.
 //!
 //! The benchmark harness reads these to reproduce the paper's analytic
 //! claims (control messages per critical-section entry, response-time
@@ -12,6 +13,8 @@ use std::collections::BTreeMap;
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     samples: BTreeMap<String, Vec<u64>>,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    gauges: BTreeMap<String, i64>,
 }
 
 /// Summary statistics over one sample series.
@@ -25,6 +28,20 @@ pub struct Summary {
     pub max: u64,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Median (nearest-rank 50th percentile).
+    pub p50: u64,
+    /// Nearest-rank 95th percentile.
+    pub p95: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+}
+
+/// Nearest-rank percentile (`1 ≤ p ≤ 100`) over a sorted, non-empty slice:
+/// the smallest sample with at least `p`% of the distribution at or below
+/// it.
+fn nearest_rank(sorted: &[u64], p: u32) -> u64 {
+    let rank = (sorted.len() as u64 * u64::from(p)).div_ceil(100) as usize;
+    sorted[rank - 1]
 }
 
 impl Metrics {
@@ -33,9 +50,35 @@ impl Metrics {
         *self.counters.entry(name.to_owned()).or_insert(0) += by;
     }
 
+    /// Increment a labeled counter: the registry key is `name{label}`, so
+    /// e.g. `add_labeled("retransmissions", "p2", 1)` tracks
+    /// `retransmissions{p2}` separately from the plain total.
+    pub fn add_labeled(&mut self, name: &str, label: &str, by: u64) {
+        *self
+            .counters
+            .entry(format!("{name}{{{label}}}"))
+            .or_insert(0) += by;
+    }
+
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a labeled counter (see [`Metrics::add_labeled`]).
+    pub fn counter_labeled(&self, name: &str, label: &str) -> u64 {
+        self.counter(&format!("{name}{{{label}}}"))
+    }
+
+    /// Set gauge `name` to `value` (last write wins; unlike counters, a
+    /// gauge tracks a level — queue depth, processes blocked, tokens held).
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Current value of gauge `name`, or `None` if never set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
     }
 
     /// Record one latency/size sample under `name`.
@@ -54,17 +97,17 @@ impl Metrics {
         if s.is_empty() {
             return None;
         }
-        let (mut min, mut max, mut sum) = (u64::MAX, 0u64, 0u128);
-        for &v in s {
-            min = min.min(v);
-            max = max.max(v);
-            sum += u128::from(v);
-        }
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        let sum: u128 = sorted.iter().map(|&v| u128::from(v)).sum();
         Some(Summary {
-            count: s.len(),
-            min,
-            max,
-            mean: sum as f64 / s.len() as f64,
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            mean: sum as f64 / sorted.len() as f64,
+            p50: nearest_rank(&sorted, 50),
+            p95: nearest_rank(&sorted, 95),
+            p99: nearest_rank(&sorted, 99),
         })
     }
 
@@ -78,8 +121,21 @@ impl Metrics {
         self.samples.keys().map(String::as_str)
     }
 
+    /// All gauge names (sorted).
+    pub fn gauge_names(&self) -> impl Iterator<Item = &str> {
+        self.gauges.keys().map(String::as_str)
+    }
+
+    /// `(name, summary)` for every sample series, in name order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, Summary)> {
+        self.samples
+            .keys()
+            .filter_map(|k| Some((k.as_str(), self.summary(k)?)))
+    }
+
     /// Merge another run's metrics into this one (for aggregation across
-    /// seeds).
+    /// seeds). Counters add, samples concatenate, gauges take the other
+    /// run's final level.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -89,6 +145,9 @@ impl Metrics {
                 .entry(k.clone())
                 .or_default()
                 .extend_from_slice(v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
         }
     }
 
@@ -153,7 +212,45 @@ mod tests {
         assert_eq!(s.min, 10);
         assert_eq!(s.max, 30);
         assert!((s.mean - 20.0).abs() < 1e-9);
+        assert_eq!(s.p50, 20);
+        assert_eq!(s.p95, 30);
+        assert_eq!(s.p99, 30);
         assert!(m.summary("nothing").is_none());
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut m = Metrics::default();
+        for v in 1..=100 {
+            m.record("lat", v);
+        }
+        let s = m.summary("lat").unwrap();
+        assert_eq!((s.p50, s.p95, s.p99), (50, 95, 99));
+        // Single sample: every percentile is that sample.
+        let mut one = Metrics::default();
+        one.record("x", 7);
+        let s = one.summary("x").unwrap();
+        assert_eq!((s.p50, s.p95, s.p99), (7, 7, 7));
+    }
+
+    #[test]
+    fn gauges_hold_levels_and_labeled_counters_split() {
+        let mut m = Metrics::default();
+        assert_eq!(m.gauge("depth"), None);
+        m.set_gauge("depth", 3);
+        m.set_gauge("depth", 1);
+        assert_eq!(m.gauge("depth"), Some(1));
+        m.add_labeled("retransmissions", "p0", 2);
+        m.add_labeled("retransmissions", "p1", 1);
+        assert_eq!(m.counter_labeled("retransmissions", "p0"), 2);
+        assert_eq!(m.counter_labeled("retransmissions", "p1"), 1);
+        assert_eq!(m.counter("retransmissions"), 0, "labels are separate keys");
+        assert_eq!(m.gauge_names().collect::<Vec<_>>(), vec!["depth"]);
+
+        let mut other = Metrics::default();
+        other.set_gauge("depth", 9);
+        m.merge(&other);
+        assert_eq!(m.gauge("depth"), Some(9), "merge takes the later level");
     }
 
     #[test]

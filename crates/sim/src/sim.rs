@@ -16,7 +16,9 @@
 use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::time::SimTime;
+use pctl_causality::VectorClock;
 use pctl_deposet::{Deposet, DeposetBuilder, MsgToken, ProcessId};
+use pctl_obs::{Event, EventKind, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
@@ -139,6 +141,9 @@ pub struct SimResult {
     pub done: Vec<bool>,
     /// Why the run stopped.
     pub stopped: StopReason,
+    /// The telemetry sink the run recorded into (a [`NullRecorder`] unless
+    /// the simulation was built with [`Simulation::with_recorder`]).
+    pub recorder: Box<dyn Recorder>,
 }
 
 impl SimResult {
@@ -146,6 +151,11 @@ impl SimResult {
     /// deadlock (or a process that simply never finishes its script).
     pub fn deadlocked(&self) -> bool {
         self.stopped == StopReason::Quiescent && !self.done.iter().all(|&d| d)
+    }
+
+    /// Snapshot of the recorded telemetry (empty for null/streaming sinks).
+    pub fn events(&self) -> Vec<Event> {
+        self.recorder.snapshot()
     }
 }
 
@@ -155,6 +165,11 @@ enum Action<M> {
         dst: ProcessId,
         msg: M,
         token: MsgToken,
+        // Telemetry-only fields: the flow id pairing this delivery with its
+        // send event, and the sender's vector clock at the send (present
+        // only when recording).
+        flow: u64,
+        clock: Option<VectorClock>,
     },
     // `inc` pins the timer to the incarnation that set it, so timers armed
     // before a crash never fire into the restarted incarnation.
@@ -213,6 +228,13 @@ struct Inner<M> {
     faulty: bool,
     down: Vec<bool>,
     incarnation: Vec<u32>,
+    // Telemetry. `rec` is a NullRecorder unless the run asked for tracing;
+    // `clocks` (live Fidge–Mattern clocks, one per process) and `next_flow`
+    // are only advanced while recording, so a disabled recorder leaves the
+    // run bit-identical — none of this ever touches `rng`/`frng`.
+    rec: Box<dyn Recorder>,
+    clocks: Vec<VectorClock>,
+    next_flow: u64,
 }
 
 /// Seed offset separating the fault stream from the main stream.
@@ -225,8 +247,48 @@ impl<M: Payload> Inner<M> {
         self.queue.push(Scheduled { time, seq, action });
     }
 
+    /// Record an instant event on `p`'s lane, stamped with its live clock.
+    fn rec_instant(&mut self, p: ProcessId, name: &str) {
+        if self.rec.enabled() {
+            let clock = self.clocks[p.index()].entries().to_vec();
+            self.rec
+                .record(Event::instant(self.now.0, p.index() as u32, name).with_clock(clock));
+        }
+    }
+
+    /// Telemetry for one message copy leaving `src`: advance the sender's
+    /// clock, allocate a flow id, and emit the send event. Returns the
+    /// `(flow, clock)` pair the matching [`Action::Deliver`] must carry;
+    /// `(0, None)` when recording is off.
+    fn rec_send(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        tag: &str,
+    ) -> (u64, Option<VectorClock>) {
+        if !self.rec.enabled() {
+            return (0, None);
+        }
+        self.clocks[src.index()].tick(src);
+        let flow = self.next_flow;
+        self.next_flow += 1;
+        let clock = self.clocks[src.index()].clone();
+        self.rec.record(Event {
+            ts: self.now.0,
+            lane: src.index() as u32,
+            name: tag.to_owned(),
+            kind: EventKind::MsgSend {
+                id: flow,
+                to: dst.index() as u32,
+            },
+            clock: Some(clock.entries().to_vec()),
+        });
+        (flow, Some(clock))
+    }
+
     /// Faulty-path continuation of [`Ctx::send`]: the send event is already
     /// traced and counted; decide the message's fate in the network.
+    #[allow(clippy::too_many_arguments)]
     fn send_faulty(
         &mut self,
         src: ProcessId,
@@ -234,9 +296,12 @@ impl<M: Payload> Inner<M> {
         msg: M,
         token: MsgToken,
         at: SimTime,
+        flow: u64,
+        clock: Option<VectorClock>,
     ) {
         if self.faults.severed(src, dst, self.now) {
             self.metrics.add("msgs_dropped", 1);
+            self.rec_instant(src, "msg_severed");
             // Dropping the token leaves the send in-flight; the builder
             // rewrites it to an internal event at finish().
             drop(token);
@@ -245,6 +310,7 @@ impl<M: Payload> Inner<M> {
         let link = self.faults.link(src, dst).clone();
         if link.drop_p > 0.0 && self.frng.gen_bool(link.drop_p) {
             self.metrics.add("msgs_dropped", 1);
+            self.rec_instant(src, "msg_dropped");
             return;
         }
         let mut at = at;
@@ -256,11 +322,13 @@ impl<M: Payload> Inner<M> {
             // every received message to have a matching send, so channel
             // duplication appears in the deposet as a second send by `src`.
             let token2 = self.builder.send_with(src, msg.tag(), &[]);
+            let (flow2, clock2) = self.rec_send(src, dst, msg.tag());
             let mut at2 = self.now + self.delay.sample(&mut self.frng);
             if link.extra_delay_max > 0 {
                 at2 += self.frng.gen_range(0..=link.extra_delay_max);
             }
             self.metrics.add("msgs_duplicated", 1);
+            self.rec_instant(src, "msg_duplicated");
             let msg2 = msg.clone();
             self.schedule(
                 at2,
@@ -269,6 +337,8 @@ impl<M: Payload> Inner<M> {
                     dst,
                     msg: msg2,
                     token: token2,
+                    flow: flow2,
+                    clock: clock2,
                 },
             );
         }
@@ -279,6 +349,8 @@ impl<M: Payload> Inner<M> {
                 dst,
                 msg,
                 token,
+                flow,
+                clock,
             },
         );
     }
@@ -312,6 +384,7 @@ impl<M: Payload> Ctx<'_, M> {
         } else {
             self.inner.metrics.add("msgs_app", 1);
         }
+        let (flow, clock) = self.inner.rec_send(self.me, to, msg.tag());
         let at = self.inner.now + delay;
         if !self.inner.faulty {
             self.inner.schedule(
@@ -321,11 +394,14 @@ impl<M: Payload> Ctx<'_, M> {
                     dst: to,
                     msg,
                     token,
+                    flow,
+                    clock,
                 },
             );
             return;
         }
-        self.inner.send_faulty(self.me, to, msg, token, at);
+        self.inner
+            .send_faulty(self.me, to, msg, token, at, flow, clock);
     }
 
     /// Set a timer `delay` ticks from now.
@@ -346,9 +422,22 @@ impl<M: Payload> Ctx<'_, M> {
     }
 
     /// Update traced variables: records one internal event whose new state
-    /// has `updates` applied (one local step in the paper's model).
+    /// has `updates` applied (one local step in the paper's model). When
+    /// recording, each update also emits a counter sample, so traced
+    /// variables (and so predicate truth intervals) render as step
+    /// functions in the exported timeline.
     pub fn step(&mut self, updates: &[(&str, i64)]) {
         self.inner.builder.internal(self.me, updates);
+        if self.inner.rec.enabled() {
+            self.inner.clocks[self.me.index()].tick(self.me);
+            let clock = self.inner.clocks[self.me.index()].entries().to_vec();
+            for (name, value) in updates {
+                self.inner.rec.record(
+                    Event::counter(self.inner.now.0, self.me.index() as u32, name, *value)
+                        .with_clock(clock.clone()),
+                );
+            }
+        }
     }
 
     /// Set variables on this process's *initial* state. Only valid before
@@ -402,6 +491,67 @@ impl<M: Payload> Ctx<'_, M> {
     pub fn rand_bool(&mut self, p: f64) -> bool {
         self.inner.rng.gen_bool(p)
     }
+
+    // ---- telemetry ----
+    //
+    // All trace_* calls are no-ops under a disabled recorder. They annotate
+    // the run (protocol decisions, blocked windows, custom samples) without
+    // advancing the process's clock — annotations are not model events.
+
+    /// Whether a live recorder is attached. Use to skip building expensive
+    /// event names on the fast path.
+    pub fn recording(&self) -> bool {
+        self.inner.rec.enabled()
+    }
+
+    /// Record a point-in-time occurrence on this process's lane.
+    pub fn trace_instant(&mut self, name: &str) {
+        self.inner.rec_instant(self.me, name);
+    }
+
+    /// Open a named span on this process's lane (e.g. a blocked wait or a
+    /// critical section). Close it with [`Ctx::trace_end`]; same-name spans
+    /// nest.
+    pub fn trace_begin(&mut self, name: &str) {
+        if self.inner.rec.enabled() {
+            let lane = self.me.index() as u32;
+            let clock = self.inner.clocks[self.me.index()].entries().to_vec();
+            self.inner.rec.record(Event {
+                ts: self.inner.now.0,
+                lane,
+                name: name.to_owned(),
+                kind: EventKind::SpanBegin,
+                clock: Some(clock),
+            });
+        }
+    }
+
+    /// Close the innermost open span with this name on this process's lane.
+    pub fn trace_end(&mut self, name: &str) {
+        if self.inner.rec.enabled() {
+            let lane = self.me.index() as u32;
+            let clock = self.inner.clocks[self.me.index()].entries().to_vec();
+            self.inner.rec.record(Event {
+                ts: self.inner.now.0,
+                lane,
+                name: name.to_owned(),
+                kind: EventKind::SpanEnd,
+                clock: Some(clock),
+            });
+        }
+    }
+
+    /// Record a sampled value on this process's lane (renders as a counter
+    /// track).
+    pub fn trace_counter(&mut self, name: &str, value: i64) {
+        if self.inner.rec.enabled() {
+            let lane = self.me.index() as u32;
+            let clock = self.inner.clocks[self.me.index()].entries().to_vec();
+            self.inner
+                .rec
+                .record(Event::counter(self.inner.now.0, lane, name, value).with_clock(clock));
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation over processes exchanging `M`.
@@ -415,6 +565,17 @@ impl<M: Payload> Simulation<M> {
     /// Create a simulation over the given processes (process `i` gets id
     /// `Pᵢ`).
     pub fn new(config: SimConfig, processes: Vec<Box<dyn Process<M>>>) -> Self {
+        Simulation::with_recorder(config, processes, Box::new(NullRecorder))
+    }
+
+    /// Like [`Simulation::new`], but with a telemetry sink. Recording is
+    /// strictly observational: it never touches the simulation's RNG
+    /// streams, so a traced run is bit-identical to an untraced one.
+    pub fn with_recorder(
+        config: SimConfig,
+        processes: Vec<Box<dyn Process<M>>>,
+        recorder: Box<dyn Recorder>,
+    ) -> Self {
         let n = processes.len();
         let mut builder = DeposetBuilder::new(n);
         builder.allow_in_flight();
@@ -436,6 +597,9 @@ impl<M: Payload> Simulation<M> {
                 faulty,
                 down: vec![false; n],
                 incarnation: vec![0; n],
+                rec: recorder,
+                clocks: vec![VectorClock::zero(n); n],
+                next_flow: 0,
             },
             config,
         }
@@ -504,14 +668,34 @@ impl<M: Payload> Simulation<M> {
                     dst,
                     msg,
                     token,
+                    flow,
+                    clock,
                 } => {
                     if self.inner.down[dst.index()] {
                         // Lost at a dead receiver; the unreceived token is
                         // rewritten to an internal event at finish().
                         self.inner.metrics.add("msgs_dropped", 1);
+                        self.inner.rec_instant(dst, "msg_lost_receiver_down");
                         drop(token);
                     } else {
                         self.inner.builder.recv(dst, token, &[]);
+                        if self.inner.rec.enabled() {
+                            if let Some(sender_clock) = &clock {
+                                self.inner.clocks[dst.index()].merge(sender_clock);
+                            }
+                            self.inner.clocks[dst.index()].tick(dst);
+                            let entries = self.inner.clocks[dst.index()].entries().to_vec();
+                            self.inner.rec.record(Event {
+                                ts: self.inner.now.0,
+                                lane: dst.index() as u32,
+                                name: msg.tag().to_owned(),
+                                kind: EventKind::MsgRecv {
+                                    id: flow,
+                                    from: src.index() as u32,
+                                },
+                                clock: Some(entries),
+                            });
+                        }
                         self.dispatch(dst, |p, ctx| p.on_message(src, msg, ctx));
                     }
                 }
@@ -527,6 +711,7 @@ impl<M: Payload> Simulation<M> {
                         self.inner.down[dst.index()] = true;
                         self.inner.metrics.add("crashes", 1);
                         self.inner.builder.internal(dst, &[("down", 1)]);
+                        self.inner.rec_instant(dst, "crash");
                     }
                 }
                 Action::Restart { dst } => {
@@ -535,6 +720,7 @@ impl<M: Payload> Simulation<M> {
                         self.inner.incarnation[dst.index()] += 1;
                         self.inner.metrics.add("restarts", 1);
                         self.inner.builder.internal(dst, &[("down", 0)]);
+                        self.inner.rec_instant(dst, "restart");
                         self.dispatch(dst, |p, ctx| p.on_restart(ctx));
                     }
                 }
@@ -545,8 +731,10 @@ impl<M: Payload> Simulation<M> {
             metrics,
             now,
             done,
+            mut rec,
             ..
         } = self.inner;
+        rec.flush();
         let deposet = builder
             .finish()
             .expect("simulator traces are valid deposets");
@@ -556,6 +744,7 @@ impl<M: Payload> Simulation<M> {
             end_time: now,
             done,
             stopped,
+            recorder: rec,
         }
     }
 }

@@ -8,8 +8,8 @@
 
 use pctl_deposet::ProcessId;
 use pctl_sim::{
-    Ctx, DelayModel, FaultPlan, LinkFaults, Payload, Process, SimConfig, SimResult, SimTime,
-    Simulation, TimerId,
+    Ctx, DelayModel, FaultPlan, LinkFaults, NullRecorder, Payload, Process, Recorder, RingRecorder,
+    SimConfig, SimResult, SimTime, Simulation, TimerId,
 };
 use proptest::prelude::*;
 
@@ -66,6 +66,10 @@ impl Process<Tick> for Worker {
 }
 
 fn run(seed: u64, faults: FaultPlan) -> SimResult {
+    run_with(seed, faults, Box::new(NullRecorder))
+}
+
+fn run_with(seed: u64, faults: FaultPlan, rec: Box<dyn Recorder>) -> SimResult {
     let n = 3usize;
     let procs: Vec<Box<dyn Process<Tick>>> = (0..n)
         .map(|_| {
@@ -82,7 +86,7 @@ fn run(seed: u64, faults: FaultPlan) -> SimResult {
         faults,
         ..SimConfig::default()
     };
-    Simulation::new(cfg, procs).run()
+    Simulation::with_recorder(cfg, procs, rec).run()
 }
 
 /// Everything observable about a run, as one byte string.
@@ -125,5 +129,31 @@ proptest! {
         let a = run(seed, plan.clone());
         let b = run(seed, plan);
         prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// Attaching a telemetry recorder must not perturb the run: the traced
+    /// deposet, metrics, and outcome stay byte-identical whether recording
+    /// is off (NullRecorder) or on (RingRecorder). Telemetry clocks and
+    /// flow ids never touch the simulation's RNG streams.
+    #[test]
+    fn recording_never_perturbs_the_run(
+        seed in 0u64..1_000_000,
+        drop_pct in 0u32..35,
+        dup_pct in 0u32..35,
+        extra in 0u64..20,
+    ) {
+        let plan = FaultPlan {
+            default_link: LinkFaults {
+                drop_p: f64::from(drop_pct) / 100.0,
+                dup_p: f64::from(dup_pct) / 100.0,
+                extra_delay_max: extra,
+            },
+            ..FaultPlan::default()
+        };
+        let plain = run(seed, plan.clone());
+        let recorded = run_with(seed, plan, Box::new(RingRecorder::new(1 << 16)));
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&recorded));
+        // And the recorder actually captured the run's telemetry.
+        prop_assert!(!recorded.events().is_empty());
     }
 }

@@ -18,7 +18,9 @@ use predicate_control::deposet::generator::{
     cs_workload, pipelined_workload, random_deposet, CsConfig, RandomConfig,
 };
 use predicate_control::deposet::{dot, lattice, trace, Deposet};
+use predicate_control::obs::{chrome, jsonl, stats::EventStats, timeline, RingRecorder};
 use predicate_control::prelude::*;
+use predicate_control::replay::replay_recorded;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -33,12 +35,21 @@ USAGE:
                (--at-least-one VAR | --at-least-one-not VAR) [--limit N]
   pctl replay <trace.json> [--control <control.json>]
               [--at-least-one VAR | --at-least-one-not VAR]
+              [--trace-out <chrome.json>] [--events-out <run.jsonl>]
+                                            (export telemetry of the replay)
+  pctl trace <input> [--control <control.json>] [--out <chrome.json>]
+              (input: deposet trace JSON or telemetry JSONL; emits Chrome
+               trace_event JSON for chrome://tracing or ui.perfetto.dev)
+  pctl stats <input>                        (event-log statistics: per-kind
+              counts, span durations, message latency percentiles)
   pctl dot <trace.json> [--control <control.json>] [--vars]
   pctl gen --workload (cs|pipelined|random) [--processes N] [--sections N]
-           [--events N] [--seed N]          (trace JSON on stdout)
+           [--events N] [--seed N] [--trace-out <chrome.json>]
+                                            (trace JSON on stdout)
 
 The predicate flags build the disjunctive property  B = ∨ᵢ lᵢ  with
-lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.";
+lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.
+--quiet suppresses diagnostic output on stderr.";
 
 struct Args {
     positional: Vec<String>,
@@ -177,7 +188,9 @@ fn cmd_control(args: &Args) -> Result<(), String> {
     };
     match control_disjunctive(&dep, &pred, OfflineOptions { policy, engine }) {
         Ok(rel) => {
-            eprintln!("control relation with {} tuple(s): {rel}", rel.len());
+            if args.flag("quiet").is_none() {
+                eprintln!("control relation with {} tuple(s): {rel}", rel.len());
+            }
             println!(
                 "{}",
                 serde_json::to_string_pretty(&rel).expect("serializable")
@@ -215,7 +228,36 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         Some(p) => load_control(p)?,
         None => ControlRelation::empty(),
     };
-    let out = replay(&dep, &rel, &ReplayConfig::default());
+    let trace_out = args.value("trace-out")?.map(str::to_owned);
+    let events_out = args.value("events-out")?.map(str::to_owned);
+    let out = if trace_out.is_some() || events_out.is_some() {
+        // 2^20 events is plenty for CLI-sized traces; RingRecorder drops
+        // oldest beyond that rather than growing unboundedly.
+        replay_recorded(
+            &dep,
+            &rel,
+            &ReplayConfig::default(),
+            Box::new(RingRecorder::new(1 << 20)),
+        )
+    } else {
+        replay(&dep, &rel, &ReplayConfig::default())
+    };
+    if trace_out.is_some() || events_out.is_some() {
+        let events = out.sim.events();
+        if let Some(f) = &trace_out {
+            let json = chrome::chrome_trace(&events, &timeline::lane_names(&dep));
+            std::fs::write(f, json).map_err(|e| format!("{f}: {e}"))?;
+            if args.flag("quiet").is_none() {
+                eprintln!("wrote Chrome trace ({} events) to {f}", events.len());
+            }
+        }
+        if let Some(f) = &events_out {
+            std::fs::write(f, jsonl::to_jsonl(&events)).map_err(|e| format!("{f}: {e}"))?;
+            if args.flag("quiet").is_none() {
+                eprintln!("wrote telemetry JSONL ({} events) to {f}", events.len());
+            }
+        }
+    }
     println!(
         "replay: completed={} faithful={} control messages={} stalls={}",
         out.completed(),
@@ -295,7 +337,63 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             ))
         }
     };
+    if let Some(f) = args.value("trace-out")? {
+        let events = timeline::deposet_events(&dep, &[]);
+        let json = chrome::chrome_trace(&events, &timeline::lane_names(&dep));
+        std::fs::write(f, json).map_err(|e| format!("{f}: {e}"))?;
+        if args.flag("quiet").is_none() {
+            eprintln!("wrote Chrome trace ({} events) to {f}", events.len());
+        }
+    }
     println!("{}", trace::to_json(&dep));
+    Ok(())
+}
+
+/// Load events from `path`: a telemetry JSONL log, or a deposet trace JSON
+/// rendered through [`timeline::deposet_events`] (with `C→` arrows from
+/// `control` when given).
+fn load_events(
+    args: &Args,
+    path: &str,
+) -> Result<(Vec<predicate_control::obs::Event>, Vec<String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Ok(events) = jsonl::parse(&text) {
+        let max_lane = events.iter().map(|e| e.lane).max().unwrap_or(0);
+        let lanes = (0..=max_lane).map(|i| format!("p{i}")).collect();
+        return Ok((events, lanes));
+    }
+    let dep = trace::from_json(&text)
+        .map_err(|e| format!("{path}: neither a telemetry JSONL log nor a deposet trace: {e}"))?;
+    let pairs = match args.value("control")? {
+        Some(p) => load_control(p)?.pairs().to_vec(),
+        None => Vec::new(),
+    };
+    Ok((
+        timeline::deposet_events(&dep, &pairs),
+        timeline::lane_names(&dep),
+    ))
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("trace: missing input path")?;
+    let (events, lanes) = load_events(args, path)?;
+    let json = chrome::chrome_trace(&events, &lanes);
+    match args.value("out")? {
+        Some(f) => {
+            std::fs::write(f, &json).map_err(|e| format!("{f}: {e}"))?;
+            if args.flag("quiet").is_none() {
+                eprintln!("wrote Chrome trace ({} events) to {f}", events.len());
+            }
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("stats: missing input path")?;
+    let (events, _) = load_events(args, path)?;
+    print!("{}", EventStats::from_events(&events).report());
     Ok(())
 }
 
@@ -312,6 +410,8 @@ fn main() -> ExitCode {
         "control" => cmd_control(&args),
         "verify" => cmd_verify(&args),
         "replay" => cmd_replay(&args),
+        "trace" => cmd_trace(&args),
+        "stats" => cmd_stats(&args),
         "dot" => cmd_dot(&args),
         "gen" => cmd_gen(&args),
         "help" | "--help" | "-h" => {

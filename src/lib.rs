@@ -55,6 +55,7 @@
 //! | [`control`] | `pctl-core` | off-line + on-line predicate control, NP-hardness machinery |
 //! | [`detect`] | `pctl-detect` | predicate detection (weak/strong conjunctive, snapshots) |
 //! | [`mutex`] | `pctl-mutex` | (n−1)-mutex via control + k-mutex baselines |
+//! | [`obs`] | `pctl-obs` | structured event log, recorders, Chrome-trace export |
 //! | [`replay`] | `pctl-replay` | controlled re-execution of traces |
 
 #![warn(missing_docs)]
@@ -65,6 +66,7 @@ pub use pctl_core as control;
 pub use pctl_deposet as deposet;
 pub use pctl_detect as detect;
 pub use pctl_mutex as mutex;
+pub use pctl_obs as obs;
 pub use pctl_replay as replay;
 pub use pctl_sim as sim;
 
@@ -89,10 +91,13 @@ pub mod prelude {
         definitely_all_false, detect_disjunctive_violation, possibly_conjunction,
     };
     pub use pctl_mutex::{
-        compare_all, max_concurrent, run_antitoken, run_central, run_ft_antitoken, run_suzuki,
-        WorkloadConfig,
+        compare_all, max_concurrent, run_antitoken, run_antitoken_recorded, run_central,
+        run_ft_antitoken, run_ft_antitoken_recorded, run_suzuki, WorkloadConfig,
     };
-    pub use pctl_replay::{replay, ReplayConfig, ReplayOutcome};
+    pub use pctl_obs::{
+        Event, EventKind, EventStats, JsonlRecorder, NullRecorder, Recorder, RingRecorder,
+    };
+    pub use pctl_replay::{replay, replay_recorded, ReplayConfig, ReplayOutcome};
     pub use pctl_sim::{
         DelayModel, FaultPlan, LinkFaults, Process, SimConfig, SimTime, Simulation,
     };

@@ -189,3 +189,97 @@ fn cli_usage_and_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing predicate"));
     let _ = std::fs::remove_file(trace);
 }
+
+#[test]
+fn cli_telemetry_session() {
+    // gen → control → replay --trace-out/--events-out → trace → stats:
+    // every export must be valid and mutually consistent.
+    let trace = tmpfile("obs-c1.json");
+    let control = tmpfile("obs-ctl.json");
+    let chrome_out = tmpfile("obs-chrome.json");
+    let jsonl_out = tmpfile("obs-run.jsonl");
+
+    let out = pctl(&[
+        "gen",
+        "--workload",
+        "cs",
+        "--processes",
+        "3",
+        "--sections",
+        "4",
+        "--seed",
+        "11",
+    ]);
+    assert!(out.status.success());
+    std::fs::write(&trace, &out.stdout).unwrap();
+
+    let out = pctl(&[
+        "control",
+        trace.to_str().unwrap(),
+        "--at-least-one-not",
+        "cs",
+        "--quiet",
+    ]);
+    assert!(out.status.success());
+    assert!(
+        out.stderr.is_empty(),
+        "--quiet leaves stderr empty: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::write(&control, &out.stdout).unwrap();
+
+    let out = pctl(&[
+        "replay",
+        trace.to_str().unwrap(),
+        "--control",
+        control.to_str().unwrap(),
+        "--trace-out",
+        chrome_out.to_str().unwrap(),
+        "--events-out",
+        jsonl_out.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "replay failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stderr.is_empty());
+
+    // The exported Chrome trace validates against the trace_event schema.
+    let chrome_json = std::fs::read_to_string(&chrome_out).unwrap();
+    predicate_control::obs::chrome::validate_chrome_trace(&chrome_json)
+        .expect("replay --trace-out emits valid Chrome trace JSON");
+
+    // `pctl trace` on the JSONL telemetry emits the same kind of document.
+    let out = pctl(&["trace", jsonl_out.to_str().unwrap()]);
+    assert!(out.status.success());
+    predicate_control::obs::chrome::validate_chrome_trace(&String::from_utf8_lossy(&out.stdout))
+        .expect("pctl trace emits valid Chrome trace JSON");
+
+    // `pctl trace` straight off the deposet, with control arrows.
+    let out = pctl(&[
+        "trace",
+        trace.to_str().unwrap(),
+        "--control",
+        control.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let doc = String::from_utf8_lossy(&out.stdout);
+    predicate_control::obs::chrome::validate_chrome_trace(&doc)
+        .expect("deposet timeline emits valid Chrome trace JSON");
+    assert!(
+        doc.contains("C\\u2192") || doc.contains("C→"),
+        "control arrows present"
+    );
+
+    // `pctl stats` summarizes the telemetry log.
+    let out = pctl(&["stats", jsonl_out.to_str().unwrap()]);
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("events by kind"), "{report}");
+
+    for f in [trace, control, chrome_out, jsonl_out] {
+        let _ = std::fs::remove_file(f);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end observability: recorded simulator runs round-trip through
+//! the JSONL log format, carry causally consistent vector clocks, and
+//! export valid Chrome `trace_event` JSON.
+
+use predicate_control::deposet::generator::{cs_workload, CsConfig};
+use predicate_control::obs::{chrome, jsonl, stats::EventStats, timeline};
+use predicate_control::prelude::*;
+
+fn recorded_kmutex_run() -> Vec<Event> {
+    let cfg = WorkloadConfig {
+        processes: 4,
+        entries_per_process: 4,
+        seed: 3,
+        ..Default::default()
+    };
+    let r = run_antitoken_recorded(
+        &cfg,
+        pctl_core::online::PeerSelect::NextInRing,
+        Box::new(RingRecorder::new(1 << 18)),
+    );
+    assert!(!r.deadlocked());
+    let events = r.events();
+    assert!(!events.is_empty(), "recorded run must produce telemetry");
+    events
+}
+
+#[test]
+fn recorded_run_round_trips_through_jsonl() {
+    let events = recorded_kmutex_run();
+    let text = jsonl::to_jsonl(&events);
+    let parsed = jsonl::parse(&text).expect("own output parses");
+    assert_eq!(events, parsed);
+}
+
+#[test]
+fn vector_clocks_are_monotone_per_lane_and_tick_on_own_component() {
+    let events = recorded_kmutex_run();
+    let mut last: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+    let mut clocked = 0usize;
+    for ev in &events {
+        let Some(clock) = &ev.clock else { continue };
+        clocked += 1;
+        if let Some(prev) = last.get(&ev.lane) {
+            assert_eq!(prev.len(), clock.len());
+            assert!(
+                prev.iter().zip(clock).all(|(a, b)| a <= b),
+                "lane {} clock went backwards: {prev:?} -> {clock:?}",
+                ev.lane
+            );
+            // The lane's own component strictly advances whenever the clock
+            // changes at all.
+            if prev != clock {
+                assert!(
+                    prev[ev.lane as usize] < clock[ev.lane as usize],
+                    "lane {} advanced without ticking its own component",
+                    ev.lane
+                );
+            }
+        }
+        last.insert(ev.lane, clock.clone());
+    }
+    assert!(clocked > 0, "simulator events must carry vector clocks");
+}
+
+#[test]
+fn message_sends_happen_before_their_receives() {
+    let events = recorded_kmutex_run();
+    let mut sends: std::collections::BTreeMap<u64, &Event> = Default::default();
+    let mut matched = 0usize;
+    for ev in &events {
+        match ev.kind {
+            EventKind::MsgSend { id, .. } => {
+                sends.insert(id, ev);
+            }
+            EventKind::MsgRecv { id, .. } => {
+                let send = sends[&id];
+                matched += 1;
+                assert!(send.ts <= ev.ts, "recv before its send");
+                let (sc, rc) = (send.clock.as_ref().unwrap(), ev.clock.as_ref().unwrap());
+                // The receive's clock dominates the send's (merge + tick).
+                assert!(
+                    sc.iter().zip(rc).all(|(a, b)| a <= b) && sc != rc,
+                    "flow {id}: send clock {sc:?} not < recv clock {rc:?}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(matched > 0, "the protocol exchanged control messages");
+}
+
+#[test]
+fn recorded_replay_exports_valid_chrome_trace() {
+    // The acceptance path: a k-mutex style trace, controlled, replayed
+    // with a recorder, exported — the Chrome JSON must validate.
+    let dep = cs_workload(
+        &CsConfig {
+            processes: 3,
+            sections_per_process: 4,
+            max_cs_len: 3,
+            max_gap_len: 3,
+        },
+        11,
+    );
+    let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
+    let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).expect("feasible");
+    let out = replay_recorded(
+        &dep,
+        &rel,
+        &ReplayConfig::default(),
+        Box::new(RingRecorder::new(1 << 18)),
+    );
+    assert!(out.completed() && out.fidelity(&dep));
+    let events = out.sim.events();
+    let json = chrome::chrome_trace(&events, &timeline::lane_names(&dep));
+    chrome::validate_chrome_trace(&json).expect("replay telemetry renders as valid Chrome trace");
+}
+
+#[test]
+fn deposet_timeline_exports_valid_chrome_trace_with_control_arrows() {
+    let dep = cs_workload(
+        &CsConfig {
+            processes: 3,
+            sections_per_process: 3,
+            max_cs_len: 2,
+            max_gap_len: 2,
+        },
+        5,
+    );
+    let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
+    let rel = control_disjunctive(&dep, &pred, OfflineOptions::default()).expect("feasible");
+    let events = timeline::deposet_events(&dep, rel.pairs());
+    let json = chrome::chrome_trace(&events, &timeline::lane_names(&dep));
+    chrome::validate_chrome_trace(&json).expect("deposet timeline renders as valid Chrome trace");
+}
+
+#[test]
+fn event_stats_summarize_spans_and_latencies() {
+    let events = recorded_kmutex_run();
+    let stats = EventStats::from_events(&events);
+    assert!(
+        stats.span_durations.contains_key("cs"),
+        "driver cs spans recorded: {:?}",
+        stats.span_durations.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(stats.open_spans, 0, "a quiescent run closes every span");
+    assert_eq!(stats.unmatched_sends, 0, "reliable channels: no lost sends");
+    assert!(stats.msg_latencies.values().any(|v| !v.is_empty()));
+    let report = stats.report();
+    assert!(report.contains("events by kind"));
+}
+
+#[test]
+fn ft_run_records_fault_and_recovery_telemetry() {
+    let cfg = WorkloadConfig {
+        processes: 3,
+        entries_per_process: 3,
+        seed: 1,
+        ..Default::default()
+    };
+    let plan = FaultPlan::none().with_crash(
+        predicate_control::deposet::ProcessId(0),
+        SimTime(25),
+        Some(200),
+    );
+    let r = run_ft_antitoken_recorded(
+        &cfg,
+        pctl_core::online::PeerSelect::NextInRing,
+        FtParams::default(),
+        plan,
+        Box::new(RingRecorder::new(1 << 18)),
+    );
+    assert!(!r.deadlocked());
+    let events = r.events();
+    let names: std::collections::BTreeSet<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains("crash"), "crash instant recorded: {names:?}");
+    assert!(
+        names.contains("rejoin"),
+        "rejoin instant recorded: {names:?}"
+    );
+}
