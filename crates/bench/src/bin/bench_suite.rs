@@ -1,0 +1,367 @@
+//! The persisted perf baseline: `BENCH_offline.json` + `BENCH_sweep.json`.
+//!
+//! Unlike the `fig*` binaries (which regenerate the paper's figures), this
+//! harness exists to record the repository's performance trajectory PR over
+//! PR. It measures two hot paths end to end:
+//!
+//! * **offline** — false-interval extraction + off-line control synthesis
+//!   (the paper's Figure 2 algorithm) on critical-section and pipelined
+//!   workloads;
+//! * **sweep** — the multi-seed post-run safety audit: deposet construction
+//!   (vector-clock arena DP) plus `verify::sweep_faulty_run` per seed, run
+//!   both sequentially and with deterministic scoped-thread fan-out.
+//!
+//! Reports are round-trip validated before they are written, and the sweep
+//! report compares against the recorded pre-refactor baseline in
+//! `docs/results/BENCH_prerefactor.json` when present.
+//!
+//! Usage: `bench_suite [--smoke] [--out-dir DIR] [--baseline FILE]`
+
+use pctl_bench::report::{
+    Baseline, OfflineCase, OfflineReport, SweepMode, SweepReport, WallStats, SCHEMA,
+};
+use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
+use pctl_core::verify::sweep_faulty_run;
+use pctl_deposet::generator::{
+    cs_workload, pipelined_workload, random_deposet, CsConfig, RandomConfig,
+};
+use pctl_deposet::par::{ordered_map, worker_count};
+use pctl_deposet::{Deposet, DisjunctivePredicate, FalseIntervals, LocalPredicate};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    out_dir: PathBuf,
+    baseline: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out_dir: PathBuf::from("."),
+        baseline: PathBuf::from("docs/results/BENCH_prerefactor.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out-dir" => args.out_dir = PathBuf::from(it.next().expect("--out-dir DIR")),
+            "--baseline" => args.baseline = PathBuf::from(it.next().expect("--baseline FILE")),
+            other => panic!("unknown argument {other} (usage: bench_suite [--smoke] [--out-dir DIR] [--baseline FILE])"),
+        }
+    }
+    args
+}
+
+fn micros(d: std::time::Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+// ---------------------------------------------------------------- offline --
+
+fn offline_case(
+    name: &str,
+    engine: Engine,
+    dep: &Deposet,
+    pred: &DisjunctivePredicate,
+    reps: usize,
+) -> OfflineCase {
+    let opts = OfflineOptions {
+        policy: SelectPolicy::First,
+        engine,
+    };
+    let mut samples = Vec::with_capacity(reps);
+    let mut tuples = 0usize;
+    let mut feasible = false;
+    let mut intervals_per_process = 0usize;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let intervals = FalseIntervals::extract(dep, pred);
+        let (res, _stats) = control_intervals(dep, &intervals, opts);
+        samples.push(micros(t0.elapsed()));
+        intervals_per_process = intervals.max_per_process();
+        match res {
+            Ok(rel) => {
+                feasible = true;
+                tuples = rel.len();
+            }
+            Err(_) => {
+                feasible = false;
+                tuples = 0;
+            }
+        }
+    }
+    let wall = WallStats::of(&samples);
+    let states = dep.total_states();
+    OfflineCase {
+        name: name.to_string(),
+        engine: match engine {
+            Engine::Optimized => "optimized".into(),
+            Engine::Naive => "naive".into(),
+        },
+        processes: dep.process_count(),
+        intervals_per_process,
+        states,
+        states_per_sec: states as f64 / (wall.p50_us.max(1) as f64 / 1e6),
+        wall,
+        control_tuples: tuples,
+        feasible,
+    }
+}
+
+fn run_offline(smoke: bool) -> OfflineReport {
+    let reps = if smoke { 2 } else { 7 };
+    let sizes: &[(usize, usize)] = if smoke {
+        &[(3, 3)]
+    } else {
+        &[(8, 16), (16, 24), (32, 16)]
+    };
+    let mut cases = Vec::new();
+    for &(n, p) in sizes {
+        let cfg = CsConfig {
+            processes: n,
+            sections_per_process: p,
+            ..CsConfig::default()
+        };
+        let dep = cs_workload(&cfg, 7);
+        let pred = DisjunctivePredicate::at_least_one_not(n, "cs");
+        cases.push(offline_case(
+            &format!("cs_n{n}_p{p}"),
+            Engine::Optimized,
+            &dep,
+            &pred,
+            reps,
+        ));
+        if n <= 8 {
+            cases.push(offline_case(
+                &format!("cs_n{n}_p{p}"),
+                Engine::Naive,
+                &dep,
+                &pred,
+                reps,
+            ));
+        }
+        let piped = pipelined_workload(&cfg, 7);
+        cases.push(offline_case(
+            &format!("pipelined_n{n}_p{p}"),
+            Engine::Optimized,
+            &piped,
+            &pred,
+            reps,
+        ));
+    }
+    OfflineReport {
+        schema: SCHEMA.into(),
+        bench: "offline".into(),
+        smoke,
+        cases,
+    }
+}
+
+// ------------------------------------------------------------------ sweep --
+
+/// The comparable fingerprint of one seed's sweep outcome.
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct SweepOutcome {
+    fully_safe: bool,
+    safe_modulo_crashes: bool,
+    unwitnessed: Option<Vec<u32>>,
+    clean: Option<Vec<u32>>,
+    down_windows: usize,
+}
+
+/// One seed's measured unit: deposet construction from pre-built parts
+/// (the vector-clock DP) plus the full safety sweep.
+fn sweep_one(parts: &Parts, witness: &LocalPredicate) -> (SweepOutcome, u64) {
+    let (states, events, messages) = parts.clone_parts();
+    let t0 = Instant::now();
+    let dep = Deposet::from_parts(states, events, messages).expect("generated parts are valid");
+    let report = sweep_faulty_run(&dep, witness);
+    let us = micros(t0.elapsed());
+    (
+        SweepOutcome {
+            fully_safe: report.fully_safe(),
+            safe_modulo_crashes: report.safe_modulo_crashes(),
+            unwitnessed: report.unwitnessed_cut.map(|g| g.indices().to_vec()),
+            clean: report.clean_violation.map(|g| g.indices().to_vec()),
+            down_windows: report.down_windows.len(),
+        },
+        us,
+    )
+}
+
+/// Pre-generated deposet raw parts (kept outside the timed region so the
+/// bench measures clock construction + sweep, not workload generation).
+struct Parts {
+    states: Vec<Vec<pctl_deposet::LocalState>>,
+    events: Vec<Vec<pctl_deposet::EventKind>>,
+    messages: Vec<pctl_deposet::Message>,
+}
+
+impl Parts {
+    fn clone_parts(
+        &self,
+    ) -> (
+        Vec<Vec<pctl_deposet::LocalState>>,
+        Vec<Vec<pctl_deposet::EventKind>>,
+        Vec<pctl_deposet::Message>,
+    ) {
+        (
+            self.states.clone(),
+            self.events.clone(),
+            self.messages.clone(),
+        )
+    }
+}
+
+fn run_sweep(smoke: bool, baseline_path: &std::path::Path) -> SweepReport {
+    let (seeds, processes, events, rounds) = if smoke {
+        (3usize, 3usize, 120usize, 2usize)
+    } else {
+        (16, 8, 6000, 3)
+    };
+    let cfg = RandomConfig {
+        processes,
+        events,
+        send_prob: 0.3,
+        flip_prob: 0.3,
+    };
+    let witness = LocalPredicate::var("ok");
+    let parts: Vec<Parts> = (0..seeds as u64)
+        .map(|seed| {
+            let (states, events, messages) = random_deposet(&cfg, seed).into_parts();
+            Parts {
+                states,
+                events,
+                messages,
+            }
+        })
+        .collect();
+    let states_total: usize = parts
+        .iter()
+        .map(|p| p.states.iter().map(Vec::len).sum::<usize>())
+        .sum();
+
+    // Sequential rounds.
+    let mut seq_samples = Vec::new();
+    let mut seq_total_us = u64::MAX;
+    let mut seq_outcomes: Vec<SweepOutcome> = Vec::new();
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let round: Vec<(SweepOutcome, u64)> =
+            parts.iter().map(|p| sweep_one(p, &witness)).collect();
+        let total = micros(t0.elapsed());
+        seq_total_us = seq_total_us.min(total);
+        seq_outcomes = round.iter().map(|(o, _)| o.clone()).collect();
+        seq_samples.extend(round.iter().map(|(_, us)| *us));
+    }
+
+    // Parallel rounds (deterministic ordered merge).
+    let threads = worker_count(parts.len());
+    let mut par_samples = Vec::new();
+    let mut par_total_us = u64::MAX;
+    let mut par_outcomes: Vec<SweepOutcome> = Vec::new();
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let round: Vec<(SweepOutcome, u64)> = ordered_map(&parts, |_, p| sweep_one(p, &witness));
+        let total = micros(t0.elapsed());
+        par_total_us = par_total_us.min(total);
+        par_outcomes = round.iter().map(|(o, _)| o.clone()).collect();
+        par_samples.extend(round.iter().map(|(_, us)| *us));
+    }
+
+    assert_eq!(
+        seq_outcomes, par_outcomes,
+        "parallel sweep must be bit-identical to sequential"
+    );
+
+    let mode = |name: &str, threads: usize, samples: &[u64], total_us: u64| SweepMode {
+        mode: name.into(),
+        threads,
+        per_seed: WallStats::of(samples),
+        total_ms: total_us as f64 / 1e3,
+        states_per_sec: states_total as f64 / (total_us.max(1) as f64 / 1e6),
+    };
+    let sequential = mode("sequential", 1, &seq_samples, seq_total_us);
+    let parallel = mode("parallel", threads, &par_samples, par_total_us);
+
+    // The recorded baseline is full-size; comparing a --smoke run against
+    // it would be apples to oranges, so smoke reports omit it.
+    let baseline: Option<Baseline> = if smoke {
+        None
+    } else {
+        std::fs::read_to_string(baseline_path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+    };
+    let speedup = baseline
+        .as_ref()
+        .map(|b| b.total_ms / sequential.total_ms.max(1e-9));
+
+    SweepReport {
+        schema: SCHEMA.into(),
+        bench: "sweep".into(),
+        smoke,
+        seeds,
+        processes,
+        events_per_seed: events,
+        states_total,
+        sequential,
+        parallel,
+        deterministic: true,
+        baseline,
+        speedup_vs_baseline: speedup,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out_dir).expect("create out dir");
+
+    let offline = run_offline(args.smoke);
+    let path = args.out_dir.join("BENCH_offline.json");
+    pctl_bench::report::write_validated(&path, &offline).expect("write BENCH_offline.json");
+    println!("wrote {} ({} cases)", path.display(), offline.cases.len());
+    for c in &offline.cases {
+        println!(
+            "  {:<24} {:<9} states={:<6} p50={}us p95={}us  {:.0} states/s",
+            c.name, c.engine, c.states, c.wall.p50_us, c.wall.p95_us, c.states_per_sec
+        );
+    }
+
+    let sweep = run_sweep(args.smoke, &args.baseline);
+    let path = args.out_dir.join("BENCH_sweep.json");
+    pctl_bench::report::write_validated(&path, &sweep).expect("write BENCH_sweep.json");
+    println!(
+        "wrote {} (seeds={} states={})",
+        path.display(),
+        sweep.seeds,
+        sweep.states_total
+    );
+    println!(
+        "  sequential: total={:.1}ms p50={}us p95={}us  {:.0} states/s",
+        sweep.sequential.total_ms,
+        sweep.sequential.per_seed.p50_us,
+        sweep.sequential.per_seed.p95_us,
+        sweep.sequential.states_per_sec
+    );
+    println!(
+        "  parallel({}): total={:.1}ms p50={}us p95={}us  {:.0} states/s",
+        sweep.parallel.threads,
+        sweep.parallel.total_ms,
+        sweep.parallel.per_seed.p50_us,
+        sweep.parallel.per_seed.p95_us,
+        sweep.parallel.states_per_sec
+    );
+    if let (Some(b), Some(s)) = (&sweep.baseline, sweep.speedup_vs_baseline) {
+        println!(
+            "  baseline ({}): {:.1}ms → speedup {:.2}x",
+            b.recorded, b.total_ms, s
+        );
+    } else if args.smoke {
+        println!("  baseline comparison skipped (smoke workload is not comparable)");
+    } else {
+        println!("  no recorded baseline at {}", args.baseline.display());
+    }
+}

@@ -19,6 +19,7 @@ use pctl_bench::{cell, Table};
 use pctl_core::online::ft::FtParams;
 use pctl_core::online::PeerSelect;
 use pctl_core::verify::sweep_faulty_run;
+use pctl_deposet::par::ordered_map;
 use pctl_deposet::{LocalPredicate, ProcessId};
 use pctl_mutex::driver::{max_concurrent, WorkloadConfig};
 use pctl_mutex::run_ft_antitoken;
@@ -54,15 +55,11 @@ fn main() {
         "max conc",
         "fully safe",
     ]);
+    let seeds: Vec<u64> = (0..SEEDS).collect();
     for drop_pct in [0u32, 2, 5, 10, 20] {
-        let mut entries = 0u64;
-        let mut dropped = 0u64;
-        let mut retrans = 0u64;
-        let mut ctrl = 0u64;
-        let mut responses: Vec<u64> = Vec::new();
-        let mut conc = 0usize;
-        let mut safe = 0u64;
-        for seed in 0..SEEDS {
+        // Per-seed runs are independent (deterministic simulated-time
+        // metrics, no wall-clock): fan out, aggregate in seed order.
+        let runs = ordered_map(&seeds, |_, &seed| {
             let plan = FaultPlan::uniform_loss(f64::from(drop_pct) / 100.0);
             let r = run_ft_antitoken(
                 &workload(n, seed),
@@ -71,17 +68,27 @@ fn main() {
                 plan,
             );
             assert!(!r.deadlocked(), "drop={drop_pct}% seed={seed}: deadlock");
+            let report = sweep_faulty_run(&r.deposet, &LocalPredicate::not_var("cs"));
+            assert!(
+                report.safe_modulo_crashes(),
+                "drop={drop_pct}% seed={seed}: clean violation {report:?}"
+            );
+            (r, report)
+        });
+        let mut entries = 0u64;
+        let mut dropped = 0u64;
+        let mut retrans = 0u64;
+        let mut ctrl = 0u64;
+        let mut responses: Vec<u64> = Vec::new();
+        let mut conc = 0usize;
+        let mut safe = 0u64;
+        for (r, report) in &runs {
             entries += r.metrics.counter("entries");
             dropped += r.metrics.counter("msgs_dropped");
             retrans += r.metrics.counter("retransmissions");
             ctrl += r.metrics.counter("msgs_ctrl");
             responses.extend(r.metrics.samples("response"));
             conc = conc.max(max_concurrent(&r.metrics, n));
-            let report = sweep_faulty_run(&r.deposet, &LocalPredicate::not_var("cs"));
-            assert!(
-                report.safe_modulo_crashes(),
-                "drop={drop_pct}% seed={seed}: clean violation {report:?}"
-            );
             safe += u64::from(report.fully_safe());
         }
         let mut agg = pctl_sim::Metrics::default();
@@ -125,14 +132,7 @@ fn main() {
         "fault counters (seed 0)",
     ]);
     for restart in [None, Some(300u64)] {
-        let mut entries = 0u64;
-        let mut rejoins = 0u64;
-        let mut regens = 0u64;
-        let mut aborted = 0u64;
-        let mut conc = 0usize;
-        let mut safe = 0u64;
-        let mut first_line = String::new();
-        for seed in 0..SEEDS {
+        let runs = ordered_map(&seeds, |_, &seed| {
             let plan = FaultPlan::none().with_crash(ProcessId(0), SimTime(25), restart);
             let r = run_ft_antitoken(
                 &workload(n, seed),
@@ -140,12 +140,22 @@ fn main() {
                 FtParams::default(),
                 plan,
             );
+            let report = sweep_faulty_run(&r.deposet, &LocalPredicate::not_var("cs"));
+            (r, report)
+        });
+        let mut entries = 0u64;
+        let mut rejoins = 0u64;
+        let mut regens = 0u64;
+        let mut aborted = 0u64;
+        let mut conc = 0usize;
+        let mut safe = 0u64;
+        let mut first_line = String::new();
+        for (seed, (r, report)) in runs.iter().enumerate() {
             entries += r.metrics.counter("entries");
             rejoins += r.metrics.counter("rejoins");
             regens += r.metrics.counter("regenerations");
             aborted += r.metrics.counter("aborted_cs");
             conc = conc.max(max_concurrent(&r.metrics, n));
-            let report = sweep_faulty_run(&r.deposet, &LocalPredicate::not_var("cs"));
             safe += u64::from(report.safe_modulo_crashes());
             if seed == 0 {
                 first_line = r.metrics.fault_line();

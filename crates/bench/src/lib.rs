@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

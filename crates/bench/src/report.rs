@@ -1,0 +1,230 @@
+//! Machine-readable bench reports (`BENCH_offline.json`, `BENCH_sweep.json`).
+//!
+//! Every harness run of `bench_suite` persists its numbers in a stable JSON
+//! schema so the perf trajectory of the repository is recorded PR over PR.
+//! The schema is round-trip tested: a report is only written after it parses
+//! back identically, so a committed `BENCH_*.json` is valid by construction
+//! (the CI bench-smoke job re-validates on every push).
+
+use pctl_obs::stats::Percentiles;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "pctl-bench-v1";
+
+/// Wall-time summary of repeated measurements, in microseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Number of samples.
+    pub reps: usize,
+    /// Smallest sample (µs).
+    pub min_us: u64,
+    /// 50th percentile (µs, nearest-rank).
+    pub p50_us: u64,
+    /// 95th percentile (µs, nearest-rank).
+    pub p95_us: u64,
+    /// Largest sample (µs).
+    pub max_us: u64,
+}
+
+impl WallStats {
+    /// Summarize a series of wall times in microseconds.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[u64]) -> WallStats {
+        let p = Percentiles::of(samples).expect("at least one sample");
+        WallStats {
+            reps: p.count,
+            min_us: p.min,
+            p50_us: p.p50,
+            p95_us: p.p95,
+            max_us: p.max,
+        }
+    }
+}
+
+/// One measured configuration of the off-line control algorithm.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OfflineCase {
+    /// Case label, e.g. `cs_n8_p16/optimized`.
+    pub name: String,
+    /// ValidPairs engine (`optimized` / `naive`).
+    pub engine: String,
+    /// Process count `n`.
+    pub processes: usize,
+    /// False intervals per process (the paper's `p`).
+    pub intervals_per_process: usize,
+    /// Total local states in the workload.
+    pub states: usize,
+    /// Wall-time distribution of (interval extraction + control synthesis).
+    pub wall: WallStats,
+    /// States processed per second at the median wall time.
+    pub states_per_sec: f64,
+    /// Synthesized control tuples (`|C→|`), 0 when infeasible.
+    pub control_tuples: usize,
+    /// Whether the instance was feasible.
+    pub feasible: bool,
+}
+
+/// The `BENCH_offline.json` payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OfflineReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Always `"offline"`.
+    pub bench: String,
+    /// Whether the run used `--smoke` sizes.
+    pub smoke: bool,
+    /// Measured cases.
+    pub cases: Vec<OfflineCase>,
+}
+
+/// One execution mode of the multi-seed sweep bench.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepMode {
+    /// `sequential` or `parallel`.
+    pub mode: String,
+    /// Worker threads used (1 for sequential).
+    pub threads: usize,
+    /// Distribution of per-seed wall times (construction + sweep).
+    pub per_seed: WallStats,
+    /// End-to-end wall time for the whole sweep (ms).
+    pub total_ms: f64,
+    /// Local states processed per second over the whole sweep.
+    pub states_per_sec: f64,
+}
+
+/// Recorded numbers from a previous run used as the comparison baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Free-form label of when/what was recorded.
+    pub recorded: String,
+    /// End-to-end sequential wall time of the baseline run (ms).
+    pub total_ms: f64,
+    /// Baseline throughput (states/sec).
+    pub states_per_sec: f64,
+    /// Baseline per-seed p50 (µs).
+    pub per_seed_p50_us: u64,
+    /// Baseline per-seed p95 (µs).
+    pub per_seed_p95_us: u64,
+}
+
+/// The `BENCH_sweep.json` payload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Always `"sweep"`.
+    pub bench: String,
+    /// Whether the run used `--smoke` sizes.
+    pub smoke: bool,
+    /// Number of seeds swept.
+    pub seeds: usize,
+    /// Process count per seed.
+    pub processes: usize,
+    /// Events per seed workload.
+    pub events_per_seed: usize,
+    /// Total local states across all seeds.
+    pub states_total: usize,
+    /// Sequential numbers (this is the pre-refactor-comparable code path).
+    pub sequential: SweepMode,
+    /// Parallel numbers (std::thread::scope fan-out, deterministic merge).
+    pub parallel: SweepMode,
+    /// Whether the parallel sweep produced bit-identical results to the
+    /// sequential sweep (hard-asserted by the harness before writing).
+    pub deterministic: bool,
+    /// Recorded pre-refactor baseline, when available on disk.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub baseline: Option<Baseline>,
+    /// `baseline.total_ms / sequential.total_ms`, when a baseline exists.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub speedup_vs_baseline: Option<f64>,
+}
+
+/// Serialize a report, validate it by parsing it back, then write it.
+///
+/// Returns the serialized JSON. Panics (and therefore fails the bench job)
+/// if the payload does not round-trip — a committed report is valid by
+/// construction.
+pub fn write_validated<T>(path: &std::path::Path, report: &T) -> std::io::Result<String>
+where
+    T: Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    let back: T = serde_json::from_str(&json).expect("report JSON parses back");
+    assert_eq!(&back, report, "report JSON must round-trip losslessly");
+    std::fs::write(path, format!("{json}\n"))?;
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_stats_summarizes() {
+        let w = WallStats::of(&[5, 1, 9, 3, 7]);
+        assert_eq!(w.reps, 5);
+        assert_eq!(w.min_us, 1);
+        assert_eq!(w.p50_us, 5);
+        assert_eq!(w.max_us, 9);
+    }
+
+    #[test]
+    fn sweep_report_roundtrips() {
+        let mode = |m: &str| SweepMode {
+            mode: m.into(),
+            threads: 1,
+            per_seed: WallStats::of(&[10, 20]),
+            total_ms: 0.03,
+            states_per_sec: 1e6,
+        };
+        let r = SweepReport {
+            schema: SCHEMA.into(),
+            bench: "sweep".into(),
+            smoke: true,
+            seeds: 2,
+            processes: 4,
+            events_per_seed: 100,
+            states_total: 208,
+            sequential: mode("sequential"),
+            parallel: mode("parallel"),
+            deterministic: true,
+            baseline: Some(Baseline {
+                recorded: "pre-refactor".into(),
+                total_ms: 0.09,
+                states_per_sec: 4e5,
+                per_seed_p50_us: 30,
+                per_seed_p95_us: 60,
+            }),
+            speedup_vs_baseline: Some(3.0),
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn offline_report_roundtrips() {
+        let r = OfflineReport {
+            schema: SCHEMA.into(),
+            bench: "offline".into(),
+            smoke: false,
+            cases: vec![OfflineCase {
+                name: "cs_n4_p8/optimized".into(),
+                engine: "optimized".into(),
+                processes: 4,
+                intervals_per_process: 8,
+                states: 321,
+                wall: WallStats::of(&[100]),
+                states_per_sec: 3.21e6,
+                control_tuples: 12,
+                feasible: true,
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: OfflineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

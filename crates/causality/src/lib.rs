@@ -8,6 +8,10 @@
 //!   [Lamport clocks](lamport::LamportClock), the mechanisms used to answer
 //!   `s → t` ("s causally precedes t", Lamport's *happened-before* relation)
 //!   in O(1) / O(n);
+//! * a columnar [clock arena](arena::ClockArena) that stores every clock of
+//!   a computation in one flat `u32` allocation, plus the shared
+//!   [clock-assignment DP](arena::fill_fidge_mattern) computation stores
+//!   build on;
 //! * a small directed-graph toolkit ([`graph`]) with Kahn topological sort,
 //!   cycle extraction and bitset transitive closure. These are used to check
 //!   that a control relation `C→` does not *interfere* with `→` (i.e. the
@@ -24,12 +28,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod graph;
 pub mod ids;
 pub mod lamport;
 pub mod order;
 pub mod vclock;
 
+pub use arena::{ClockArena, ClockRef};
 pub use graph::{CycleError, Dag};
 pub use ids::{MsgId, ProcessId, StateId};
 pub use lamport::LamportClock;

@@ -13,7 +13,8 @@
 //! under extended causality — the controlled computation's global sequences
 //! are exactly the base computation's global sequences that respect `C→`.
 
-use pctl_causality::{Dag, ProcessId, StateId, VectorClock};
+use pctl_causality::arena::{csr_from_edges, fill_fidge_mattern};
+use pctl_causality::{ClockArena, ClockRef, Dag, ProcessId, StateId};
 use pctl_deposet::{Deposet, GlobalState};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
@@ -123,13 +124,14 @@ impl std::error::Error for ControlError {}
 
 /// A deposet extended with a non-interfering control relation.
 ///
-/// Owns recomputed *extended* vector clocks; all queries (`precedes`,
-/// consistency, lattice enumeration) are under `C→ ∪ →`.
+/// Owns recomputed *extended* vector clocks in a columnar [`ClockArena`]
+/// (same flat row layout as the base deposet's store); all queries
+/// (`precedes`, consistency, lattice enumeration) are under `C→ ∪ →`.
 #[derive(Debug)]
 pub struct ControlledDeposet<'a> {
     base: &'a Deposet,
     control: ControlRelation,
-    ext_clocks: Vec<Vec<VectorClock>>,
+    ext_clocks: ClockArena,
 }
 
 impl<'a> ControlledDeposet<'a> {
@@ -166,32 +168,23 @@ impl<'a> ControlledDeposet<'a> {
         let order = g.topo_sort().map_err(|e| ControlError::Interference {
             cycle: e.cycle.iter().map(|&v| locate(v as usize)).collect(),
         })?;
-        // Extended Fidge–Mattern clocks by DP over the topological order.
-        let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); total];
-        for m in dep.messages() {
-            preds[node(m.to)].push(m.from);
-        }
-        for &(x, y) in control.pairs() {
-            preds[node(y)].push(x);
-        }
-        let mut ext_clocks: Vec<Vec<VectorClock>> = dep
-            .processes()
-            .map(|p| vec![VectorClock::zero(n); dep.len_of(p)])
+        // Extended Fidge–Mattern clocks, filled in place in a fresh arena:
+        // same DP as the base store, with control pairs as extra merge edges.
+        let mut edges: Vec<(u32, u32)> = dep
+            .messages()
+            .iter()
+            .map(|m| (node(m.to) as u32, node(m.from) as u32))
             .collect();
-        for &v in &order {
-            let s = locate(v as usize);
-            let mut vc = if s.index == 0 {
-                VectorClock::zero(n)
-            } else {
-                ext_clocks[s.process.index()][s.idx() - 1].clone()
-            };
-            for src in &preds[v as usize] {
-                let sv = ext_clocks[src.process.index()][src.idx()].clone();
-                vc.merge(&sv);
-            }
-            vc.tick(s.process);
-            ext_clocks[s.process.index()][s.idx()] = vc;
-        }
+        edges.extend(
+            control
+                .pairs()
+                .iter()
+                .map(|&(x, y)| (node(y) as u32, node(x) as u32)),
+        );
+        let (merge_off, merge_src) = csr_from_edges(total, &edges);
+        let mut ext_clocks = ClockArena::zeroed(n, total);
+        fill_fidge_mattern(&mut ext_clocks, offsets, &order, &merge_off, &merge_src);
+        assert_eq!(ext_clocks.allocated_words(), n * total);
         Ok(ControlledDeposet {
             base: dep,
             control,
@@ -209,14 +202,16 @@ impl<'a> ControlledDeposet<'a> {
         &self.control
     }
 
-    /// Extended clock of a state.
-    pub fn clock(&self, s: StateId) -> &VectorClock {
-        &self.ext_clocks[s.process.index()][s.idx()]
+    /// Extended clock of a state (a borrowed row of the extended arena).
+    pub fn clock(&self, s: StateId) -> ClockRef<'_> {
+        self.ext_clocks.row(self.base.row_of(s))
     }
 
     /// `s C→∪→ t` under extended causality.
     pub fn precedes(&self, s: StateId, t: StateId) -> bool {
-        s != t && self.clock(s).get(s.process) <= self.clock(t).get(s.process)
+        s != t
+            && self.ext_clocks.word(self.base.row_of(s), s.process)
+                <= self.ext_clocks.word(self.base.row_of(t), s.process)
     }
 
     /// Concurrency under extended causality.

@@ -1,0 +1,207 @@
+//! The unified engine layer: one cached computation store per
+//! (deposet, predicate) pair, shared by control, detection and
+//! verification.
+//!
+//! Before this layer, every entry point re-derived the same intermediate
+//! data: `control_disjunctive` extracted false intervals, the detectors
+//! re-evaluated the local predicates per call, and the verification sweep
+//! walked cloned predicate trees state by state. A [`PredicateEngine`]
+//! builds the [`IntervalIndex`] (per-state truth bitmap + false intervals,
+//! constructed in parallel per process) exactly once and answers every
+//! question from it:
+//!
+//! * [`control`](PredicateEngine::control) — the paper's Figure 2 off-line
+//!   algorithm over the cached intervals;
+//! * [`detect_violation`](PredicateEngine::detect_violation) — weak
+//!   conjunctive detection of `∧ᵢ ¬lᵢ`, with candidate queues read straight
+//!   off the truth bitmap (no re-evaluation);
+//! * [`infeasibility_witness`](PredicateEngine::infeasibility_witness) —
+//!   the Lemma 2 overlap search (strong detection), again over the cached
+//!   intervals;
+//! * [`verify`](PredicateEngine::verify) — exhaustive soundness check of a
+//!   synthesized relation.
+//!
+//! The control/detection duality (`controller exists ⟺ no overlapping
+//! set`) thus runs against literally the same interval data, not two
+//! independently-extracted copies.
+
+use crate::control::ControlRelation;
+use crate::offline::{control_intervals, Infeasible, OfflineOptions, OfflineStats};
+use crate::verify::{verify_disjunctive, VerifyError};
+use pctl_deposet::store;
+use pctl_deposet::{
+    Deposet, DisjunctivePredicate, FalseIntervals, GlobalState, Interval, IntervalIndex, StateId,
+};
+
+/// A computation + disjunctive predicate, with the derived store cached.
+///
+/// Borrows the deposet; predicate evaluation happens once, at
+/// construction, into the index.
+pub struct PredicateEngine<'a> {
+    dep: &'a Deposet,
+    pred: DisjunctivePredicate,
+    index: IntervalIndex,
+}
+
+impl<'a> PredicateEngine<'a> {
+    /// Build the engine, evaluating every local predicate once per state.
+    ///
+    /// # Panics
+    /// Panics if the predicate arity differs from the process count.
+    pub fn new(dep: &'a Deposet, pred: DisjunctivePredicate) -> Self {
+        let index = IntervalIndex::build(dep, &pred);
+        PredicateEngine { dep, pred, index }
+    }
+
+    /// The underlying computation.
+    pub fn deposet(&self) -> &'a Deposet {
+        self.dep
+    }
+
+    /// The predicate under control/detection.
+    pub fn predicate(&self) -> &DisjunctivePredicate {
+        &self.pred
+    }
+
+    /// The cached per-process false-interval lists.
+    pub fn intervals(&self) -> &FalseIntervals {
+        self.index.intervals()
+    }
+
+    /// Truth of the local predicate `l_{proc(s)}` at state `s`, from the
+    /// bitmap (no predicate evaluation).
+    pub fn truth(&self, s: StateId) -> bool {
+        self.index.truth(s)
+    }
+
+    /// Run the off-line control algorithm (the paper's Figure 2) over the
+    /// cached intervals.
+    pub fn control(&self, opts: OfflineOptions) -> Result<ControlRelation, Infeasible> {
+        self.control_with_stats(opts).0
+    }
+
+    /// [`control`](Self::control), also returning operation counts.
+    pub fn control_with_stats(
+        &self,
+        opts: OfflineOptions,
+    ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+        control_intervals(self.dep, self.index.intervals(), opts)
+    }
+
+    /// Strong detection: search for a pairwise-overlapping set of false
+    /// intervals (Lemma 2). `Some` iff no controller exists — the witness
+    /// the control algorithm would also surface as [`Infeasible`].
+    pub fn infeasibility_witness(&self) -> Option<Vec<Interval>> {
+        store::find_overlap(self.dep, self.index.intervals())
+    }
+
+    /// Weak detection: the earliest consistent cut where every local
+    /// predicate is false (`possibly(∧ᵢ ¬lᵢ)`), i.e. a violation of the
+    /// disjunction `B`. Candidate queues are read off the truth bitmap.
+    pub fn detect_violation(&self) -> Option<GlobalState> {
+        let queues: Vec<Vec<u32>> = self
+            .dep
+            .processes()
+            .map(|p| {
+                self.index
+                    .truths_of(p)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| !t)
+                    .map(|(k, _)| k as u32)
+                    .collect()
+            })
+            .collect();
+        pctl_detect::possibly_from_queues(self.dep, &queues)
+    }
+
+    /// Exhaustively verify that `rel` makes the computation satisfy the
+    /// predicate (bounded by `limit` visited cuts).
+    pub fn verify(&self, rel: &ControlRelation, limit: usize) -> Result<(), VerifyError> {
+        verify_disjunctive(self.dep, &self.pred, rel, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::control_disjunctive;
+    use pctl_deposet::generator::{cs_workload, random_deposet, CsConfig, RandomConfig};
+    use pctl_deposet::DeposetBuilder;
+
+    #[test]
+    fn engine_agrees_with_the_standalone_entry_points() {
+        for seed in 0..10 {
+            let dep = cs_workload(
+                &CsConfig {
+                    processes: 3,
+                    sections_per_process: 3,
+                    ..CsConfig::default()
+                },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one_not(3, "cs");
+            let eng = PredicateEngine::new(&dep, pred.clone());
+            let opts = OfflineOptions::default();
+            assert_eq!(
+                eng.control(opts),
+                control_disjunctive(&dep, &pred, opts),
+                "seed {seed}"
+            );
+            assert_eq!(
+                eng.detect_violation(),
+                pctl_detect::detect_disjunctive_violation(&dep, &pred),
+                "seed {seed}"
+            );
+            assert_eq!(
+                eng.infeasibility_witness(),
+                pctl_detect::definitely_all_false(&dep, &pred),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn control_and_overlap_are_duals_on_the_same_store() {
+        for seed in 0..15 {
+            let dep = random_deposet(
+                &RandomConfig {
+                    processes: 3,
+                    events: 20,
+                    ..RandomConfig::default()
+                },
+                seed,
+            );
+            let eng = PredicateEngine::new(&dep, DisjunctivePredicate::at_least_one(3, "ok"));
+            match eng.control(OfflineOptions::default()) {
+                Ok(rel) => {
+                    assert!(eng.infeasibility_witness().is_none(), "seed {seed}");
+                    assert!(eng.verify(&rel, 500_000).is_ok(), "seed {seed}");
+                }
+                Err(inf) => {
+                    let w = eng.infeasibility_witness().expect("dual witness");
+                    assert!(store::set_overlaps(&dep, &w), "seed {seed}");
+                    assert!(store::set_overlaps(&dep, &inf.witness), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_bitmap_matches_direct_evaluation() {
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("ok", 1)]);
+        b.init_vars(1, &[("ok", 0)]);
+        b.internal(0, &[("ok", 0)]);
+        b.internal(1, &[("ok", 1)]);
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(2, "ok");
+        let eng = PredicateEngine::new(&dep, pred.clone());
+        for s in dep.state_ids() {
+            assert_eq!(eng.truth(s), pred.local(s.process).eval(dep.state(s)));
+        }
+        assert_eq!(eng.intervals(), &FalseIntervals::extract(&dep, &pred));
+        assert_eq!(eng.deposet().process_count(), 2);
+        assert_eq!(eng.predicate(), &pred);
+    }
+}

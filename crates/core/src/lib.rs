@@ -7,6 +7,9 @@
 //! * [`offline`] — the efficient off-line control algorithm for disjunctive
 //!   predicates (Figure 2), in both the O(n²p) and the naive O(n³p)
 //!   variants, with infeasibility certificates ([`overlap`], Lemma 2);
+//! * [`engine`] — the unified engine layer: one cached computation store
+//!   per (deposet, predicate) pair that control, detection and verification
+//!   all answer from;
 //! * [`mod@sgsd`] / [`sat`] / [`reduction`] — the NP-hardness machinery of
 //!   Section 4: SGSD, DPLL, and the SAT → SGSD gadget of Figure 1;
 //! * [`verify`] — executable evidence for the correctness theorems:
@@ -28,6 +31,7 @@
 
 pub mod cnf_control;
 pub mod control;
+pub mod engine;
 pub mod offline;
 pub mod online;
 pub mod overlap;
@@ -37,6 +41,7 @@ pub mod sgsd;
 pub mod verify;
 
 pub use control::{ControlError, ControlRelation, ControlledDeposet};
+pub use engine::PredicateEngine;
 pub use offline::{
     control_disjunctive, control_disjunctive_traced, control_intervals, control_intervals_traced,
     Engine, Infeasible, OfflineOptions, OfflineStats, SelectPolicy,

@@ -345,9 +345,6 @@ impl<'a> Run<'a> {
     /// simultaneously (the first-exit form of Lemma 2).
     fn crossable(&mut self, ii: &Interval, ij: &Interval) -> bool {
         self.stats.pair_checks += 1;
-        if ii.lo == 0 || (ij.hi as usize) >= self.dep.len_of(ij.process) - 1 {
-            return false;
-        }
         // "Iⱼ can be crossed while Iᵢ stays un-entered" in the
         // *enforceable* (interleaving) semantics:
         //   pred(Iᵢ.lo) !→ succ(Iⱼ.hi)
@@ -357,10 +354,9 @@ impl<'a> Run<'a> {
         // derivation, the counterexample ruling out the literal reading,
         // and the discussion of why simultaneity (which would weaken this
         // to the OR of single shifts) is not realizable by message-based
-        // control.
-        let entry = ii.lo_state().predecessor().expect("lo ≠ ⊥ checked above");
-        let exit = ij.hi_state().successor();
-        !self.dep.precedes(entry, exit)
+        // control. The test itself is the computation store's shared
+        // primitive, so control and detection can never drift apart.
+        pctl_deposet::store::crossable(self.dep, ii, ij)
     }
 
     /// Membership test for `ValidPairs()`: maintain `i` true while crossing

@@ -70,24 +70,7 @@ pub fn is_overlapping(dep: &Deposet, set: &[Interval]) -> bool {
     for (i, iv) in set.iter().enumerate() {
         assert_eq!(iv.process.index(), i, "intervals must be in process order");
     }
-    for (i, ii) in set.iter().enumerate() {
-        for (j, ij) in set.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            let lo_is_bottom = ii.lo == 0;
-            let hi_is_top = (ij.hi as usize) == dep.len_of(ij.process) - 1;
-            if lo_is_bottom || hi_is_top {
-                continue;
-            }
-            let entry = ii.lo_state().predecessor().expect("lo ≠ ⊥");
-            let exit = ij.hi_state().successor();
-            if !dep.precedes(entry, exit) {
-                return false;
-            }
-        }
-    }
-    true
+    pctl_deposet::store::set_overlaps(dep, set)
 }
 
 /// Brute-force search for an overlapping set: tries every combination of
@@ -205,6 +188,81 @@ mod tests {
         );
         // P0 has no false interval ⇒ no overlapping set.
         assert_eq!(find_overlap_brute(&dep, &iv), None);
+    }
+
+    #[test]
+    fn single_process_interval_is_vacuously_overlapping() {
+        // With n = 1 the ∀ i ≠ j condition is empty: any false interval of
+        // the sole process is an overlapping "set" — the predicate demands
+        // ok on P0 while P0 is false, which no control can fix.
+        let mut b = DeposetBuilder::new(1);
+        b.init_vars(0, &[("ok", 1)]);
+        b.internal(0, &[("ok", 0)]);
+        b.internal(0, &[("ok", 1)]);
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(1, "ok");
+        let iv = FalseIntervals::extract(&dep, &pred);
+        assert_eq!(iv.total(), 1);
+        let w = find_overlap_brute(&dep, &iv).expect("single-process overlap");
+        assert!(is_overlapping(&dep, &w));
+        assert_eq!(
+            pctl_deposet::store::find_overlap(&dep, &iv).as_deref(),
+            Some(&w[..])
+        );
+    }
+
+    #[test]
+    fn empty_interval_sets_never_overlap() {
+        // No process is ever false ⇒ no intervals anywhere ⇒ no candidate
+        // set exists on either search path.
+        let mut b = DeposetBuilder::new(3);
+        for p in 0..3 {
+            b.init_vars(p, &[("ok", 1)]);
+            b.internal(p, &[]);
+        }
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(3, "ok");
+        let iv = FalseIntervals::extract(&dep, &pred);
+        assert_eq!(iv.total(), 0);
+        assert_eq!(find_overlap_brute(&dep, &iv), None);
+        assert_eq!(pctl_deposet::store::find_overlap(&dep, &iv), None);
+    }
+
+    #[test]
+    fn intervals_touching_bottom_and_top_overlap_by_disjunct() {
+        // P0 is *born* false and never recovers: its interval spans
+        // ⊥₀ … ⊤₀, so for every pair both escape clauses of Lemma 2 are
+        // available (`I₀.lo = ⊥₀` one way, `I₀.hi = ⊤₀` the other), and
+        // the set overlaps with no causality between the processes at all.
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("ok", 0)]);
+        b.internal(0, &[]);
+        b.init_vars(1, &[("ok", 1)]);
+        b.internal(1, &[("ok", 0)]);
+        let dep = b.finish().unwrap();
+        let pred = DisjunctivePredicate::at_least_one(2, "ok");
+        let iv = FalseIntervals::extract(&dep, &pred);
+        let i0 = iv.of(pctl_deposet::ProcessId(0))[0];
+        let i1 = iv.of(pctl_deposet::ProcessId(1))[0];
+        assert_eq!(i0.lo, 0, "touches ⊥₀");
+        assert_eq!(
+            i0.hi as usize,
+            dep.len_of(pctl_deposet::ProcessId(0)) - 1,
+            "touches ⊤₀"
+        );
+        assert_eq!(
+            i1.hi as usize,
+            dep.len_of(pctl_deposet::ProcessId(1)) - 1,
+            "touches ⊤₁"
+        );
+        assert!(is_overlapping(&dep, &[i0, i1]));
+        assert!(find_overlap_brute(&dep, &iv).is_some());
+        // Flip side: an interior interval against the ⊥…⊤ one still
+        // overlaps (the all-false process can never be ordered around),
+        // but two *interior* concurrent intervals would not — covered by
+        // interior_concurrent_intervals_do_not_overlap above.
+        assert!(pctl_deposet::store::pair_overlaps(&dep, &i1, &i0));
+        assert!(pctl_deposet::store::pair_overlaps(&dep, &i0, &i1));
     }
 
     #[test]

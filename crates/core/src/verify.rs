@@ -213,32 +213,43 @@ impl FaultSweepReport {
 /// The second is a genuine safety bug in any run; the first is tolerated
 /// exactly when a crash destroyed the anti-token (the cut then contains the
 /// dead process), until the watchdog regenerates it.
+///
+/// The sweep makes a *single pass* over every local state: the witness
+/// predicate is evaluated once and the reserved `"down"` flag read once per
+/// state, and both detector candidate queues plus the crash windows are
+/// derived from those two columns (the detectors then run on the queues via
+/// [`pctl_detect::possibly_from_queues`], with no further predicate
+/// evaluation). Per-process columns are independent, so the scan fans out
+/// over [`pctl_deposet::par::ordered_map`] with a deterministic merge.
 pub fn sweep_faulty_run(dep: &Deposet, witness: &LocalPredicate) -> FaultSweepReport {
-    let n = dep.process_count();
-    let down = LocalPredicate::var("down");
-    let unwitnessed_locals: Vec<LocalPredicate> = (0..n)
-        .map(|_| LocalPredicate::Or(vec![witness.clone().negated(), down.clone()]))
-        .collect();
-    let clean_locals: Vec<LocalPredicate> = (0..n)
-        .map(|_| {
-            LocalPredicate::And(vec![
-                witness.clone().negated(),
-                LocalPredicate::not_var("down"),
-            ])
-        })
-        .collect();
-    let unwitnessed_cut = pctl_detect::possibly_conjunction(dep, &unwitnessed_locals);
-    let clean_violation = pctl_detect::possibly_conjunction(dep, &clean_locals);
-
-    let mut down_windows = Vec::new();
-    for p in dep.processes() {
+    struct Column {
+        unwitnessed: Vec<u32>,
+        clean: Vec<u32>,
+        windows: Vec<DownWindow>,
+    }
+    let procs: Vec<ProcessId> = dep.processes().collect();
+    let columns: Vec<Column> = pctl_deposet::par::ordered_map(&procs, |_, &p| {
+        let mut col = Column {
+            unwitnessed: Vec::new(),
+            clean: Vec::new(),
+            windows: Vec::new(),
+        };
         let mut open: Option<u32> = None;
         for (k, s) in dep.states_of(p).iter().enumerate() {
+            let wit = witness.eval(s);
             let is_down = s.vars.get("down").unwrap_or(0) != 0;
+            // Queue membership: ¬lᵢ ∨ downᵢ (unwitnessed), ¬lᵢ ∧ ¬downᵢ
+            // (clean violation).
+            if !wit || is_down {
+                col.unwitnessed.push(k as u32);
+            }
+            if !wit && !is_down {
+                col.clean.push(k as u32);
+            }
             match (is_down, open) {
                 (true, None) => open = Some(k as u32),
                 (false, Some(from)) => {
-                    down_windows.push(DownWindow {
+                    col.windows.push(DownWindow {
                         process: p,
                         from,
                         to: Some(k as u32),
@@ -249,17 +260,26 @@ pub fn sweep_faulty_run(dep: &Deposet, witness: &LocalPredicate) -> FaultSweepRe
             }
         }
         if let Some(from) = open {
-            down_windows.push(DownWindow {
+            col.windows.push(DownWindow {
                 process: p,
                 from,
                 to: None,
             });
         }
-    }
+        col
+    });
 
+    let mut unwitnessed_queues = Vec::with_capacity(columns.len());
+    let mut clean_queues = Vec::with_capacity(columns.len());
+    let mut down_windows = Vec::new();
+    for c in columns {
+        unwitnessed_queues.push(c.unwitnessed);
+        clean_queues.push(c.clean);
+        down_windows.extend(c.windows);
+    }
     FaultSweepReport {
-        unwitnessed_cut,
-        clean_violation,
+        unwitnessed_cut: pctl_detect::possibly_from_queues(dep, &unwitnessed_queues),
+        clean_violation: pctl_detect::possibly_from_queues(dep, &clean_queues),
         down_windows,
     }
 }

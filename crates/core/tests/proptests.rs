@@ -1,0 +1,72 @@
+//! Property-based cross-validation of the computation-store fast paths
+//! against the layer-local reference implementations they replaced.
+//!
+//! The store (`pctl_deposet::store`) is now the single home of the Lemma 2
+//! overlap primitives; these tests pin it to the exponential brute-force
+//! searcher kept in `pctl_core::overlap` and to the engine built on top.
+
+use pctl_core::offline::{OfflineOptions, SelectPolicy};
+use pctl_core::overlap::{find_overlap_brute, is_overlapping};
+use pctl_core::PredicateEngine;
+use pctl_deposet::generator::{random_deposet, RandomConfig};
+use pctl_deposet::{store, DisjunctivePredicate, FalseIntervals};
+use proptest::prelude::*;
+
+/// Small universes: `find_overlap_brute` is O(pⁿ·n²).
+fn arb_config() -> impl Strategy<Value = (RandomConfig, u64)> {
+    (1usize..5, 0usize..24, 0u64..1_000_000).prop_map(|(n, events, seed)| {
+        (
+            RandomConfig {
+                processes: n,
+                events,
+                send_prob: 0.4,
+                flip_prob: 0.4,
+            },
+            seed,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store's front-advance `find_overlap` and the brute-force
+    /// odometer agree on the *verdict* for every random computation, and
+    /// any witness either returns is a genuinely overlapping set.
+    #[test]
+    fn store_overlap_search_matches_brute_force((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let pred = DisjunctivePredicate::at_least_one(dep.process_count(), "ok");
+        let iv = FalseIntervals::extract(&dep, &pred);
+        let fast = store::find_overlap(&dep, &iv);
+        let brute = find_overlap_brute(&dep, &iv);
+        prop_assert_eq!(fast.is_some(), brute.is_some(),
+            "store and brute-force disagree on overlap existence");
+        if let Some(w) = &fast {
+            prop_assert!(is_overlapping(&dep, w), "fast witness does not overlap");
+        }
+        if let Some(w) = &brute {
+            prop_assert!(store::set_overlaps(&dep, w), "brute witness rejected by store");
+        }
+    }
+
+    /// Engine-level duality on the same store: control synthesis fails
+    /// exactly when an overlapping set exists (Lemma 2 under the
+    /// enforceable semantics), for every random computation.
+    #[test]
+    fn engine_infeasibility_is_exactly_overlap((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let pred = DisjunctivePredicate::at_least_one(dep.process_count(), "ok");
+        let engine = PredicateEngine::new(&dep, pred);
+        let res = engine.control(OfflineOptions {
+            policy: SelectPolicy::First,
+            ..OfflineOptions::default()
+        });
+        let witness = engine.infeasibility_witness();
+        prop_assert_eq!(res.is_err(), witness.is_some(),
+            "control verdict and overlap witness must be dual");
+        if let Some(w) = &witness {
+            prop_assert!(is_overlapping(&dep, w));
+        }
+    }
+}

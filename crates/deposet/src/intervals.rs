@@ -5,9 +5,13 @@
 //! `lᵢ`; the control algorithm operates exclusively on the *false intervals*
 //! (`I.lo` / `I.hi` are the first and last states of a maximal false run).
 //! Extraction happens once per (deposet, predicate) pair so that predicate
-//! evaluation cost is paid once.
+//! evaluation cost is paid once. The scanning itself lives in the
+//! computation [`crate::store`] (`truth_of_process` + `intervals_from_truth`);
+//! extraction composes the two per process, fanned out with
+//! [`crate::par::ordered_map`].
 
 use crate::model::Deposet;
+use crate::par::ordered_map;
 use crate::predicate::{DisjunctivePredicate, LocalPredicate};
 use pctl_causality::{ProcessId, StateId};
 use serde::{Deserialize, Serialize};
@@ -74,20 +78,16 @@ impl FalseIntervals {
             dep.process_count(),
             "disjunctive predicate arity must equal process count"
         );
-        let per_proc = dep
-            .processes()
-            .map(|p| extract_one(dep, p, pred.local(p)))
-            .collect();
+        let procs: Vec<ProcessId> = dep.processes().collect();
+        let per_proc = ordered_map(&procs, |_, &p| extract_one(dep, p, pred.local(p)));
         FalseIntervals { per_proc }
     }
 
     /// Extract from explicit per-process local predicates.
     pub fn extract_each(dep: &Deposet, locals: &[LocalPredicate]) -> Self {
         assert_eq!(locals.len(), dep.process_count());
-        let per_proc = dep
-            .processes()
-            .map(|p| extract_one(dep, p, &locals[p.index()]))
-            .collect();
+        let procs: Vec<ProcessId> = dep.processes().collect();
+        let per_proc = ordered_map(&procs, |i, &p| extract_one(dep, p, &locals[i]));
         FalseIntervals { per_proc }
     }
 
@@ -145,32 +145,8 @@ impl FalseIntervals {
 }
 
 fn extract_one(dep: &Deposet, p: ProcessId, local: &LocalPredicate) -> Vec<Interval> {
-    let states = dep.states_of(p);
-    let mut out = Vec::new();
-    let mut run_start: Option<u32> = None;
-    for (k, st) in states.iter().enumerate() {
-        let truth = local.eval(st);
-        match (truth, run_start) {
-            (false, None) => run_start = Some(k as u32),
-            (true, Some(lo)) => {
-                out.push(Interval {
-                    process: p,
-                    lo,
-                    hi: k as u32 - 1,
-                });
-                run_start = None;
-            }
-            _ => {}
-        }
-    }
-    if let Some(lo) = run_start {
-        out.push(Interval {
-            process: p,
-            lo,
-            hi: states.len() as u32 - 1,
-        });
-    }
-    out
+    let truth = crate::store::truth_of_process(dep, p, local);
+    crate::store::intervals_from_truth(p, &truth)
 }
 
 #[cfg(test)]

@@ -16,6 +16,9 @@
 //!   and the disjunctive class the control algorithms target;
 //! * false-[`intervals`] extraction, the representation the off-line control
 //!   algorithm actually manipulates;
+//! * the computation [`store`] — the single home of the Lemma 2
+//!   crossable/overlap primitives and a precomputed truth/interval index,
+//!   built per process in parallel via [`par::ordered_map`];
 //! * a stable JSON [`trace`] format and Graphviz [`dot`] export.
 
 #![warn(missing_docs)]
@@ -29,10 +32,12 @@ pub mod global;
 pub mod intervals;
 pub mod lattice;
 pub mod model;
+pub mod par;
 pub mod predicate;
 pub mod scenarios;
 pub mod sequences;
 pub mod state;
+pub mod store;
 pub mod trace;
 
 pub use builder::{BuildError, DeposetBuilder, MsgToken};
@@ -43,6 +48,7 @@ pub use model::{Deposet, DeposetError};
 pub use predicate::{CmpOp, DisjunctivePredicate, GlobalPredicate, LocalPredicate};
 pub use sequences::{GlobalSequence, SequenceError};
 pub use state::{LocalState, Variables};
+pub use store::IntervalIndex;
 
 // Re-export the id types for downstream convenience.
 pub use pctl_causality::{MsgId, ProcessId, StateId, VectorClock};

@@ -15,7 +15,8 @@
 
 use crate::event::{EventKind, Message};
 use crate::state::LocalState;
-use pctl_causality::{Causality, Dag, MsgId, ProcessId, StateId, VectorClock};
+use pctl_causality::arena::{csr_from_edges, fill_fidge_mattern, topo_order_chained};
+use pctl_causality::{Causality, ClockArena, ClockRef, MsgId, ProcessId, StateId};
 use std::fmt;
 
 /// A distributed computation (see module docs).
@@ -23,12 +24,20 @@ use std::fmt;
 /// Immutable once constructed; construct via
 /// [`DeposetBuilder`](crate::builder::DeposetBuilder) or
 /// [`Deposet::from_parts`].
+///
+/// Clocks live in a columnar [`ClockArena`]: one flat `u32` allocation of
+/// exactly `n · S` words for the whole computation (`n` processes, `S`
+/// states), with state `(p, k)` in row `offsets[p] + k`. Construction fills
+/// the arena in place — no per-state clock allocations.
 #[derive(Clone, Debug)]
 pub struct Deposet {
     states: Vec<Vec<LocalState>>,
     events: Vec<Vec<EventKind>>,
     messages: Vec<Message>,
-    clocks: Vec<Vec<VectorClock>>,
+    /// Flat row offsets: state `(p, k)` is row `offsets[p] + k`;
+    /// `offsets[n]` is the total state count.
+    offsets: Vec<usize>,
+    clocks: ClockArena,
 }
 
 /// Errors detected while validating deposet structure (D1–D3 and message
@@ -167,78 +176,62 @@ impl Deposet {
             )));
         }
 
-        let mut dep = Deposet {
-            states,
-            events,
-            messages,
-            clocks: Vec::new(),
-        };
-        dep.clocks = dep.compute_clocks()?;
-        Ok(dep)
-    }
-
-    /// Compute Fidge–Mattern state clocks by DP over a topological order of
-    /// the `im ∪ ;` state graph. Fails iff the graph has a cycle.
-    fn compute_clocks(&self) -> Result<Vec<Vec<VectorClock>>, DeposetError> {
-        let n = self.process_count();
-        let offsets = self.offsets();
-        let total = offsets[n];
-        let mut g = Dag::new(total);
-        for (p, states) in self.states.iter().enumerate() {
-            for k in 0..states.len() - 1 {
-                g.add_edge(offsets[p] + k, offsets[p] + k + 1);
-            }
-        }
-        for m in &self.messages {
-            g.add_edge(
-                offsets[m.from.process.index()] + m.from.idx(),
-                offsets[m.to.process.index()] + m.to.idx(),
-            );
-        }
-        let order = g.topo_sort().map_err(|_| DeposetError::CausalityCycle)?;
-        let mut clocks: Vec<Vec<VectorClock>> = self
-            .states
-            .iter()
-            .map(|s| vec![VectorClock::zero(n); s.len()])
-            .collect();
-        // Map flattened node -> (p, k).
-        let locate = |node: usize| -> (usize, usize) {
-            let p = offsets.partition_point(|&o| o <= node) - 1;
-            (p, node - offsets[p])
-        };
-        // Receive edges indexed by destination state for the DP.
-        let mut recv_from: Vec<Vec<StateId>> = vec![Vec::new(); total];
-        for m in &self.messages {
-            recv_from[offsets[m.to.process.index()] + m.to.idx()].push(m.from);
-        }
-        for &node in &order {
-            let (p, k) = locate(node as usize);
-            let mut vc = if k == 0 {
-                VectorClock::zero(n)
-            } else {
-                clocks[p][k - 1].clone()
-            };
-            for src in &recv_from[node as usize] {
-                let sv = clocks[src.process.index()][src.idx()].clone();
-                vc.merge(&sv);
-            }
-            vc.tick(ProcessId(p as u32));
-            clocks[p][k] = vc;
-        }
-        Ok(clocks)
-    }
-
-    /// Flattened node offsets per process (for graph algorithms): state
-    /// `(p, k)` is node `offsets[p] + k`; `offsets[n]` is the total count.
-    pub fn offsets(&self) -> Vec<usize> {
-        let mut offsets = Vec::with_capacity(self.states.len() + 1);
+        // Flat row offsets, fixed for the lifetime of the deposet.
+        let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
-        for s in &self.states {
+        for s in &states {
             offsets.push(acc);
             acc += s.len();
         }
         offsets.push(acc);
-        offsets
+        let total = acc;
+
+        // Topological order of the `im ∪ ;` state graph (cycle ⇒ invalid).
+        // The local chains are implicit in `offsets` and the message edges
+        // come as flat `(dst, src)` pairs, so no per-state adjacency list is
+        // ever built — construction is the hot path of every multi-seed
+        // sweep.
+        let row = |s: StateId| offsets[s.process.index()] + s.idx();
+        let edges: Vec<(u32, u32)> = messages
+            .iter()
+            .map(|m| (row(m.to) as u32, row(m.from) as u32))
+            .collect();
+        let order = topo_order_chained(&offsets, &edges).ok_or(DeposetError::CausalityCycle)?;
+
+        // Fill the clock arena in place: one flat allocation of n·S words,
+        // message edges as CSR merge sources.
+        let (merge_off, merge_src) = csr_from_edges(total, &edges);
+        let mut clocks = ClockArena::zeroed(n, total);
+        fill_fidge_mattern(&mut clocks, &offsets, &order, &merge_off, &merge_src);
+        // The O(n·S)-words storage bound the columnar layout exists for.
+        assert_eq!(clocks.allocated_words(), n * total);
+
+        Ok(Deposet {
+            states,
+            events,
+            messages,
+            offsets,
+            clocks,
+        })
+    }
+
+    /// Flattened node offsets per process (for graph algorithms): state
+    /// `(p, k)` is node `offsets[p] + k`; `offsets[n]` is the total count.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Flat row index of state `id` in [`offsets`](Self::offsets) order.
+    #[inline]
+    pub fn row_of(&self, id: StateId) -> usize {
+        self.offsets[id.process.index()] + id.idx()
+    }
+
+    /// The columnar clock store for the whole computation.
+    #[inline]
+    pub fn clock_arena(&self) -> &ClockArena {
+        &self.clocks
     }
 
     /// Number of processes `n`.
@@ -309,10 +302,10 @@ impl Deposet {
         id.process.index() < self.states.len() && id.idx() < self.states[id.process.index()].len()
     }
 
-    /// The vector clock of state `id`.
+    /// The vector clock of state `id` (a borrowed row of the clock arena).
     #[inline]
-    pub fn clock(&self, id: StateId) -> &VectorClock {
-        &self.clocks[id.process.index()][id.idx()]
+    pub fn clock(&self, id: StateId) -> ClockRef<'_> {
+        self.clocks.row(self.row_of(id))
     }
 
     /// `s ≺ t`: same process and s strictly earlier (transitive closure of
@@ -327,10 +320,13 @@ impl Deposet {
         self.messages.iter().any(|m| m.from == s && m.to == t)
     }
 
-    /// `s → t`: causally precedes (happened-before). O(1) via vector clocks.
+    /// `s → t`: causally precedes (happened-before). O(1): two word reads
+    /// from the clock arena (`V(s)[proc(s)] ≤ V(t)[proc(s)]`).
     #[inline]
     pub fn precedes(&self, s: StateId, t: StateId) -> bool {
-        s != t && self.clock(s).get(s.process) <= self.clock(t).get(s.process)
+        s != t
+            && self.clocks.word(self.row_of(s), s.process)
+                <= self.clocks.word(self.row_of(t), s.process)
     }
 
     /// `s →̲ t`: causally precedes or equal.

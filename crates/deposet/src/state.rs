@@ -2,18 +2,29 @@
 //!
 //! In the paper's model (Section 3) "a state corresponds to an assignment of
 //! values to all variables in the process". We represent that assignment as
-//! a sorted map from variable names to 64-bit integers; booleans are encoded
-//! as 0/1. Local predicates are evaluated against this payload.
+//! a name-sorted association list from variable names to 64-bit integers;
+//! booleans are encoded as 0/1. Local predicates are evaluated against this
+//! payload.
+//!
+//! Names are interned as `Arc<str>`: the builder derives each state by
+//! cloning its predecessor's assignment and applying updates, so along a
+//! process's whole state chain every variable name is one shared allocation
+//! and cloning an assignment copies refcounted pointers instead of
+//! re-allocating strings. Computations with millions of states keep exactly
+//! one copy of each distinct name per chain.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Variable assignment carried by a local state.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(transparent)]
+///
+/// Serializes as a JSON map (`{"name": value, …}`), same wire format as a
+/// sorted map of names to integers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Variables {
-    vars: BTreeMap<String, i64>,
+    /// Sorted by name; names are shared across clones (see module docs).
+    entries: Vec<(Arc<str>, i64)>,
 }
 
 impl Variables {
@@ -22,16 +33,24 @@ impl Variables {
         Variables::default()
     }
 
-    /// Build from an iterator of `(name, value)` pairs.
+    /// Build from an iterator of `(name, value)` pairs; on duplicate names
+    /// the last value wins (map semantics).
     pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> Self {
-        Variables {
-            vars: pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        let mut v = Variables::new();
+        for (k, val) in pairs {
+            v.set(k, val);
         }
+        v
+    }
+
+    #[inline]
+    fn find(&self, name: &str) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| (**k).cmp(name))
     }
 
     /// Value of `name`, or `None` if unset.
     pub fn get(&self, name: &str) -> Option<i64> {
-        self.vars.get(name).copied()
+        self.find(name).ok().map(|i| self.entries[i].1)
     }
 
     /// Value of `name` interpreted as a boolean; unset variables are `false`.
@@ -40,8 +59,17 @@ impl Variables {
     }
 
     /// Set `name` to `value`, returning the previous value.
+    ///
+    /// Updating an existing variable keeps the interned name (no
+    /// allocation); only the first assignment of a fresh name allocates.
     pub fn set(&mut self, name: &str, value: i64) -> Option<i64> {
-        self.vars.insert(name.to_owned(), value)
+        match self.find(name) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (Arc::from(name), value));
+                None
+            }
+        }
     }
 
     /// Set a boolean variable.
@@ -51,17 +79,38 @@ impl Variables {
 
     /// Iterate over `(name, value)` pairs in sorted name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
-        self.vars.iter().map(|(k, v)| (k.as_str(), *v))
+        self.entries.iter().map(|(k, v)| (&**k, *v))
     }
 
     /// Number of variables set.
     pub fn len(&self) -> usize {
-        self.vars.len()
+        self.entries.len()
     }
 
     /// Whether no variables are set.
     pub fn is_empty(&self) -> bool {
-        self.vars.is_empty()
+        self.entries.is_empty()
+    }
+}
+
+impl Serialize for Variables {
+    fn to_value(&self) -> serde::value::Value {
+        serde::value::Value::Object(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Variables {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {
+        // A BTreeMap sorts and dedups (last value wins) exactly like `set`.
+        let map = std::collections::BTreeMap::<String, i64>::from_value(v)?;
+        Ok(Variables {
+            entries: map.into_iter().map(|(k, v)| (Arc::from(k), v)).collect(),
+        })
     }
 }
 
@@ -147,6 +196,21 @@ mod tests {
     fn display_renders_label_and_vars() {
         let s = LocalState::new(Variables::from_pairs([("cs", 1)])).with_label("e");
         assert_eq!(format!("{s}"), "e{cs=1}");
+    }
+
+    #[test]
+    fn variables_serialize_as_a_plain_map() {
+        let v = Variables::from_pairs([("b", 2), ("a", 1)]);
+        assert_eq!(serde_json::to_string(&v).unwrap(), r#"{"a":1,"b":2}"#);
+        let back: Variables = serde_json::from_str(r#"{"b":2,"a":1}"#).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn from_pairs_last_value_wins() {
+        let v = Variables::from_pairs([("x", 1), ("x", 2)]);
+        assert_eq!(v.get("x"), Some(2));
+        assert_eq!(v.len(), 1);
     }
 
     #[test]

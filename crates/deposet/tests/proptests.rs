@@ -40,7 +40,7 @@ fn ground_truth_reach(dep: &Deposet) -> (Vec<usize>, pctl_causality::graph::Reac
         );
     }
     (
-        offsets,
+        offsets.to_vec(),
         g.transitive_closure().expect("valid deposet is acyclic"),
     )
 }
@@ -160,6 +160,29 @@ proptest! {
         prop_assert_eq!(back.messages(), dep.messages());
         for s in dep.state_ids() {
             prop_assert_eq!(back.clock(s), dep.clock(s));
+        }
+    }
+
+    /// The (possibly parallel) fan-out inside `FalseIntervals::extract` and
+    /// `IntervalIndex::build` is bit-identical to a hand-rolled sequential
+    /// per-process construction — the determinism contract of
+    /// `par::ordered_map` observed end to end through the store.
+    #[test]
+    fn parallel_extract_is_bit_identical_to_sequential((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let pred = pctl_deposet::DisjunctivePredicate::at_least_one(dep.process_count(), "ok");
+        let sequential: Vec<Vec<pctl_deposet::Interval>> = dep
+            .processes()
+            .map(|p| {
+                let truth = pctl_deposet::store::truth_of_process(&dep, p, pred.local(p));
+                pctl_deposet::store::intervals_from_truth(p, &truth)
+            })
+            .collect();
+        let extracted = pctl_deposet::FalseIntervals::extract(&dep, &pred);
+        let index = pctl_deposet::IntervalIndex::build(&dep, &pred);
+        for p in dep.processes() {
+            prop_assert_eq!(extracted.of(p), &sequential[p.index()][..]);
+            prop_assert_eq!(index.intervals().of(p), &sequential[p.index()][..]);
         }
     }
 

@@ -32,6 +32,16 @@ pub fn possibly_conjunction(dep: &Deposet, locals: &[LocalPredicate]) -> Option<
                 .collect()
         })
         .collect();
+    possibly_from_queues(dep, &queues)
+}
+
+/// The queue-based elimination core, over *precomputed* candidate queues:
+/// `queues[i]` lists (in increasing order) the state indices of process `i`
+/// that satisfy its conjunct. Callers that already hold per-state truth
+/// columns (the engine layer's verification sweep) feed them here directly,
+/// paying predicate evaluation once instead of once per detector call.
+pub fn possibly_from_queues(dep: &Deposet, queues: &[Vec<u32>]) -> Option<GlobalState> {
+    assert_eq!(queues.len(), dep.process_count());
     let n = queues.len();
     let mut head = vec![0usize; n];
     if queues.iter().any(Vec::is_empty) {

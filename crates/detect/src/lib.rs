@@ -29,7 +29,7 @@ pub mod online_checker;
 pub mod snapshot;
 pub mod strong;
 
-pub use conjunctive::{detect_disjunctive_violation, possibly_conjunction};
+pub use conjunctive::{detect_disjunctive_violation, possibly_conjunction, possibly_from_queues};
 pub use lattice_check::{definitely, definitely_interleaving, possibly};
 pub use online_checker::{run_online_detection, CheckerState};
 pub use strong::{definitely_all_false, find_overlap, overlapping};

@@ -27,74 +27,24 @@
 //! overlapping set); if some process runs out of intervals there is no
 //! overlap; if no pair is crossable the current fronts overlap.
 
-use pctl_deposet::{Deposet, FalseIntervals, Interval, ProcessId};
+use pctl_deposet::{Deposet, FalseIntervals, Interval};
 
 /// Check the overlap condition on a full set (one interval per process).
+/// Thin wrapper over the computation store's
+/// [`set_overlaps`](pctl_deposet::store::set_overlaps).
 pub fn overlapping(dep: &Deposet, set: &[Interval]) -> bool {
-    assert_eq!(set.len(), dep.process_count());
-    for (i, ii) in set.iter().enumerate() {
-        for (j, ij) in set.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            let lo_bottom = ii.lo == 0;
-            let hi_top = (ij.hi as usize) == dep.len_of(ij.process) - 1;
-            if lo_bottom || hi_top {
-                continue;
-            }
-            let entry = ii.lo_state().predecessor().expect("lo ≠ ⊥");
-            let exit = ij.hi_state().successor();
-            if !dep.precedes(entry, exit) {
-                return false;
-            }
-        }
-    }
-    true
+    pctl_deposet::store::set_overlaps(dep, set)
 }
 
 /// Polynomial search for an overlapping set among `intervals` (one
 /// interval per process drawn from each process's list). Returns the
 /// witness or `None`.
+///
+/// The front-advance search itself lives in the computation store
+/// ([`pctl_deposet::store::find_overlap`]); see the module docs above for
+/// why discarding the crossable front is sound.
 pub fn find_overlap(dep: &Deposet, intervals: &FalseIntervals) -> Option<Vec<Interval>> {
-    let n = dep.process_count();
-    assert_eq!(intervals.process_count(), n);
-    let mut pos = vec![0usize; n];
-    let front = |pos: &[usize], i: usize| -> Option<Interval> {
-        intervals.of(ProcessId(i as u32)).get(pos[i]).copied()
-    };
-    loop {
-        // Exhausted process ⇒ no overlapping set.
-        if (0..n).any(|i| front(&pos, i).is_none()) {
-            return None;
-        }
-        // Look for a crossable pair.
-        let mut crossed = false;
-        'scan: for i in 0..n {
-            let ii = front(&pos, i).unwrap();
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let ij = front(&pos, j).unwrap();
-                let in_range = ii.lo != 0 && (ij.hi as usize) < dep.len_of(ij.process) - 1;
-                let crossable = in_range
-                    && !dep.precedes(
-                        ii.lo_state().predecessor().expect("lo ≠ ⊥"),
-                        ij.hi_state().successor(),
-                    );
-                if crossable {
-                    pos[j] += 1;
-                    crossed = true;
-                    break 'scan;
-                }
-            }
-        }
-        if !crossed {
-            let witness: Vec<Interval> = (0..n).map(|i| front(&pos, i).unwrap()).collect();
-            debug_assert!(overlapping(dep, &witness));
-            return Some(witness);
-        }
-    }
+    pctl_deposet::store::find_overlap(dep, intervals)
 }
 
 /// Definitely-detection for a disjunctive predicate's negation: does every

@@ -10,7 +10,10 @@ use std::io::Write;
 /// path allocation-free), and MUST NOT branch its own behavior on what it
 /// records — recording is strictly observational, so a run with a
 /// [`NullRecorder`] is bit-identical to an uninstrumented one.
-pub trait Recorder {
+///
+/// Recorders are `Send`: simulation results (which own their sink) cross
+/// thread boundaries when scenario sweeps fan out over scoped workers.
+pub trait Recorder: Send {
     /// Whether this sink wants events at all.
     fn enabled(&self) -> bool {
         true
@@ -135,7 +138,7 @@ impl<W: Write> JsonlRecorder<W> {
     }
 }
 
-impl<W: Write> Recorder for JsonlRecorder<W> {
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
     fn record(&mut self, ev: Event) {
         if self.error.is_some() {
             return;
