@@ -1,4 +1,5 @@
-//! The persisted perf baseline: `BENCH_offline.json` + `BENCH_sweep.json`.
+//! The persisted perf baseline: `BENCH_offline.json` + `BENCH_sweep.json`,
+//! and the perf-regression gate: `BENCH_compare.json`.
 //!
 //! Unlike the `fig*` binaries (which regenerate the paper's figures), this
 //! harness exists to record the repository's performance trajectory PR over
@@ -11,14 +12,28 @@
 //!   (vector-clock arena DP) plus `verify::sweep_faulty_run` per seed, run
 //!   both sequentially and with deterministic scoped-thread fan-out.
 //!
-//! Reports are round-trip validated before they are written, and the sweep
-//! report compares against the recorded pre-refactor baseline in
-//! `docs/results/BENCH_prerefactor.json` when present.
+//! Reports are round-trip validated before they are written. With
+//! `--compare FILE` the sweep numbers are diffed scenario by scenario
+//! against the committed baseline: any scenario more than `--threshold-pct`
+//! (default 25) worse than the baseline is a regression, `BENCH_compare.json`
+//! records the structured deltas, and the process exits non-zero — except
+//! under `--smoke` (whose tiny workload is not comparable to a full-size
+//! baseline), where the gate only warns unless `--strict` is also given.
+//! `--inject-slowdown PCT` synthetically worsens the measured numbers so
+//! the gate itself can be integration-tested.
 //!
-//! Usage: `bench_suite [--smoke] [--out-dir DIR] [--baseline FILE]`
+//! After the timed rounds (so measurement is never perturbed) one
+//! profiler-enabled sweep round runs with `pctl_obs::prof`: its phase
+//! report prints, `--prof-trace FILE` exports it as a Chrome `trace_event`
+//! file for Perfetto, and the measured disabled-span cost is asserted to
+//! bound profiler overhead below 2% of the sweep.
+//!
+//! Usage: `bench_suite [--smoke] [--out-dir DIR] [--baseline FILE]
+//!   [--compare FILE] [--threshold-pct PCT] [--inject-slowdown PCT]
+//!   [--strict] [--write-baseline FILE] [--prof-trace FILE]`
 
 use pctl_bench::report::{
-    Baseline, OfflineCase, OfflineReport, SweepMode, SweepReport, WallStats, SCHEMA,
+    Baseline, CompareReport, OfflineCase, OfflineReport, SweepMode, SweepReport, WallStats, SCHEMA,
 };
 use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
 use pctl_core::verify::sweep_faulty_run;
@@ -27,6 +42,7 @@ use pctl_deposet::generator::{
 };
 use pctl_deposet::par::{ordered_map, worker_count};
 use pctl_deposet::{Deposet, DisjunctivePredicate, FalseIntervals, LocalPredicate};
+use pctl_obs::prof;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -34,21 +50,57 @@ struct Args {
     smoke: bool,
     out_dir: PathBuf,
     baseline: PathBuf,
+    compare: Option<PathBuf>,
+    threshold_pct: f64,
+    inject_slowdown: f64,
+    strict: bool,
+    write_baseline: Option<PathBuf>,
+    prof_trace: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: bench_suite [--smoke] [--out-dir DIR] [--baseline FILE] \
+  [--compare FILE] [--threshold-pct PCT] [--inject-slowdown PCT] [--strict] \
+  [--write-baseline FILE] [--prof-trace FILE]";
 
 fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         out_dir: PathBuf::from("."),
         baseline: PathBuf::from("docs/results/BENCH_prerefactor.json"),
+        compare: None,
+        threshold_pct: 25.0,
+        inject_slowdown: 0.0,
+        strict: false,
+        write_baseline: None,
+        prof_trace: None,
     };
     let mut it = std::env::args().skip(1);
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value ({USAGE})"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
-            "--out-dir" => args.out_dir = PathBuf::from(it.next().expect("--out-dir DIR")),
-            "--baseline" => args.baseline = PathBuf::from(it.next().expect("--baseline FILE")),
-            other => panic!("unknown argument {other} (usage: bench_suite [--smoke] [--out-dir DIR] [--baseline FILE])"),
+            "--strict" => args.strict = true,
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir", &mut it)),
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline", &mut it)),
+            "--compare" => args.compare = Some(PathBuf::from(value("--compare", &mut it))),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value("--write-baseline", &mut it)))
+            }
+            "--prof-trace" => args.prof_trace = Some(PathBuf::from(value("--prof-trace", &mut it))),
+            "--threshold-pct" => {
+                args.threshold_pct = value("--threshold-pct", &mut it)
+                    .parse()
+                    .expect("--threshold-pct PCT must be a number")
+            }
+            "--inject-slowdown" => {
+                args.inject_slowdown = value("--inject-slowdown", &mut it)
+                    .parse()
+                    .expect("--inject-slowdown PCT must be a number")
+            }
+            other => panic!("unknown argument {other} ({USAGE})"),
         }
     }
     args
@@ -215,7 +267,7 @@ impl Parts {
     }
 }
 
-fn run_sweep(smoke: bool, baseline_path: &std::path::Path) -> SweepReport {
+fn run_sweep(smoke: bool, baseline_path: &std::path::Path) -> (SweepReport, prof::ProfReport) {
     let (seeds, processes, events, rounds) = if smoke {
         (3usize, 3usize, 120usize, 2usize)
     } else {
@@ -276,15 +328,19 @@ fn run_sweep(smoke: bool, baseline_path: &std::path::Path) -> SweepReport {
         "parallel sweep must be bit-identical to sequential"
     );
 
-    let mode = |name: &str, threads: usize, samples: &[u64], total_us: u64| SweepMode {
-        mode: name.into(),
-        threads,
-        per_seed: WallStats::of(samples),
-        total_ms: total_us as f64 / 1e3,
-        states_per_sec: states_total as f64 / (total_us.max(1) as f64 / 1e6),
-    };
-    let sequential = mode("sequential", 1, &seq_samples, seq_total_us);
-    let parallel = mode("parallel", threads, &par_samples, par_total_us);
+    // One profiler-enabled sequential round, strictly after the timed
+    // rounds so instrumentation can never perturb the measurements. The
+    // resulting phase report both bounds profiler overhead (see main) and
+    // feeds the Chrome trace export.
+    prof::reset();
+    prof::set_enabled(true);
+    let prof_outcomes: Vec<SweepOutcome> = parts.iter().map(|p| sweep_one(p, &witness).0).collect();
+    prof::set_enabled(false);
+    let prof_report = prof::report();
+    assert_eq!(
+        prof_outcomes, seq_outcomes,
+        "profiling is observational: the profiled round must be bit-identical"
+    );
 
     // The recorded baseline is full-size; comparing a --smoke run against
     // it would be apples to oranges, so smoke reports omit it.
@@ -297,9 +353,19 @@ fn run_sweep(smoke: bool, baseline_path: &std::path::Path) -> SweepReport {
     };
     let speedup = baseline
         .as_ref()
-        .map(|b| b.total_ms / sequential.total_ms.max(1e-9));
+        .map(|b| b.total_ms / sequential_ms(seq_total_us).max(1e-9));
 
-    SweepReport {
+    let mode = |name: &str, threads: usize, samples: &[u64], total_us: u64| SweepMode {
+        mode: name.into(),
+        threads,
+        per_seed: WallStats::of(samples),
+        total_ms: total_us as f64 / 1e3,
+        states_per_sec: states_total as f64 / (total_us.max(1) as f64 / 1e6),
+    };
+    let sequential = mode("sequential", 1, &seq_samples, seq_total_us);
+    let parallel = mode("parallel", threads, &par_samples, par_total_us);
+
+    let report = SweepReport {
         schema: SCHEMA.into(),
         bench: "sweep".into(),
         smoke,
@@ -312,7 +378,24 @@ fn run_sweep(smoke: bool, baseline_path: &std::path::Path) -> SweepReport {
         deterministic: true,
         baseline,
         speedup_vs_baseline: speedup,
-    }
+    };
+    (report, prof_report)
+}
+
+fn sequential_ms(total_us: u64) -> f64 {
+    total_us as f64 / 1e3
+}
+
+/// Bound the profiler's disabled-path cost: the spans one sweep round
+/// completes, times the measured per-span disabled cost, must stay below
+/// 2% of the sweep's sequential wall time.
+fn check_disabled_overhead(prof_report: &prof::ProfReport, seq_total_us: u64) -> (f64, u64, f64) {
+    let spans = prof_report.span_count();
+    let per_span_ns = prof::disabled_span_cost_ns(1_000_000);
+    let overhead_ns = spans as f64 * per_span_ns;
+    let run_ns = (seq_total_us.max(1) * 1000) as f64;
+    let pct = overhead_ns / run_ns * 100.0;
+    (per_span_ns, spans, pct)
 }
 
 fn main() {
@@ -330,7 +413,7 @@ fn main() {
         );
     }
 
-    let sweep = run_sweep(args.smoke, &args.baseline);
+    let (sweep, prof_report) = run_sweep(args.smoke, &args.baseline);
     let path = args.out_dir.join("BENCH_sweep.json");
     pctl_bench::report::write_validated(&path, &sweep).expect("write BENCH_sweep.json");
     println!(
@@ -359,9 +442,101 @@ fn main() {
             "  baseline ({}): {:.1}ms → speedup {:.2}x",
             b.recorded, b.total_ms, s
         );
-    } else if args.smoke {
-        println!("  baseline comparison skipped (smoke workload is not comparable)");
-    } else {
-        println!("  no recorded baseline at {}", args.baseline.display());
+    }
+
+    // Profiler: phase report, Chrome trace export, disabled-cost bound.
+    println!("profiler (one post-measurement sweep round):");
+    print!("{}", prof_report.render());
+    if let Some(trace_path) = &args.prof_trace {
+        let json = prof::chrome_trace_json();
+        std::fs::write(trace_path, &json).expect("write profiler Chrome trace");
+        println!(
+            "wrote {} ({} bytes; load in Perfetto / chrome://tracing)",
+            trace_path.display(),
+            json.len()
+        );
+    }
+    let seq_total_us = (sweep.sequential.total_ms * 1e3) as u64;
+    let (per_span_ns, spans, overhead_pct) = check_disabled_overhead(&prof_report, seq_total_us);
+    println!(
+        "  disabled-span cost: {per_span_ns:.2}ns/span × {spans} spans = {overhead_pct:.4}% of sweep"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "disabled profiler overhead {overhead_pct:.4}% exceeds the 2% budget \
+         ({per_span_ns:.2}ns/span × {spans} spans over {seq_total_us}us)"
+    );
+
+    if let Some(path) = &args.write_baseline {
+        let b = Baseline {
+            recorded: format!(
+                "bench_suite --write-baseline (smoke={}, seeds={})",
+                sweep.smoke, sweep.seeds
+            ),
+            total_ms: sweep.sequential.total_ms,
+            states_per_sec: sweep.sequential.states_per_sec,
+            per_seed_p50_us: sweep.sequential.per_seed.p50_us,
+            per_seed_p95_us: sweep.sequential.per_seed.p95_us,
+        };
+        pctl_bench::report::write_validated(path, &b).expect("write baseline");
+        println!("wrote {} (recorded sweep baseline)", path.display());
+    }
+
+    // ------------------------------------------------------------- gate --
+    if let Some(compare_path) = &args.compare {
+        let text = std::fs::read_to_string(compare_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", compare_path.display());
+            std::process::exit(3);
+        });
+        let baseline: Baseline = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {}: {e}", compare_path.display());
+            std::process::exit(3);
+        });
+        let cmp = CompareReport::of(
+            &baseline,
+            &compare_path.display().to_string(),
+            &sweep.sequential,
+            args.threshold_pct,
+            args.inject_slowdown,
+            args.smoke,
+        );
+        let path = args.out_dir.join("BENCH_compare.json");
+        pctl_bench::report::write_validated(&path, &cmp).expect("write BENCH_compare.json");
+        println!(
+            "wrote {} (threshold {:.0}%, {} regression(s))",
+            path.display(),
+            cmp.threshold_pct,
+            cmp.regressions
+        );
+        for c in &cmp.cases {
+            println!(
+                "  {:<24} baseline={:<12.1} current={:<12.1} {:<9} {}{:.1}% {}",
+                c.scenario,
+                c.baseline,
+                c.current,
+                c.unit,
+                if c.worse_pct >= 0.0 { "+" } else { "" },
+                c.worse_pct,
+                if c.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        if !cmp.passed {
+            if args.smoke && !args.strict {
+                println!(
+                    "WARNING: {} scenario(s) regressed past {:.0}%, but --smoke numbers \
+                     are not comparable to a full-size baseline; not failing \
+                     (pass --strict to fail anyway)",
+                    cmp.regressions, cmp.threshold_pct
+                );
+            } else {
+                eprintln!(
+                    "FAIL: {} scenario(s) regressed more than {:.0}% vs {}",
+                    cmp.regressions,
+                    cmp.threshold_pct,
+                    compare_path.display()
+                );
+                std::process::exit(2);
+            }
+        }
     }
 }

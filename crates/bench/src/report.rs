@@ -142,6 +142,136 @@ pub struct SweepReport {
     pub speedup_vs_baseline: Option<f64>,
 }
 
+/// One scenario of a baseline comparison (`BENCH_compare.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompareCase {
+    /// Scenario label (`sweep_total_ms`, `sweep_states_per_sec`, …).
+    pub scenario: String,
+    /// Measurement unit (`ms`, `us`, `states/s`).
+    pub unit: String,
+    /// Value recorded in the committed baseline.
+    pub baseline: f64,
+    /// Value measured by this run (after any injected slowdown).
+    pub current: f64,
+    /// Whether smaller values are better for this scenario.
+    pub lower_is_better: bool,
+    /// Signed percent change in the *worse* direction: positive means the
+    /// current run is worse than the baseline by that much.
+    pub worse_pct: f64,
+    /// `worse_pct > threshold_pct`.
+    pub regressed: bool,
+}
+
+/// The `BENCH_compare.json` payload: structured per-scenario deltas of the
+/// current run against a committed [`Baseline`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompareReport {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Always `"compare"`.
+    pub bench: String,
+    /// Whether the run used `--smoke` sizes (smoke numbers are not
+    /// comparable to a full-size baseline, so the gate only warns).
+    pub smoke: bool,
+    /// Path of the baseline file compared against.
+    pub baseline_path: String,
+    /// Free-form label of the baseline (its `recorded` field).
+    pub baseline_recorded: String,
+    /// Regression threshold in percent (a scenario regresses when it is
+    /// more than this much worse than the baseline).
+    pub threshold_pct: f64,
+    /// Synthetic slowdown injected into the current numbers (percent);
+    /// non-zero only in gate self-tests.
+    pub injected_slowdown_pct: f64,
+    /// Per-scenario deltas.
+    pub cases: Vec<CompareCase>,
+    /// Number of regressed scenarios.
+    pub regressions: usize,
+    /// `regressions == 0`.
+    pub passed: bool,
+}
+
+impl CompareReport {
+    /// Build the comparison between a committed [`Baseline`] and the
+    /// current sequential sweep numbers, applying `inject_slowdown_pct`
+    /// (a synthetic worsening, for gate self-tests) to the current values
+    /// first.
+    pub fn of(
+        baseline: &Baseline,
+        baseline_path: &str,
+        current: &SweepMode,
+        threshold_pct: f64,
+        inject_slowdown_pct: f64,
+        smoke: bool,
+    ) -> CompareReport {
+        let slow = 1.0 + inject_slowdown_pct / 100.0;
+        let case = |scenario: &str, unit: &str, base: f64, cur: f64, lower: bool| {
+            // Injection always worsens: inflate lower-is-better values,
+            // deflate higher-is-better ones.
+            let cur = if lower { cur * slow } else { cur / slow };
+            let worse_pct = if base.abs() < 1e-12 {
+                0.0
+            } else if lower {
+                (cur - base) / base * 100.0
+            } else {
+                (base - cur) / base * 100.0
+            };
+            CompareCase {
+                scenario: scenario.into(),
+                unit: unit.into(),
+                baseline: base,
+                current: cur,
+                lower_is_better: lower,
+                worse_pct,
+                regressed: worse_pct > threshold_pct,
+            }
+        };
+        let cases = vec![
+            case(
+                "sweep_total_ms",
+                "ms",
+                baseline.total_ms,
+                current.total_ms,
+                true,
+            ),
+            case(
+                "sweep_states_per_sec",
+                "states/s",
+                baseline.states_per_sec,
+                current.states_per_sec,
+                false,
+            ),
+            case(
+                "sweep_per_seed_p50_us",
+                "us",
+                baseline.per_seed_p50_us as f64,
+                current.per_seed.p50_us as f64,
+                true,
+            ),
+            case(
+                "sweep_per_seed_p95_us",
+                "us",
+                baseline.per_seed_p95_us as f64,
+                current.per_seed.p95_us as f64,
+                true,
+            ),
+        ];
+        let regressions = cases.iter().filter(|c| c.regressed).count();
+        CompareReport {
+            schema: SCHEMA.into(),
+            bench: "compare".into(),
+            smoke,
+            baseline_path: baseline_path.into(),
+            baseline_recorded: baseline.recorded.clone(),
+            threshold_pct,
+            injected_slowdown_pct: inject_slowdown_pct,
+            cases,
+            regressions,
+            passed: regressions == 0,
+        }
+    }
+}
+
 /// Serialize a report, validate it by parsing it back, then write it.
 ///
 /// Returns the serialized JSON. Panics (and therefore fails the bench job)
@@ -202,6 +332,82 @@ mod tests {
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    fn baseline() -> Baseline {
+        Baseline {
+            recorded: "test".into(),
+            total_ms: 100.0,
+            states_per_sec: 1e6,
+            per_seed_p50_us: 1000,
+            per_seed_p95_us: 2000,
+        }
+    }
+
+    fn mode(total_ms: f64, sps: f64, p50: u64, p95: u64) -> SweepMode {
+        SweepMode {
+            mode: "sequential".into(),
+            threads: 1,
+            per_seed: WallStats {
+                reps: 1,
+                min_us: p50,
+                p50_us: p50,
+                p95_us: p95,
+                max_us: p95,
+            },
+            total_ms,
+            states_per_sec: sps,
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_threshold_in_both_directions() {
+        // 10% worse on time, 10% worse on throughput: under a 25% gate.
+        let cur = mode(110.0, 0.9e6, 1100, 2200);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, false);
+        assert!(r.passed, "{r:?}");
+        assert_eq!(r.regressions, 0);
+        assert_eq!(r.cases.len(), 4);
+        // A faster run must never "regress" the lower-is-better scenarios.
+        let fast = mode(50.0, 2e6, 500, 900);
+        let r = CompareReport::of(&baseline(), "b.json", &fast, 25.0, 0.0, false);
+        assert!(r.passed);
+        assert!(r.cases.iter().all(|c| c.worse_pct < 0.0), "{r:?}");
+    }
+
+    #[test]
+    fn compare_flags_regressions_past_threshold() {
+        // 50% slower end to end.
+        let cur = mode(150.0, 0.6e6, 1600, 3100);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, false);
+        assert!(!r.passed);
+        assert_eq!(r.regressions, 4, "{r:?}");
+        let c = &r.cases[0];
+        assert_eq!(c.scenario, "sweep_total_ms");
+        assert!((c.worse_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_slowdown_worsens_every_scenario() {
+        // Bit-identical to the baseline, but with a 100% injected slowdown:
+        // every scenario must trip a 25% gate, including the
+        // higher-is-better throughput one (which gets *divided*).
+        let cur = mode(100.0, 1e6, 1000, 2000);
+        let clean = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, false);
+        assert!(clean.passed);
+        let slowed = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 100.0, false);
+        assert!(!slowed.passed);
+        assert_eq!(slowed.regressions, 4, "{slowed:?}");
+        assert!((slowed.injected_slowdown_pct - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_report_roundtrips() {
+        let cur = mode(150.0, 0.6e6, 1600, 3100);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, true);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: CompareReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
     }
 

@@ -230,6 +230,7 @@ pub fn csr_from_edges(rows: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>)
 /// handful of `O(rows + edges)` arrays — it is the hot path of every
 /// deposet construction.
 pub fn topo_order_chained(proc_starts: &[usize], edges: &[(u32, u32)]) -> Option<Vec<u32>> {
+    let _prof = pctl_prof::span("topo_order_chained");
     let rows = *proc_starts.last().expect("proc_starts has n+1 entries");
     // Outgoing CSR keyed by *source* (csr_from_edges keys by destination).
     let mut out_off = vec![0u32; rows + 1];
@@ -310,6 +311,7 @@ pub fn fill_fidge_mattern(
     merge_off: &[u32],
     merge_src: &[u32],
 ) {
+    let _prof = pctl_prof::span("fill_fidge_mattern");
     let rows = *proc_starts.last().expect("proc_starts has n+1 entries");
     assert_eq!(arena.rows(), rows, "arena row count mismatch");
     assert_eq!(arena.width(), proc_starts.len() - 1, "arena width mismatch");

@@ -49,6 +49,7 @@ impl<'a> PredicateEngine<'a> {
     /// # Panics
     /// Panics if the predicate arity differs from the process count.
     pub fn new(dep: &'a Deposet, pred: DisjunctivePredicate) -> Self {
+        let _prof = pctl_prof::span("engine_build");
         let index = IntervalIndex::build(dep, &pred);
         PredicateEngine { dep, pred, index }
     }
@@ -85,6 +86,7 @@ impl<'a> PredicateEngine<'a> {
         &self,
         opts: OfflineOptions,
     ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+        let _prof = pctl_prof::span("engine_control");
         control_intervals(self.dep, self.index.intervals(), opts)
     }
 
@@ -92,6 +94,7 @@ impl<'a> PredicateEngine<'a> {
     /// intervals (Lemma 2). `Some` iff no controller exists — the witness
     /// the control algorithm would also surface as [`Infeasible`].
     pub fn infeasibility_witness(&self) -> Option<Vec<Interval>> {
+        let _prof = pctl_prof::span("engine_infeasibility");
         store::find_overlap(self.dep, self.index.intervals())
     }
 
@@ -99,6 +102,7 @@ impl<'a> PredicateEngine<'a> {
     /// predicate is false (`possibly(∧ᵢ ¬lᵢ)`), i.e. a violation of the
     /// disjunction `B`. Candidate queues are read off the truth bitmap.
     pub fn detect_violation(&self) -> Option<GlobalState> {
+        let _prof = pctl_prof::span("engine_detect_violation");
         let queues: Vec<Vec<u32>> = self
             .dep
             .processes()
@@ -118,6 +122,7 @@ impl<'a> PredicateEngine<'a> {
     /// Exhaustively verify that `rel` makes the computation satisfy the
     /// predicate (bounded by `limit` visited cuts).
     pub fn verify(&self, rel: &ControlRelation, limit: usize) -> Result<(), VerifyError> {
+        let _prof = pctl_prof::span("engine_verify");
         verify_disjunctive(self.dep, &self.pred, rel, limit)
     }
 }

@@ -209,6 +209,7 @@ fn control_intervals_impl(
     opts: OfflineOptions,
     tr: &mut EngineTrace<'_>,
 ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+    let _prof = pctl_prof::span("control_intervals");
     let mut run = Run::new(dep, intervals, opts);
     tr.begin("chain_construction");
     let outcome = run.execute(tr);

@@ -293,6 +293,7 @@ impl FtController {
     /// Panics on protocol misuse: requesting while already blocked or while
     /// already false.
     pub fn request_false(&mut self, peers: &[ProcessId]) -> FtDecision {
+        let _prof = pctl_prof::span("ft_request_false");
         assert!(!self.waiting_ack, "already blocked on an ack");
         assert!(self.local_true, "already false");
         if !self.scapegoat {
@@ -322,6 +323,7 @@ impl FtController {
 
     /// A control message arrived.
     pub fn on_message(&mut self, msg: FtMsg) -> Vec<FtAction> {
+        let _prof = pctl_prof::span("ft_on_message");
         match msg {
             FtMsg::Req { from, seq } => {
                 if self.acked.get(&from).is_some_and(|&a| seq <= a) {
@@ -377,6 +379,7 @@ impl FtController {
     /// The underlying process turned `lᵢ` true again: answer deferred
     /// requests (taking the scapegoat role).
     pub fn notify_true(&mut self) -> Vec<FtAction> {
+        let _prof = pctl_prof::span("ft_notify_true");
         self.local_true = true;
         let mut actions = Vec::new();
         while let Some((p, seq)) = self.pending.pop_front() {
@@ -397,6 +400,7 @@ impl FtController {
     /// A timer of `kind` (previously requested via [`FtAction::Arm`])
     /// fired.
     pub fn on_timer(&mut self, kind: FtTimerKind) -> Vec<FtAction> {
+        let _prof = pctl_prof::span("ft_on_timer");
         match kind {
             FtTimerKind::Retransmit => {
                 if !self.waiting_ack {
@@ -492,6 +496,7 @@ impl FtController {
     /// chains are dead (the simulator discards stale timers), so every
     /// chain flag is reset here.
     pub fn rejoin(&mut self) -> Vec<FtAction> {
+        let _prof = pctl_prof::span("ft_rejoin");
         self.scapegoat = true;
         self.waiting_ack = false;
         self.local_true = true;

@@ -68,6 +68,7 @@ pub fn verify_disjunctive(
     rel: &ControlRelation,
     limit: usize,
 ) -> Result<(), VerifyError> {
+    let _prof = pctl_prof::span("verify_disjunctive");
     let c = ControlledDeposet::new(dep, rel.clone()).map_err(VerifyError::Control)?;
     for g in c
         .consistent_global_states(limit)
@@ -222,6 +223,7 @@ impl FaultSweepReport {
 /// evaluation). Per-process columns are independent, so the scan fans out
 /// over [`pctl_deposet::par::ordered_map`] with a deterministic merge.
 pub fn sweep_faulty_run(dep: &Deposet, witness: &LocalPredicate) -> FaultSweepReport {
+    let _prof = pctl_prof::span("sweep_faulty_run");
     struct Column {
         unwitnessed: Vec<u32>,
         clean: Vec<u32>,

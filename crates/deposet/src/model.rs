@@ -103,6 +103,7 @@ impl Deposet {
         events: Vec<Vec<EventKind>>,
         messages: Vec<Message>,
     ) -> Result<Self, DeposetError> {
+        let _prof = pctl_prof::span("deposet_from_parts");
         let n = states.len();
         if events.len() != n {
             return Err(DeposetError::EventCountMismatch {
@@ -205,6 +206,7 @@ impl Deposet {
         fill_fidge_mattern(&mut clocks, &offsets, &order, &merge_off, &merge_src);
         // The O(n·S)-words storage bound the columnar layout exists for.
         assert_eq!(clocks.allocated_words(), n * total);
+        pctl_prof::set_gauge("arena_allocated_words", clocks.allocated_words() as u64);
 
         Ok(Deposet {
             states,

@@ -186,6 +186,7 @@ impl IntervalIndex {
     }
 
     fn build_refs(dep: &Deposet, locals: &[&LocalPredicate]) -> Self {
+        let _prof = pctl_prof::span("interval_index_build");
         let procs: Vec<ProcessId> = dep.processes().collect();
         // Per-process columns are independent: fan out, merge in process
         // order (deterministic — see par module docs).
@@ -201,6 +202,11 @@ impl IntervalIndex {
             truth.extend_from_slice(&col);
             per_proc.push(iv);
         }
+        pctl_prof::set_gauge(
+            "interval_count",
+            per_proc.iter().map(|iv| iv.len() as u64).sum(),
+        );
+        pctl_prof::set_gauge("truth_column_bytes", truth.len() as u64);
         IntervalIndex {
             offsets,
             truth,

@@ -31,6 +31,6 @@ pub use antitoken::{run_antitoken, run_antitoken_recorded};
 pub use central::run_central;
 pub use compare::{compare_all, compare_at_k, AlgoReport};
 pub use driver::{max_concurrent, WorkloadConfig};
-pub use ft_antitoken::{run_ft_antitoken, run_ft_antitoken_recorded};
+pub use ft_antitoken::{run_ft_antitoken, run_ft_antitoken_recorded, run_ft_antitoken_with};
 pub use multi::run_multi_antitoken;
 pub use suzuki::run_suzuki;

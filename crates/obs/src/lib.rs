@@ -24,6 +24,12 @@
 //! as Chrome `trace_event` JSON: open the file in `chrome://tracing` or
 //! [Perfetto](https://ui.perfetto.dev) to see process lanes, message and
 //! control arrows, and predicate truth intervals.
+//!
+//! [`prof`] (re-exported from the leaf crate `pctl-prof`) is the hot-path
+//! profiler: thread-local scoped timers with hierarchical phase
+//! attribution and store gauges, near-zero cost when disabled. [`prom`]
+//! renders metrics and profiler aggregates as Prometheus text exposition
+//! (format 0.0.4) and can serve them live over a `/metrics` TCP endpoint.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,9 +37,16 @@
 pub mod chrome;
 pub mod event;
 pub mod jsonl;
+pub mod prom;
 pub mod recorder;
 pub mod stats;
 pub mod timeline;
+
+/// Hot-path profiler: scoped timers, phase aggregates, store gauges,
+/// Chrome trace export. Re-export of the leaf crate `pctl-prof` so hot
+/// crates below `pctl-obs` in the dependency graph (causality, deposet)
+/// can instrument themselves while observers keep one import path.
+pub use pctl_prof as prof;
 
 pub use event::{Event, EventKind};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, RingRecorder};

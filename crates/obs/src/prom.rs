@@ -1,0 +1,556 @@
+//! Prometheus text exposition (format 0.0.4) and a `/metrics` endpoint.
+//!
+//! [`Exposition`] is a small builder for the Prometheus text format: callers
+//! register counters, gauges and summaries; [`Exposition::render`] emits
+//! `# HELP`/`# TYPE` lines, sanitized metric names, escaped label values,
+//! and a byte-stable ordering (families sorted by name, samples sorted by
+//! labels) so the output can be golden-file tested.
+//!
+//! [`MetricsServer`] serves any `Fn() -> String` renderer over a plain
+//! `std::net::TcpListener` — no HTTP library, no new dependencies — so the
+//! sim/online runners can expose live metrics while a run is in flight
+//! (`curl http://addr/metrics`).
+//!
+//! [`prof_families`] bridges the hot-path profiler ([`pctl_prof`]) into an
+//! exposition: phase aggregates become `pctl_prof_phase_*` families and
+//! profiler gauges become `pctl_prof_gauge`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The metric kinds this writer emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Last-write-wins level.
+    Gauge,
+    /// Precomputed quantiles plus `_sum`/`_count`.
+    Summary,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Summary => "summary",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Sample {
+    /// Appended to the family name (`""`, `"_sum"`, `"_count"`).
+    suffix: &'static str,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+#[derive(Clone, Debug)]
+struct Family {
+    kind: PromKind,
+    help: String,
+    samples: Vec<Sample>,
+}
+
+/// Builder for one exposition document. See module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    families: BTreeMap<String, Family>,
+}
+
+/// Sanitize a metric (family) name to `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid
+/// characters become `_`, and a leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Sanitize a label name to `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn sanitize_label_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` text: `\` → `\\`, newline → `\n`.
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).into()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    fn family(&mut self, name: &str, kind: PromKind, help: &str) -> &mut Family {
+        let name = sanitize_metric_name(name);
+        self.families.entry(name).or_insert_with(|| Family {
+            kind,
+            help: help.to_owned(),
+            samples: Vec::new(),
+        })
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        kind: PromKind,
+        help: &str,
+        suffix: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (sanitize_label_name(k), (*v).to_owned()))
+            .collect();
+        self.family(name, kind, help).samples.push(Sample {
+            suffix,
+            labels,
+            value,
+        });
+    }
+
+    /// Register one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, PromKind::Counter, help, "", labels, value);
+    }
+
+    /// Register one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, PromKind::Gauge, help, "", labels, value);
+    }
+
+    /// Register a summary: `(quantile, value)` pairs plus `_sum`/`_count`.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        quantiles: &[(f64, f64)],
+        sum: f64,
+        count: u64,
+    ) {
+        for &(q, v) in quantiles {
+            let mut ls: Vec<(&str, String)> =
+                labels.iter().map(|(k, v)| (*k, (*v).to_owned())).collect();
+            ls.push(("quantile", format_value(q)));
+            let borrowed: Vec<(&str, &str)> = ls.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.push(name, PromKind::Summary, help, "", &borrowed, v);
+        }
+        self.push(name, PromKind::Summary, help, "_sum", labels, sum);
+        self.push(
+            name,
+            PromKind::Summary,
+            help,
+            "_count",
+            labels,
+            count as f64,
+        );
+    }
+
+    /// Render the exposition text (format 0.0.4).
+    ///
+    /// Families are emitted sorted by name; within a family, samples are
+    /// sorted by (suffix, labels) so the document is byte-stable for a
+    /// given logical content.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            if !fam.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            let mut samples = fam.samples.clone();
+            samples.sort_by(|a, b| (a.suffix, &a.labels).cmp(&(b.suffix, &b.labels)));
+            for s in samples {
+                out.push_str(name);
+                out.push_str(s.suffix);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+                    }
+                    out.push('}');
+                }
+                let _ = writeln!(out, " {}", format_value(s.value));
+            }
+        }
+        out
+    }
+}
+
+/// Structurally validate exposition text: every non-comment line must be
+/// `name[{labels}] value`, every `# TYPE` names a known kind, and no family
+/// may appear twice. Returns the number of samples on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut seen_type: Vec<String> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap_or("").to_owned();
+            let kind = it.next().ok_or(format!("line {ln}: TYPE without kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                return Err(format!("line {ln}: unknown TYPE kind '{kind}'"));
+            }
+            if seen_type.contains(&name) {
+                return Err(format!("line {ln}: duplicate TYPE for family '{name}'"));
+            }
+            seen_type.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // name{labels} value  |  name value
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {ln}: no value: '{line}'"))?;
+        if !(value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf")) {
+            return Err(format!("line {ln}: bad value '{value}'"));
+        }
+        let name_part = head.split('{').next().unwrap_or("");
+        let valid_name = !name_part.is_empty()
+            && name_part.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            });
+        if !valid_name {
+            return Err(format!("line {ln}: bad metric name '{name_part}'"));
+        }
+        if head.contains('{') && !head.ends_with('}') {
+            return Err(format!("line {ln}: unterminated label set: '{head}'"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".into());
+    }
+    Ok(samples)
+}
+
+/// Fold a profiler report into an exposition: per-phase span counts and
+/// total/self nanoseconds, plus the profiler's store gauges.
+pub fn prof_families(report: &pctl_prof::ProfReport, exp: &mut Exposition) {
+    for (path, p) in &report.phases {
+        let labels = [("phase", path.as_str())];
+        exp.counter(
+            "pctl_prof_phase_spans_total",
+            "Completed profiler spans per phase path",
+            &labels,
+            p.count as f64,
+        );
+        exp.counter(
+            "pctl_prof_phase_time_ns_total",
+            "Total wall time per phase path, nanoseconds",
+            &labels,
+            p.total_ns as f64,
+        );
+        exp.counter(
+            "pctl_prof_phase_self_time_ns_total",
+            "Self (non-child) wall time per phase path, nanoseconds",
+            &labels,
+            p.self_ns as f64,
+        );
+    }
+    for (name, v) in &report.gauges {
+        exp.gauge(
+            "pctl_prof_gauge",
+            "Profiler store gauges (arena words, interval counts, ...)",
+            &[("name", name.as_str())],
+            *v as f64,
+        );
+    }
+}
+
+/// A tiny `/metrics` HTTP endpoint on a background thread.
+///
+/// Serves `GET /metrics` (and `GET /`) with whatever `render` returns at
+/// request time, `Content-Type: text/plain; version=0.0.4`. Anything else
+/// gets a 404. One request per connection; the listener thread exits on
+/// [`MetricsServer::shutdown`] (also invoked on drop).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving.
+    pub fn spawn(
+        addr: &str,
+        render: Arc<dyn Fn() -> String + Send + Sync>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pctl-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = serve_one(stream, render.as_ref());
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    // Read until the end of the request head (`\r\n\r\n`). A client may
+    // deliver the request line in several small writes (e.g. `write_fmt`
+    // issues one syscall per formatted fragment), so a single read could
+    // see only a prefix like "GET " and mis-parse the path.
+    let mut buf = [0u8; 2048];
+    let mut n = 0usize;
+    while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = render();
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found; try /metrics\n";
+        write!(
+            stream,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_labels_are_sanitized_and_escaped() {
+        assert_eq!(sanitize_metric_name("ok.name-x"), "ok_name_x");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_label_name("a.b"), "a_b");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_help("x\ny\\z"), "x\\ny\\\\z");
+    }
+
+    #[test]
+    fn values_format_stably() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.5), "0.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn render_orders_families_and_samples() {
+        let mut e = Exposition::new();
+        e.counter("zzz", "last family", &[], 1.0);
+        e.counter("aaa_total", "first family", &[("p", "b")], 2.0);
+        e.counter("aaa_total", "first family", &[("p", "a")], 3.0);
+        let text = e.render();
+        let a = text.find("aaa_total").unwrap();
+        let z = text.find("zzz").unwrap();
+        assert!(a < z, "families sorted by name:\n{text}");
+        let pa = text.find("p=\"a\"").unwrap();
+        let pb = text.find("p=\"b\"").unwrap();
+        assert!(pa < pb, "samples sorted by labels:\n{text}");
+        assert_eq!(validate_exposition(&text), Ok(3));
+    }
+
+    #[test]
+    fn summary_emits_quantiles_sum_count() {
+        let mut e = Exposition::new();
+        e.summary(
+            "lat_us",
+            "latency",
+            &[],
+            &[(0.5, 10.0), (0.95, 20.0), (0.99, 30.0)],
+            60.0,
+            3,
+        );
+        let text = e.render();
+        assert!(text.contains("# TYPE lat_us summary"), "{text}");
+        assert!(text.contains("lat_us{quantile=\"0.5\"} 10"), "{text}");
+        assert!(text.contains("lat_us_sum 60"), "{text}");
+        assert!(text.contains("lat_us_count 3"), "{text}");
+        assert_eq!(validate_exposition(&text), Ok(5));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("novalue\n").is_err());
+        assert!(validate_exposition("x 1\nx 2\n").is_ok());
+        assert!(validate_exposition("# TYPE x wat\nx 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\n# TYPE x counter\nx 1\n").is_err());
+        assert!(validate_exposition("bad-name 1\n").is_err());
+    }
+
+    #[test]
+    fn metrics_server_serves_render_output() {
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "# TYPE up gauge\nup 1\n".to_owned());
+        let srv = MetricsServer::spawn("127.0.0.1:0", render).expect("bind");
+        let addr = srv.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).expect("read");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("version=0.0.4"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert_eq!(validate_exposition(body), Ok(1), "{body}");
+
+        // Unknown path → 404.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).expect("read");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn prof_report_renders_as_families() {
+        let mut report = pctl_prof::ProfReport::default();
+        report.gauges.insert("allocated_words".into(), 128);
+        let mut e = Exposition::new();
+        prof_families(&report, &mut e);
+        let text = e.render();
+        assert!(
+            text.contains("pctl_prof_gauge{name=\"allocated_words\"} 128"),
+            "{text}"
+        );
+        assert_eq!(validate_exposition(&text), Ok(1));
+    }
+}

@@ -50,6 +50,16 @@ impl Recorder for NullRecorder {
 
 /// Bounded in-memory sink; when full, the oldest events are dropped (and
 /// counted), so the tail of a long run is always retained.
+///
+/// # Drop-oldest contract
+///
+/// With capacity `cap` and `n > cap` recorded events, the ring holds
+/// exactly the **last `cap` events in arrival order** and
+/// [`dropped`](Recorder::dropped) returns `n - cap`. Both
+/// [`take`](RingRecorder::take) and [`snapshot`](Recorder::snapshot)
+/// return the surviving events **oldest first** — i.e. after any number
+/// of wraparounds the output is a contiguous, in-order suffix of the
+/// recorded stream, never rotated or interleaved.
 #[derive(Clone, Debug)]
 pub struct RingRecorder {
     buf: std::collections::VecDeque<Event>,
@@ -78,7 +88,8 @@ impl RingRecorder {
         self.buf.is_empty()
     }
 
-    /// Drain the buffer, oldest first.
+    /// Drain the buffer, oldest first (see the type-level drop-oldest
+    /// contract: after wraparound this is the in-order tail of the run).
     pub fn take(&mut self) -> Vec<Event> {
         self.buf.drain(..).collect()
     }
@@ -185,6 +196,32 @@ mod tests {
         );
         assert_eq!(r.take().len(), 2);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_recorder_take_is_oldest_first_after_wraparound() {
+        // Capacity 4, 11 events: the buffer wraps nearly three times.
+        let mut r = RingRecorder::new(4);
+        for i in 0..11u64 {
+            r.record(Event::instant(i, 0, "e"));
+        }
+        assert_eq!(r.dropped(), 7, "n - cap events dropped");
+        let taken = r.take();
+        assert_eq!(
+            taken.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10],
+            "take() is the in-order tail, oldest first, never rotated"
+        );
+        assert!(r.is_empty(), "take() drains");
+
+        // Refill after the drain: the contract holds across reuse too.
+        for i in 100..103u64 {
+            r.record(Event::instant(i, 0, "e"));
+        }
+        assert_eq!(
+            r.take().iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![100, 101, 102]
+        );
     }
 
     #[test]

@@ -155,20 +155,26 @@ impl EventStats {
                 out.push_str(&format!("  {name:<24} {n}\n"));
             }
         }
-        if !self.span_durations.is_empty() {
-            out.push_str("span durations:\n");
-            for (name, samples) in &self.span_durations {
-                if let Some(p) = Percentiles::of(samples) {
-                    out.push_str(&format!("  {name:<24} {p}\n"));
-                }
+        // Always print the percentile sections — an empty or instant-only
+        // log gets an explicit zero-sample line rather than a silently
+        // missing section, so consumers can grep for the header
+        // unconditionally.
+        out.push_str("span durations:\n");
+        if self.span_durations.is_empty() {
+            out.push_str("  (no samples) n=0\n");
+        }
+        for (name, samples) in &self.span_durations {
+            if let Some(p) = Percentiles::of(samples) {
+                out.push_str(&format!("  {name:<24} {p}\n"));
             }
         }
-        if !self.msg_latencies.is_empty() {
-            out.push_str("message latencies:\n");
-            for (name, samples) in &self.msg_latencies {
-                if let Some(p) = Percentiles::of(samples) {
-                    out.push_str(&format!("  {name:<24} {p}\n"));
-                }
+        out.push_str("message latencies:\n");
+        if self.msg_latencies.is_empty() {
+            out.push_str("  (no samples) n=0\n");
+        }
+        for (name, samples) in &self.msg_latencies {
+            if let Some(p) = Percentiles::of(samples) {
+                out.push_str(&format!("  {name:<24} {p}\n"));
             }
         }
         if self.open_spans > 0 {
@@ -178,6 +184,82 @@ impl EventStats {
             out.push_str(&format!("sends without a recv: {}\n", self.unmatched_sends));
         }
         out
+    }
+
+    /// The same statistics as Prometheus text exposition (format 0.0.4) —
+    /// the `pctl stats --prom` output. Duration/latency series become
+    /// summaries with 0.5/0.95/0.99 quantiles; counts become counters.
+    /// Simulator timestamps are unitless ticks, hence the `_ticks` suffix.
+    pub fn to_prometheus(&self) -> String {
+        let mut exp = crate::prom::Exposition::new();
+        for (kind, n) in &self.by_kind {
+            exp.counter(
+                "pctl_events_total",
+                "Telemetry events by kind",
+                &[("kind", kind)],
+                *n as f64,
+            );
+        }
+        for (lane, n) in &self.per_lane {
+            exp.counter(
+                "pctl_lane_events_total",
+                "Telemetry events by lane",
+                &[("lane", &lane.to_string())],
+                *n as f64,
+            );
+        }
+        for (name, n) in &self.instants {
+            exp.counter(
+                "pctl_instants_total",
+                "Instant occurrences by name",
+                &[("name", name)],
+                *n as f64,
+            );
+        }
+        for (family, help, series) in [
+            (
+                "pctl_span_duration_ticks",
+                "Completed span durations in sim ticks",
+                &self.span_durations,
+            ),
+            (
+                "pctl_msg_latency_ticks",
+                "Send-to-receive latencies in sim ticks",
+                &self.msg_latencies,
+            ),
+        ] {
+            for (name, samples) in series {
+                let Some(p) = Percentiles::of(samples) else {
+                    continue;
+                };
+                let sum: u64 = samples.iter().sum();
+                exp.summary(
+                    family,
+                    help,
+                    &[("name", name)],
+                    &[
+                        (0.5, p.p50 as f64),
+                        (0.95, p.p95 as f64),
+                        (0.99, p.p99 as f64),
+                    ],
+                    sum as f64,
+                    p.count as u64,
+                );
+            }
+        }
+        exp.gauge(
+            "pctl_open_spans",
+            "Span begins left unmatched at end of log",
+            &[],
+            self.open_spans as f64,
+        );
+        exp.gauge(
+            "pctl_unmatched_sends",
+            "Sends whose flow never saw a receive",
+            &[],
+            self.unmatched_sends as f64,
+        );
+        exp.render()
     }
 }
 
@@ -242,6 +324,78 @@ mod tests {
         assert_eq!(st.open_spans, 0);
         let report = st.report();
         assert!(report.contains("sends without a recv: 1"), "{report}");
+    }
+
+    #[test]
+    fn zero_sample_report_keeps_percentile_sections() {
+        // Empty log.
+        let report = EventStats::from_events(&[]).report();
+        assert!(
+            report.contains("span durations:\n  (no samples) n=0"),
+            "{report}"
+        );
+        assert!(
+            report.contains("message latencies:\n  (no samples) n=0"),
+            "{report}"
+        );
+
+        // Instant-only log: still no duration/latency samples.
+        let events = vec![Event::instant(1, 0, "tick"), Event::instant(2, 0, "tick")];
+        let report = EventStats::from_events(&events).report();
+        assert!(report.contains("instants:"), "{report}");
+        assert!(
+            report.contains("span durations:\n  (no samples) n=0"),
+            "{report}"
+        );
+        assert!(
+            report.contains("message latencies:\n  (no samples) n=0"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn prometheus_view_covers_counts_series_and_gauges() {
+        let events = vec![
+            Event {
+                ts: 10,
+                lane: 0,
+                name: "cs".into(),
+                kind: EventKind::SpanBegin,
+                clock: None,
+            },
+            Event {
+                ts: 25,
+                lane: 0,
+                name: "cs".into(),
+                kind: EventKind::SpanEnd,
+                clock: None,
+            },
+            Event::instant(30, 1, "crash"),
+        ];
+        let text = EventStats::from_events(&events).to_prometheus();
+        assert!(crate::prom::validate_exposition(&text).is_ok(), "{text}");
+        assert!(
+            text.contains("pctl_events_total{kind=\"span\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pctl_instants_total{name=\"crash\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pctl_span_duration_ticks{name=\"cs\",quantile=\"0.5\"} 15"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pctl_span_duration_ticks_count{name=\"cs\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pctl_open_spans 0"), "{text}");
+
+        // Zero-event logs still expose the gauges (never an empty document).
+        let text = EventStats::from_events(&[]).to_prometheus();
+        assert!(crate::prom::validate_exposition(&text).is_ok(), "{text}");
+        assert!(text.contains("pctl_unmatched_sends 0"), "{text}");
     }
 
     #[test]

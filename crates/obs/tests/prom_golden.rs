@@ -1,0 +1,77 @@
+//! Golden-file test of the Prometheus text exposition (format 0.0.4):
+//! metric-name sanitization, `# HELP`/`# TYPE` lines, label-value
+//! escaping, and the stable (sorted) family/sample ordering are pinned
+//! byte for byte against `tests/golden/exposition.prom`.
+//!
+//! If an intentional format change breaks this test, regenerate the golden
+//! file by running the test with `UPDATE_GOLDEN=1` and reviewing the diff.
+
+use pctl_obs::prom::{validate_exposition, Exposition};
+
+/// Build the document the golden file pins. Exercises every rendering
+/// feature: all three kinds, sanitization of an invalid family name,
+/// label-value escaping, and out-of-order registration (render sorts).
+fn golden_exposition() -> Exposition {
+    let mut e = Exposition::new();
+    // Registered out of name order on purpose: render() must sort families.
+    e.gauge("pctl_sim_queue_depth", "Current queue depth", &[], 7.0);
+    e.counter("pctl_sim_msgs_total", "Messages dispatched", &[], 42.0);
+    // Invalid family name: dots, dash, bang must sanitize to underscores.
+    // The help text carries a literal backslash and newline (escaped).
+    e.counter(
+        "pctl_sim_weird.name-x!_total",
+        "sanitized from \"weird.name-x!\" with a \\ backslash\nand a newline",
+        &[("label", "zz-plain")],
+        2.0,
+    );
+    // Label values with every escapable character; registered after
+    // "zz-plain" but sorts before it.
+    e.counter(
+        "pctl_sim_weird.name-x!_total",
+        "sanitized from \"weird.name-x!\" with a \\ backslash\nand a newline",
+        &[("label", "quote \" backslash \\ newline \n end")],
+        1.0,
+    );
+    e.summary(
+        "pctl_sim_latency_us",
+        "Latency distribution",
+        &[],
+        &[(0.5, 20.0), (0.95, 30.0), (0.99, 30.0)],
+        60.0,
+        3,
+    );
+    e.gauge(
+        "pctl_prof_gauge",
+        "Profiler store gauges (arena words, interval counts, ...)",
+        &[("name", "arena_allocated_words")],
+        4096.0,
+    );
+    e
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let rendered = golden_exposition().render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/exposition.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).expect("update golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect("read golden file");
+    assert_eq!(
+        rendered, golden,
+        "exposition text drifted from tests/golden/exposition.prom \
+         (run with UPDATE_GOLDEN=1 to regenerate, then review the diff)"
+    );
+}
+
+#[test]
+fn golden_document_is_structurally_valid() {
+    let rendered = golden_exposition().render();
+    // 1 prof gauge + 5 summary samples + 1 counter + 1 gauge + 2 labeled.
+    assert_eq!(validate_exposition(&rendered), Ok(10), "{rendered}");
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    assert_eq!(golden_exposition().render(), golden_exposition().render());
+}

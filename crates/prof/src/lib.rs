@@ -1,0 +1,559 @@
+//! Hot-path profiler for the predicate-control workspace.
+//!
+//! A hierarchical scoped-timer profiler built for instrumenting the
+//! engine's hot paths (clock-arena DP, interval-index construction, the
+//! offline control algorithm, the online scapegoat step loop) without
+//! perturbing them:
+//!
+//! * **Near-zero cost when disabled.** [`span`] reads one relaxed atomic
+//!   and returns an inert guard — the same contract as the telemetry
+//!   layer's `NullRecorder`. No clock is read, nothing allocates.
+//! * **Thread-local span stacks.** Each thread keeps its own stack of open
+//!   frames and its own aggregate table; the global registry is only
+//!   locked when a thread's stack empties (one flush per top-level span),
+//!   so scoped-thread fan-outs profile cleanly.
+//! * **Nested attribution.** A span's key is its full stack path
+//!   (`deposet_from_parts/fill_fidge_mattern`), and every phase records
+//!   both *total* and *self* time (total minus time spent in child spans).
+//! * **Nanosecond monotonic clocks.** Timestamps come from a process-wide
+//!   [`std::time::Instant`] epoch, so span records from different threads
+//!   share one timeline.
+//! * **Strictly observational.** The profiler never feeds back into the
+//!   code it measures: enabling it must leave every control decision
+//!   bit-identical (property-tested in `pctl-sim`).
+//!
+//! Besides timers the profiler keeps a small registry of **gauges** —
+//! last-write-wins levels such as the clock arena's `allocated_words`, the
+//! interval-index interval count, and truth-column bytes — so a scrape of
+//! the aggregates also answers "how big is the store right now".
+//!
+//! Completed spans (up to a bounded ring, drop-newest) are exportable as
+//! Chrome `trace_event` complete events via [`chrome_trace_json`]: open
+//! the file in Perfetto to see engine internals as phase slices alongside
+//! the simulator's lanes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum completed-span records retained for Chrome export. Aggregates
+/// are unaffected; past the cap, new records are dropped (and counted).
+pub const SPAN_RECORD_CAP: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Turn the profiler on or off (process-wide).
+///
+/// Spans opened while enabled complete and are recorded even if the
+/// profiler is disabled before they close; spans opened while disabled
+/// cost one atomic load and record nothing.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the epoch before the first measurement so concurrent first
+        // spans agree on t=0.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether the profiler is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Aggregate statistics for one phase path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus time attributed to child spans, nanoseconds.
+    pub self_ns: u64,
+    /// Shortest span, nanoseconds.
+    pub min_ns: u64,
+    /// Longest span, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStats {
+    fn new() -> Self {
+        PhaseStats {
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn add(&mut self, dur_ns: u64, child_ns: u64) {
+        self.count += 1;
+        self.total_ns += dur_ns;
+        self.self_ns += dur_ns.saturating_sub(child_ns);
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+
+    fn merge(&mut self, other: &PhaseStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.self_ns += other.self_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One completed span, for Chrome export.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Full stack path (`parent/child`).
+    pub path: String,
+    /// Profiler thread lane (assigned per thread, first-use order).
+    pub lane: u32,
+    /// Start, nanoseconds since the profiler epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Aggregated snapshot of everything the profiler has recorded.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfReport {
+    /// Per-path aggregates, sorted by path.
+    pub phases: BTreeMap<String, PhaseStats>,
+    /// Last-write-wins gauges (arena words, interval counts, …).
+    pub gauges: BTreeMap<String, u64>,
+    /// Span records dropped past [`SPAN_RECORD_CAP`].
+    pub dropped_spans: u64,
+}
+
+impl ProfReport {
+    /// Sum of `count` over every phase (each nested span counts once).
+    pub fn span_count(&self) -> u64 {
+        self.phases.values().map(|p| p.count).sum()
+    }
+
+    /// Human-readable table of phases and gauges.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.phases.is_empty() {
+            out.push_str("profiler: no spans recorded\n");
+        } else {
+            out.push_str("phase                                       count    total(us)     self(us)      max(us)\n");
+            for (path, p) in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "{path:<42} {:>6} {:>12.1} {:>12.1} {:>12.1}",
+                    p.count,
+                    p.total_ns as f64 / 1e3,
+                    p.self_ns as f64 / 1e3,
+                    p.max_ns as f64 / 1e3,
+                );
+            }
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} = {v}");
+        }
+        if self.dropped_spans > 0 {
+            let _ = writeln!(out, "span records dropped: {}", self.dropped_spans);
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Global {
+    phases: BTreeMap<String, PhaseStats>,
+    gauges: BTreeMap<String, u64>,
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+}
+
+fn global() -> &'static Mutex<Global> {
+    static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Global::default()))
+}
+
+struct Frame {
+    /// Length of the thread path before this frame's name was appended.
+    prev_len: usize,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+struct Local {
+    path: String,
+    stack: Vec<Frame>,
+    phases: BTreeMap<String, PhaseStats>,
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+    lane: u32,
+}
+
+impl Local {
+    fn new() -> Self {
+        Local {
+            path: String::new(),
+            stack: Vec::new(),
+            phases: BTreeMap::new(),
+            spans: Vec::new(),
+            dropped_spans: 0,
+            lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.phases.is_empty() && self.spans.is_empty() && self.dropped_spans == 0 {
+            return;
+        }
+        let mut g = global().lock().expect("profiler registry poisoned");
+        for (path, stats) in std::mem::take(&mut self.phases) {
+            g.phases
+                .entry(path)
+                .or_insert_with(PhaseStats::new)
+                .merge(&stats);
+        }
+        for rec in self.spans.drain(..) {
+            if g.spans.len() < SPAN_RECORD_CAP {
+                g.spans.push(rec);
+            } else {
+                g.dropped_spans += 1;
+            }
+        }
+        g.dropped_spans += self.dropped_spans;
+        self.dropped_spans = 0;
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::new());
+}
+
+/// RAII guard for one profiled phase; the span closes when it drops.
+///
+/// Obtain via [`span`]. Must drop in LIFO order within a thread (the
+/// natural order of nested scopes).
+#[must_use = "the span measures until the guard drops"]
+pub struct Span {
+    armed: bool,
+}
+
+/// Open a named phase span on this thread's stack.
+///
+/// When the profiler is disabled this is one atomic load; no clock read,
+/// no allocation.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { armed: false };
+    }
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let prev_len = l.path.len();
+        if prev_len > 0 {
+            l.path.push('/');
+        }
+        l.path.push_str(name);
+        l.stack.push(Frame {
+            prev_len,
+            start_ns: now_ns(),
+            child_ns: 0,
+        });
+    });
+    Span { armed: true }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end = now_ns();
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            let Some(frame) = l.stack.pop() else { return };
+            let dur = end.saturating_sub(frame.start_ns);
+            let path = l.path.clone();
+            l.path.truncate(frame.prev_len);
+            if let Some(parent) = l.stack.last_mut() {
+                parent.child_ns += dur;
+            }
+            l.phases
+                .entry(path.clone())
+                .or_insert_with(PhaseStats::new)
+                .add(dur, frame.child_ns);
+            if l.spans.len() < SPAN_RECORD_CAP {
+                let lane = l.lane;
+                l.spans.push(SpanRecord {
+                    path,
+                    lane,
+                    start_ns: frame.start_ns,
+                    dur_ns: dur,
+                });
+            } else {
+                l.dropped_spans += 1;
+            }
+            if l.stack.is_empty() {
+                l.flush();
+            }
+        });
+    }
+}
+
+/// Set gauge `name` to `value` (last write wins). No-op while disabled.
+pub fn set_gauge(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut g = global().lock().expect("profiler registry poisoned");
+    g.gauges.insert(name.to_owned(), value);
+}
+
+/// Snapshot the aggregates recorded so far.
+///
+/// Flushes the calling thread's local table first; other threads flush
+/// whenever their span stack empties, so after joining workers (or between
+/// top-level spans) the report is complete.
+pub fn report() -> ProfReport {
+    LOCAL.with(|l| l.borrow_mut().flush());
+    let g = global().lock().expect("profiler registry poisoned");
+    ProfReport {
+        phases: g.phases.clone(),
+        gauges: g.gauges.clone(),
+        dropped_spans: g.dropped_spans,
+    }
+}
+
+/// Clear every aggregate, gauge, and span record.
+///
+/// The calling thread's local table is cleared too; other threads'
+/// *unflushed* frames (spans still open elsewhere) survive a reset.
+pub fn reset() {
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        l.phases.clear();
+        l.spans.clear();
+        l.dropped_spans = 0;
+    });
+    let mut g = global().lock().expect("profiler registry poisoned");
+    g.phases.clear();
+    g.gauges.clear();
+    g.spans.clear();
+    g.dropped_spans = 0;
+}
+
+/// Measure the per-call cost of [`span`] while the profiler is *disabled*
+/// (the tax every instrumented hot path pays in production). Returns
+/// nanoseconds per call averaged over `iters` calls.
+///
+/// # Panics
+/// Panics if called while the profiler is enabled — the probe would then
+/// measure (and pollute) the enabled path instead.
+pub fn disabled_span_cost_ns(iters: u32) -> f64 {
+    assert!(
+        !enabled(),
+        "disabled_span_cost_ns must run with the profiler off"
+    );
+    assert!(iters > 0);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _sp = span("overhead_probe");
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Render the retained span records as Chrome `trace_event` JSON
+/// (complete `"ph":"X"` events, timestamps in microseconds). Open in
+/// `chrome://tracing` or Perfetto.
+pub fn chrome_trace_json() -> String {
+    LOCAL.with(|l| l.borrow_mut().flush());
+    let g = global().lock().expect("profiler registry poisoned");
+    chrome_trace_of(&g.spans)
+}
+
+/// [`chrome_trace_json`] over an explicit record list (for tests).
+pub fn chrome_trace_of(spans: &[SpanRecord]) -> String {
+    use serde_json::Value;
+    let obj = |entries: Vec<(&str, Value)>| {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    };
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + 1);
+    events.push(obj(vec![
+        ("name", Value::String("process_name".into())),
+        ("ph", Value::String("M".into())),
+        ("pid", Value::UInt(1)),
+        ("tid", Value::UInt(0)),
+        (
+            "args",
+            obj(vec![("name", Value::String("pctl-prof".into()))]),
+        ),
+    ]));
+    for rec in spans {
+        events.push(obj(vec![
+            ("name", Value::String(rec.path.clone())),
+            ("cat", Value::String("prof".into())),
+            ("ph", Value::String("X".into())),
+            ("ts", Value::Float(rec.start_ns as f64 / 1e3)),
+            ("dur", Value::Float(rec.dur_ns as f64 / 1e3)),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(u64::from(rec.lane))),
+        ]));
+    }
+    let doc = obj(vec![("traceEvents", Value::Array(events))]);
+    serde_json::to_string(&doc).expect("trace JSON serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiler state is process-global, so the unit tests serialize on one
+    /// lock instead of fighting over `reset()`.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        set_enabled(false);
+        reset();
+        {
+            let _sp = span("never");
+        }
+        let r = report();
+        assert!(r.phases.is_empty());
+        assert_eq!(r.span_count(), 0);
+        set_gauge("never", 7);
+        assert!(report().gauges.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_attribute_hierarchically() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+            }
+        }
+        set_enabled(false);
+        let r = report();
+        let outer = r.phases.get("outer").expect("outer recorded");
+        let inner = r.phases.get("outer/inner").expect("nested path key");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(!r.phases.contains_key("inner"), "no flat key for nested");
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "parent total covers children: {r:?}"
+        );
+        assert!(
+            outer.self_ns <= outer.total_ns,
+            "self time excludes children"
+        );
+        assert_eq!(r.span_count(), 4);
+        reset();
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        set_gauge("allocated_words", 10);
+        set_gauge("allocated_words", 24);
+        set_enabled(false);
+        assert_eq!(report().gauges.get("allocated_words"), Some(&24));
+        reset();
+    }
+
+    #[test]
+    fn chrome_export_is_valid_trace_json() {
+        let recs = vec![
+            SpanRecord {
+                path: "a".into(),
+                lane: 0,
+                start_ns: 1000,
+                dur_ns: 5000,
+            },
+            SpanRecord {
+                path: "a/b".into(),
+                lane: 0,
+                start_ns: 2000,
+                dur_ns: 1000,
+            },
+        ];
+        let json = chrome_trace_of(&recs);
+        let doc: serde_json::Value = serde_json::from_str(&json).expect("parses");
+        let field = |v: &serde_json::Value, key: &str| -> Option<serde_json::Value> {
+            v.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        };
+        let events = field(&doc, "traceEvents").expect("traceEvents key");
+        let events = events.as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 3, "metadata + 2 spans");
+        let phases: Vec<String> = events
+            .iter()
+            .filter_map(|e| field(e, "ph")?.as_str().map(str::to_owned))
+            .collect();
+        assert_eq!(phases, vec!["M", "X", "X"]);
+    }
+
+    #[test]
+    fn disabled_span_cost_is_tiny() {
+        let _g = test_lock();
+        set_enabled(false);
+        let ns = disabled_span_cost_ns(10_000);
+        // Generous bound: one atomic load should be well under a µs even
+        // on a loaded CI machine.
+        assert!(ns < 1000.0, "disabled span cost {ns} ns/call");
+    }
+
+    #[test]
+    fn report_render_mentions_phases_and_gauges() {
+        let _g = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let _sp = span("render_me");
+        }
+        set_gauge("g1", 5);
+        set_enabled(false);
+        let text = report().render();
+        assert!(text.contains("render_me"), "{text}");
+        assert!(text.contains("gauge g1 = 5"), "{text}");
+        reset();
+    }
+}

@@ -16,7 +16,7 @@ pub mod sim;
 pub mod time;
 
 pub use faults::{Crash, FaultPlan, LinkFaults, Partition};
-pub use metrics::{Metrics, Summary, FAULT_COUNTERS};
+pub use metrics::{LiveMetrics, Metrics, Summary, FAULT_COUNTERS};
 pub use sim::{
     Ctx, DelayModel, Payload, Process, SimConfig, SimResult, Simulation, StopReason, TimerId,
 };

@@ -171,6 +171,100 @@ impl Metrics {
             .collect::<Vec<_>>()
             .join(" ")
     }
+
+    /// Render the registry as Prometheus text exposition (format 0.0.4).
+    ///
+    /// Plain counters become `{prefix}{name}_total`; labeled counters
+    /// (registry keys of the form `name{label}`, see
+    /// [`Metrics::add_labeled`]) become one family with a
+    /// `label="..."` dimension; gauges become `{prefix}{name}` gauges;
+    /// sample series become summaries with 0.5/0.95/0.99 quantiles plus
+    /// `_sum`/`_count`.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut exp = pctl_obs::prom::Exposition::new();
+        for (key, &v) in &self.counters {
+            let (name, label) = match key.split_once('{') {
+                Some((name, rest)) => (name, rest.strip_suffix('}')),
+                None => (key.as_str(), None),
+            };
+            let family = format!("{prefix}{name}_total");
+            match label {
+                Some(l) => exp.counter(&family, "Simulation counter", &[("label", l)], v as f64),
+                None => exp.counter(&family, "Simulation counter", &[], v as f64),
+            }
+        }
+        for (name, &v) in &self.gauges {
+            exp.gauge(
+                &format!("{prefix}{name}"),
+                "Simulation gauge",
+                &[],
+                v as f64,
+            );
+        }
+        for (name, s) in &self.samples {
+            let Some(sm) = self.summary(name) else {
+                continue;
+            };
+            let sum: u128 = s.iter().map(|&v| u128::from(v)).sum();
+            exp.summary(
+                &format!("{prefix}{name}"),
+                "Simulation sample series",
+                &[],
+                &[
+                    (0.5, sm.p50 as f64),
+                    (0.95, sm.p95 as f64),
+                    (0.99, sm.p99 as f64),
+                ],
+                sum as f64,
+                sm.count as u64,
+            );
+        }
+        exp.render()
+    }
+}
+
+/// A shared cell holding the latest Prometheus rendering of a running
+/// simulation's metrics.
+///
+/// The simulation thread periodically re-renders into the cell (see
+/// [`crate::Simulation::publish_live`]); a `/metrics` endpoint (e.g.
+/// [`pctl_obs::prom::MetricsServer`]) reads it on demand. Publishing is
+/// strictly observational — it only reads the registry and never touches
+/// simulation state or RNG streams.
+#[derive(Clone, Default)]
+pub struct LiveMetrics {
+    cell: std::sync::Arc<std::sync::Mutex<String>>,
+}
+
+impl LiveMetrics {
+    /// A new, empty cell.
+    pub fn new() -> LiveMetrics {
+        LiveMetrics::default()
+    }
+
+    /// Replace the published exposition text.
+    pub fn publish(&self, text: String) {
+        *self.cell.lock().unwrap() = text;
+    }
+
+    /// The most recently published exposition text (empty before the first
+    /// publish).
+    pub fn read(&self) -> String {
+        self.cell.lock().unwrap().clone()
+    }
+
+    /// A render closure suitable for
+    /// [`pctl_obs::prom::MetricsServer::spawn`].
+    pub fn renderer(&self) -> std::sync::Arc<dyn Fn() -> String + Send + Sync> {
+        let cell = self.clone();
+        std::sync::Arc::new(move || cell.read())
+    }
+}
+
+impl std::fmt::Debug for LiveMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LiveMetrics({} bytes)", self.cell.lock().unwrap().len())
+    }
 }
 
 /// The counters every fault-injected run reports: what the simulator's
@@ -266,6 +360,42 @@ mod tests {
         let line = m.fault_line();
         assert!(line.starts_with("msgs_dropped=3 msgs_duplicated=0"));
         assert!(line.contains("crashes=1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_registry_kinds() {
+        let mut m = Metrics::default();
+        m.add("msgs", 5);
+        m.add_labeled("retransmissions", "p2", 3);
+        m.set_gauge("queue_depth", 4);
+        for v in [10, 20, 30] {
+            m.record("latency_us", v);
+        }
+        let text = m.to_prometheus("pctl_sim_");
+        assert!(
+            text.contains("# TYPE pctl_sim_msgs_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("pctl_sim_msgs_total 5"), "{text}");
+        assert!(
+            text.contains("pctl_sim_retransmissions_total{label=\"p2\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE pctl_sim_queue_depth gauge"), "{text}");
+        assert!(text.contains("pctl_sim_queue_depth 4"), "{text}");
+        assert!(
+            text.contains("# TYPE pctl_sim_latency_us summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pctl_sim_latency_us{quantile=\"0.5\"} 20"),
+            "{text}"
+        );
+        assert!(text.contains("pctl_sim_latency_us_sum 60"), "{text}");
+        assert!(text.contains("pctl_sim_latency_us_count 3"), "{text}");
+        let n = pctl_obs::prom::validate_exposition(&text).expect("valid exposition");
+        // 1 plain counter + 1 labeled counter + 1 gauge + 5 summary samples.
+        assert_eq!(n, 8, "{text}");
     }
 
     #[test]

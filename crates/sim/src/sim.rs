@@ -559,6 +559,9 @@ pub struct Simulation<M: Payload> {
     procs: Vec<Option<Box<dyn Process<M>>>>,
     inner: Inner<M>,
     config: SimConfig,
+    /// `(cell, every)` — publish the metrics registry into `cell` every
+    /// `every` dispatched events (and once at the end of the run).
+    live: Option<(crate::metrics::LiveMetrics, u64)>,
 }
 
 impl<M: Payload> Simulation<M> {
@@ -602,7 +605,17 @@ impl<M: Payload> Simulation<M> {
                 next_flow: 0,
             },
             config,
+            live: None,
         }
+    }
+
+    /// Publish live metrics: every `every_events` dispatched events (and
+    /// once when the run ends) the metrics registry is rendered as
+    /// Prometheus text into `cell`, where a `/metrics` endpoint can read
+    /// it. Publishing is strictly observational — it never perturbs the
+    /// run.
+    pub fn publish_live(&mut self, cell: crate::metrics::LiveMetrics, every_events: u64) {
+        self.live = Some((cell, every_events.max(1)));
     }
 
     /// Number of processes.
@@ -660,6 +673,11 @@ impl<M: Payload> Simulation<M> {
                 break StopReason::MaxEvents;
             }
             dispatched += 1;
+            if let Some((cell, every)) = &self.live {
+                if (dispatched as u64).is_multiple_of(*every) {
+                    cell.publish(self.inner.metrics.to_prometheus("pctl_sim_"));
+                }
+            }
             debug_assert!(ev.time >= self.inner.now, "events dispatched in time order");
             self.inner.now = ev.time;
             match ev.action {
@@ -735,6 +753,10 @@ impl<M: Payload> Simulation<M> {
             ..
         } = self.inner;
         rec.flush();
+        if let Some((cell, _)) = &self.live {
+            // Final publish so short runs still expose their end state.
+            cell.publish(metrics.to_prometheus("pctl_sim_"));
+        }
         let deposet = builder
             .finish()
             .expect("simulator traces are valid deposets");

@@ -151,9 +151,28 @@ proptest! {
             ..FaultPlan::default()
         };
         let plain = run(seed, plan.clone());
-        let recorded = run_with(seed, plan, Box::new(RingRecorder::new(1 << 16)));
+        let recorded = run_with(seed, plan.clone(), Box::new(RingRecorder::new(1 << 16)));
         prop_assert_eq!(fingerprint(&plain), fingerprint(&recorded));
         // And the recorder actually captured the run's telemetry.
         prop_assert!(!recorded.events().is_empty());
+
+        // The hot-path profiler is equally observational: a run with
+        // `pctl_prof` enabled (spans + gauges firing in deposet
+        // construction and engine code) must be bit-identical to the
+        // uninstrumented run. The enable/disable bracket restores the
+        // profiler state even if the body panics.
+        let profiled = {
+            struct ProfGuard;
+            impl Drop for ProfGuard {
+                fn drop(&mut self) {
+                    pctl_prof::set_enabled(false);
+                }
+            }
+            let _guard = ProfGuard;
+            pctl_prof::reset();
+            pctl_prof::set_enabled(true);
+            run(seed, plan)
+        };
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&profiled));
     }
 }

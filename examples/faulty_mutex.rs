@@ -12,15 +12,58 @@
 //! `max_concurrent ≤ n−1`, and — audited by `sweep_faulty_run` — never
 //! lose the witness for `B = ∨ᵢ ¬csᵢ` on a cut where every process is up.
 //!
-//! Run with: `cargo run --example faulty_mutex [-- <seed>]`
+//! With `--metrics ADDR` the run also serves live Prometheus metrics:
+//! the simulation publishes its registry every few dispatched events and a
+//! `/metrics` endpoint (plain `std::net::TcpListener`, no dependencies)
+//! serves the exposition — `curl http://ADDR/metrics` while it runs.
+//! `--serve-ms MS` keeps the endpoint (and process) alive that long after
+//! the simulation finishes, since the simulated run completes in
+//! milliseconds of wall time.
+//!
+//! Run with: `cargo run --example faulty_mutex [-- <seed>]
+//!   [--metrics 127.0.0.1:9184] [--serve-ms 30000]`
 
+use predicate_control::obs::prom::MetricsServer;
 use predicate_control::prelude::*;
 
+struct Opts {
+    seed: u64,
+    metrics: Option<String>,
+    serve_ms: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        seed: 3,
+        metrics: None,
+        serve_ms: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics" => opts.metrics = Some(it.next().expect("--metrics ADDR")),
+            "--serve-ms" => {
+                opts.serve_ms = it
+                    .next()
+                    .expect("--serve-ms MS")
+                    .parse()
+                    .expect("--serve-ms MS must be a number")
+            }
+            other => {
+                opts.seed = other.parse().unwrap_or_else(|_| {
+                    panic!(
+                        "usage: faulty_mutex [<seed>] [--metrics ADDR] [--serve-ms MS], got {other}"
+                    )
+                })
+            }
+        }
+    }
+    opts
+}
+
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+    let opts = parse_opts();
+    let seed = opts.seed;
     let n = 4usize;
     let cfg = WorkloadConfig {
         processes: n,
@@ -37,7 +80,27 @@ fn main() {
     println!("hardened (n-1)-mutex, n = {n}, seed = {seed}");
     println!("faults: 5% loss, P1 partitioned [120,200), P0 crashes @25, restarts @375\n");
 
-    let r = run_ft_antitoken(&cfg, PeerSelect::NextInRing, FtParams::default(), plan);
+    // Optional live-metrics endpoint: the sim publishes its registry into
+    // the shared cell; the server renders whatever is current per request.
+    let live = LiveMetrics::new();
+    let server = opts.metrics.as_deref().map(|addr| {
+        let srv = MetricsServer::spawn(addr, live.renderer()).expect("bind metrics endpoint");
+        println!(
+            "serving live metrics on http://{}/metrics\n",
+            srv.local_addr()
+        );
+        srv
+    });
+    let live_opt = server.as_ref().map(|_| (live.clone(), 16));
+
+    let r = run_ft_antitoken_with(
+        &cfg,
+        PeerSelect::NextInRing,
+        FtParams::default(),
+        plan,
+        Box::new(NullRecorder),
+        live_opt,
+    );
 
     println!("outcome        : {:?} at t={}", r.stopped, r.end_time.0);
     println!("deadlocked     : {}", r.deadlocked());
@@ -71,4 +134,16 @@ fn main() {
     assert!(max_concurrent(&r.metrics, n) < n);
     assert!(report.safe_modulo_crashes(), "{report:?}");
     println!("\nall guarantees held: completion under faults, k-mutex, B safe modulo crashes");
+
+    if let Some(srv) = server {
+        if opts.serve_ms > 0 {
+            println!(
+                "keeping http://{}/metrics up for {}ms (final registry published)…",
+                srv.local_addr(),
+                opts.serve_ms
+            );
+            std::thread::sleep(std::time::Duration::from_millis(opts.serve_ms));
+        }
+        srv.shutdown();
+    }
 }

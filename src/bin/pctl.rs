@@ -40,8 +40,9 @@ USAGE:
   pctl trace <input> [--control <control.json>] [--out <chrome.json>]
               (input: deposet trace JSON or telemetry JSONL; emits Chrome
                trace_event JSON for chrome://tracing or ui.perfetto.dev)
-  pctl stats <input>                        (event-log statistics: per-kind
-              counts, span durations, message latency percentiles)
+  pctl stats <input> [--prom]               (event-log statistics: per-kind
+              counts, span durations, message latency percentiles;
+              --prom emits Prometheus text exposition instead)
   pctl dot <trace.json> [--control <control.json>] [--vars]
   pctl gen --workload (cs|pipelined|random) [--processes N] [--sections N]
            [--events N] [--seed N] [--trace-out <chrome.json>]
@@ -393,7 +394,12 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("stats: missing input path")?;
     let (events, _) = load_events(args, path)?;
-    print!("{}", EventStats::from_events(&events).report());
+    let stats = EventStats::from_events(&events);
+    if args.flag("prom").is_some() {
+        print!("{}", stats.to_prometheus());
+    } else {
+        print!("{}", stats.report());
+    }
     Ok(())
 }
 

@@ -55,7 +55,7 @@
 //! | [`control`] | `pctl-core` | off-line + on-line predicate control, NP-hardness machinery |
 //! | [`detect`] | `pctl-detect` | predicate detection (weak/strong conjunctive, snapshots) |
 //! | [`mutex`] | `pctl-mutex` | (n−1)-mutex via control + k-mutex baselines |
-//! | [`obs`] | `pctl-obs` | structured event log, recorders, Chrome-trace export |
+//! | [`obs`] | `pctl-obs` | structured event log, recorders, hot-path profiler, Prometheus + Chrome-trace export |
 //! | [`replay`] | `pctl-replay` | controlled re-execution of traces |
 
 #![warn(missing_docs)]
@@ -92,13 +92,14 @@ pub mod prelude {
     };
     pub use pctl_mutex::{
         compare_all, max_concurrent, run_antitoken, run_antitoken_recorded, run_central,
-        run_ft_antitoken, run_ft_antitoken_recorded, run_suzuki, WorkloadConfig,
+        run_ft_antitoken, run_ft_antitoken_recorded, run_ft_antitoken_with, run_suzuki,
+        WorkloadConfig,
     };
     pub use pctl_obs::{
         Event, EventKind, EventStats, JsonlRecorder, NullRecorder, Recorder, RingRecorder,
     };
     pub use pctl_replay::{replay, replay_recorded, ReplayConfig, ReplayOutcome};
     pub use pctl_sim::{
-        DelayModel, FaultPlan, LinkFaults, Process, SimConfig, SimTime, Simulation,
+        DelayModel, FaultPlan, LinkFaults, LiveMetrics, Process, SimConfig, SimTime, Simulation,
     };
 }

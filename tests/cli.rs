@@ -279,7 +279,55 @@ fn cli_telemetry_session() {
     let report = String::from_utf8_lossy(&out.stdout);
     assert!(report.contains("events by kind"), "{report}");
 
+    // `pctl stats --prom` renders the same log as valid Prometheus text.
+    let out = pctl(&["stats", jsonl_out.to_str().unwrap(), "--prom"]);
+    assert!(out.status.success());
+    let prom = String::from_utf8_lossy(&out.stdout);
+    predicate_control::obs::prom::validate_exposition(&prom)
+        .expect("pctl stats --prom emits parseable exposition");
+    assert!(prom.contains("# TYPE pctl_events_total counter"), "{prom}");
+    assert!(prom.contains("pctl_msg_latency_ticks"), "{prom}");
+
     for f in [trace, control, chrome_out, jsonl_out] {
         let _ = std::fs::remove_file(f);
     }
+}
+
+#[test]
+fn cli_stats_keeps_percentile_sections_on_zero_sample_logs() {
+    // An instant-only log has no span durations and no message latencies;
+    // the report must still print both sections with an explicit
+    // zero-sample line instead of silently omitting them.
+    use predicate_control::obs::{jsonl, Event};
+    let log = tmpfile("obs-instants.jsonl");
+    let events = vec![Event::instant(1, 0, "tick"), Event::instant(5, 1, "tick")];
+    std::fs::write(&log, jsonl::to_jsonl(&events)).unwrap();
+
+    let out = pctl(&["stats", log.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        report.contains("span durations:\n  (no samples) n=0"),
+        "{report}"
+    );
+    assert!(
+        report.contains("message latencies:\n  (no samples) n=0"),
+        "{report}"
+    );
+
+    // And the --prom view of the same log is still a valid document.
+    let out = pctl(&["stats", log.to_str().unwrap(), "--prom"]);
+    assert!(out.status.success());
+    let prom = String::from_utf8_lossy(&out.stdout);
+    predicate_control::obs::prom::validate_exposition(&prom).expect("valid exposition");
+    assert!(
+        prom.contains("pctl_instants_total{name=\"tick\"} 2"),
+        "{prom}"
+    );
+
+    let _ = std::fs::remove_file(log);
 }
