@@ -67,6 +67,67 @@ pub struct OfflineCase {
     pub feasible: bool,
 }
 
+/// One sharded construction of the `shard_sweep` headline, measured
+/// against the flat (single-shard) store on the same workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardCase {
+    /// Shard count requested via `ShardPlan::with_shards`.
+    pub shards: usize,
+    /// Level-synchronised frontier rounds the fill needed.
+    pub rounds: usize,
+    /// Median wall time of sharded `from_parts_with_plan` (µs).
+    pub construct_p50_us: u64,
+    /// Median wall time of the sharded `IntervalIndex::build` (µs).
+    pub index_p50_us: u64,
+    /// `flat_construct_p50_us / construct_p50_us` — reported honestly; on a
+    /// single-core runner this hovers at or below 1.
+    pub speedup_vs_flat: f64,
+    /// Arena words allocated per shard (the per-shard `n·S_shard` bound,
+    /// mirrored from the `arena_allocated_words_shard*` profiler gauges).
+    pub per_shard_words: Vec<usize>,
+    /// Whether every clock and the interval index were bit-identical to the
+    /// flat store (hard-asserted by the harness before writing).
+    pub identical_to_flat: bool,
+}
+
+/// The `shard_sweep` headline: flat-vs-sharded construction and index
+/// build on one clustered (pipelined, ring-message) workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardSweep {
+    /// Workload label, e.g. `pipelined_n8_p48`.
+    pub workload: String,
+    /// Process count `n`.
+    pub processes: usize,
+    /// Total local states.
+    pub states: usize,
+    /// Median wall time of flat (`ShardPlan::single`) construction (µs).
+    pub flat_construct_p50_us: u64,
+    /// Median wall time of the flat `IntervalIndex::build` (µs).
+    pub flat_index_p50_us: u64,
+    /// One entry per measured shard count.
+    pub cases: Vec<ShardCase>,
+    /// All cases bit-identical to the flat store.
+    pub deterministic: bool,
+}
+
+/// The pathological many-intervals `find_overlap` case: the worklist
+/// search over `T` total intervals that the quadratic rescan made `O(T·n²)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OverlapCase {
+    /// Workload label.
+    pub workload: String,
+    /// Process count `n`.
+    pub processes: usize,
+    /// Total local states.
+    pub states: usize,
+    /// Total false intervals across all processes (the paper's `T`).
+    pub intervals_total: usize,
+    /// Wall-time distribution of `find_overlap` alone.
+    pub wall: WallStats,
+    /// Whether an overlapping set (infeasibility witness) exists.
+    pub found: bool,
+}
+
 /// The `BENCH_offline.json` payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OfflineReport {
@@ -78,6 +139,12 @@ pub struct OfflineReport {
     pub smoke: bool,
     /// Measured cases.
     pub cases: Vec<OfflineCase>,
+    /// Sharded-store headline (absent in reports from older harnesses).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_sweep: Option<ShardSweep>,
+    /// Pathological `find_overlap` case (absent in older reports).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub overlap: Option<OverlapCase>,
 }
 
 /// One execution mode of the multi-seed sweep bench.
@@ -108,6 +175,10 @@ pub struct Baseline {
     pub per_seed_p50_us: u64,
     /// Baseline per-seed p95 (µs).
     pub per_seed_p95_us: u64,
+    /// Baseline sharded-construction p50 of the `shard_sweep` headline
+    /// (µs); absent in baselines recorded before the sharded store.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_construct_p50_us: Option<u64>,
 }
 
 /// The `BENCH_sweep.json` payload.
@@ -200,6 +271,7 @@ impl CompareReport {
         baseline: &Baseline,
         baseline_path: &str,
         current: &SweepMode,
+        shard_construct_p50_us: Option<u64>,
         threshold_pct: f64,
         inject_slowdown_pct: f64,
         smoke: bool,
@@ -226,7 +298,7 @@ impl CompareReport {
                 regressed: worse_pct > threshold_pct,
             }
         };
-        let cases = vec![
+        let mut cases = vec![
             case(
                 "sweep_total_ms",
                 "ms",
@@ -256,6 +328,18 @@ impl CompareReport {
                 true,
             ),
         ];
+        // The shard scenario only exists when both sides carry it: baselines
+        // recorded before the sharded store compare on the four sweep
+        // scenarios exactly as before.
+        if let (Some(base), Some(cur)) = (baseline.shard_construct_p50_us, shard_construct_p50_us) {
+            cases.push(case(
+                "shard_construct_p50_us",
+                "us",
+                base as f64,
+                cur as f64,
+                true,
+            ));
+        }
         let regressions = cases.iter().filter(|c| c.regressed).count();
         CompareReport {
             schema: SCHEMA.into(),
@@ -327,6 +411,7 @@ mod tests {
                 states_per_sec: 4e5,
                 per_seed_p50_us: 30,
                 per_seed_p95_us: 60,
+                shard_construct_p50_us: None,
             }),
             speedup_vs_baseline: Some(3.0),
         };
@@ -342,6 +427,7 @@ mod tests {
             states_per_sec: 1e6,
             per_seed_p50_us: 1000,
             per_seed_p95_us: 2000,
+            shard_construct_p50_us: None,
         }
     }
 
@@ -365,13 +451,13 @@ mod tests {
     fn compare_passes_within_threshold_in_both_directions() {
         // 10% worse on time, 10% worse on throughput: under a 25% gate.
         let cur = mode(110.0, 0.9e6, 1100, 2200);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, false);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, false);
         assert!(r.passed, "{r:?}");
         assert_eq!(r.regressions, 0);
         assert_eq!(r.cases.len(), 4);
         // A faster run must never "regress" the lower-is-better scenarios.
         let fast = mode(50.0, 2e6, 500, 900);
-        let r = CompareReport::of(&baseline(), "b.json", &fast, 25.0, 0.0, false);
+        let r = CompareReport::of(&baseline(), "b.json", &fast, None, 25.0, 0.0, false);
         assert!(r.passed);
         assert!(r.cases.iter().all(|c| c.worse_pct < 0.0), "{r:?}");
     }
@@ -380,7 +466,7 @@ mod tests {
     fn compare_flags_regressions_past_threshold() {
         // 50% slower end to end.
         let cur = mode(150.0, 0.6e6, 1600, 3100);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, false);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, false);
         assert!(!r.passed);
         assert_eq!(r.regressions, 4, "{r:?}");
         let c = &r.cases[0];
@@ -394,9 +480,9 @@ mod tests {
         // every scenario must trip a 25% gate, including the
         // higher-is-better throughput one (which gets *divided*).
         let cur = mode(100.0, 1e6, 1000, 2000);
-        let clean = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, false);
+        let clean = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, false);
         assert!(clean.passed);
-        let slowed = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 100.0, false);
+        let slowed = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 100.0, false);
         assert!(!slowed.passed);
         assert_eq!(slowed.regressions, 4, "{slowed:?}");
         assert!((slowed.injected_slowdown_pct - 100.0).abs() < 1e-12);
@@ -405,10 +491,44 @@ mod tests {
     #[test]
     fn compare_report_roundtrips() {
         let cur = mode(150.0, 0.6e6, 1600, 3100);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, 25.0, 0.0, true);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, true);
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: CompareReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn shard_scenario_requires_both_sides() {
+        let cur = mode(100.0, 1e6, 1000, 2000);
+        // Old baseline, new harness: no shard case.
+        let r = CompareReport::of(&baseline(), "b.json", &cur, Some(500), 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 4, "{r:?}");
+        // Both sides carry shard numbers: fifth scenario participates.
+        let mut b = baseline();
+        b.shard_construct_p50_us = Some(400);
+        let r = CompareReport::of(&b, "b.json", &cur, Some(500), 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 5);
+        let c = r.cases.last().unwrap();
+        assert_eq!(c.scenario, "shard_construct_p50_us");
+        assert!((c.worse_pct - 25.0).abs() < 1e-9, "{c:?}");
+        assert!(!c.regressed, "exactly at threshold is not past it");
+        // And it regresses past the gate like any other scenario.
+        let r = CompareReport::of(&b, "b.json", &cur, Some(600), 25.0, 0.0, false);
+        assert!(!r.passed);
+        assert_eq!(r.regressions, 1, "{r:?}");
+        // A baseline with shard numbers but an old-harness run without them
+        // also degrades to four scenarios.
+        let r = CompareReport::of(&b, "b.json", &cur, None, 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 4);
+    }
+
+    #[test]
+    fn baseline_without_shard_field_parses() {
+        // Committed pre-shard baselines must keep deserializing.
+        let json = r#"{"recorded":"old","total_ms":1.0,"states_per_sec":2.0,
+                       "per_seed_p50_us":3,"per_seed_p95_us":4}"#;
+        let b: Baseline = serde_json::from_str(json).unwrap();
+        assert_eq!(b.shard_construct_p50_us, None);
     }
 
     #[test]
@@ -428,9 +548,43 @@ mod tests {
                 control_tuples: 12,
                 feasible: true,
             }],
+            shard_sweep: Some(ShardSweep {
+                workload: "pipelined_n8_p48".into(),
+                processes: 8,
+                states: 3000,
+                flat_construct_p50_us: 120,
+                flat_index_p50_us: 40,
+                cases: vec![ShardCase {
+                    shards: 4,
+                    rounds: 3,
+                    construct_p50_us: 130,
+                    index_p50_us: 45,
+                    speedup_vs_flat: 0.92,
+                    per_shard_words: vec![6000, 6000, 6000, 6000],
+                    identical_to_flat: true,
+                }],
+                deterministic: true,
+            }),
+            overlap: Some(OverlapCase {
+                workload: "pipelined_n8_p256".into(),
+                processes: 8,
+                states: 16000,
+                intervals_total: 2048,
+                wall: WallStats::of(&[55]),
+                found: false,
+            }),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn offline_report_without_shard_sections_parses() {
+        // Reports written by older harnesses omit both optional sections.
+        let json = r#"{"schema":"pctl-bench-v1","bench":"offline","smoke":true,"cases":[]}"#;
+        let r: OfflineReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.shard_sweep, None);
+        assert_eq!(r.overlap, None);
     }
 }

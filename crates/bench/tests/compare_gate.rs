@@ -100,7 +100,15 @@ fn compare_gate_passes_on_own_baseline_and_fails_on_injected_regression() {
     assert_eq!(field(&cmp, "passed"), serde_json::Value::Bool(false));
     let cases = field(&cmp, "cases");
     let cases = cases.as_array().expect("cases array");
-    assert_eq!(cases.len(), 4, "four sweep scenarios compared");
+    // The self-written baseline carries shard numbers, so the sharded
+    // construction participates alongside the four sweep scenarios.
+    assert_eq!(cases.len(), 5, "four sweep scenarios + shard construction");
+    assert!(
+        cases
+            .iter()
+            .any(|c| field(c, "scenario").as_str() == Some("shard_construct_p50_us")),
+        "shard_sweep construction is gated: {cases:?}"
+    );
     assert!(
         cases
             .iter()

@@ -183,12 +183,38 @@ impl ClockArena {
         }
     }
 
+    /// Component-wise maximum of row `dst` with an *external* clock row —
+    /// one copied out of another arena. This is the cross-shard merge step
+    /// of the sharded DP: gather buffers hold rows from foreign shards, and
+    /// the owning shard folds them in without touching foreign storage.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != width()`.
+    pub fn merge_from(&mut self, dst: usize, src: &[u32]) {
+        assert_eq!(src.len(), self.width, "external row width mismatch");
+        let d0 = dst * self.width;
+        for (i, &v) in src.iter().enumerate() {
+            if v > self.words[d0 + i] {
+                self.words[d0 + i] = v;
+            }
+        }
+    }
+
     /// Increment component `p` of row `r` (a local step of `p`).
     #[inline]
     pub fn tick(&mut self, r: usize, p: ProcessId) {
         self.words[r * self.width + p.index()] += 1;
     }
 }
+
+/// Largest row count the flat `u32` edge/row addressing supports.
+///
+/// [`csr_from_edges`] and [`topo_order_chained`] store row indices and edge
+/// counts as `u32`; anything above this bound would silently truncate, so
+/// both assert it *before* allocating anything (cheap to unit-test without
+/// materialising multi-gigabyte chains). Deposet construction converts the
+/// same bound into a recoverable `TooManyStates` error.
+pub const MAX_ROWS: usize = u32::MAX as usize;
 
 impl fmt::Debug for ClockArena {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -202,6 +228,15 @@ impl fmt::Debug for ClockArena {
 /// edge pairs over `rows` nodes. For node `r`, its sources are
 /// `src[off[r] as usize .. off[r + 1] as usize]`, in input order.
 pub fn csr_from_edges(rows: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    assert!(
+        rows <= MAX_ROWS,
+        "row count {rows} exceeds u32 addressing (max {MAX_ROWS})"
+    );
+    assert!(
+        edges.len() <= MAX_ROWS,
+        "edge count {} exceeds u32 addressing (max {MAX_ROWS})",
+        edges.len()
+    );
     let mut off = vec![0u32; rows + 1];
     for &(dst, _) in edges {
         off[dst as usize + 1] += 1;
@@ -232,6 +267,15 @@ pub fn csr_from_edges(rows: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>)
 pub fn topo_order_chained(proc_starts: &[usize], edges: &[(u32, u32)]) -> Option<Vec<u32>> {
     let _prof = pctl_prof::span("topo_order_chained");
     let rows = *proc_starts.last().expect("proc_starts has n+1 entries");
+    assert!(
+        rows <= MAX_ROWS,
+        "row count {rows} exceeds u32 addressing (max {MAX_ROWS})"
+    );
+    assert!(
+        edges.len() <= MAX_ROWS,
+        "edge count {} exceeds u32 addressing (max {MAX_ROWS})",
+        edges.len()
+    );
     // Outgoing CSR keyed by *source* (csr_from_edges keys by destination).
     let mut out_off = vec![0u32; rows + 1];
     for &(_, src) in edges {
@@ -251,11 +295,13 @@ pub fn topo_order_chained(proc_starts: &[usize], edges: &[(u32, u32)]) -> Option
     let mut indeg = vec![0u32; rows];
     let mut chain_last = vec![false; rows];
     for p in 0..proc_starts.len() - 1 {
-        for d in &mut indeg[proc_starts[p] + 1..proc_starts[p + 1]] {
-            *d = 1;
-        }
-        if proc_starts[p + 1] > proc_starts[p] {
-            chain_last[proc_starts[p + 1] - 1] = true;
+        let (lo, hi) = (proc_starts[p], proc_starts[p + 1]);
+        // Skip empty chains: `lo + 1 .. hi` would be a reversed range.
+        if hi > lo {
+            for d in &mut indeg[lo + 1..hi] {
+                *d = 1;
+            }
+            chain_last[hi - 1] = true;
         }
     }
     for &(dst, _) in edges {
@@ -404,6 +450,49 @@ mod tests {
         assert_eq!(topo_order_chained(&[0, 2, 4], &[(2, 1), (0, 3)]), None);
         // Degenerate: no rows at all.
         assert_eq!(topo_order_chained(&[0], &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn topo_order_chained_tolerates_zero_state_chains() {
+        // P1 owns no rows: proc_starts [0, 2, 2, 3]. Used to slice the
+        // reversed range `3..2` and panic instead of sorting.
+        let order = topo_order_chained(&[0, 2, 2, 3], &[(2, 1)]).expect("acyclic");
+        assert_eq!(order.len(), 3);
+        let pos = |r: u32| order.iter().position(|&x| x == r).unwrap();
+        assert!(pos(0) < pos(1), "chain edge 0→1");
+        assert!(pos(1) < pos(2), "cross edge 1→2");
+    }
+
+    #[test]
+    fn merge_from_takes_component_max_of_external_row() {
+        let mut a = ClockArena::zeroed(3, 2);
+        a.tick(1, ProcessId(0));
+        a.merge_from(1, &[0, 5, 2]);
+        assert_eq!(a.row(1).entries(), &[1, 5, 2]);
+        a.merge_from(1, &[3, 1, 2]);
+        assert_eq!(a.row(1).entries(), &[3, 5, 2]);
+        assert_eq!(a.row(0).entries(), &[0, 0, 0], "other rows untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_from_rejects_wrong_width() {
+        let mut a = ClockArena::zeroed(3, 1);
+        a.merge_from(0, &[1, 2]);
+    }
+
+    // The u32-addressing guards fire before any allocation, so these tests
+    // never materialise the multi-gigabyte structures they guard against.
+    #[test]
+    #[should_panic(expected = "exceeds u32 addressing")]
+    fn csr_rejects_untruncatable_row_counts() {
+        let _ = csr_from_edges(MAX_ROWS + 1, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 addressing")]
+    fn topo_rejects_untruncatable_row_counts() {
+        let _ = topo_order_chained(&[0, MAX_ROWS + 1], &[]);
     }
 
     #[test]

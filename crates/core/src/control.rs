@@ -13,9 +13,9 @@
 //! under extended causality — the controlled computation's global sequences
 //! are exactly the base computation's global sequences that respect `C→`.
 
-use pctl_causality::arena::{csr_from_edges, fill_fidge_mattern};
-use pctl_causality::{ClockArena, ClockRef, Dag, ProcessId, StateId};
-use pctl_deposet::{Deposet, GlobalState};
+use pctl_causality::{ClockRef, Dag, ProcessId, StateId};
+use pctl_deposet::shard::fill_sharded;
+use pctl_deposet::{Deposet, GlobalState, ShardedClocks};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
@@ -124,14 +124,16 @@ impl std::error::Error for ControlError {}
 
 /// A deposet extended with a non-interfering control relation.
 ///
-/// Owns recomputed *extended* vector clocks in a columnar [`ClockArena`]
-/// (same flat row layout as the base deposet's store); all queries
+/// Owns recomputed *extended* vector clocks in a [`ShardedClocks`] store
+/// under the base deposet's shard plan (same row layout and `(shard, local
+/// row)` addressing as the base store, with the control pairs threaded
+/// through the frontier-round DP as extra cross-edges); all queries
 /// (`precedes`, consistency, lattice enumeration) are under `C→ ∪ →`.
 #[derive(Debug)]
 pub struct ControlledDeposet<'a> {
     base: &'a Deposet,
     control: ControlRelation,
-    ext_clocks: ClockArena,
+    ext_clocks: ShardedClocks,
 }
 
 impl<'a> ControlledDeposet<'a> {
@@ -165,11 +167,16 @@ impl<'a> ControlledDeposet<'a> {
         for &(x, y) in control.pairs() {
             g.add_edge(node(x), node(y));
         }
-        let order = g.topo_sort().map_err(|e| ControlError::Interference {
+        // The Dag is built purely for cycle *diagnostics* — the sharded
+        // fill detects cycles too, but cannot name the offending states.
+        g.topo_sort().map_err(|e| ControlError::Interference {
             cycle: e.cycle.iter().map(|&v| locate(v as usize)).collect(),
         })?;
-        // Extended Fidge–Mattern clocks, filled in place in a fresh arena:
-        // same DP as the base store, with control pairs as extra merge edges.
+        // Extended Fidge–Mattern clocks under the base deposet's shard
+        // plan: the same sharded DP as the base store, with control pairs
+        // as extra merge edges (cross-shard ones resolve in the frontier
+        // rounds alongside the messages). The Dag pre-check above already
+        // rejected cycles with a witness, so the fill cannot fail.
         let mut edges: Vec<(u32, u32)> = dep
             .messages()
             .iter()
@@ -181,10 +188,9 @@ impl<'a> ControlledDeposet<'a> {
                 .iter()
                 .map(|&(x, y)| (node(y) as u32, node(x) as u32)),
         );
-        let (merge_off, merge_src) = csr_from_edges(total, &edges);
-        let mut ext_clocks = ClockArena::zeroed(n, total);
-        fill_fidge_mattern(&mut ext_clocks, offsets, &order, &merge_off, &merge_src);
-        assert_eq!(ext_clocks.allocated_words(), n * total);
+        let ext_clocks = fill_sharded(dep.shard_plan(), offsets, &edges)
+            .expect("extended causality is acyclic (checked above)");
+        assert_eq!(ext_clocks.total_allocated_words(), n * total);
         Ok(ControlledDeposet {
             base: dep,
             control,
@@ -202,16 +208,27 @@ impl<'a> ControlledDeposet<'a> {
         &self.control
     }
 
-    /// Extended clock of a state (a borrowed row of the extended arena).
+    /// The extended clock store (per-shard slabs under the base deposet's
+    /// plan).
+    pub fn ext_clocks(&self) -> &ShardedClocks {
+        &self.ext_clocks
+    }
+
+    /// Extended clock of a state (a borrowed row of its shard's extended
+    /// arena).
     pub fn clock(&self, s: StateId) -> ClockRef<'_> {
-        self.ext_clocks.row(self.base.row_of(s))
+        self.ext_clocks.row(s.process, self.base.row_of(s))
     }
 
     /// `s C→∪→ t` under extended causality.
     pub fn precedes(&self, s: StateId, t: StateId) -> bool {
         s != t
-            && self.ext_clocks.word(self.base.row_of(s), s.process)
-                <= self.ext_clocks.word(self.base.row_of(t), s.process)
+            && self
+                .ext_clocks
+                .word(s.process, self.base.row_of(s), s.process)
+                <= self
+                    .ext_clocks
+                    .word(t.process, self.base.row_of(t), s.process)
     }
 
     /// Concurrency under extended causality.

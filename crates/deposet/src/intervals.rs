@@ -45,9 +45,11 @@ impl Interval {
         }
     }
 
-    /// Number of states in the interval.
+    /// Number of states in the interval. Widened before the `+ 1` so a
+    /// full-range interval (`lo = 0`, `hi = u32::MAX`) reports its true
+    /// length instead of wrapping to 0.
     pub fn len(&self) -> usize {
-        (self.hi - self.lo + 1) as usize
+        (self.hi - self.lo) as usize + 1
     }
 
     /// Intervals are never empty by construction.
@@ -96,8 +98,10 @@ impl FalseIntervals {
     pub fn from_raw(per_proc: Vec<Vec<Interval>>) -> Self {
         for (p, iv) in per_proc.iter().enumerate() {
             for w in iv.windows(2) {
+                // checked: an interval ending at u32::MAX leaves no room
+                // for a successor, and `hi + 1` must not wrap into passing.
                 assert!(
-                    w[0].hi + 1 < w[1].lo,
+                    w[0].hi.checked_add(1).is_some_and(|b| b < w[1].lo),
                     "intervals on P{p} must be disjoint, non-adjacent and sorted"
                 );
             }
@@ -225,6 +229,38 @@ mod tests {
         assert_eq!(f.total(), 2);
         assert_eq!(f.max_per_process(), 1);
         assert_eq!(f.process_count(), 2);
+    }
+
+    #[test]
+    fn len_does_not_wrap_on_full_range_intervals() {
+        // lo = 0, hi = u32::MAX used to compute (hi - lo + 1) in u32 and
+        // wrap to 0 states; the widened arithmetic reports 2^32.
+        let i = Interval {
+            process: ProcessId(0),
+            lo: 0,
+            hi: u32::MAX,
+        };
+        assert_eq!(i.len(), u32::MAX as usize + 1);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn from_raw_rejects_successor_after_hi_u32_max() {
+        // `hi + 1` used to wrap to 0 here and incorrectly pass the
+        // disjointness check.
+        FalseIntervals::from_raw(vec![vec![
+            Interval {
+                process: ProcessId(0),
+                lo: 0,
+                hi: u32::MAX,
+            },
+            Interval {
+                process: ProcessId(0),
+                lo: 5,
+                hi: 6,
+            },
+        ]]);
     }
 
     #[test]

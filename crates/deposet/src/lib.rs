@@ -19,6 +19,9 @@
 //! * the computation [`store`] — the single home of the Lemma 2
 //!   crossable/overlap primitives and a precomputed truth/interval index,
 //!   built per process in parallel via [`par::ordered_map`];
+//! * the [`shard`] layer — per-shard clock-arena slabs under a
+//!   [`shard::ShardPlan`], with a level-synchronised frontier-round DP that
+//!   scales construction toward multi-million-state computations;
 //! * a stable JSON [`trace`] format and Graphviz [`dot`] export.
 
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@ pub mod par;
 pub mod predicate;
 pub mod scenarios;
 pub mod sequences;
+pub mod shard;
 pub mod state;
 pub mod store;
 pub mod trace;
@@ -47,6 +51,7 @@ pub use intervals::{FalseIntervals, Interval};
 pub use model::{Deposet, DeposetError};
 pub use predicate::{CmpOp, DisjunctivePredicate, GlobalPredicate, LocalPredicate};
 pub use sequences::{GlobalSequence, SequenceError};
+pub use shard::{ShardPlan, ShardedClocks};
 pub use state::{LocalState, Variables};
 pub use store::IntervalIndex;
 

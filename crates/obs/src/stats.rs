@@ -39,12 +39,16 @@ impl Percentiles {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
-        let sum: u64 = sorted.iter().sum();
+        // Accumulate in u128: a long profiled run of u64 nanosecond samples
+        // can exceed u64::MAX in total. The mean is rounded to nearest
+        // rather than truncated; it still fits u64 (mean ≤ max).
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let count = sorted.len() as u128;
         Some(Percentiles {
             count: sorted.len(),
             min: sorted[0],
             max: *sorted.last().unwrap(),
-            mean: sum / sorted.len() as u64,
+            mean: ((sum + count / 2) / count) as u64,
             p50: nearest_rank(&sorted, 50),
             p95: nearest_rank(&sorted, 95),
             p99: nearest_rank(&sorted, 99),
@@ -232,7 +236,8 @@ impl EventStats {
                 let Some(p) = Percentiles::of(samples) else {
                     continue;
                 };
-                let sum: u64 = samples.iter().sum();
+                // Same overflow hazard as Percentiles::of — sum in u128.
+                let sum: u128 = samples.iter().map(|&v| v as u128).sum();
                 exp.summary(
                     family,
                     help,
@@ -403,5 +408,28 @@ mod tests {
         assert!(Percentiles::of(&[]).is_none());
         let p = Percentiles::of(&[4, 2, 9]).unwrap();
         assert_eq!((p.min, p.max, p.mean, p.p50), (2, 9, 5, 4));
+    }
+
+    #[test]
+    fn percentiles_survive_near_u64_max_samples() {
+        // Three samples near u64::MAX sum far past u64: the old u64
+        // accumulator wrapped (or panicked in debug). The u128 path keeps
+        // the exact mean.
+        let a = u64::MAX - 2;
+        let b = u64::MAX - 1;
+        let c = u64::MAX;
+        let p = Percentiles::of(&[a, b, c]).unwrap();
+        assert_eq!(p.count, 3);
+        assert_eq!(p.min, a);
+        assert_eq!(p.max, c);
+        assert_eq!(p.mean, b, "exact mean of three consecutive values");
+        assert_eq!(p.p50, b);
+    }
+
+    #[test]
+    fn mean_is_rounded_not_truncated() {
+        // mean(1, 2) = 1.5 → rounds to 2 (the truncating version said 1).
+        assert_eq!(Percentiles::of(&[1, 2]).unwrap().mean, 2);
+        assert_eq!(Percentiles::of(&[1, 1, 2]).unwrap().mean, 1);
     }
 }

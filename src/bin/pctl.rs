@@ -27,7 +27,8 @@ const USAGE: &str = "\
 pctl — predicate control for active debugging of distributed programs
 
 USAGE:
-  pctl info <trace.json>
+  pctl info <trace.json> [--shards N]       (N: rebuild the store under an
+               explicit shard plan and print its shape)
   pctl detect <trace.json> (--at-least-one VAR | --at-least-one-not VAR)
   pctl control <trace.json> (--at-least-one VAR | --at-least-one-not VAR)
                [--naive] [--random-seed N]   (control relation JSON on stdout)
@@ -120,7 +121,25 @@ fn predicate(args: &Args, dep: &Deposet) -> Result<DisjunctivePredicate, String>
 
 fn cmd_info(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("info: missing trace path")?;
-    let dep = load_trace(path)?;
+    let mut dep = load_trace(path)?;
+    // --shards N rebuilds the computation store under an explicit shard
+    // plan so its shape (rounds, per-shard slabs) can be inspected; the
+    // clocks are bit-identical to the default plan by construction.
+    if args.flag("shards").is_some() {
+        let k: usize = args.num("shards", 1)?;
+        if k == 0 {
+            return Err("--shards: must be at least 1".into());
+        }
+        let n = dep.process_count();
+        let (st, ev, ms) = dep.into_parts();
+        dep = predicate_control::deposet::Deposet::from_parts_with_plan(
+            st,
+            ev,
+            ms,
+            Some(predicate_control::deposet::ShardPlan::with_shards(n, k)),
+        )
+        .map_err(|e| format!("{path}: {e}"))?;
+    }
     println!("processes : {}", dep.process_count());
     println!("states    : {}", dep.total_states());
     println!("messages  : {}", dep.messages().len());
@@ -135,6 +154,24 @@ fn cmd_info(args: &Args) -> Result<(), String> {
             dep.len_of(p),
             vars.into_iter().collect::<Vec<_>>().join(", ")
         );
+    }
+    let sc = dep.sharded_clocks();
+    println!(
+        "store     : {} shard(s), {} fill round(s), {} clock words total",
+        sc.shard_count(),
+        sc.rounds(),
+        sc.total_allocated_words()
+    );
+    if sc.shard_count() > 1 {
+        for s in 0..sc.shard_count() {
+            let procs = dep.shard_plan().processes_of(s);
+            println!(
+                "  shard {s}: processes {}..{}, {} words",
+                procs.start,
+                procs.end,
+                sc.arena(s).allocated_words()
+            );
+        }
     }
     match lattice::count_consistent_global_states(&dep, 2_000_000) {
         Ok(c) => println!("consistent global states: {c}"),

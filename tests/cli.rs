@@ -48,6 +48,21 @@ fn full_session_through_the_cli() {
     let info = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(info.contains("processes : 3"), "{info}");
     assert!(info.contains("vars {cs}"), "{info}");
+    assert!(info.contains("store     : 1 shard(s)"), "{info}");
+
+    // info --shards: same computation under an explicit shard plan; the
+    // derived facts (consistent-cut count) must not change.
+    let out = pctl(&["info", trace.to_str().unwrap(), "--shards", "3"]);
+    assert!(out.status.success());
+    let sharded = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(sharded.contains("store     : 3 shard(s)"), "{sharded}");
+    assert!(sharded.contains("shard 0: processes 0..1"), "{sharded}");
+    let cuts = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("consistent global states"))
+            .map(str::to_owned)
+    };
+    assert_eq!(cuts(&info), cuts(&sharded), "plan must be unobservable");
 
     // detect: overlapping critical sections exist in this workload
     let out = pctl(&[
