@@ -34,7 +34,7 @@
 
 use pctl_bench::report::{
     Baseline, CompareReport, OfflineCase, OfflineReport, OverlapCase, ShardCase, ShardSweep,
-    SweepMode, SweepReport, WallStats, SCHEMA,
+    StreamingBench, SweepMode, SweepReport, WallStats, SCHEMA,
 };
 use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
 use pctl_core::verify::sweep_faulty_run;
@@ -213,6 +213,7 @@ fn run_offline(smoke: bool) -> OfflineReport {
         cases,
         shard_sweep: None,
         overlap: None,
+        streaming: None,
     }
 }
 
@@ -338,6 +339,111 @@ fn run_overlap(smoke: bool) -> OverlapCase {
         intervals_total: intervals.total(),
         wall: WallStats::of(&samples),
         found,
+    }
+}
+
+// -------------------------------------------------------------- streaming --
+
+/// End-to-end daemon numbers over real TCP on loopback: sustained append
+/// throughput into one session (client → frame → enqueue → ack, including
+/// any backoff sleeps), then `Detect` latency while a second writer
+/// streams into the very session being queried. Warn-only in `--compare`
+/// until a baseline with streaming scenarios is frozen.
+fn run_streaming(smoke: bool) -> StreamingBench {
+    use pctld::{Client, Config, Daemon, Response, RetryPolicy};
+
+    let (n, events, queries) = if smoke {
+        (3usize, 60usize, 5usize)
+    } else {
+        (4, 1200, 40)
+    };
+    let cfg = RandomConfig {
+        processes: n,
+        events,
+        send_prob: 0.3,
+        flip_prob: 0.3,
+    };
+    let dep = random_deposet(&cfg, 17);
+    let pred = DisjunctivePredicate::at_least_one(n, "ok");
+    let daemon = Daemon::spawn(Config::default()).expect("bind streaming bench daemon");
+    let addr = daemon.local_addr();
+
+    // Sustained append throughput, one event per round trip.
+    let (init, ops) = pctl_deposet::linearize(&dep);
+    let streamed = ops.len();
+    let mut c = Client::connect(addr).expect("connect");
+    assert_eq!(
+        c.hello("bench-append", pred.locals().to_vec(), Some(init.clone()))
+            .expect("hello"),
+        Response::Ok
+    );
+    let mut append_samples = Vec::with_capacity(streamed);
+    let mut busy = 0u64;
+    let t_all = Instant::now();
+    for op in &ops {
+        let t0 = Instant::now();
+        match c
+            .append_retry("bench-append", op.clone(), RetryPolicy::default())
+            .expect("append")
+        {
+            Response::Ok => {}
+            other => panic!("append refused mid-bench: {other:?}"),
+        }
+        append_samples.push(micros(t0.elapsed()));
+    }
+    let total = t_all.elapsed();
+    assert_eq!(c.close("bench-append").expect("close"), Response::Ok);
+
+    // Query under load: a writer thread streams the same computation into
+    // a fresh session while this thread hammers it with Detect.
+    let writer = std::thread::spawn(move || {
+        let mut w = Client::connect(addr).expect("writer connect");
+        assert_eq!(
+            w.hello("bench-load", pred.locals().to_vec(), Some(init))
+                .expect("writer hello"),
+            Response::Ok
+        );
+        let mut bounced = 0u64;
+        for op in ops {
+            loop {
+                match w.append("bench-load", op.clone()).expect("writer append") {
+                    Response::Ok => break,
+                    Response::Busy { retry_after_ms } => {
+                        bounced += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(retry_after_ms));
+                    }
+                    other => panic!("writer refused: {other:?}"),
+                }
+            }
+        }
+        bounced
+    });
+    // Let the writer's Hello land before querying.
+    let mut query_samples = Vec::with_capacity(queries);
+    while query_samples.len() < queries {
+        let t0 = Instant::now();
+        match c.detect("bench-load") {
+            Ok(Response::Detect { .. }) => query_samples.push(micros(t0.elapsed())),
+            Ok(Response::Err { .. }) => {
+                // Session not open yet; not a latency sample.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            Ok(other) => panic!("unexpected detect answer: {other:?}"),
+            Err(e) => panic!("detect failed: {e}"),
+        }
+    }
+    busy += writer.join().expect("writer thread");
+    assert_eq!(c.close("bench-load").expect("close"), Response::Ok);
+    assert_eq!(daemon.shutdown(), 0, "bench daemon must drain cleanly");
+
+    StreamingBench {
+        workload: format!("random_n{n}_e{events}"),
+        processes: n,
+        events: streamed,
+        append_events_per_sec: streamed as f64 / total.as_secs_f64().max(1e-9),
+        append_wall: WallStats::of(&append_samples),
+        query_under_load: WallStats::of(&query_samples),
+        busy_bounces: busy,
     }
 }
 
@@ -535,6 +641,7 @@ fn main() {
     let mut offline = run_offline(args.smoke);
     offline.shard_sweep = Some(run_shard_sweep(args.smoke));
     offline.overlap = Some(run_overlap(args.smoke));
+    offline.streaming = Some(run_streaming(args.smoke));
     let path = args.out_dir.join("BENCH_offline.json");
     pctl_bench::report::write_validated(&path, &offline).expect("write BENCH_offline.json");
     println!("wrote {} ({} cases)", path.display(), offline.cases.len());
@@ -569,6 +676,19 @@ fn main() {
         println!(
             "  overlap {} intervals={} p50={}us p95={}us found={}",
             o.workload, o.intervals_total, o.wall.p50_us, o.wall.p95_us, o.found
+        );
+    }
+    if let Some(s) = &offline.streaming {
+        println!(
+            "  streaming {} append: {:.0} events/s p50={}us p95={}us  \
+             query-under-load: p50={}us p95={}us  busy_bounces={}",
+            s.workload,
+            s.append_events_per_sec,
+            s.append_wall.p50_us,
+            s.append_wall.p95_us,
+            s.query_under_load.p50_us,
+            s.query_under_load.p95_us,
+            s.busy_bounces
         );
     }
 
@@ -677,6 +797,17 @@ fn main() {
             cmp.threshold_pct,
             cmp.regressions
         );
+        // The streaming section is new: no committed baseline carries its
+        // scenarios yet, so it reports numbers without gating. Once a
+        // baseline is frozen with streaming fields, promote it to a real
+        // compare scenario.
+        if let Some(s) = &offline.streaming {
+            println!(
+                "  streaming (warn-only, no frozen baseline): {:.0} events/s, \
+                 query-under-load p50={}us p95={}us",
+                s.append_events_per_sec, s.query_under_load.p50_us, s.query_under_load.p95_us
+            );
+        }
         for c in &cmp.cases {
             println!(
                 "  {:<24} baseline={:<12.1} current={:<12.1} {:<9} {}{:.1}% {}",

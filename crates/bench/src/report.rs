@@ -128,6 +128,30 @@ pub struct OverlapCase {
     pub found: bool,
 }
 
+/// The `streaming` section: end-to-end daemon numbers over real TCP —
+/// sustained append throughput into one session, and query latency while a
+/// concurrent writer floods the same session. Warn-only in `--compare`
+/// until a baseline with streaming scenarios is frozen.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamingBench {
+    /// Workload label, e.g. `random_n4_e1200`.
+    pub workload: String,
+    /// Process count of the streamed computation.
+    pub processes: usize,
+    /// Events streamed (appends accepted by the daemon).
+    pub events: usize,
+    /// Sustained append throughput, events per second end to end
+    /// (client → TCP → enqueue → ack), including any backoff sleeps.
+    pub append_events_per_sec: f64,
+    /// Distribution of per-append round-trip latencies (µs).
+    pub append_wall: WallStats,
+    /// Distribution of `Detect` latencies issued while a concurrent
+    /// writer streams into the same session (µs).
+    pub query_under_load: WallStats,
+    /// `Busy` bounces the writer's retry loops absorbed.
+    pub busy_bounces: u64,
+}
+
 /// The `BENCH_offline.json` payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OfflineReport {
@@ -145,6 +169,9 @@ pub struct OfflineReport {
     /// Pathological `find_overlap` case (absent in older reports).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub overlap: Option<OverlapCase>,
+    /// Streaming-daemon section (absent in reports from older harnesses).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streaming: Option<StreamingBench>,
 }
 
 /// One execution mode of the multi-seed sweep bench.
@@ -573,6 +600,7 @@ mod tests {
                 wall: WallStats::of(&[55]),
                 found: false,
             }),
+            streaming: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
@@ -581,10 +609,35 @@ mod tests {
 
     #[test]
     fn offline_report_without_shard_sections_parses() {
-        // Reports written by older harnesses omit both optional sections.
+        // Reports written by older harnesses omit the optional sections.
         let json = r#"{"schema":"pctl-bench-v1","bench":"offline","smoke":true,"cases":[]}"#;
         let r: OfflineReport = serde_json::from_str(json).unwrap();
         assert_eq!(r.shard_sweep, None);
         assert_eq!(r.overlap, None);
+        assert_eq!(r.streaming, None);
+    }
+
+    #[test]
+    fn streaming_section_roundtrips() {
+        let r = OfflineReport {
+            schema: SCHEMA.into(),
+            bench: "offline".into(),
+            smoke: true,
+            cases: vec![],
+            shard_sweep: None,
+            overlap: None,
+            streaming: Some(StreamingBench {
+                workload: "random_n4_e1200".into(),
+                processes: 4,
+                events: 1200,
+                append_events_per_sec: 25_000.0,
+                append_wall: WallStats::of(&[30, 45, 90]),
+                query_under_load: WallStats::of(&[400, 900]),
+                busy_bounces: 3,
+            }),
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: OfflineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -205,6 +205,21 @@ impl ClockArena {
     pub fn tick(&mut self, r: usize, p: ProcessId) {
         self.words[r * self.width + p.index()] += 1;
     }
+
+    /// Append one zeroed row, returning its index. Amortized O(width):
+    /// `Vec` growth doubles, so a stream of appends costs O(1) reallocations
+    /// per row on average — the storage primitive behind the incremental
+    /// per-session stores.
+    ///
+    /// # Panics
+    /// Panics if the arena already holds [`MAX_ROWS`] rows (the `u32` row
+    /// addressing would overflow).
+    pub fn push_zero_row(&mut self) -> usize {
+        let r = self.rows();
+        assert!(r < MAX_ROWS, "arena row count would exceed u32 addressing");
+        self.words.resize(self.words.len() + self.width, 0);
+        r
+    }
 }
 
 /// Largest row count the flat `u32` edge/row addressing supports.

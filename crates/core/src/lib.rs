@@ -21,6 +21,10 @@
 //!   scenario; [`online::ft`] hardens it against message loss, duplication,
 //!   reordering and crash/restart faults, with the post-run safety audit in
 //!   [`verify::sweep_faulty_run`];
+//! * [`streaming`] — the engine's query surface over a *growing*
+//!   per-session store: the daemon's incremental path, answering
+//!   detect/control/verify bit-identically to a fresh batch engine at
+//!   every prefix;
 //! * [`cnf_control`] — the conclusions' extension beyond disjunctive
 //!   predicates: control of conjunctions of disjunctive clauses, sound when
 //!   the per-clause chains do not interfere (which the paper's *locally
@@ -38,6 +42,7 @@ pub mod overlap;
 pub mod reduction;
 pub mod sat;
 pub mod sgsd;
+pub mod streaming;
 pub mod verify;
 
 pub use control::{ControlError, ControlRelation, ControlledDeposet};
@@ -47,3 +52,4 @@ pub use offline::{
     Engine, Infeasible, OfflineOptions, OfflineStats, SelectPolicy,
 };
 pub use sgsd::{sgsd, SgsdOutcome};
+pub use streaming::StreamEngine;

@@ -29,7 +29,9 @@
 //! interval, i.e. `|C→| = O(np)` (Section 5, Evaluation).
 
 use crate::control::ControlRelation;
-use pctl_deposet::{Deposet, DisjunctivePredicate, FalseIntervals, Interval, ProcessId, StateId};
+use pctl_deposet::{
+    CausalStore, Deposet, DisjunctivePredicate, FalseIntervals, Interval, ProcessId, StateId,
+};
 use pctl_obs::{Event, EventKind, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -115,10 +117,10 @@ struct EngineTrace<'r> {
 }
 
 impl<'r> EngineTrace<'r> {
-    fn new(rec: &'r mut dyn Recorder, dep: &Deposet) -> Self {
+    fn new(rec: &'r mut dyn Recorder, process_count: usize) -> Self {
         EngineTrace {
             rec,
-            lane: dep.process_count() as u32,
+            lane: process_count as u32,
             epoch: Instant::now(),
         }
     }
@@ -174,7 +176,7 @@ pub fn control_disjunctive_traced(
     opts: OfflineOptions,
     rec: &mut dyn Recorder,
 ) -> Result<ControlRelation, Infeasible> {
-    let mut tr = EngineTrace::new(rec, dep);
+    let mut tr = EngineTrace::new(rec, dep.process_count());
     tr.begin("interval_scan");
     let intervals = FalseIntervals::extract(dep, pred);
     tr.end("interval_scan");
@@ -183,8 +185,12 @@ pub fn control_disjunctive_traced(
 }
 
 /// Run on pre-extracted false intervals, also returning operation counts.
-pub fn control_intervals(
-    dep: &Deposet,
+///
+/// Generic over any [`CausalStore`]: the algorithm only consumes causal
+/// structure and the interval lists, so the same monomorphised code serves
+/// batch deposets and the streaming daemon's growing per-session stores.
+pub fn control_intervals<C: CausalStore + ?Sized>(
+    dep: &C,
     intervals: &FalseIntervals,
     opts: OfflineOptions,
 ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
@@ -193,18 +199,18 @@ pub fn control_intervals(
 
 /// [`control_intervals`] with engine telemetry (see
 /// [`control_disjunctive_traced`]).
-pub fn control_intervals_traced(
-    dep: &Deposet,
+pub fn control_intervals_traced<C: CausalStore + ?Sized>(
+    dep: &C,
     intervals: &FalseIntervals,
     opts: OfflineOptions,
     rec: &mut dyn Recorder,
 ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
-    let mut tr = EngineTrace::new(rec, dep);
+    let mut tr = EngineTrace::new(rec, dep.process_count());
     control_intervals_impl(dep, intervals, opts, &mut tr)
 }
 
-fn control_intervals_impl(
-    dep: &Deposet,
+fn control_intervals_impl<C: CausalStore + ?Sized>(
+    dep: &C,
     intervals: &FalseIntervals,
     opts: OfflineOptions,
     tr: &mut EngineTrace<'_>,
@@ -234,8 +240,8 @@ struct Cursor {
     at_lo: bool,
 }
 
-struct Run<'a> {
-    dep: &'a Deposet,
+struct Run<'a, C: CausalStore + ?Sized> {
+    dep: &'a C,
     iv: &'a FalseIntervals,
     opts: OfflineOptions,
     cur: Vec<Cursor>,
@@ -247,8 +253,8 @@ struct Run<'a> {
     candidates: Vec<(usize, usize)>,
 }
 
-impl<'a> Run<'a> {
-    fn new(dep: &'a Deposet, iv: &'a FalseIntervals, opts: OfflineOptions) -> Self {
+impl<'a, C: CausalStore + ?Sized> Run<'a, C> {
+    fn new(dep: &'a C, iv: &'a FalseIntervals, opts: OfflineOptions) -> Self {
         let n = dep.process_count();
         assert_eq!(iv.process_count(), n);
         let seed = match opts.policy {

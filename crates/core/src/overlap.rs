@@ -57,7 +57,7 @@
 //!    construction). The paper's simultaneous-step SGSD is kept, verbatim,
 //!    for the general NP-hardness results where it belongs.
 
-use pctl_deposet::{Deposet, FalseIntervals, Interval};
+use pctl_deposet::{CausalStore, FalseIntervals, Interval};
 
 /// Check the overlap condition on one interval per process — see the
 /// module docs for the endpoint-shift translation.
@@ -65,7 +65,7 @@ use pctl_deposet::{Deposet, FalseIntervals, Interval};
 /// # Panics
 /// Panics if `set` does not contain exactly one interval per process of
 /// `dep`, in process order.
-pub fn is_overlapping(dep: &Deposet, set: &[Interval]) -> bool {
+pub fn is_overlapping<C: CausalStore + ?Sized>(dep: &C, set: &[Interval]) -> bool {
     assert_eq!(set.len(), dep.process_count(), "one interval per process");
     for (i, iv) in set.iter().enumerate() {
         assert_eq!(iv.process.index(), i, "intervals must be in process order");
@@ -81,9 +81,14 @@ pub fn is_overlapping(dep: &Deposet, set: &[Interval]) -> bool {
 /// Returns `None` if some process has no false interval (then the
 /// disjunct of that process can never be all-false simultaneously) or no
 /// combination overlaps.
-pub fn find_overlap_brute(dep: &Deposet, intervals: &FalseIntervals) -> Option<Vec<Interval>> {
+pub fn find_overlap_brute<C: CausalStore + ?Sized>(
+    dep: &C,
+    intervals: &FalseIntervals,
+) -> Option<Vec<Interval>> {
     let n = dep.process_count();
-    let per: Vec<&[Interval]> = dep.processes().map(|p| intervals.of(p)).collect();
+    let per: Vec<&[Interval]> = (0..n)
+        .map(|p| intervals.of(pctl_deposet::ProcessId(p as u32)))
+        .collect();
     if per.iter().any(|v| v.is_empty()) {
         return None;
     }

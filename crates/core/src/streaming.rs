@@ -1,0 +1,244 @@
+//! The streaming engine: [`PredicateEngine`]'s query surface over a
+//! *growing* per-session store.
+//!
+//! A batch [`PredicateEngine`](crate::engine::PredicateEngine) is built once
+//! over an immutable [`Deposet`] and an eagerly-derived `IntervalIndex`. A
+//! [`StreamEngine`] instead owns a [`SessionStore`] that accepts appends one
+//! event at a time (amortized O(n) each — see `pctl_deposet::session`) and
+//! answers the same four questions at any prefix:
+//!
+//! * [`detect_violation`](StreamEngine::detect_violation) — weak detection
+//!   of `possibly(∧ᵢ ¬lᵢ)` with candidate queues read off the incremental
+//!   truth columns;
+//! * [`control`](StreamEngine::control) — the paper's Figure 2 algorithm
+//!   over the incrementally-grown false intervals;
+//! * [`infeasibility_witness`](StreamEngine::infeasibility_witness) — the
+//!   Lemma 2 overlap search;
+//! * [`verify`](StreamEngine::verify) — exhaustive relation soundness, via
+//!   an honest batch [`snapshot`](StreamEngine::snapshot) (verification is
+//!   lattice-exhaustive anyway, so a rebuild is not the bottleneck).
+//!
+//! All query paths call the *same monomorphised generic code* as the batch
+//! engine ([`CausalStore`]-typed control, detection and overlap search), so
+//! answers are bit-identical to a fresh `PredicateEngine` built over the
+//! same prefix — the invariant `tests/streaming_prefix.rs` pins down per
+//! append. This is what lets the daemon serve detect/control queries
+//! mid-stream without ever rebuilding the computation.
+
+use crate::control::ControlRelation;
+use crate::offline::{control_intervals, Infeasible, OfflineOptions, OfflineStats};
+use crate::verify::{verify_disjunctive, VerifyError};
+use pctl_deposet::store;
+use pctl_deposet::{
+    AppendOp, CausalStore, Deposet, DisjunctivePredicate, GlobalState, Interval, LocalPredicate,
+    ProcessId, SessionError, SessionStore,
+};
+
+/// A growing computation + disjunctive predicate, answering the batch
+/// engine's queries at every prefix.
+///
+/// Owns its [`SessionStore`] — in the daemon, one `StreamEngine` *is* one
+/// session.
+pub struct StreamEngine {
+    store: SessionStore,
+}
+
+impl StreamEngine {
+    /// Start an empty session over the disjunction of `locals` (one local
+    /// predicate per process), with every process in its initial state and
+    /// no variables assigned.
+    pub fn new(locals: Vec<LocalPredicate>) -> Self {
+        StreamEngine {
+            store: SessionStore::new(locals),
+        }
+    }
+
+    /// Like [`new`](Self::new), but seed each process's initial state with
+    /// explicit variable assignments.
+    ///
+    /// # Panics
+    /// Panics if `init.len()` differs from the predicate arity.
+    pub fn new_with_init(locals: Vec<LocalPredicate>, init: &[Vec<(String, i64)>]) -> Self {
+        StreamEngine {
+            store: SessionStore::new_with_init(locals, init),
+        }
+    }
+
+    /// Wrap an already-populated store.
+    pub fn from_store(store: SessionStore) -> Self {
+        StreamEngine { store }
+    }
+
+    /// Append one event. On error the store is unchanged.
+    pub fn apply(&mut self, op: &AppendOp) -> Result<(), SessionError> {
+        let _prof = pctl_prof::span("stream_apply");
+        self.store.apply(op)
+    }
+
+    /// The underlying growing store.
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// The predicate under control/detection, rebuilt from the registered
+    /// locals.
+    pub fn predicate(&self) -> DisjunctivePredicate {
+        DisjunctivePredicate::new(self.store.locals().to_vec())
+    }
+
+    /// Run the off-line control algorithm over the incrementally-grown
+    /// intervals of the current prefix.
+    pub fn control(&self, opts: OfflineOptions) -> Result<ControlRelation, Infeasible> {
+        self.control_with_stats(opts).0
+    }
+
+    /// [`control`](Self::control), also returning operation counts.
+    pub fn control_with_stats(
+        &self,
+        opts: OfflineOptions,
+    ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+        let _prof = pctl_prof::span("stream_control");
+        control_intervals(&self.store, self.store.intervals(), opts)
+    }
+
+    /// Strong detection at the current prefix: a pairwise-overlapping set
+    /// of false intervals (Lemma 2), `Some` iff no controller exists.
+    pub fn infeasibility_witness(&self) -> Option<Vec<Interval>> {
+        let _prof = pctl_prof::span("stream_infeasibility");
+        store::find_overlap(&self.store, self.store.intervals())
+    }
+
+    /// Weak detection at the current prefix: the earliest consistent cut
+    /// where every local predicate is false. Candidate queues are read off
+    /// the incremental truth columns — no predicate re-evaluation.
+    pub fn detect_violation(&self) -> Option<GlobalState> {
+        let _prof = pctl_prof::span("stream_detect_violation");
+        let n = self.store.process_count();
+        let queues: Vec<Vec<u32>> = (0..n)
+            .map(|p| {
+                self.store
+                    .truths_of(ProcessId(p as u32))
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| !t)
+                    .map(|(k, _)| k as u32)
+                    .collect()
+            })
+            .collect();
+        pctl_detect::possibly_from_queues(&self.store, &queues)
+    }
+
+    /// Exhaustively verify `rel` against the current prefix (bounded by
+    /// `limit` visited cuts). Runs over a batch snapshot: in-flight sends
+    /// are demoted to internal events, which leaves clocks — and therefore
+    /// the verified ordering — unchanged.
+    pub fn verify(&self, rel: &ControlRelation, limit: usize) -> Result<(), VerifyError> {
+        let _prof = pctl_prof::span("stream_verify");
+        let dep = self.snapshot();
+        verify_disjunctive(&dep, &self.predicate(), rel, limit)
+    }
+
+    /// An immutable batch view of the current prefix (undelivered sends
+    /// rewritten to internal events, delivered messages densely renumbered).
+    ///
+    /// # Panics
+    /// Panics if the store's invariants were violated — impossible through
+    /// the public [`apply`](Self::apply) path; in the daemon a panic here
+    /// poisons only the owning session.
+    pub fn snapshot(&self) -> Deposet {
+        let _prof = pctl_prof::span("stream_snapshot");
+        self.store
+            .snapshot()
+            .expect("session store invariants guarantee a valid snapshot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PredicateEngine;
+    use pctl_deposet::generator::{random_deposet, RandomConfig};
+    use pctl_deposet::linearize;
+
+    fn replayed(dep: &Deposet, locals: Vec<LocalPredicate>) -> StreamEngine {
+        let (init, ops) = linearize(dep);
+        let mut eng = StreamEngine::new_with_init(locals, &init);
+        for op in &ops {
+            eng.apply(op).unwrap();
+        }
+        eng
+    }
+
+    #[test]
+    fn final_prefix_matches_batch_engine_on_random_traces() {
+        for seed in 0..25 {
+            let dep = random_deposet(
+                &RandomConfig {
+                    processes: 3,
+                    events: 24,
+                    ..RandomConfig::default()
+                },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one(3, "ok");
+            let stream = replayed(&dep, pred.locals().to_vec());
+            let batch = PredicateEngine::new(&dep, pred);
+            let opts = OfflineOptions::default();
+            assert_eq!(
+                stream.detect_violation(),
+                batch.detect_violation(),
+                "seed {seed}"
+            );
+            assert_eq!(stream.control(opts), batch.control(opts), "seed {seed}");
+            assert_eq!(
+                stream.infeasibility_witness(),
+                batch.infeasibility_witness(),
+                "seed {seed}"
+            );
+            assert_eq!(stream.store().intervals(), batch.intervals(), "seed {seed}");
+            if let Ok(rel) = stream.control(opts) {
+                assert!(stream.verify(&rel, 500_000).is_ok(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_agrees_with_batch_on_the_snapshot() {
+        for seed in 0..8 {
+            let dep = random_deposet(
+                &RandomConfig {
+                    processes: 3,
+                    events: 16,
+                    ..RandomConfig::default()
+                },
+                seed,
+            );
+            let pred = DisjunctivePredicate::at_least_one(3, "ok");
+            let stream = replayed(&dep, pred.locals().to_vec());
+            if let Ok(rel) = stream.control(OfflineOptions::default()) {
+                let batch = PredicateEngine::new(&dep, pred);
+                assert_eq!(
+                    stream.verify(&rel, 500_000).is_ok(),
+                    batch.verify(&rel, 500_000).is_ok(),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_session_is_trivially_controllable() {
+        let eng = StreamEngine::new(vec![LocalPredicate::var("ok"), LocalPredicate::var("ok")]);
+        // Both initial states have `ok` unset (false): a 2-process overlap.
+        assert!(eng.detect_violation().is_some());
+        assert!(eng.infeasibility_witness().is_some());
+        assert!(eng.control(OfflineOptions::default()).is_err());
+        let eng2 = StreamEngine::new_with_init(
+            vec![LocalPredicate::var("ok"), LocalPredicate::var("ok")],
+            &[vec![("ok".to_string(), 1)], vec![("ok".to_string(), 0)]],
+        );
+        assert_eq!(eng2.detect_violation(), None);
+        let rel = eng2.control(OfflineOptions::default()).unwrap();
+        assert!(eng2.verify(&rel, 1000).is_ok());
+    }
+}

@@ -1,0 +1,133 @@
+//! The [`CausalStore`] abstraction: the minimal causality surface the
+//! control/detection algorithms need.
+//!
+//! The off-line algorithms (Lemma 2 overlap primitives, the crossing loop,
+//! weak-conjunctive detection) never look at state payloads, events, or
+//! messages — they only ask three questions: how many processes are there,
+//! how long is each local chain, and does `s → t` hold. Abstracting those
+//! three behind a trait lets the same algorithm code run over an immutable
+//! batch [`Deposet`](crate::model::Deposet) *and* over a growing
+//! [`SessionStore`](crate::session::SessionStore) that a streaming daemon
+//! appends to between queries, with zero duplication and zero dynamic
+//! dispatch (all call sites monomorphise).
+//!
+//! Implementations must answer `precedes` consistently with a valid
+//! happened-before relation (irreflexive, transitive, containing the local
+//! chains); both implementors in this crate derive it from Fidge–Mattern
+//! vector clocks, so the O(1) two-word-read bound carries over.
+
+use pctl_causality::{ProcessId, StateId};
+
+/// A distributed computation viewed purely through its causal structure.
+///
+/// See the [module docs](self) for the design rationale. All provided
+/// methods are derived from the three required ones and must not be
+/// overridden with inconsistent semantics.
+pub trait CausalStore {
+    /// Number of processes `n`.
+    fn process_count(&self) -> usize;
+
+    /// Number of local states currently on process `p` (always ≥ 1: every
+    /// process has at least `⊥ᵢ`).
+    fn len_of(&self, p: ProcessId) -> usize;
+
+    /// `s → t`: causally precedes (happened-before). Irreflexive.
+    fn precedes(&self, s: StateId, t: StateId) -> bool;
+
+    /// Initial state `⊥ᵢ` of process `p`.
+    fn bottom(&self, p: ProcessId) -> StateId {
+        StateId::new(p, 0)
+    }
+
+    /// Final (currently last) state `⊤ᵢ` of process `p`.
+    fn top(&self, p: ProcessId) -> StateId {
+        StateId::new(p, (self.len_of(p) - 1) as u32)
+    }
+
+    /// `s →̲ t`: causally precedes or equal.
+    fn precedes_eq(&self, s: StateId, t: StateId) -> bool {
+        s == t || self.precedes(s, t)
+    }
+
+    /// `s ∥ t`: concurrent (neither causally precedes the other, `s ≠ t`).
+    fn concurrent(&self, s: StateId, t: StateId) -> bool {
+        s != t && !self.precedes(s, t) && !self.precedes(t, s)
+    }
+
+    /// Whether `id` names a state currently in the computation.
+    fn contains(&self, id: StateId) -> bool {
+        id.process.index() < self.process_count() && id.idx() < self.len_of(id.process)
+    }
+
+    /// Total number of local states across all processes.
+    fn total_states(&self) -> usize {
+        (0..self.process_count())
+            .map(|p| self.len_of(ProcessId(p as u32)))
+            .sum()
+    }
+}
+
+impl CausalStore for crate::model::Deposet {
+    #[inline]
+    fn process_count(&self) -> usize {
+        crate::model::Deposet::process_count(self)
+    }
+
+    #[inline]
+    fn len_of(&self, p: ProcessId) -> usize {
+        crate::model::Deposet::len_of(self, p)
+    }
+
+    #[inline]
+    fn precedes(&self, s: StateId, t: StateId) -> bool {
+        crate::model::Deposet::precedes(self, s, t)
+    }
+}
+
+impl<T: CausalStore + ?Sized> CausalStore for &T {
+    #[inline]
+    fn process_count(&self) -> usize {
+        (**self).process_count()
+    }
+
+    #[inline]
+    fn len_of(&self, p: ProcessId) -> usize {
+        (**self).len_of(p)
+    }
+
+    #[inline]
+    fn precedes(&self, s: StateId, t: StateId) -> bool {
+        (**self).precedes(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeposetBuilder;
+
+    #[test]
+    fn deposet_trait_view_matches_inherent_methods() {
+        let mut b = DeposetBuilder::new(2);
+        let t = b.send(0, "m");
+        b.recv(1, t, &[]);
+        b.internal(0, &[]);
+        let d = b.finish().unwrap();
+        let c: &dyn CausalStore = &d;
+        assert_eq!(c.process_count(), d.process_count());
+        for p in d.processes() {
+            assert_eq!(c.len_of(p), d.len_of(p));
+            assert_eq!(c.bottom(p), d.bottom(p));
+            assert_eq!(c.top(p), d.top(p));
+        }
+        assert_eq!(c.total_states(), d.total_states());
+        for s in d.state_ids() {
+            assert!(c.contains(s));
+            for t in d.state_ids() {
+                assert_eq!(c.precedes(s, t), d.precedes(s, t));
+                assert_eq!(c.precedes_eq(s, t), d.precedes_eq(s, t));
+                assert_eq!(c.concurrent(s, t), d.concurrent(s, t));
+            }
+        }
+    }
+}

@@ -140,6 +140,37 @@ impl FalseIntervals {
         iv.get(pos)
     }
 
+    /// An empty interval set over `n` processes (all-true columns so far) —
+    /// the starting point for incremental growth.
+    pub(crate) fn empty(n: usize) -> Self {
+        FalseIntervals {
+            per_proc: vec![Vec::new(); n],
+        }
+    }
+
+    /// Record the truth value of the newly appended state `k` of process
+    /// `p`, growing the interval list in place: a false state either extends
+    /// the trailing false run (when it ends at `k - 1`) or opens a new one.
+    ///
+    /// Appending index `k` to a column of length `k` keeps this exactly
+    /// equivalent to re-running [`crate::store::intervals_from_truth`] on
+    /// the grown column — the invariant the incremental session store's
+    /// prefix-equivalence proptest pins down.
+    pub(crate) fn extend_for_append(&mut self, p: ProcessId, k: u32, truth: bool) {
+        if truth {
+            return;
+        }
+        let iv = &mut self.per_proc[p.index()];
+        match iv.last_mut() {
+            Some(last) if last.hi + 1 == k => last.hi = k,
+            _ => iv.push(Interval {
+                process: p,
+                lo: k,
+                hi: k,
+            }),
+        }
+    }
+
     /// The false interval of `p` containing state index `k`, if any.
     pub fn containing(&self, p: ProcessId, k: u32) -> Option<&Interval> {
         let iv = &self.per_proc[p.index()];

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod causal;
 pub mod dot;
 pub mod event;
 pub mod generator;
@@ -39,18 +40,21 @@ pub mod par;
 pub mod predicate;
 pub mod scenarios;
 pub mod sequences;
+pub mod session;
 pub mod shard;
 pub mod state;
 pub mod store;
 pub mod trace;
 
 pub use builder::{BuildError, DeposetBuilder, MsgToken};
+pub use causal::CausalStore;
 pub use event::{EventKind, Message};
 pub use global::GlobalState;
 pub use intervals::{FalseIntervals, Interval};
 pub use model::{Deposet, DeposetError};
 pub use predicate::{CmpOp, DisjunctivePredicate, GlobalPredicate, LocalPredicate};
 pub use sequences::{GlobalSequence, SequenceError};
+pub use session::{linearize, AppendOp, SessionError, SessionStore};
 pub use shard::{ShardPlan, ShardedClocks};
 pub use state::{LocalState, Variables};
 pub use store::IntervalIndex;

@@ -32,6 +32,7 @@
 //! columns are independent, so construction fans out over
 //! [`crate::par::ordered_map`] with a deterministic merge.
 
+use crate::causal::CausalStore;
 use crate::intervals::{FalseIntervals, Interval};
 use crate::model::Deposet;
 use crate::par::ordered_map;
@@ -85,7 +86,10 @@ pub fn intervals_from_truth(p: ProcessId, truth: &[bool]) -> Vec<Interval> {
 /// start at `⊥`, `ij` does not end at `⊤`, and the event entering `ii`
 /// does **not** happen-before the event ending `ij`. Exact negation of
 /// [`pair_overlaps`].
-pub fn crossable(dep: &Deposet, ii: &Interval, ij: &Interval) -> bool {
+///
+/// Generic over any [`CausalStore`] so the same Lemma 2 primitive serves
+/// both the batch [`Deposet`] and a growing per-session store.
+pub fn crossable<C: CausalStore + ?Sized>(dep: &C, ii: &Interval, ij: &Interval) -> bool {
     ii.lo != 0
         && (ij.hi as usize) < dep.len_of(ij.process) - 1
         && !dep.precedes(
@@ -96,7 +100,7 @@ pub fn crossable(dep: &Deposet, ii: &Interval, ij: &Interval) -> bool {
 
 /// The Lemma 2 condition for one ordered pair `(ii, ij)`:
 /// `pred(ii.lo) → succ(ij.hi)`, or `ii.lo = ⊥`, or `ij.hi = ⊤`.
-pub fn pair_overlaps(dep: &Deposet, ii: &Interval, ij: &Interval) -> bool {
+pub fn pair_overlaps<C: CausalStore + ?Sized>(dep: &C, ii: &Interval, ij: &Interval) -> bool {
     !crossable(dep, ii, ij)
 }
 
@@ -104,7 +108,7 @@ pub fn pair_overlaps(dep: &Deposet, ii: &Interval, ij: &Interval) -> bool {
 ///
 /// # Panics
 /// Panics if `set` does not have exactly one interval per process of `dep`.
-pub fn set_overlaps(dep: &Deposet, set: &[Interval]) -> bool {
+pub fn set_overlaps<C: CausalStore + ?Sized>(dep: &C, set: &[Interval]) -> bool {
     assert_eq!(set.len(), dep.process_count(), "one interval per process");
     for (i, ii) in set.iter().enumerate() {
         for (j, ij) in set.iter().enumerate() {
@@ -137,7 +141,10 @@ pub fn set_overlaps(dep: &Deposet, set: &[Interval]) -> bool {
 /// the fixpoint, and the result (including the exact witness) is identical
 /// to the quadratic-rescan formulation. Cost drops from `O(T·n²)` to
 /// `O((T + n)·n)` crossability checks for `T` total intervals.
-pub fn find_overlap(dep: &Deposet, intervals: &FalseIntervals) -> Option<Vec<Interval>> {
+pub fn find_overlap<C: CausalStore + ?Sized>(
+    dep: &C,
+    intervals: &FalseIntervals,
+) -> Option<Vec<Interval>> {
     let n = dep.process_count();
     assert_eq!(intervals.process_count(), n);
     let mut pos = vec![0usize; n];

@@ -14,7 +14,7 @@
 //! exponential lattice walk.
 
 use pctl_causality::{ProcessId, StateId};
-use pctl_deposet::{Deposet, GlobalState, LocalPredicate};
+use pctl_deposet::{CausalStore, Deposet, GlobalState, LocalPredicate};
 
 /// Find the earliest consistent global state where every `locals[i]` holds
 /// on process `i`, or `None`.
@@ -40,7 +40,14 @@ pub fn possibly_conjunction(dep: &Deposet, locals: &[LocalPredicate]) -> Option<
 /// that satisfy its conjunct. Callers that already hold per-state truth
 /// columns (the engine layer's verification sweep) feed them here directly,
 /// paying predicate evaluation once instead of once per detector call.
-pub fn possibly_from_queues(dep: &Deposet, queues: &[Vec<u32>]) -> Option<GlobalState> {
+///
+/// Generic over any [`CausalStore`]: the elimination loop only needs
+/// `precedes`, so the same monomorphised code serves the batch engine and
+/// the streaming daemon's growing per-session stores.
+pub fn possibly_from_queues<C: CausalStore + ?Sized>(
+    dep: &C,
+    queues: &[Vec<u32>],
+) -> Option<GlobalState> {
     assert_eq!(queues.len(), dep.process_count());
     let n = queues.len();
     let mut head = vec![0usize; n];
@@ -66,9 +73,14 @@ pub fn possibly_from_queues(dep: &Deposet, queues: &[Vec<u32>]) -> Option<Global
             }
         }
         if !advanced {
-            let g = GlobalState::from_indices((0..n).map(|i| queues[i][head[i]]).collect());
-            debug_assert!(g.is_consistent(dep));
-            return Some(g);
+            // Pairwise non-precedence of the members is exactly cut
+            // consistency (V(G[j])[i] ≤ cut[i] ⟺ ¬(G[i] → G[j])).
+            debug_assert!((0..n).all(|i| {
+                (0..n).all(|j| i == j || !dep.precedes(cand(&head, i), cand(&head, j)))
+            }));
+            return Some(GlobalState::from_indices(
+                (0..n).map(|i| queues[i][head[i]]).collect(),
+            ));
         }
     }
 }

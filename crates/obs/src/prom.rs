@@ -410,20 +410,43 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Total time a client gets to deliver its request head. The per-read
+/// timeout alone is not enough: a slow-loris client dripping one byte per
+/// read keeps resetting it and can wedge the single-threaded accept loop
+/// for `500ms × head size`; the wall-clock deadline caps the whole head.
+const HEAD_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
+
 fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
     // Read until the end of the request head (`\r\n\r\n`). A client may
     // deliver the request line in several small writes (e.g. `write_fmt`
     // issues one syscall per formatted fragment), so a single read could
     // see only a prefix like "GET " and mis-parse the path.
+    let deadline = std::time::Instant::now() + HEAD_DEADLINE;
     let mut buf = [0u8; 2048];
     let mut n = 0usize;
+    let mut timed_out = false;
     while n < buf.len() && !buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            timed_out = true;
+            break;
+        }
+        stream.set_read_timeout(Some(remaining.min(std::time::Duration::from_millis(500))))?;
         match stream.read(&mut buf[n..]) {
             Ok(0) => break,
             Ok(k) => n += k,
             Err(_) => break,
         }
+    }
+    if timed_out {
+        let body = "request head deadline exceeded\n";
+        write!(
+            stream,
+            "HTTP/1.1 408 Request Timeout\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+        return stream.flush();
     }
     let head = String::from_utf8_lossy(&buf[..n]);
     let request_line = head.lines().next().unwrap_or("");
@@ -537,6 +560,44 @@ mod tests {
         let mut resp = String::new();
         stream.read_to_string(&mut resp).expect("read");
         assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_client_cannot_wedge_the_endpoint() {
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "# TYPE up gauge\nup 1\n".to_owned());
+        let srv = MetricsServer::spawn("127.0.0.1:0", render).expect("bind");
+        let addr = srv.local_addr();
+
+        // A slow-loris client: drip one byte per 50ms, never finishing the
+        // request head. Each byte used to reset the per-read timeout, so the
+        // single-threaded accept loop was held for 500ms × 2048 reads; with
+        // the wall-clock head deadline it is cut off after HEAD_DEADLINE.
+        let loris = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            for _ in 0..200 {
+                if s.write_all(b"G").is_err() {
+                    break; // server gave up on us — the point of the test
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        });
+
+        // Give the loris time to be accepted, then measure a real request.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let start = std::time::Instant::now();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).expect("read");
+        let elapsed = start.elapsed();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(
+            elapsed < std::time::Duration::from_secs(8),
+            "request behind a slow-loris client took {elapsed:?}"
+        );
+        loris.join().unwrap();
         srv.shutdown();
     }
 

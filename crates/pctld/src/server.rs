@@ -1,0 +1,872 @@
+//! The daemon: session registry, per-session workers, and the degradation
+//! ladder.
+//!
+//! ## Threading model
+//!
+//! One accept-loop thread; one thread per connection (blocking reads
+//! through a [`FrameDecoder`]); one worker thread per session owning that
+//! session's [`StreamEngine`]. Connection threads never touch an engine —
+//! they enqueue commands onto the session's **bounded** queue and the
+//! worker applies them in FIFO order, which gives each client
+//! read-your-writes: a query enqueued after appends observes them.
+//!
+//! ## Robustness surface
+//!
+//! * **Backpressure** — `Append` is acked on *enqueue*; when the bounded
+//!   queue is full the daemon answers [`Response::Busy`] with a retry hint
+//!   instead of buffering without bound.
+//! * **Degradation ladder** — under session-count or memory pressure the
+//!   daemon first evicts *idle* sessions (LRU by last activity, snapshots
+//!   flushed), then refuses **new** sessions ([`ErrorKind::Capacity`]);
+//!   live sessions are never evicted for a newcomer. Over the hard memory
+//!   budget it refuses appends ([`ErrorKind::Budget`]) rather than dying.
+//! * **Panic isolation** — each command runs under `catch_unwind`; a panic
+//!   poisons only the owning session (engine dropped, memory released,
+//!   [`ErrorKind::Poisoned`] tombstone until closed). The accept loop and
+//!   every other session keep running.
+//! * **Hostile input** — malformed JSON in a well-framed payload gets a
+//!   structured error on the same connection; an oversized/corrupt frame
+//!   declaration closes only that connection (framing cannot resync).
+//! * **Graceful drain** — [`Daemon::shutdown`] (or the admin `Shutdown`
+//!   verb) closes every session, flushing snapshots when a snapshot
+//!   directory is configured, joins every worker, and reports how many
+//!   failed to drain cleanly.
+
+use crate::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
+use crate::proto::{
+    ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsSnapshot,
+};
+use pctl_core::offline::OfflineOptions;
+use pctl_core::StreamEngine;
+use pctl_deposet::AppendOp;
+use pctl_obs::prom::{prof_families, Exposition};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon tuning knobs. [`Config::default`] is sized for tests and small
+/// debugging sessions; production callers raise the budgets.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Maximum live sessions before the eviction/refusal ladder engages.
+    pub max_sessions: usize,
+    /// Hard cap on estimated bytes across all session stores.
+    pub memory_budget: usize,
+    /// Bounded per-session command-queue depth (backpressure threshold).
+    pub queue_depth: usize,
+    /// A session is evictable once inactive this long.
+    pub idle_timeout: Duration,
+    /// Maximum frame payload size accepted from clients.
+    pub max_frame: usize,
+    /// Retry hint attached to `Busy` responses.
+    pub retry_after_ms: u64,
+    /// When set, closed/evicted/drained sessions write their batch trace
+    /// JSON to `<dir>/<session>.json`.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:0".into(),
+            max_sessions: 64,
+            memory_budget: 64 << 20,
+            queue_depth: 128,
+            idle_timeout: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+            retry_after_ms: 20,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// What a query command asks of the session worker.
+enum QueryKind {
+    Detect,
+    Control,
+    Verify(u64),
+    Snapshot,
+    /// Fault injection: panic inside the worker.
+    Crash,
+    /// Fault injection: stall the worker.
+    Sleep(u64),
+}
+
+/// A command on a session's bounded queue.
+enum Cmd {
+    /// Already acked to the client; errors become the session's sticky
+    /// error.
+    Apply(AppendOp),
+    Query(QueryKind, mpsc::Sender<Response>),
+    /// Flush + exit; the reply confirms the worker is done with its store.
+    Close(mpsc::Sender<Response>),
+}
+
+/// Registry entry shared between connection threads and the worker.
+struct SessionShared {
+    name: String,
+    tx: SyncSender<Cmd>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    poisoned: AtomicBool,
+    /// First append failure; wedges the session until closed.
+    sticky_error: Mutex<Option<String>>,
+    last_active: Mutex<Instant>,
+    approx_bytes: AtomicUsize,
+    queue_len: AtomicUsize,
+}
+
+impl SessionShared {
+    fn touch(&self) {
+        *self.last_active.lock().unwrap() = Instant::now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_active.lock().unwrap().elapsed()
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    appends_total: AtomicU64,
+    busy_total: AtomicU64,
+    evictions_total: AtomicU64,
+    sessions_refused_total: AtomicU64,
+    appends_refused_total: AtomicU64,
+    poisoned_total: AtomicU64,
+    approx_bytes: AtomicUsize,
+}
+
+struct Inner {
+    cfg: Config,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    sessions: Mutex<HashMap<String, Arc<SessionShared>>>,
+    stats: Stats,
+}
+
+/// A running daemon. Dropping it drains and stops the listener.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind and start serving.
+    pub fn spawn(cfg: Config) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            cfg,
+            addr,
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+        });
+        let inner2 = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("pctld-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if inner2.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_inner = Arc::clone(&inner2);
+                    // Connection threads are detached: they exit on client
+                    // EOF/error, and at process exit. A failed spawn only
+                    // drops this connection.
+                    let _ = std::thread::Builder::new()
+                        .name("pctld-conn".into())
+                        .spawn(move || serve_connection(stream, conn_inner));
+                }
+            })?;
+        Ok(Daemon {
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Drain every session (flushing snapshots), stop the accept loop, and
+    /// return the number of sessions that failed to drain cleanly.
+    pub fn shutdown(mut self) -> u64 {
+        let leaked = self.stop_and_drain();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        leaked
+    }
+
+    /// Whether the daemon has been asked to stop — by a local
+    /// [`Daemon::shutdown`] or by a client's `Shutdown` verb. The CLI's
+    /// foreground loop polls this so a remote shutdown also ends
+    /// `pctl serve`.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Live session count (drain asserts this reaches zero).
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.lock().unwrap().len()
+    }
+
+    /// Counter/gauge snapshot, as served to the `Stats` verb.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats_snapshot()
+    }
+
+    /// Fold the daemon's gauges/counters into a Prometheus exposition
+    /// (`pctld_*` families), for mounting on the existing `/metrics`
+    /// server.
+    pub fn prom_families(&self, exp: &mut Exposition) {
+        self.inner.prom_families(exp);
+    }
+
+    /// Spawn a `/metrics` endpoint rendering this daemon's families plus
+    /// the hot-path profiler's.
+    pub fn spawn_metrics(&self, addr: &str) -> std::io::Result<pctl_obs::prom::MetricsServer> {
+        let inner = Arc::clone(&self.inner);
+        pctl_obs::prom::MetricsServer::spawn(
+            addr,
+            Arc::new(move || {
+                let mut exp = Exposition::new();
+                inner.prom_families(&mut exp);
+                prof_families(&pctl_prof::report(), &mut exp);
+                exp.render()
+            }),
+        )
+    }
+
+    fn stop_and_drain(&mut self) -> u64 {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        let leaked = self.inner.drain_all();
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.inner.addr);
+        leaked
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_drain();
+            if let Some(h) = self.accept.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions: self.sessions.lock().unwrap().len() as u64,
+            appends_total: self.stats.appends_total.load(Ordering::SeqCst),
+            busy_total: self.stats.busy_total.load(Ordering::SeqCst),
+            evictions_total: self.stats.evictions_total.load(Ordering::SeqCst),
+            sessions_refused_total: self.stats.sessions_refused_total.load(Ordering::SeqCst),
+            appends_refused_total: self.stats.appends_refused_total.load(Ordering::SeqCst),
+            poisoned_total: self.stats.poisoned_total.load(Ordering::SeqCst),
+            approx_bytes: self.stats.approx_bytes.load(Ordering::SeqCst) as u64,
+            budget_bytes: self.cfg.memory_budget as u64,
+        }
+    }
+
+    fn prom_families(&self, exp: &mut Exposition) {
+        let s = self.stats_snapshot();
+        exp.gauge("pctld_sessions", "Live sessions", &[], s.sessions as f64);
+        exp.gauge(
+            "pctld_memory_bytes",
+            "Estimated bytes across live session stores",
+            &[],
+            s.approx_bytes as f64,
+        );
+        exp.gauge(
+            "pctld_memory_budget_bytes",
+            "Configured hard memory budget",
+            &[],
+            s.budget_bytes as f64,
+        );
+        exp.counter(
+            "pctld_appends_total",
+            "Appends accepted (enqueued)",
+            &[],
+            s.appends_total as f64,
+        );
+        exp.counter(
+            "pctld_busy_total",
+            "Appends bounced with Busy (queue full)",
+            &[],
+            s.busy_total as f64,
+        );
+        exp.counter(
+            "pctld_evictions_total",
+            "Idle sessions evicted under pressure",
+            &[],
+            s.evictions_total as f64,
+        );
+        exp.counter(
+            "pctld_sessions_refused_total",
+            "Hello requests refused for capacity",
+            &[],
+            s.sessions_refused_total as f64,
+        );
+        exp.counter(
+            "pctld_appends_refused_total",
+            "Appends refused over the hard memory budget",
+            &[],
+            s.appends_refused_total as f64,
+        );
+        exp.counter(
+            "pctld_poisoned_total",
+            "Sessions quarantined after a worker panic",
+            &[],
+            s.poisoned_total as f64,
+        );
+        for sess in self.sessions.lock().unwrap().values() {
+            exp.gauge(
+                "pctld_queue_depth",
+                "Commands waiting on each session's bounded queue",
+                &[("session", sess.name.as_str())],
+                sess.queue_len.load(Ordering::SeqCst) as f64,
+            );
+        }
+    }
+
+    /// Close one session: remove it from the registry, release its memory
+    /// accounting, ask the worker to flush + exit, and join it. Returns
+    /// whether the worker drained cleanly.
+    fn close_session(&self, name: &str) -> Option<bool> {
+        let sess = self.sessions.lock().unwrap().remove(name)?;
+        self.stats
+            .approx_bytes
+            .fetch_sub(sess.approx_bytes.load(Ordering::SeqCst), Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        // A full queue must not leak the worker: fall back to a blocking
+        // send on a dedicated drain slot by retrying briefly.
+        let mut queued = false;
+        for _ in 0..200 {
+            match sess.tx.try_send(Cmd::Close(tx.clone())) {
+                Ok(()) => {
+                    sess.queue_len.fetch_add(1, Ordering::SeqCst);
+                    queued = true;
+                    break;
+                }
+                Err(TrySendError::Full(_)) => std::thread::sleep(Duration::from_millis(5)),
+                Err(TrySendError::Disconnected(_)) => break, // worker already gone
+            }
+        }
+        if queued {
+            let _ = rx.recv_timeout(Duration::from_secs(10));
+        }
+        let handle = sess.worker.lock().unwrap().take();
+        match handle {
+            Some(h) => Some(h.join().is_ok()),
+            None => Some(true),
+        }
+    }
+
+    /// Evict the least-recently-active session that has been idle past the
+    /// timeout. Live sessions are never touched. Returns whether one went.
+    fn evict_one_idle(&self, protect: Option<&str>) -> bool {
+        let candidate = {
+            let map = self.sessions.lock().unwrap();
+            map.values()
+                .filter(|s| Some(s.name.as_str()) != protect)
+                .filter(|s| s.idle_for() >= self.cfg.idle_timeout)
+                .max_by_key(|s| s.idle_for())
+                .map(|s| s.name.clone())
+        };
+        match candidate {
+            Some(name) => {
+                self.close_session(&name);
+                self.stats.evictions_total.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn over_budget(&self) -> bool {
+        self.stats.approx_bytes.load(Ordering::SeqCst) > self.cfg.memory_budget
+    }
+
+    fn drain_all(&self) -> u64 {
+        let names: Vec<String> = self.sessions.lock().unwrap().keys().cloned().collect();
+        let mut leaked = 0u64;
+        for name in names {
+            if self.close_session(&name) == Some(false) {
+                leaked += 1;
+            }
+        }
+        leaked
+    }
+}
+
+fn err(kind: ErrorKind, detail: impl Into<String>) -> Response {
+    Response::Err {
+        kind,
+        detail: detail.into(),
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, inner: Arc<Inner>) {
+    let mut decoder = FrameDecoder::new(inner.cfg.max_frame);
+    let mut buf = [0u8; 8192];
+    let mut shutdown_requested = false;
+    'conn: loop {
+        match decoder.next_frame() {
+            Ok(Some(payload)) => {
+                let (env, done) = handle_payload(&payload, &inner);
+                if write_response(&mut stream, &env).is_err() {
+                    break 'conn;
+                }
+                if done {
+                    shutdown_requested = true;
+                    break 'conn;
+                }
+                continue;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // Framing is unrecoverable: answer once, drop only this
+                // connection. The accept loop and all sessions live on.
+                let env = ResponseEnvelope {
+                    seq: 0,
+                    resp: err(ErrorKind::Malformed, e.to_string()),
+                };
+                let _ = write_response(&mut stream, &env);
+                break 'conn;
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => decoder.push(&buf[..n]),
+        }
+    }
+    if shutdown_requested {
+        inner.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(inner.addr);
+    }
+}
+
+fn write_response(stream: &mut TcpStream, env: &ResponseEnvelope) -> std::io::Result<()> {
+    let json = serde_json::to_string(env)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut wire = Vec::with_capacity(json.len() + 4);
+    encode_frame(json.as_bytes(), &mut wire);
+    stream.write_all(&wire)
+}
+
+/// Decode and dispatch one frame payload. The boolean asks the connection
+/// loop to stop (after a `Shutdown` drain completed).
+fn handle_payload(payload: &[u8], inner: &Arc<Inner>) -> (ResponseEnvelope, bool) {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                ResponseEnvelope {
+                    seq: 0,
+                    resp: err(ErrorKind::Malformed, "frame payload is not UTF-8"),
+                },
+                false,
+            )
+        }
+    };
+    let env: RequestEnvelope = match serde_json::from_str(text) {
+        Ok(e) => e,
+        Err(e) => {
+            return (
+                ResponseEnvelope {
+                    seq: 0,
+                    resp: err(ErrorKind::Malformed, format!("bad request JSON: {e}")),
+                },
+                false,
+            )
+        }
+    };
+    let seq = env.seq;
+    let (resp, done) = dispatch(env.req, inner);
+    (ResponseEnvelope { seq, resp }, done)
+}
+
+fn dispatch(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
+    let _prof = pctl_prof::span("pctld_dispatch");
+    match req {
+        Request::Hello {
+            session,
+            locals,
+            init,
+        } => (handle_hello(session, locals, init, inner), false),
+        Request::Append { session, op } => (handle_append(&session, op, inner), false),
+        Request::Detect { session } => (query(&session, QueryKind::Detect, inner), false),
+        Request::Control { session } => (query(&session, QueryKind::Control, inner), false),
+        Request::Verify { session, limit } => {
+            (query(&session, QueryKind::Verify(limit), inner), false)
+        }
+        Request::Snapshot { session } => (query(&session, QueryKind::Snapshot, inner), false),
+        Request::Close { session } => (handle_close(&session, inner), false),
+        Request::Stats => (
+            Response::Stats {
+                stats: inner.stats_snapshot(),
+            },
+            false,
+        ),
+        Request::Shutdown => {
+            inner.draining.store(true, Ordering::SeqCst);
+            let leaked = inner.drain_all();
+            (Response::Draining { leaked }, true)
+        }
+        Request::Crash { session } => (query(&session, QueryKind::Crash, inner), false),
+        Request::Sleep { session, ms } => (query(&session, QueryKind::Sleep(ms), inner), false),
+    }
+}
+
+fn handle_hello(
+    name: String,
+    locals: Vec<pctl_deposet::LocalPredicate>,
+    init: Option<Vec<Vec<(String, i64)>>>,
+    inner: &Arc<Inner>,
+) -> Response {
+    if inner.draining.load(Ordering::SeqCst) {
+        return err(ErrorKind::Draining, "daemon is draining");
+    }
+    if locals.is_empty() {
+        return err(ErrorKind::Malformed, "at least one local predicate");
+    }
+    // Names become snapshot filenames and metric labels: keep them tame.
+    let name_ok = !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if !name_ok {
+        return err(
+            ErrorKind::Malformed,
+            "session names are [A-Za-z0-9._-], 1..=128 chars",
+        );
+    }
+    if let Some(init) = &init {
+        if init.len() != locals.len() {
+            return err(
+                ErrorKind::Malformed,
+                format!(
+                    "init covers {} processes, predicate arity is {}",
+                    init.len(),
+                    locals.len()
+                ),
+            );
+        }
+    }
+    // Admission ladder: evict idle LRU sessions while over a capacity
+    // limit; once nothing idle remains, refuse the *newcomer* — live
+    // sessions are never sacrificed for a new one.
+    loop {
+        {
+            let mut map = inner.sessions.lock().unwrap();
+            if map.contains_key(&name) {
+                return err(
+                    ErrorKind::SessionExists,
+                    format!("session '{name}' is live"),
+                );
+            }
+            if map.len() < inner.cfg.max_sessions && !inner.over_budget() {
+                let sess = spawn_session(name.clone(), locals, init, inner);
+                map.insert(name, sess);
+                return Response::Ok;
+            }
+        }
+        if !inner.evict_one_idle(None) {
+            inner
+                .stats
+                .sessions_refused_total
+                .fetch_add(1, Ordering::SeqCst);
+            return err(
+                ErrorKind::Capacity,
+                "session/memory capacity exhausted and no idle session to evict",
+            );
+        }
+    }
+}
+
+fn spawn_session(
+    name: String,
+    locals: Vec<pctl_deposet::LocalPredicate>,
+    init: Option<Vec<Vec<(String, i64)>>>,
+    inner: &Arc<Inner>,
+) -> Arc<SessionShared> {
+    let (tx, rx) = sync_channel(inner.cfg.queue_depth);
+    let sess = Arc::new(SessionShared {
+        name: name.clone(),
+        tx,
+        worker: Mutex::new(None),
+        poisoned: AtomicBool::new(false),
+        sticky_error: Mutex::new(None),
+        last_active: Mutex::new(Instant::now()),
+        approx_bytes: AtomicUsize::new(0),
+        queue_len: AtomicUsize::new(0),
+    });
+    let engine = match init {
+        Some(init) => StreamEngine::new_with_init(locals, &init),
+        None => StreamEngine::new(locals),
+    };
+    let worker_sess = Arc::clone(&sess);
+    let worker_inner = Arc::clone(inner);
+    let handle = std::thread::Builder::new()
+        .name(format!("pctld-sess-{name}"))
+        .spawn(move || worker_loop(engine, rx, worker_sess, worker_inner))
+        .expect("spawn session worker");
+    *sess.worker.lock().unwrap() = Some(handle);
+    sess
+}
+
+fn handle_append(name: &str, op: AppendOp, inner: &Arc<Inner>) -> Response {
+    if inner.draining.load(Ordering::SeqCst) {
+        return err(ErrorKind::Draining, "daemon is draining");
+    }
+    let Some(sess) = inner.sessions.lock().unwrap().get(name).cloned() else {
+        return err(ErrorKind::UnknownSession, format!("no session '{name}'"));
+    };
+    if sess.poisoned.load(Ordering::SeqCst) {
+        return err(ErrorKind::Poisoned, "session worker panicked");
+    }
+    if let Some(e) = sess.sticky_error.lock().unwrap().clone() {
+        return err(ErrorKind::Append, e);
+    }
+    // Hard budget: shed idle load first, then refuse the append.
+    while inner.over_budget() {
+        if !inner.evict_one_idle(Some(name)) {
+            inner
+                .stats
+                .appends_refused_total
+                .fetch_add(1, Ordering::SeqCst);
+            return err(ErrorKind::Budget, "daemon over hard memory budget");
+        }
+    }
+    match sess.tx.try_send(Cmd::Apply(op)) {
+        Ok(()) => {
+            sess.queue_len.fetch_add(1, Ordering::SeqCst);
+            sess.touch();
+            inner.stats.appends_total.fetch_add(1, Ordering::SeqCst);
+            Response::Ok
+        }
+        Err(TrySendError::Full(_)) => {
+            inner.stats.busy_total.fetch_add(1, Ordering::SeqCst);
+            Response::Busy {
+                retry_after_ms: inner.cfg.retry_after_ms,
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => err(
+            ErrorKind::Poisoned,
+            "session worker exited; close and re-open",
+        ),
+    }
+}
+
+fn query(name: &str, kind: QueryKind, inner: &Arc<Inner>) -> Response {
+    let Some(sess) = inner.sessions.lock().unwrap().get(name).cloned() else {
+        return err(ErrorKind::UnknownSession, format!("no session '{name}'"));
+    };
+    if sess.poisoned.load(Ordering::SeqCst) {
+        return err(ErrorKind::Poisoned, "session worker panicked");
+    }
+    if let Some(e) = sess.sticky_error.lock().unwrap().clone() {
+        return err(ErrorKind::Append, e);
+    }
+    let (tx, rx) = mpsc::channel();
+    match sess.tx.try_send(Cmd::Query(kind, tx)) {
+        Ok(()) => {
+            sess.queue_len.fetch_add(1, Ordering::SeqCst);
+            sess.touch();
+        }
+        Err(TrySendError::Full(_)) => {
+            inner.stats.busy_total.fetch_add(1, Ordering::SeqCst);
+            return Response::Busy {
+                retry_after_ms: inner.cfg.retry_after_ms,
+            };
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return err(ErrorKind::Poisoned, "session worker exited")
+        }
+    }
+    match rx.recv_timeout(Duration::from_secs(30)) {
+        Ok(resp) => resp,
+        Err(_) => err(ErrorKind::Internal, "session worker did not answer"),
+    }
+}
+
+fn handle_close(name: &str, inner: &Arc<Inner>) -> Response {
+    match inner.close_session(name) {
+        None => err(ErrorKind::UnknownSession, format!("no session '{name}'")),
+        Some(true) => Response::Ok,
+        Some(false) => err(ErrorKind::Internal, "session worker did not join"),
+    }
+}
+
+fn worker_loop(
+    mut engine: StreamEngine,
+    rx: Receiver<Cmd>,
+    sess: Arc<SessionShared>,
+    inner: Arc<Inner>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        sess.queue_len.fetch_sub(1, Ordering::SeqCst);
+        match cmd {
+            Cmd::Apply(op) => {
+                if sess.sticky_error.lock().unwrap().is_some() {
+                    continue; // wedged: drop queued appends, keep answering
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let _prof = pctl_prof::span("pctld_apply");
+                    engine.apply(&op)
+                }));
+                match outcome {
+                    Ok(Ok(())) => {
+                        let now = engine.store().approx_bytes();
+                        let before = sess.approx_bytes.swap(now, Ordering::SeqCst);
+                        inner
+                            .stats
+                            .approx_bytes
+                            .fetch_add(now - before, Ordering::SeqCst);
+                    }
+                    Ok(Err(e)) => {
+                        *sess.sticky_error.lock().unwrap() = Some(e.to_string());
+                    }
+                    Err(_) => {
+                        poison(&sess, &inner, &rx);
+                        return;
+                    }
+                }
+            }
+            Cmd::Query(kind, reply) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_query(&engine, &kind)));
+                match outcome {
+                    Ok(resp) => {
+                        let _ = reply.send(resp);
+                    }
+                    Err(_) => {
+                        let _ = reply.send(err(ErrorKind::Poisoned, "query panicked"));
+                        poison(&sess, &inner, &rx);
+                        return;
+                    }
+                }
+            }
+            Cmd::Close(reply) => {
+                flush_snapshot(&engine, &sess.name, &inner);
+                let _ = reply.send(Response::Ok);
+                return;
+            }
+        }
+    }
+    // All senders gone (registry entry dropped without Close): flush and
+    // exit so eviction-by-drop still persists the session.
+    flush_snapshot(&engine, &sess.name, &inner);
+}
+
+/// Quarantine the session after a panic: flag it, count it, release its
+/// memory accounting, and answer everything still queued. The engine is
+/// dropped by the caller returning — memory is actually released.
+fn poison(sess: &Arc<SessionShared>, inner: &Arc<Inner>, rx: &Receiver<Cmd>) {
+    sess.poisoned.store(true, Ordering::SeqCst);
+    inner.stats.poisoned_total.fetch_add(1, Ordering::SeqCst);
+    inner.stats.approx_bytes.fetch_sub(
+        sess.approx_bytes.swap(0, Ordering::SeqCst),
+        Ordering::SeqCst,
+    );
+    while let Ok(cmd) = rx.try_recv() {
+        sess.queue_len.fetch_sub(1, Ordering::SeqCst);
+        match cmd {
+            Cmd::Apply(_) => {}
+            Cmd::Query(_, reply) => {
+                let _ = reply.send(err(ErrorKind::Poisoned, "session worker panicked"));
+            }
+            Cmd::Close(reply) => {
+                let _ = reply.send(Response::Ok);
+            }
+        }
+    }
+}
+
+fn run_query(engine: &StreamEngine, kind: &QueryKind) -> Response {
+    match kind {
+        QueryKind::Detect => {
+            let _prof = pctl_prof::span("pctld_detect");
+            Response::Detect {
+                violation: engine.detect_violation().map(|g| g.indices().to_vec()),
+            }
+        }
+        QueryKind::Control => {
+            let _prof = pctl_prof::span("pctld_control");
+            match engine.control(OfflineOptions::default()) {
+                Ok(rel) => Response::Control {
+                    relation: Some(rel),
+                    witness: None,
+                },
+                Err(inf) => Response::Control {
+                    relation: None,
+                    witness: Some(inf.witness),
+                },
+            }
+        }
+        QueryKind::Verify(limit) => {
+            let _prof = pctl_prof::span("pctld_verify");
+            match engine.control(OfflineOptions::default()) {
+                Ok(rel) => match engine.verify(&rel, *limit as usize) {
+                    Ok(()) => Response::Verify {
+                        ok: true,
+                        detail: format!("relation of {} pairs verified", rel.len()),
+                    },
+                    Err(e) => Response::Verify {
+                        ok: false,
+                        detail: e.to_string(),
+                    },
+                },
+                Err(inf) => Response::Verify {
+                    ok: false,
+                    detail: inf.to_string(),
+                },
+            }
+        }
+        QueryKind::Snapshot => {
+            let _prof = pctl_prof::span("pctld_snapshot");
+            Response::Snapshot {
+                trace: pctl_deposet::trace::to_json(&engine.snapshot()),
+            }
+        }
+        QueryKind::Crash => panic!("injected fault (Request::Crash)"),
+        QueryKind::Sleep(ms) => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            Response::Ok
+        }
+    }
+}
+
+fn flush_snapshot(engine: &StreamEngine, name: &str, inner: &Arc<Inner>) {
+    let Some(dir) = &inner.cfg.snapshot_dir else {
+        return;
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let _prof = pctl_prof::span("pctld_flush");
+        pctl_deposet::trace::to_json(&engine.snapshot())
+    }));
+    if let Ok(json) = outcome {
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+    }
+}

@@ -1,0 +1,67 @@
+//! Stream-to-daemon mode: drive a whole (simulated or traced) computation
+//! into a daemon session, riding out backpressure.
+//!
+//! This is the producer side the simulator and CLI share: linearize a
+//! batch [`Deposet`] into causal delivery order
+//! ([`pctl_deposet::linearize`]), open a session, and push every event
+//! through [`Client::append`] with the exponential-backoff retry loop —
+//! counting how often the daemon pushed back, so callers (the bench suite,
+//! the torture test) can observe backpressure doing its job rather than
+//! silently absorbing it.
+
+use crate::client::{Client, RetryPolicy};
+use crate::proto::Response;
+use pctl_deposet::{linearize, Deposet, LocalPredicate};
+use std::time::Duration;
+
+/// What happened while streaming one computation into a session.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Events appended (accepted by the daemon).
+    pub appends: usize,
+    /// `Busy` bounces absorbed by the retry loop.
+    pub busy_bounces: u64,
+}
+
+/// Open `session` over `locals` and stream `dep` into it, retrying
+/// appends under `policy`. The daemon-side store ends bit-identical to
+/// `dep` (all messages delivered). Returns the report, or the first
+/// non-`Ok` daemon response as an error.
+pub fn stream_deposet(
+    client: &mut Client,
+    session: &str,
+    locals: Vec<LocalPredicate>,
+    dep: &Deposet,
+    policy: RetryPolicy,
+) -> std::io::Result<StreamReport> {
+    let (init, ops) = linearize(dep);
+    let resp = client.hello(session, locals, Some(init))?;
+    if resp != Response::Ok {
+        return Err(std::io::Error::other(format!("hello refused: {resp:?}")));
+    }
+    let mut report = StreamReport::default();
+    for op in ops {
+        let mut floor = policy.base_delay;
+        let mut attempts = 0u32;
+        loop {
+            match client.append(session, op.clone())? {
+                Response::Ok => break,
+                Response::Busy { retry_after_ms } => {
+                    report.busy_bounces += 1;
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        return Err(std::io::Error::other(
+                            "daemon stayed busy past the retry budget",
+                        ));
+                    }
+                    let hint = Duration::from_millis(retry_after_ms);
+                    std::thread::sleep(floor.max(hint).min(policy.max_delay));
+                    floor = (floor * 2).min(policy.max_delay);
+                }
+                other => return Err(std::io::Error::other(format!("append refused: {other:?}"))),
+            }
+        }
+        report.appends += 1;
+    }
+    Ok(report)
+}

@@ -1,0 +1,505 @@
+//! End-to-end daemon behavior over real TCP connections: lifecycle
+//! correctness against the batch engine, backpressure, the degradation
+//! ladder, panic quarantine, hostile-input containment, and metrics.
+
+use pctl_core::offline::OfflineOptions;
+use pctl_core::PredicateEngine;
+use pctl_deposet::generator::{random_deposet, RandomConfig};
+use pctl_deposet::{linearize, DisjunctivePredicate, LocalPredicate};
+use pctld::{Client, Config, Daemon, ErrorKind, Request, Response, RetryPolicy};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn daemon(cfg: Config) -> Daemon {
+    Daemon::spawn(cfg).expect("bind daemon")
+}
+
+fn client(d: &Daemon) -> Client {
+    Client::connect(d.local_addr()).expect("connect")
+}
+
+#[test]
+fn streamed_session_answers_like_the_batch_engine() {
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    for seed in [3u64, 17, 40] {
+        let dep = random_deposet(
+            &RandomConfig {
+                processes: 3,
+                events: 24,
+                send_prob: 0.4,
+                flip_prob: 0.4,
+            },
+            seed,
+        );
+        let pred = DisjunctivePredicate::at_least_one(3, "ok");
+        let (init, ops) = linearize(&dep);
+        let name = format!("batch-vs-stream-{seed}");
+        assert_eq!(
+            c.hello(&name, pred.locals().to_vec(), Some(init)).unwrap(),
+            Response::Ok
+        );
+        for op in ops {
+            assert_eq!(
+                c.append_retry(&name, op, RetryPolicy::default()).unwrap(),
+                Response::Ok
+            );
+        }
+        let batch = PredicateEngine::new(&dep, pred);
+        match c.detect(&name).unwrap() {
+            Response::Detect { violation } => assert_eq!(
+                violation,
+                batch.detect_violation().map(|g| g.indices().to_vec()),
+                "seed {seed}"
+            ),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match c.control(&name).unwrap() {
+            Response::Control { relation, witness } => {
+                match batch.control(OfflineOptions::default()) {
+                    Ok(rel) => {
+                        assert_eq!(relation, Some(rel), "seed {seed}");
+                        assert_eq!(witness, None);
+                    }
+                    Err(inf) => {
+                        assert_eq!(relation, None);
+                        assert_eq!(witness, Some(inf.witness), "seed {seed}");
+                    }
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match c.verify(&name, 500_000).unwrap() {
+            Response::Verify { ok, .. } => assert_eq!(
+                ok,
+                batch.control(OfflineOptions::default()).is_ok(),
+                "seed {seed}: controllable iff synthesized relation verifies"
+            ),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match c.snapshot(&name).unwrap() {
+            Response::Snapshot { trace } => {
+                let snap = pctl_deposet::trace::from_json(&trace).expect("valid trace");
+                assert_eq!(snap.process_count(), 3);
+                assert_eq!(snap.total_states(), dep.total_states(), "seed {seed}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(c.close(&name).unwrap(), Response::Ok);
+    }
+    assert_eq!(d.session_count(), 0);
+    assert_eq!(d.shutdown(), 0, "no leaked sessions");
+}
+
+#[test]
+fn full_queue_bounces_busy_and_retry_recovers() {
+    let d = daemon(Config {
+        queue_depth: 2,
+        ..Config::default()
+    });
+    let mut a = client(&d);
+    let mut b = client(&d);
+    assert_eq!(
+        a.hello("bp", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    // Stall the worker from one connection, flood from another.
+    let stall = std::thread::spawn(move || {
+        a.request(Request::Sleep {
+            session: "bp".into(),
+            ms: 400,
+        })
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(50)); // let the stall start
+    let op = pctl_deposet::AppendOp::Internal {
+        process: 0,
+        updates: vec![("ok".into(), 1)],
+    };
+    let mut saw_busy = false;
+    for _ in 0..8 {
+        match b.append("bp", op.clone()).unwrap() {
+            Response::Ok => {}
+            Response::Busy { retry_after_ms } => {
+                assert!(retry_after_ms > 0);
+                saw_busy = true;
+                break;
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert!(saw_busy, "bounded queue never filled");
+    // The backoff helper rides out the stall.
+    assert_eq!(
+        b.append_retry("bp", op, RetryPolicy::default()).unwrap(),
+        Response::Ok
+    );
+    assert_eq!(stall.join().unwrap(), Response::Ok);
+    let stats = d.stats();
+    assert!(stats.busy_total >= 1, "busy_total = {}", stats.busy_total);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn worker_panic_poisons_only_its_session() {
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    for name in ["victim", "bystander"] {
+        assert_eq!(
+            c.hello(name, vec![LocalPredicate::var("ok")], None)
+                .unwrap(),
+            Response::Ok
+        );
+    }
+    match c
+        .request(Request::Crash {
+            session: "victim".into(),
+        })
+        .unwrap()
+    {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Poisoned),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // The poisoned session answers with a quarantine error...
+    match c.detect("victim").unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Poisoned),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // ...while the bystander (and the daemon) work on.
+    assert!(matches!(
+        c.detect("bystander").unwrap(),
+        Response::Detect { .. }
+    ));
+    let stats = d.stats();
+    assert_eq!(stats.poisoned_total, 1);
+    // Closing the tombstone succeeds and frees the name.
+    assert_eq!(c.close("victim").unwrap(), Response::Ok);
+    assert_eq!(c.close("bystander").unwrap(), Response::Ok);
+    assert_eq!(d.session_count(), 0);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn admission_evicts_idle_lru_then_refuses_newcomers() {
+    // Everything is instantly "idle": the LRU session is sacrificed for a
+    // newcomer once the session cap is hit.
+    let d = daemon(Config {
+        max_sessions: 2,
+        idle_timeout: Duration::from_millis(0),
+        ..Config::default()
+    });
+    let mut c = client(&d);
+    for name in ["s1", "s2"] {
+        assert_eq!(
+            c.hello(name, vec![LocalPredicate::var("ok")], None)
+                .unwrap(),
+            Response::Ok
+        );
+        std::thread::sleep(Duration::from_millis(10)); // order last_active
+    }
+    assert_eq!(
+        c.hello("s3", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    assert_eq!(d.stats().evictions_total, 1);
+    match c.detect("s1").unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession, "s1 evicted"),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert!(matches!(c.detect("s2").unwrap(), Response::Detect { .. }));
+    assert_eq!(d.shutdown(), 0);
+
+    // With a long idle timeout nothing is evictable: the *newcomer* is
+    // refused and live sessions stay untouched.
+    let d = daemon(Config {
+        max_sessions: 1,
+        idle_timeout: Duration::from_secs(3600),
+        ..Config::default()
+    });
+    let mut c = client(&d);
+    assert_eq!(
+        c.hello("live", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    match c
+        .hello("late", vec![LocalPredicate::var("ok")], None)
+        .unwrap()
+    {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Capacity),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert!(matches!(c.detect("live").unwrap(), Response::Detect { .. }));
+    assert_eq!(d.stats().sessions_refused_total, 1);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn memory_budget_evicts_idle_then_refuses_appends() {
+    let d = daemon(Config {
+        memory_budget: 1, // any populated store is over budget
+        idle_timeout: Duration::from_millis(0),
+        ..Config::default()
+    });
+    let mut c = client(&d);
+    let op = |v: i64| pctl_deposet::AppendOp::Internal {
+        process: 0,
+        updates: vec![("ok".into(), v)],
+    };
+    assert_eq!(
+        c.hello("grower", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    assert_eq!(
+        c.append_retry("grower", op(1), RetryPolicy::default())
+            .unwrap(),
+        Response::Ok
+    );
+    // Make sure the worker applied it so approx_bytes is visible.
+    assert!(matches!(
+        c.detect("grower").unwrap(),
+        Response::Detect { .. }
+    ));
+    assert!(d.stats().approx_bytes > 1);
+
+    // A newcomer is admitted by evicting the idle grower.
+    assert_eq!(
+        c.hello("newcomer", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    assert!(d.stats().evictions_total >= 1);
+    assert!(matches!(
+        c.detect("grower").unwrap(),
+        Response::Err {
+            kind: ErrorKind::UnknownSession,
+            ..
+        }
+    ));
+
+    // Grow the newcomer over budget; with nothing else idle to shed,
+    // further appends are refused — the daemon degrades, it doesn't die.
+    assert_eq!(
+        c.append_retry("newcomer", op(1), RetryPolicy::default())
+            .unwrap(),
+        Response::Ok
+    );
+    assert!(matches!(
+        c.detect("newcomer").unwrap(),
+        Response::Detect { .. }
+    ));
+    match c.append("newcomer", op(0)).unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::Budget),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert!(d.stats().appends_refused_total >= 1);
+    // The session still answers queries.
+    assert!(matches!(
+        c.detect("newcomer").unwrap(),
+        Response::Detect { .. }
+    ));
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn malformed_and_oversized_frames_never_kill_the_daemon() {
+    let d = daemon(Config {
+        max_frame: 1024,
+        ..Config::default()
+    });
+    let addr = d.local_addr();
+
+    // Well-framed garbage JSON: structured error, connection stays usable.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let garbage = b"}{ not json";
+    let mut wire = Vec::new();
+    pctld::encode_frame(garbage, &mut wire);
+    s.write_all(&wire).unwrap();
+    let mut dec = pctld::FrameDecoder::new(1 << 20);
+    let mut buf = [0u8; 4096];
+    let payload = loop {
+        if let Some(p) = dec.next_frame().unwrap() {
+            break p;
+        }
+        let n = s.read(&mut buf).unwrap();
+        assert!(n > 0, "daemon closed on malformed JSON");
+        dec.push(&buf[..n]);
+    };
+    let text = String::from_utf8(payload).unwrap();
+    assert!(text.contains("Malformed"), "{text}");
+    // Same connection still serves a valid request.
+    let env = pctld::RequestEnvelope {
+        seq: 42,
+        req: Request::Stats,
+    };
+    let mut wire = Vec::new();
+    pctld::encode_frame(serde_json::to_string(&env).unwrap().as_bytes(), &mut wire);
+    s.write_all(&wire).unwrap();
+    let payload = loop {
+        if let Some(p) = dec.next_frame().unwrap() {
+            break p;
+        }
+        let n = s.read(&mut buf).unwrap();
+        assert!(n > 0);
+        dec.push(&buf[..n]);
+    };
+    assert!(String::from_utf8(payload).unwrap().contains("\"seq\":42"));
+
+    // Oversized frame declaration: one structured error, then the daemon
+    // drops only that connection.
+    let mut s2 = TcpStream::connect(addr).unwrap();
+    s2.write_all(&100_000_000u32.to_be_bytes()).unwrap();
+    let mut resp = Vec::new();
+    s2.read_to_end(&mut resp).unwrap(); // daemon answers then closes
+    assert!(
+        String::from_utf8_lossy(&resp[4..]).contains("Malformed"),
+        "{:?}",
+        String::from_utf8_lossy(&resp)
+    );
+
+    // The accept loop survived both: a fresh client works.
+    let mut c = client(&d);
+    assert!(matches!(c.stats().unwrap(), Response::Stats { .. }));
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn snapshots_flush_on_close_and_drain() {
+    let dir = std::env::temp_dir().join(format!("pctld-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = daemon(Config {
+        snapshot_dir: Some(dir.clone()),
+        ..Config::default()
+    });
+    let mut c = client(&d);
+    let op = pctl_deposet::AppendOp::Internal {
+        process: 0,
+        updates: vec![("ok".into(), 1)],
+    };
+    for name in ["closed", "drained"] {
+        assert_eq!(
+            c.hello(name, vec![LocalPredicate::var("ok")], None)
+                .unwrap(),
+            Response::Ok
+        );
+        assert_eq!(
+            c.append_retry(name, op.clone(), RetryPolicy::default())
+                .unwrap(),
+            Response::Ok
+        );
+    }
+    assert_eq!(c.close("closed").unwrap(), Response::Ok);
+    // "drained" is flushed by shutdown.
+    match c.shutdown().unwrap() {
+        Response::Draining { leaked } => assert_eq!(leaked, 0),
+        other => panic!("unexpected: {other:?}"),
+    }
+    for name in ["closed", "drained"] {
+        let path = dir.join(format!("{name}.json"));
+        let json = std::fs::read_to_string(&path).expect("snapshot file written");
+        let dep = pctl_deposet::trace::from_json(&json).expect("valid trace");
+        assert_eq!(dep.total_states(), 2);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_endpoint_exports_daemon_gauges() {
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    assert_eq!(
+        c.hello("metered", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    let srv = d.spawn_metrics("127.0.0.1:0").expect("metrics bind");
+    let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    pctl_obs::prom::validate_exposition(body).expect("valid exposition");
+    assert!(body.contains("pctld_sessions 1"), "{body}");
+    assert!(body.contains("pctld_memory_budget_bytes"), "{body}");
+    assert!(
+        body.contains("pctld_queue_depth{session=\"metered\"}"),
+        "{body}"
+    );
+    srv.shutdown();
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn hello_rejects_bad_names_arity_and_duplicates() {
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    let bad = c
+        .hello("../escape", vec![LocalPredicate::var("ok")], None)
+        .unwrap();
+    assert!(matches!(
+        bad,
+        Response::Err {
+            kind: ErrorKind::Malformed,
+            ..
+        }
+    ));
+    assert!(matches!(
+        c.hello("ok-name", vec![], None).unwrap(),
+        Response::Err {
+            kind: ErrorKind::Malformed,
+            ..
+        }
+    ));
+    assert!(matches!(
+        c.hello(
+            "ok-name",
+            vec![LocalPredicate::var("ok")],
+            Some(vec![vec![], vec![]]),
+        )
+        .unwrap(),
+        Response::Err {
+            kind: ErrorKind::Malformed,
+            ..
+        }
+    ));
+    assert_eq!(
+        c.hello("ok-name", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    assert!(matches!(
+        c.hello("ok-name", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Err {
+            kind: ErrorKind::SessionExists,
+            ..
+        }
+    ));
+    // Appends to unknown processes wedge the session with a structured
+    // sticky error instead of killing anything.
+    assert_eq!(
+        c.append(
+            "ok-name",
+            pctl_deposet::AppendOp::Internal {
+                process: 9,
+                updates: vec![],
+            },
+        )
+        .unwrap(),
+        Response::Ok,
+        "acked on enqueue"
+    );
+    match c.detect("ok-name").unwrap() {
+        Response::Err { kind, detail } => {
+            assert_eq!(kind, ErrorKind::Append);
+            assert!(detail.contains("process"), "{detail}");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert_eq!(c.close("ok-name").unwrap(), Response::Ok);
+    assert_eq!(d.shutdown(), 0);
+}

@@ -1,0 +1,98 @@
+//! Hostile-input properties of the frame decoder: arbitrary byte garbage,
+//! truncation, and oversized declarations always produce a structured
+//! outcome — never a panic, never a silent desync.
+
+use pctld::{encode_frame, FrameDecoder, FrameError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random byte garbage, delivered in random fragments: every
+    /// `next_frame` call returns a structured result. Any frame it does
+    /// yield is a faithful slice of the input (the declared length), and
+    /// an error only ever reports a genuinely over-cap declaration.
+    #[test]
+    fn garbage_never_panics_and_errors_are_structured(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048),
+        cuts in proptest::collection::vec(1usize..64, 0..64),
+        max_frame in 16usize..512,
+    ) {
+        let mut dec = FrameDecoder::new(max_frame);
+        let mut fed = 0usize;
+        let mut cut_iter = cuts.iter();
+        while fed < bytes.len() {
+            let step = cut_iter.next().copied().unwrap_or(17).min(bytes.len() - fed);
+            dec.push(&bytes[fed..fed + step]);
+            fed += step;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(frame)) => prop_assert!(frame.len() <= max_frame),
+                    Ok(None) => break,
+                    Err(FrameError::Oversized { declared, max }) => {
+                        prop_assert!(declared > max);
+                        prop_assert_eq!(max, max_frame);
+                        // Poisoned forever; feeding more changes nothing.
+                        dec.push(&bytes[fed..]);
+                        prop_assert!(dec.next_frame().is_err());
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// A well-formed frame stream survives arbitrary fragmentation with no
+    /// desync: the decoder reproduces exactly the encoded payloads, in
+    /// order, regardless of how the bytes were chopped up.
+    #[test]
+    fn valid_streams_never_desync_under_fragmentation(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..200), 0..12),
+        cuts in proptest::collection::vec(1usize..48, 1..64),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut wire);
+        }
+        let mut dec = FrameDecoder::new(4096);
+        let mut got = Vec::new();
+        let mut fed = 0usize;
+        let mut cut_iter = cuts.iter().cycle();
+        while fed < wire.len() {
+            let step = (*cut_iter.next().unwrap()).min(wire.len() - fed);
+            dec.push(&wire[fed..fed + step]);
+            fed += step;
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Truncating a valid stream anywhere yields only the complete frames
+    /// before the cut — no partial frame is ever surfaced.
+    #[test]
+    fn truncation_yields_only_complete_frames(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..100), 1..8),
+        cut_pct in 0usize..=100,
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut wire);
+            boundaries.push(wire.len());
+        }
+        let cut = wire.len() * cut_pct / 100;
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        let mut dec = FrameDecoder::new(4096);
+        dec.push(&wire[..cut]);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(&got, &payloads[..complete]);
+    }
+}

@@ -48,6 +48,15 @@ USAGE:
   pctl gen --workload (cs|pipelined|random) [--processes N] [--sections N]
            [--events N] [--seed N] [--trace-out <chrome.json>]
                                             (trace JSON on stdout)
+  pctl serve [--addr HOST:PORT] [--metrics HOST:PORT] [--max-sessions N]
+             [--memory-budget BYTES] [--queue-depth N] [--idle-timeout-ms N]
+             [--snapshot-dir DIR]           (run the streaming daemon in the
+              foreground; stops on stdin EOF or a client Shutdown)
+  pctl stream <trace.json> --addr HOST:PORT
+              (--at-least-one VAR | --at-least-one-not VAR)
+              [--session NAME] [--limit N] [--keep-open]
+              (stream the trace into a daemon session event by event, then
+               ask it to detect/control/verify at the final prefix)
 
 The predicate flags build the disjunctive property  B = ∨ᵢ lᵢ  with
 lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.
@@ -440,6 +449,134 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let defaults = pctld::Config::default();
+    let cfg = pctld::Config {
+        addr: args.value("addr")?.unwrap_or("127.0.0.1:7878").to_owned(),
+        max_sessions: args.num("max-sessions", defaults.max_sessions)?,
+        memory_budget: args.num("memory-budget", defaults.memory_budget)?,
+        queue_depth: args.num("queue-depth", defaults.queue_depth)?,
+        idle_timeout: std::time::Duration::from_millis(
+            args.num("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
+        ),
+        snapshot_dir: args.value("snapshot-dir")?.map(Into::into),
+        ..defaults
+    };
+    let daemon = pctld::Daemon::spawn(cfg).map_err(|e| format!("serve: {e}"))?;
+    eprintln!("pctld listening on {}", daemon.local_addr());
+    let _metrics = match args.value("metrics")? {
+        Some(addr) => {
+            let m = daemon
+                .spawn_metrics(addr)
+                .map_err(|e| format!("serve: metrics on {addr}: {e}"))?;
+            eprintln!("metrics on http://{}/metrics", m.local_addr());
+            Some(m)
+        }
+        None => None,
+    };
+    // Foreground until stdin closes (Ctrl-D / pipe EOF) or a client sends
+    // Shutdown. The stdin reader is a detached thread: if the daemon stops
+    // remotely first, the thread dies with the process.
+    let (tx, rx) = std::sync::mpsc::channel::<()>();
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let mut sink = Vec::new();
+        let _ = std::io::stdin().lock().read_to_end(&mut sink);
+        let _ = tx.send(());
+    });
+    loop {
+        if daemon.is_stopped() {
+            eprintln!("shutdown requested by a client; draining");
+            break;
+        }
+        match rx.recv_timeout(std::time::Duration::from_millis(200)) {
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                eprintln!("stdin closed; draining");
+                break;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
+    let leaked = daemon.shutdown();
+    if leaked > 0 {
+        return Err(format!("drain leaked {leaked} session(s)"));
+    }
+    eprintln!("drained cleanly, zero leaked sessions");
+    Ok(())
+}
+
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("stream: missing trace path")?;
+    let dep = load_trace(path)?;
+    let pred = predicate(args, &dep)?;
+    let addr = args.value("addr")?.ok_or("stream: missing --addr")?;
+    let session = args.value("session")?.unwrap_or("cli").to_owned();
+    let limit: u64 = args.num("limit", 200_000u64)?;
+    let mut client =
+        pctld::Client::connect(addr).map_err(|e| format!("stream: connect {addr}: {e}"))?;
+    let report = pctld::stream_deposet(
+        &mut client,
+        &session,
+        pred.locals().to_vec(),
+        &dep,
+        pctld::RetryPolicy::default(),
+    )
+    .map_err(|e| format!("stream: {e}"))?;
+    println!(
+        "streamed {} event(s) into session '{session}' ({} busy bounce(s))",
+        report.appends, report.busy_bounces
+    );
+    match client
+        .detect(&session)
+        .map_err(|e| format!("stream: {e}"))?
+    {
+        pctld::Response::Detect {
+            violation: Some(cut),
+        } => println!("detect : VIOLATION possible at cut {cut:?}"),
+        pctld::Response::Detect { violation: None } => {
+            println!("detect : no consistent global state violates the property")
+        }
+        other => return Err(format!("stream: unexpected detect answer {other:?}")),
+    }
+    match client
+        .control(&session)
+        .map_err(|e| format!("stream: {e}"))?
+    {
+        pctld::Response::Control {
+            relation: Some(rel),
+            ..
+        } => println!("control: feasible, {} tuple(s): {rel}", rel.len()),
+        pctld::Response::Control {
+            witness: Some(w), ..
+        } => println!(
+            "control: INFEASIBLE ({} overlapping false intervals)",
+            w.len()
+        ),
+        other => return Err(format!("stream: unexpected control answer {other:?}")),
+    }
+    match client
+        .verify(&session, limit)
+        .map_err(|e| format!("stream: {e}"))?
+    {
+        pctld::Response::Verify { ok, detail } => {
+            println!("verify : {} — {detail}", if ok { "OK" } else { "FAILED" })
+        }
+        other => return Err(format!("stream: unexpected verify answer {other:?}")),
+    }
+    if args.flag("keep-open").is_none() {
+        match client.close(&session).map_err(|e| format!("stream: {e}"))? {
+            pctld::Response::Ok => {}
+            other => return Err(format!("stream: close refused: {other:?}")),
+        }
+    } else {
+        println!("session '{session}' left open (--keep-open)");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
@@ -457,6 +594,8 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args),
         "dot" => cmd_dot(&args),
         "gen" => cmd_gen(&args),
+        "serve" => cmd_serve(&args),
+        "stream" => cmd_stream(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

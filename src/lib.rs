@@ -57,6 +57,7 @@
 //! | [`mutex`] | `pctl-mutex` | (n−1)-mutex via control + k-mutex baselines |
 //! | [`obs`] | `pctl-obs` | structured event log, recorders, hot-path profiler, Prometheus + Chrome-trace export |
 //! | [`replay`] | `pctl-replay` | controlled re-execution of traces |
+//! | [`pctld`] | `pctld` | streaming daemon: per-session incremental stores, backpressure, graceful degradation |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -69,6 +70,7 @@ pub use pctl_mutex as mutex;
 pub use pctl_obs as obs;
 pub use pctl_replay as replay;
 pub use pctl_sim as sim;
+pub use pctld;
 
 /// Everything a typical debugging session needs.
 pub mod prelude {
