@@ -33,5 +33,5 @@ pub mod stream;
 pub use client::{Client, RetryPolicy};
 pub use frame::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME};
 pub use proto::{ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsSnapshot};
-pub use server::{Config, Daemon};
+pub use server::{Config, Daemon, MAX_SLEEP_MS};
 pub use stream::{stream_deposet, StreamReport};

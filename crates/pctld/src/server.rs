@@ -72,7 +72,16 @@ pub struct Config {
     /// When set, closed/evicted/drained sessions write their batch trace
     /// JSON to `<dir>/<session>.json`.
     pub snapshot_dir: Option<PathBuf>,
+    /// Serve the `Crash`/`Sleep` fault-injection verbs. Off by default:
+    /// the port is unauthenticated, and these verbs exist for torture
+    /// tests and chaos drills, not production clients.
+    pub fault_injection: bool,
 }
+
+/// Hard clamp on a client-requested `Sleep` stall, even with
+/// [`Config::fault_injection`] enabled — a stalled worker delays queue
+/// drain and session close.
+pub const MAX_SLEEP_MS: u64 = 5_000;
 
 impl Default for Config {
     fn default() -> Self {
@@ -85,6 +94,7 @@ impl Default for Config {
             max_frame: DEFAULT_MAX_FRAME,
             retry_after_ms: 20,
             snapshot_dir: None,
+            fault_injection: false,
         }
     }
 }
@@ -112,9 +122,17 @@ enum Cmd {
 }
 
 /// Registry entry shared between connection threads and the worker.
+///
+/// The worker itself holds an `Arc` to this struct, so the command sender
+/// lives behind `Mutex<Option<..>>` rather than directly: [`close_session`]
+/// *takes* it, which guarantees the channel disconnects once in-flight
+/// clones drop and the worker's `recv()` loop exits — joining the worker
+/// can therefore never deadlock on a sender the worker itself keeps alive.
+///
+/// [`close_session`]: Inner::close_session
 struct SessionShared {
     name: String,
-    tx: SyncSender<Cmd>,
+    tx: Mutex<Option<SyncSender<Cmd>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     poisoned: AtomicBool,
     /// First append failure; wedges the session until closed.
@@ -131,6 +149,13 @@ impl SessionShared {
 
     fn idle_for(&self) -> Duration {
         self.last_active.lock().unwrap().elapsed()
+    }
+
+    /// A transient clone of the command sender (`None` once the session is
+    /// closing). Callers drop the clone right after enqueueing, so a taken
+    /// sender still disconnects promptly.
+    fn sender(&self) -> Option<SyncSender<Cmd>> {
+        self.tx.lock().unwrap().clone()
     }
 }
 
@@ -349,27 +374,34 @@ impl Inner {
         }
     }
 
-    /// Close one session: remove it from the registry, release its memory
-    /// accounting, ask the worker to flush + exit, and join it. Returns
-    /// whether the worker drained cleanly.
+    /// Close one session: remove it from the registry, ask the worker to
+    /// flush + exit, and join it. The worker releases the session's global
+    /// memory accounting itself on exit, *after* draining whatever appends
+    /// were still queued — subtracting here would leak their deltas into
+    /// the global gauge. Returns whether the worker drained cleanly.
     fn close_session(&self, name: &str) -> Option<bool> {
         let sess = self.sessions.lock().unwrap().remove(name)?;
-        self.stats
-            .approx_bytes
-            .fetch_sub(sess.approx_bytes.load(Ordering::SeqCst), Ordering::SeqCst);
+        // Take the session's sender so the channel is guaranteed to
+        // disconnect: even if Cmd::Close never fits into a full queue (a
+        // stalled worker behind a long query), the worker drains the queue,
+        // sees the disconnect, flushes, and exits — join() always returns.
+        let cmd_tx = sess.tx.lock().unwrap().take();
         let (tx, rx) = mpsc::channel();
-        // A full queue must not leak the worker: fall back to a blocking
-        // send on a dedicated drain slot by retrying briefly.
         let mut queued = false;
-        for _ in 0..200 {
-            match sess.tx.try_send(Cmd::Close(tx.clone())) {
-                Ok(()) => {
-                    sess.queue_len.fetch_add(1, Ordering::SeqCst);
-                    queued = true;
-                    break;
+        if let Some(cmd_tx) = cmd_tx {
+            // Prefer an explicit Close (it confirms the flush); retry
+            // briefly against a full queue before falling back to the
+            // disconnect path above.
+            for _ in 0..200 {
+                match cmd_tx.try_send(Cmd::Close(tx.clone())) {
+                    Ok(()) => {
+                        sess.queue_len.fetch_add(1, Ordering::SeqCst);
+                        queued = true;
+                        break;
+                    }
+                    Err(TrySendError::Full(_)) => std::thread::sleep(Duration::from_millis(5)),
+                    Err(TrySendError::Disconnected(_)) => break, // worker already gone
                 }
-                Err(TrySendError::Full(_)) => std::thread::sleep(Duration::from_millis(5)),
-                Err(TrySendError::Disconnected(_)) => break, // worker already gone
             }
         }
         if queued {
@@ -533,9 +565,34 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
             let leaked = inner.drain_all();
             (Response::Draining { leaked }, true)
         }
-        Request::Crash { session } => (query(&session, QueryKind::Crash, inner), false),
-        Request::Sleep { session, ms } => (query(&session, QueryKind::Sleep(ms), inner), false),
+        // Fault-injection verbs share the unauthenticated port with
+        // production verbs, so they are opt-in per daemon and Sleep's
+        // client-chosen stall is clamped.
+        Request::Crash { session } => {
+            if !inner.cfg.fault_injection {
+                (fault_injection_disabled(), false)
+            } else {
+                (query(&session, QueryKind::Crash, inner), false)
+            }
+        }
+        Request::Sleep { session, ms } => {
+            if !inner.cfg.fault_injection {
+                (fault_injection_disabled(), false)
+            } else {
+                (
+                    query(&session, QueryKind::Sleep(ms.min(MAX_SLEEP_MS)), inner),
+                    false,
+                )
+            }
+        }
     }
+}
+
+fn fault_injection_disabled() -> Response {
+    err(
+        ErrorKind::Malformed,
+        "fault-injection verbs (Crash/Sleep) are disabled on this daemon",
+    )
 }
 
 fn handle_hello(
@@ -587,9 +644,25 @@ fn handle_hello(
                 );
             }
             if map.len() < inner.cfg.max_sessions && !inner.over_budget() {
-                let sess = spawn_session(name.clone(), locals, init, inner);
-                map.insert(name, sess);
-                return Response::Ok;
+                // A failed thread spawn (fd/thread exhaustion — exactly the
+                // degraded conditions this daemon must survive) is a
+                // capacity refusal, never a panic under the sessions lock.
+                return match spawn_session(name.clone(), locals, init, inner) {
+                    Ok(sess) => {
+                        map.insert(name, sess);
+                        Response::Ok
+                    }
+                    Err(e) => {
+                        inner
+                            .stats
+                            .sessions_refused_total
+                            .fetch_add(1, Ordering::SeqCst);
+                        err(
+                            ErrorKind::Capacity,
+                            format!("cannot spawn session worker: {e}"),
+                        )
+                    }
+                };
             }
         }
         if !inner.evict_one_idle(None) {
@@ -610,11 +683,11 @@ fn spawn_session(
     locals: Vec<pctl_deposet::LocalPredicate>,
     init: Option<Vec<Vec<(String, i64)>>>,
     inner: &Arc<Inner>,
-) -> Arc<SessionShared> {
+) -> std::io::Result<Arc<SessionShared>> {
     let (tx, rx) = sync_channel(inner.cfg.queue_depth);
     let sess = Arc::new(SessionShared {
         name: name.clone(),
-        tx,
+        tx: Mutex::new(Some(tx)),
         worker: Mutex::new(None),
         poisoned: AtomicBool::new(false),
         sticky_error: Mutex::new(None),
@@ -630,10 +703,9 @@ fn spawn_session(
     let worker_inner = Arc::clone(inner);
     let handle = std::thread::Builder::new()
         .name(format!("pctld-sess-{name}"))
-        .spawn(move || worker_loop(engine, rx, worker_sess, worker_inner))
-        .expect("spawn session worker");
+        .spawn(move || worker_loop(engine, rx, worker_sess, worker_inner))?;
     *sess.worker.lock().unwrap() = Some(handle);
-    sess
+    Ok(sess)
 }
 
 fn handle_append(name: &str, op: AppendOp, inner: &Arc<Inner>) -> Response {
@@ -659,7 +731,13 @@ fn handle_append(name: &str, op: AppendOp, inner: &Arc<Inner>) -> Response {
             return err(ErrorKind::Budget, "daemon over hard memory budget");
         }
     }
-    match sess.tx.try_send(Cmd::Apply(op)) {
+    let Some(tx) = sess.sender() else {
+        return err(
+            ErrorKind::UnknownSession,
+            format!("session '{name}' is closing"),
+        );
+    };
+    match tx.try_send(Cmd::Apply(op)) {
         Ok(()) => {
             sess.queue_len.fetch_add(1, Ordering::SeqCst);
             sess.touch();
@@ -689,8 +767,14 @@ fn query(name: &str, kind: QueryKind, inner: &Arc<Inner>) -> Response {
     if let Some(e) = sess.sticky_error.lock().unwrap().clone() {
         return err(ErrorKind::Append, e);
     }
+    let Some(cmd_tx) = sess.sender() else {
+        return err(
+            ErrorKind::UnknownSession,
+            format!("session '{name}' is closing"),
+        );
+    };
     let (tx, rx) = mpsc::channel();
-    match sess.tx.try_send(Cmd::Query(kind, tx)) {
+    match cmd_tx.try_send(Cmd::Query(kind, tx)) {
         Ok(()) => {
             sess.queue_len.fetch_add(1, Ordering::SeqCst);
             sess.touch();
@@ -769,14 +853,30 @@ fn worker_loop(
             }
             Cmd::Close(reply) => {
                 flush_snapshot(&engine, &sess.name, &inner);
+                release_memory(&sess, &inner);
                 let _ = reply.send(Response::Ok);
                 return;
             }
         }
     }
-    // All senders gone (registry entry dropped without Close): flush and
-    // exit so eviction-by-drop still persists the session.
+    // All senders gone (close_session took the registry's sender but could
+    // not enqueue Cmd::Close past a full queue): the queue above has fully
+    // drained, so flush and release the final memory accounting here —
+    // this is what keeps the global gauge exact across closes under load.
     flush_snapshot(&engine, &sess.name, &inner);
+    release_memory(&sess, &inner);
+}
+
+/// Subtract this session's final byte estimate from the global gauge,
+/// exactly once (the swap zeroes the per-session gauge). Only the worker
+/// (or `poison`, on the worker thread) calls this, after its last
+/// `approx_bytes` update — so queued appends drained on the way out are
+/// fully accounted before the subtraction.
+fn release_memory(sess: &SessionShared, inner: &Inner) {
+    inner.stats.approx_bytes.fetch_sub(
+        sess.approx_bytes.swap(0, Ordering::SeqCst),
+        Ordering::SeqCst,
+    );
 }
 
 /// Quarantine the session after a panic: flag it, count it, release its
@@ -785,10 +885,7 @@ fn worker_loop(
 fn poison(sess: &Arc<SessionShared>, inner: &Arc<Inner>, rx: &Receiver<Cmd>) {
     sess.poisoned.store(true, Ordering::SeqCst);
     inner.stats.poisoned_total.fetch_add(1, Ordering::SeqCst);
-    inner.stats.approx_bytes.fetch_sub(
-        sess.approx_bytes.swap(0, Ordering::SeqCst),
-        Ordering::SeqCst,
-    );
+    release_memory(sess, inner);
     while let Ok(cmd) = rx.try_recv() {
         sess.queue_len.fetch_sub(1, Ordering::SeqCst);
         match cmd {

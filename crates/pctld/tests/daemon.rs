@@ -96,6 +96,7 @@ fn streamed_session_answers_like_the_batch_engine() {
 fn full_queue_bounces_busy_and_retry_recovers() {
     let d = daemon(Config {
         queue_depth: 2,
+        fault_injection: true,
         ..Config::default()
     });
     let mut a = client(&d);
@@ -144,7 +145,10 @@ fn full_queue_bounces_busy_and_retry_recovers() {
 
 #[test]
 fn worker_panic_poisons_only_its_session() {
-    let d = daemon(Config::default());
+    let d = daemon(Config {
+        fault_injection: true,
+        ..Config::default()
+    });
     let mut c = client(&d);
     for name in ["victim", "bystander"] {
         assert_eq!(
@@ -178,6 +182,135 @@ fn worker_panic_poisons_only_its_session() {
     assert_eq!(c.close("victim").unwrap(), Response::Ok);
     assert_eq!(c.close("bystander").unwrap(), Response::Ok);
     assert_eq!(d.session_count(), 0);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn fault_verbs_are_refused_unless_enabled() {
+    // Crash/Sleep share the unauthenticated port with production verbs, so
+    // a default-config daemon must refuse them outright.
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    assert_eq!(
+        c.hello("prod", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    for req in [
+        Request::Crash {
+            session: "prod".into(),
+        },
+        Request::Sleep {
+            session: "prod".into(),
+            ms: 60_000,
+        },
+    ] {
+        match c.request(req).unwrap() {
+            Response::Err { kind, detail } => {
+                assert_eq!(kind, ErrorKind::Malformed);
+                assert!(detail.contains("disabled"), "{detail}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    // The refused verbs touched nothing: the session still answers.
+    assert!(matches!(c.detect("prod").unwrap(), Response::Detect { .. }));
+    assert_eq!(d.stats().poisoned_total, 0);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn close_joins_a_worker_stalled_behind_a_full_queue() {
+    // Deadlock regression: the worker must not keep its own command sender
+    // alive. With a stalled worker and a full queue, Cmd::Close never fits
+    // — close must still return because dropping the registry's sender
+    // disconnects the channel and the worker exits after draining.
+    let d = daemon(Config {
+        queue_depth: 1,
+        fault_injection: true,
+        ..Config::default()
+    });
+    let mut a = client(&d);
+    let mut b = client(&d);
+    assert_eq!(
+        a.hello("stuck", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    // Stall the worker well past close's ~1s enqueue-retry window.
+    let stall = std::thread::spawn(move || {
+        a.request(Request::Sleep {
+            session: "stuck".into(),
+            ms: 2_000,
+        })
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let the stall start
+    let op = pctl_deposet::AppendOp::Internal {
+        process: 0,
+        updates: vec![("ok".into(), 1)],
+    };
+    // Fill the (depth-1) queue behind the stalled worker.
+    assert_eq!(b.append("stuck", op.clone()).unwrap(), Response::Ok);
+    assert!(matches!(
+        b.append("stuck", op).unwrap(),
+        Response::Busy { .. }
+    ));
+    // This hung forever when the worker held its own sender.
+    assert_eq!(b.close("stuck").unwrap(), Response::Ok);
+    assert_eq!(stall.join().unwrap(), Response::Ok);
+    assert_eq!(d.session_count(), 0);
+    // The append drained on the way out was released from the gauge too.
+    assert_eq!(d.stats().approx_bytes, 0);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn closing_with_queued_appends_keeps_the_memory_gauge_exact() {
+    // Accounting regression: appends still queued at close time are applied
+    // by the worker before it exits; their byte deltas must be released
+    // with the session instead of drifting the global gauge upward.
+    let d = daemon(Config {
+        fault_injection: true,
+        ..Config::default()
+    });
+    let mut a = client(&d);
+    let mut b = client(&d);
+    assert_eq!(
+        a.hello("queued", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    let stall = std::thread::spawn(move || {
+        a.request(Request::Sleep {
+            session: "queued".into(),
+            ms: 300,
+        })
+        .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(50)); // let the stall start
+    for v in 0..5 {
+        let op = pctl_deposet::AppendOp::Internal {
+            process: 0,
+            updates: vec![("ok".into(), v)],
+        };
+        assert_eq!(b.append("queued", op).unwrap(), Response::Ok);
+    }
+    // Close while all five appends are still queued behind the stall.
+    assert_eq!(b.close("queued").unwrap(), Response::Ok);
+    assert_eq!(stall.join().unwrap(), Response::Ok);
+    assert_eq!(
+        d.stats().approx_bytes,
+        0,
+        "queued appends leaked into the global memory gauge"
+    );
+    // An exact gauge means the daemon still admits work after many closes.
+    let mut c = client(&d);
+    assert_eq!(
+        c.hello("after", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
     assert_eq!(d.shutdown(), 0);
 }
 

@@ -44,6 +44,7 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
         // A shallow queue so the Sleep-stalled sessions genuinely bounce
         // appends with Busy and the retry loop has to absorb it.
         queue_depth: 4,
+        fault_injection: true,
         ..Config::default()
     })
     .expect("bind daemon");

@@ -50,8 +50,10 @@ USAGE:
                                             (trace JSON on stdout)
   pctl serve [--addr HOST:PORT] [--metrics HOST:PORT] [--max-sessions N]
              [--memory-budget BYTES] [--queue-depth N] [--idle-timeout-ms N]
-             [--snapshot-dir DIR]           (run the streaming daemon in the
-              foreground; stops on stdin EOF or a client Shutdown)
+             [--snapshot-dir DIR] [--fault-injection]
+                                            (run the streaming daemon in the
+              foreground; stops on stdin EOF or a client Shutdown;
+              --fault-injection enables the Crash/Sleep chaos verbs)
   pctl stream <trace.json> --addr HOST:PORT
               (--at-least-one VAR | --at-least-one-not VAR)
               [--session NAME] [--limit N] [--keep-open]
@@ -460,6 +462,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             args.num("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
         ),
         snapshot_dir: args.value("snapshot-dir")?.map(Into::into),
+        fault_injection: args.flag("fault-injection").is_some(),
         ..defaults
     };
     let daemon = pctld::Daemon::spawn(cfg).map_err(|e| format!("serve: {e}"))?;
