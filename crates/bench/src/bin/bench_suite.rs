@@ -347,8 +347,13 @@ fn run_overlap(smoke: bool) -> OverlapCase {
 /// End-to-end daemon numbers over real TCP on loopback: sustained append
 /// throughput into one session (client → frame → enqueue → ack, including
 /// any backoff sleeps), then `Detect` latency while a second writer
-/// streams into the very session being queried. Warn-only in `--compare`
-/// until a baseline with streaming scenarios is frozen.
+/// streams into the very session being queried. Gated by `--compare`
+/// whenever the baseline carries the streaming scenarios.
+///
+/// The main numbers run with request telemetry *enabled* (the default
+/// serve config — what a real deployment pays); a second pass with
+/// `Config::telemetry = false` re-measures append throughput so the cost
+/// of telemetry stays a recorded number, not an assertion.
 fn run_streaming(smoke: bool) -> StreamingBench {
     use pctld::{Client, Config, Daemon, Response, RetryPolicy};
 
@@ -396,6 +401,7 @@ fn run_streaming(smoke: bool) -> StreamingBench {
 
     // Query under load: a writer thread streams the same computation into
     // a fresh session while this thread hammers it with Detect.
+    let locals_off = pred.locals().to_vec();
     let writer = std::thread::spawn(move || {
         let mut w = Client::connect(addr).expect("writer connect");
         assert_eq!(
@@ -436,6 +442,34 @@ fn run_streaming(smoke: bool) -> StreamingBench {
     assert_eq!(c.close("bench-load").expect("close"), Response::Ok);
     assert_eq!(daemon.shutdown(), 0, "bench daemon must drain cleanly");
 
+    // Telemetry-off pass: same ops, fresh daemon with request telemetry
+    // disabled, append throughput only.
+    let off_daemon = Daemon::spawn(Config {
+        telemetry: false,
+        ..Config::default()
+    })
+    .expect("bind telemetry-off bench daemon");
+    let (init2, ops2) = pctl_deposet::linearize(&dep);
+    let mut c2 = Client::connect(off_daemon.local_addr()).expect("connect telemetry-off");
+    assert_eq!(
+        c2.hello("bench-off", locals_off, Some(init2))
+            .expect("hello telemetry-off"),
+        Response::Ok
+    );
+    let t_off = Instant::now();
+    for op in ops2 {
+        match c2
+            .append_retry("bench-off", op, RetryPolicy::default())
+            .expect("append telemetry-off")
+        {
+            Response::Ok => {}
+            other => panic!("telemetry-off append refused: {other:?}"),
+        }
+    }
+    let off_total = t_off.elapsed();
+    assert_eq!(c2.close("bench-off").expect("close"), Response::Ok);
+    assert_eq!(off_daemon.shutdown(), 0, "telemetry-off daemon must drain");
+
     StreamingBench {
         workload: format!("random_n{n}_e{events}"),
         processes: n,
@@ -444,6 +478,9 @@ fn run_streaming(smoke: bool) -> StreamingBench {
         append_wall: WallStats::of(&append_samples),
         query_under_load: WallStats::of(&query_samples),
         busy_bounces: busy,
+        append_events_per_sec_telemetry_off: Some(
+            streamed as f64 / off_total.as_secs_f64().max(1e-9),
+        ),
     }
 }
 
@@ -690,6 +727,12 @@ fn main() {
             s.query_under_load.p95_us,
             s.busy_bounces
         );
+        if let Some(off) = s.append_events_per_sec_telemetry_off {
+            println!(
+                "    telemetry off: {off:.0} events/s (telemetry cost is \
+                 measured, not assumed)"
+            );
+        }
     }
 
     let (sweep, prof_report) = run_sweep(args.smoke, &args.baseline);
@@ -765,6 +808,15 @@ fn main() {
             per_seed_p50_us: sweep.sequential.per_seed.p50_us,
             per_seed_p95_us: sweep.sequential.per_seed.p95_us,
             shard_construct_p50_us: shard_p50,
+            streaming_append_events_per_sec: offline
+                .streaming
+                .as_ref()
+                .map(|s| s.append_events_per_sec),
+            streaming_append_p50_us: offline.streaming.as_ref().map(|s| s.append_wall.p50_us),
+            streaming_query_p50_us: offline
+                .streaming
+                .as_ref()
+                .map(|s| s.query_under_load.p50_us),
         };
         pctl_bench::report::write_validated(path, &b).expect("write baseline");
         println!("wrote {} (recorded sweep baseline)", path.display());
@@ -785,6 +837,7 @@ fn main() {
             &compare_path.display().to_string(),
             &sweep.sequential,
             shard_p50,
+            offline.streaming.as_ref(),
             args.threshold_pct,
             args.inject_slowdown,
             args.smoke,
@@ -797,15 +850,12 @@ fn main() {
             cmp.threshold_pct,
             cmp.regressions
         );
-        // The streaming section is new: no committed baseline carries its
-        // scenarios yet, so it reports numbers without gating. Once a
-        // baseline is frozen with streaming fields, promote it to a real
-        // compare scenario.
-        if let Some(s) = &offline.streaming {
+        if baseline.streaming_append_events_per_sec.is_none() {
             println!(
-                "  streaming (warn-only, no frozen baseline): {:.0} events/s, \
-                 query-under-load p50={}us p95={}us",
-                s.append_events_per_sec, s.query_under_load.p50_us, s.query_under_load.p95_us
+                "  note: baseline {} predates streaming scenarios; the daemon \
+                 path is not gated by this compare (re-freeze with \
+                 --write-baseline to gate it)",
+                compare_path.display()
             );
         }
         for c in &cmp.cases {

@@ -130,8 +130,9 @@ pub struct OverlapCase {
 
 /// The `streaming` section: end-to-end daemon numbers over real TCP —
 /// sustained append throughput into one session, and query latency while a
-/// concurrent writer floods the same session. Warn-only in `--compare`
-/// until a baseline with streaming scenarios is frozen.
+/// concurrent writer floods the same session. Gated by `--compare` against
+/// baselines that carry the streaming fields; older baselines degrade to
+/// the sweep/shard scenarios with a note.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StreamingBench {
     /// Workload label, e.g. `random_n4_e1200`.
@@ -142,6 +143,7 @@ pub struct StreamingBench {
     pub events: usize,
     /// Sustained append throughput, events per second end to end
     /// (client → TCP → enqueue → ack), including any backoff sleeps.
+    /// Measured with request telemetry enabled (the default serve config).
     pub append_events_per_sec: f64,
     /// Distribution of per-append round-trip latencies (µs).
     pub append_wall: WallStats,
@@ -150,6 +152,12 @@ pub struct StreamingBench {
     pub query_under_load: WallStats,
     /// `Busy` bounces the writer's retry loops absorbed.
     pub busy_bounces: u64,
+    /// Append throughput of the same workload with request telemetry
+    /// disabled (`Config::telemetry = false`) — recorded so the cost of
+    /// "observation is free" stays measured, not asserted. Absent in
+    /// reports from harnesses predating daemon telemetry.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub append_events_per_sec_telemetry_off: Option<f64>,
 }
 
 /// The `BENCH_offline.json` payload.
@@ -206,6 +214,16 @@ pub struct Baseline {
     /// (µs); absent in baselines recorded before the sharded store.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub shard_construct_p50_us: Option<u64>,
+    /// Baseline sustained append throughput of the streaming section
+    /// (events/s); absent in baselines frozen before streaming scenarios.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streaming_append_events_per_sec: Option<f64>,
+    /// Baseline per-append round-trip p50 (µs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streaming_append_p50_us: Option<u64>,
+    /// Baseline `Detect`-under-load p50 (µs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub streaming_query_p50_us: Option<u64>,
 }
 
 /// The `BENCH_sweep.json` payload.
@@ -294,11 +312,13 @@ impl CompareReport {
     /// current sequential sweep numbers, applying `inject_slowdown_pct`
     /// (a synthetic worsening, for gate self-tests) to the current values
     /// first.
+    #[allow(clippy::too_many_arguments)]
     pub fn of(
         baseline: &Baseline,
         baseline_path: &str,
         current: &SweepMode,
         shard_construct_p50_us: Option<u64>,
+        streaming: Option<&StreamingBench>,
         threshold_pct: f64,
         inject_slowdown_pct: f64,
         smoke: bool,
@@ -366,6 +386,39 @@ impl CompareReport {
                 cur as f64,
                 true,
             ));
+        }
+        // Streaming scenarios: same both-sides rule. A baseline frozen
+        // before the streaming section compares on the scenarios above
+        // exactly as before; once both sides carry streaming numbers the
+        // daemon path is gated like any other hot path.
+        if let Some(s) = streaming {
+            if let Some(base) = baseline.streaming_append_events_per_sec {
+                cases.push(case(
+                    "streaming_append_events_per_sec",
+                    "events/s",
+                    base,
+                    s.append_events_per_sec,
+                    false,
+                ));
+            }
+            if let Some(base) = baseline.streaming_append_p50_us {
+                cases.push(case(
+                    "streaming_append_p50_us",
+                    "us",
+                    base as f64,
+                    s.append_wall.p50_us as f64,
+                    true,
+                ));
+            }
+            if let Some(base) = baseline.streaming_query_p50_us {
+                cases.push(case(
+                    "streaming_query_p50_us",
+                    "us",
+                    base as f64,
+                    s.query_under_load.p50_us as f64,
+                    true,
+                ));
+            }
         }
         let regressions = cases.iter().filter(|c| c.regressed).count();
         CompareReport {
@@ -439,6 +492,9 @@ mod tests {
                 per_seed_p50_us: 30,
                 per_seed_p95_us: 60,
                 shard_construct_p50_us: None,
+                streaming_append_events_per_sec: None,
+                streaming_append_p50_us: None,
+                streaming_query_p50_us: None,
             }),
             speedup_vs_baseline: Some(3.0),
         };
@@ -455,6 +511,9 @@ mod tests {
             per_seed_p50_us: 1000,
             per_seed_p95_us: 2000,
             shard_construct_p50_us: None,
+            streaming_append_events_per_sec: None,
+            streaming_append_p50_us: None,
+            streaming_query_p50_us: None,
         }
     }
 
@@ -478,13 +537,13 @@ mod tests {
     fn compare_passes_within_threshold_in_both_directions() {
         // 10% worse on time, 10% worse on throughput: under a 25% gate.
         let cur = mode(110.0, 0.9e6, 1100, 2200);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, false);
         assert!(r.passed, "{r:?}");
         assert_eq!(r.regressions, 0);
         assert_eq!(r.cases.len(), 4);
         // A faster run must never "regress" the lower-is-better scenarios.
         let fast = mode(50.0, 2e6, 500, 900);
-        let r = CompareReport::of(&baseline(), "b.json", &fast, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&baseline(), "b.json", &fast, None, None, 25.0, 0.0, false);
         assert!(r.passed);
         assert!(r.cases.iter().all(|c| c.worse_pct < 0.0), "{r:?}");
     }
@@ -493,7 +552,7 @@ mod tests {
     fn compare_flags_regressions_past_threshold() {
         // 50% slower end to end.
         let cur = mode(150.0, 0.6e6, 1600, 3100);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, false);
         assert!(!r.passed);
         assert_eq!(r.regressions, 4, "{r:?}");
         let c = &r.cases[0];
@@ -507,9 +566,9 @@ mod tests {
         // every scenario must trip a 25% gate, including the
         // higher-is-better throughput one (which gets *divided*).
         let cur = mode(100.0, 1e6, 1000, 2000);
-        let clean = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, false);
+        let clean = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, false);
         assert!(clean.passed);
-        let slowed = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 100.0, false);
+        let slowed = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 100.0, false);
         assert!(!slowed.passed);
         assert_eq!(slowed.regressions, 4, "{slowed:?}");
         assert!((slowed.injected_slowdown_pct - 100.0).abs() < 1e-12);
@@ -518,7 +577,7 @@ mod tests {
     #[test]
     fn compare_report_roundtrips() {
         let cur = mode(150.0, 0.6e6, 1600, 3100);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, None, 25.0, 0.0, true);
+        let r = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, true);
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: CompareReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
@@ -528,24 +587,33 @@ mod tests {
     fn shard_scenario_requires_both_sides() {
         let cur = mode(100.0, 1e6, 1000, 2000);
         // Old baseline, new harness: no shard case.
-        let r = CompareReport::of(&baseline(), "b.json", &cur, Some(500), 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            Some(500),
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert_eq!(r.cases.len(), 4, "{r:?}");
         // Both sides carry shard numbers: fifth scenario participates.
         let mut b = baseline();
         b.shard_construct_p50_us = Some(400);
-        let r = CompareReport::of(&b, "b.json", &cur, Some(500), 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, Some(500), None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 5);
         let c = r.cases.last().unwrap();
         assert_eq!(c.scenario, "shard_construct_p50_us");
         assert!((c.worse_pct - 25.0).abs() < 1e-9, "{c:?}");
         assert!(!c.regressed, "exactly at threshold is not past it");
         // And it regresses past the gate like any other scenario.
-        let r = CompareReport::of(&b, "b.json", &cur, Some(600), 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, Some(600), None, 25.0, 0.0, false);
         assert!(!r.passed);
         assert_eq!(r.regressions, 1, "{r:?}");
         // A baseline with shard numbers but an old-harness run without them
         // also degrades to four scenarios.
-        let r = CompareReport::of(&b, "b.json", &cur, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 4);
     }
 
@@ -556,6 +624,80 @@ mod tests {
                        "per_seed_p50_us":3,"per_seed_p95_us":4}"#;
         let b: Baseline = serde_json::from_str(json).unwrap();
         assert_eq!(b.shard_construct_p50_us, None);
+        assert_eq!(b.streaming_append_events_per_sec, None);
+        assert_eq!(b.streaming_append_p50_us, None);
+        assert_eq!(b.streaming_query_p50_us, None);
+    }
+
+    fn streaming_section(eps: f64, append_p50: u64, query_p50: u64) -> StreamingBench {
+        StreamingBench {
+            workload: "random_n4_e1200".into(),
+            processes: 4,
+            events: 1200,
+            append_events_per_sec: eps,
+            append_wall: WallStats {
+                reps: 3,
+                min_us: append_p50 / 2,
+                p50_us: append_p50,
+                p95_us: append_p50 * 2,
+                max_us: append_p50 * 3,
+            },
+            query_under_load: WallStats {
+                reps: 3,
+                min_us: query_p50 / 2,
+                p50_us: query_p50,
+                p95_us: query_p50 * 2,
+                max_us: query_p50 * 3,
+            },
+            busy_bounces: 0,
+            append_events_per_sec_telemetry_off: Some(eps * 1.02),
+        }
+    }
+
+    #[test]
+    fn streaming_scenarios_require_both_sides() {
+        let cur = mode(100.0, 1e6, 1000, 2000);
+        let s = streaming_section(20_000.0, 40, 800);
+        // Pre-streaming baseline: no streaming cases even though the run
+        // measured them.
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            Some(&s),
+            25.0,
+            0.0,
+            false,
+        );
+        assert_eq!(r.cases.len(), 4, "{r:?}");
+        // Frozen streaming baseline: all three scenarios participate.
+        let mut b = baseline();
+        b.streaming_append_events_per_sec = Some(20_000.0);
+        b.streaming_append_p50_us = Some(40);
+        b.streaming_query_p50_us = Some(800);
+        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 7, "{r:?}");
+        assert!(r.passed, "identical streaming numbers pass: {r:?}");
+        let names: Vec<&str> = r.cases.iter().map(|c| c.scenario.as_str()).collect();
+        assert!(names.contains(&"streaming_append_events_per_sec"));
+        assert!(names.contains(&"streaming_append_p50_us"));
+        assert!(names.contains(&"streaming_query_p50_us"));
+        // Throughput is higher-is-better: halving it regresses past 25%.
+        let slow = streaming_section(10_000.0, 40, 800);
+        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&slow), 25.0, 0.0, false);
+        assert!(!r.passed);
+        assert_eq!(r.regressions, 1, "{r:?}");
+        let c = r
+            .cases
+            .iter()
+            .find(|c| c.scenario == "streaming_append_events_per_sec")
+            .unwrap();
+        assert!(c.regressed && !c.lower_is_better, "{c:?}");
+        // Injected slowdown worsens streaming scenarios too (gate
+        // self-test covers the daemon path).
+        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), 25.0, 100.0, false);
+        assert_eq!(r.regressions, 7, "{r:?}");
     }
 
     #[test]
@@ -634,6 +776,7 @@ mod tests {
                 append_wall: WallStats::of(&[30, 45, 90]),
                 query_under_load: WallStats::of(&[400, 900]),
                 busy_bounces: 3,
+                append_events_per_sec_telemetry_off: Some(26_500.0),
             }),
         };
         let json = serde_json::to_string_pretty(&r).unwrap();

@@ -100,15 +100,31 @@ fn compare_gate_passes_on_own_baseline_and_fails_on_injected_regression() {
     assert_eq!(field(&cmp, "passed"), serde_json::Value::Bool(false));
     let cases = field(&cmp, "cases");
     let cases = cases.as_array().expect("cases array");
-    // The self-written baseline carries shard numbers, so the sharded
-    // construction participates alongside the four sweep scenarios.
-    assert_eq!(cases.len(), 5, "four sweep scenarios + shard construction");
+    // The self-written baseline carries shard and streaming numbers, so
+    // those scenarios participate alongside the four sweep scenarios.
+    assert_eq!(
+        cases.len(),
+        8,
+        "four sweep scenarios + shard construction + three streaming scenarios"
+    );
     assert!(
         cases
             .iter()
             .any(|c| field(c, "scenario").as_str() == Some("shard_construct_p50_us")),
         "shard_sweep construction is gated: {cases:?}"
     );
+    for streaming in [
+        "streaming_append_events_per_sec",
+        "streaming_append_p50_us",
+        "streaming_query_p50_us",
+    ] {
+        assert!(
+            cases
+                .iter()
+                .any(|c| field(c, "scenario").as_str() == Some(streaming)),
+            "streaming scenario {streaming} is gated: {cases:?}"
+        );
+    }
     assert!(
         cases
             .iter()

@@ -133,6 +133,27 @@ pub fn chrome_trace(events: &[Event], lane_names: &[String]) -> String {
     serde_json::to_string(&trace).expect("trace serializes")
 }
 
+/// Drop `MsgRecv` events whose matching `MsgSend` (same flow id) is not
+/// present in `events`.
+///
+/// Bounded rings drop their oldest entries, so the retained tail of a long
+/// run can hold a receive whose send was already evicted; a Chrome flow
+/// finish without a start fails [`validate_chrome_trace`], so ring
+/// snapshots must be pruned before export.
+pub fn prune_orphan_flows(events: &mut Vec<Event>) {
+    let sends: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::MsgSend { id, .. } => Some(id),
+            _ => None,
+        })
+        .collect();
+    events.retain(|e| match e.kind {
+        EventKind::MsgRecv { id, .. } => sends.contains(&id),
+        _ => true,
+    });
+}
+
 fn get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
@@ -301,6 +322,39 @@ mod tests {
         let json = chrome_trace(&events, &[]);
         let err = validate_chrome_trace(&json).unwrap_err();
         assert!(err.contains("without a start"), "{err}");
+    }
+
+    #[test]
+    fn pruning_orphan_flows_makes_a_ring_tail_exportable() {
+        let mut events = vec![
+            // Orphan: the matching send (id 3) was dropped by the ring.
+            Event {
+                ts: 0,
+                lane: 0,
+                name: "req".into(),
+                kind: EventKind::MsgRecv { id: 3, from: 1 },
+                clock: None,
+            },
+            Event {
+                ts: 1,
+                lane: 0,
+                name: "req".into(),
+                kind: EventKind::MsgSend { id: 4, to: 1 },
+                clock: None,
+            },
+            Event {
+                ts: 2,
+                lane: 1,
+                name: "req".into(),
+                kind: EventKind::MsgRecv { id: 4, from: 0 },
+                clock: None,
+            },
+            Event::instant(3, 0, "mark"),
+        ];
+        assert!(validate_chrome_trace(&chrome_trace(&events, &[])).is_err());
+        prune_orphan_flows(&mut events);
+        assert_eq!(events.len(), 3, "only the orphan recv is dropped");
+        validate_chrome_trace(&chrome_trace(&events, &[])).unwrap();
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub enum PromKind {
     Gauge,
     /// Precomputed quantiles plus `_sum`/`_count`.
     Summary,
+    /// Cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+    Histogram,
 }
 
 impl PromKind {
@@ -39,16 +41,22 @@ impl PromKind {
             PromKind::Counter => "counter",
             PromKind::Gauge => "gauge",
             PromKind::Summary => "summary",
+            PromKind::Histogram => "histogram",
         }
     }
 }
 
 #[derive(Clone, Debug)]
 struct Sample {
-    /// Appended to the family name (`""`, `"_sum"`, `"_count"`).
+    /// Appended to the family name (`""`, `"_bucket"`, `"_sum"`, `"_count"`).
     suffix: &'static str,
     labels: Vec<(String, String)>,
     value: f64,
+    /// Tie-break within one (suffix, label-set-minus-`le`) group. Histogram
+    /// buckets carry their bucket index here so `le="2"` renders before
+    /// `le="10"` — the label values sort lexicographically, which would
+    /// misorder numeric bounds. Zero everywhere else.
+    order: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -172,10 +180,25 @@ impl Exposition {
             .iter()
             .map(|(k, v)| (sanitize_label_name(k), (*v).to_owned()))
             .collect();
+        self.push_ordered(name, kind, help, suffix, labels, value, 0);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_ordered(
+        &mut self,
+        name: &str,
+        kind: PromKind,
+        help: &str,
+        suffix: &'static str,
+        labels: Vec<(String, String)>,
+        value: f64,
+        order: usize,
+    ) {
         self.family(name, kind, help).samples.push(Sample {
             suffix,
             labels,
             value,
+            order,
         });
     }
 
@@ -217,12 +240,71 @@ impl Exposition {
         );
     }
 
+    /// Register a histogram: cumulative `_bucket{le=...}` samples (one per
+    /// bound plus `+Inf`) followed by `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let base: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (sanitize_label_name(k), (*v).to_owned()))
+            .collect();
+        let mut cumulative = 0u64;
+        for (i, (bound, n)) in h.bounds.iter().zip(&h.counts).enumerate() {
+            cumulative += n;
+            let mut ls = base.clone();
+            ls.push(("le".into(), format_value(*bound)));
+            self.push_ordered(
+                name,
+                PromKind::Histogram,
+                help,
+                "_bucket",
+                ls,
+                cumulative as f64,
+                i,
+            );
+        }
+        let mut ls = base.clone();
+        ls.push(("le".into(), "+Inf".into()));
+        self.push_ordered(
+            name,
+            PromKind::Histogram,
+            help,
+            "_bucket",
+            ls,
+            h.count as f64,
+            h.bounds.len(),
+        );
+        self.push_ordered(
+            name,
+            PromKind::Histogram,
+            help,
+            "_sum",
+            base.clone(),
+            h.sum,
+            0,
+        );
+        self.push_ordered(
+            name,
+            PromKind::Histogram,
+            help,
+            "_count",
+            base,
+            h.count as f64,
+            0,
+        );
+    }
+
     /// Render the exposition text (format 0.0.4).
     ///
     /// Families are emitted sorted by name; within a family, samples are
-    /// sorted by (suffix, labels) so the document is byte-stable for a
-    /// given logical content.
+    /// sorted by (suffix, labels-without-`le`, bucket order) so the document
+    /// is byte-stable for a given logical content and histogram buckets come
+    /// out in increasing-`le` order per series.
     pub fn render(&self) -> String {
+        fn key(s: &Sample) -> (&'static str, Vec<&(String, String)>, usize) {
+            let group: Vec<&(String, String)> =
+                s.labels.iter().filter(|(k, _)| k != "le").collect();
+            (s.suffix, group, s.order)
+        }
         let mut out = String::new();
         for (name, fam) in &self.families {
             if !fam.help.is_empty() {
@@ -230,7 +312,7 @@ impl Exposition {
             }
             let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
             let mut samples = fam.samples.clone();
-            samples.sort_by(|a, b| (a.suffix, &a.labels).cmp(&(b.suffix, &b.labels)));
+            samples.sort_by(|a, b| key(a).cmp(&key(b)));
             for s in samples {
                 out.push_str(name);
                 out.push_str(s.suffix);
@@ -251,12 +333,172 @@ impl Exposition {
     }
 }
 
+/// A fixed-bucket histogram accumulator for [`Exposition::histogram`].
+///
+/// Buckets are defined by strictly increasing, finite upper bounds; an
+/// implicit `+Inf` bucket catches everything above the last bound. Counts
+/// are stored per bucket (the renderer cumulates them, as the Prometheus
+/// text format requires). Two histograms over the same bounds [`merge`]
+/// by element-wise addition, so per-thread or per-session histograms can
+/// be folded into one family at scrape time.
+///
+/// [`merge`]: Histogram::merge
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `counts.len() == bounds.len()`,
+    /// with the `+Inf` overflow tracked by `count - counts.sum()`.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds, which must be non-empty,
+    /// finite, and strictly increasing.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must be strictly increasing");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Log-spaced bounds: `start`, `start*factor`, ... (`buckets` of them).
+    pub fn log_spaced(start: f64, factor: f64, buckets: usize) -> Histogram {
+        assert!(start > 0.0 && factor > 1.0 && buckets >= 1);
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut b = start;
+        for _ in 0..buckets {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// The default request-latency bucket ladder: 1µs doubling to ~8s
+    /// (24 buckets), wide enough for both in-memory appends and
+    /// fault-injected multi-second stalls.
+    pub fn latency_seconds() -> Histogram {
+        Histogram::log_spaced(1e-6, 2.0, 24)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        // partition_point: first bucket whose bound can hold v (le = ≤).
+        let idx = self.bounds.partition_point(|b| *b < v);
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        // idx == bounds.len() → +Inf bucket, tracked implicitly by `count`.
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Record a duration, in seconds.
+    pub fn observe_duration(&mut self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The configured upper bounds (excluding the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Fold `other` into `self`. Errs (leaving `self` unchanged) if the
+    /// bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds mismatch: {} vs {} buckets",
+                self.bounds.len(),
+                other.bounds.len()
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
+}
+
+/// Parse a `k="v"` label block (the part between `{` and `}`), undoing the
+/// exposition escapes. Used by [`validate_exposition`] to check histogram
+/// series; exposed for tests that want to pick apart rendered lines.
+pub fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest
+            .find("=\"")
+            .ok_or_else(|| format!("bad labels: '{block}'"))?;
+        let key = rest[..eq].trim_start_matches(',').to_owned();
+        rest = &rest[eq + 2..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in '{block}'")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in '{block}'"))?;
+        rest = &rest[end + 1..];
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+/// One parsed bucket series, keyed by its non-`le` labels.
+struct BucketSeries {
+    /// `(le, cumulative count)` in document order.
+    buckets: Vec<(f64, f64)>,
+    count: Option<f64>,
+    has_sum: bool,
+}
+
 /// Structurally validate exposition text: every non-comment line must be
-/// `name[{labels}] value`, every `# TYPE` names a known kind, and no family
-/// may appear twice. Returns the number of samples on success.
+/// `name[{labels}] value`, every `# TYPE` names a known kind, no family
+/// may appear twice, and histogram families must be internally consistent:
+/// per series, `le` bounds strictly increasing, cumulative bucket values
+/// monotone, a `+Inf` bucket present and equal to the series' `_count`,
+/// and `_sum`/`_count` present. Returns the number of samples on success.
 pub fn validate_exposition(text: &str) -> Result<usize, String> {
     let mut samples = 0usize;
     let mut seen_type: Vec<String> = Vec::new();
+    let mut histograms: Vec<String> = Vec::new();
+    // (family, series-labels-without-le) → collected bucket/sum/count data.
+    let mut series: BTreeMap<(String, String), BucketSeries> = BTreeMap::new();
     for (ln, line) in text.lines().enumerate() {
         let ln = ln + 1;
         if line.is_empty() {
@@ -274,6 +516,9 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
             }
             if seen_type.contains(&name) {
                 return Err(format!("line {ln}: duplicate TYPE for family '{name}'"));
+            }
+            if kind == "histogram" {
+                histograms.push(name.clone());
             }
             seen_type.push(name);
             continue;
@@ -300,6 +545,95 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
             return Err(format!("line {ln}: unterminated label set: '{head}'"));
         }
         samples += 1;
+
+        // Histogram bookkeeping: attribute `_bucket`/`_sum`/`_count`
+        // samples to their declared-histogram family and series.
+        let fam = histograms.iter().find(|f| {
+            name_part
+                .strip_prefix(f.as_str())
+                .is_some_and(|sfx| matches!(sfx, "_bucket" | "_sum" | "_count"))
+        });
+        if let Some(fam) = fam {
+            let suffix = &name_part[fam.len()..];
+            let labels = match head.split_once('{') {
+                Some((_, block)) => parse_labels(block.trim_end_matches('}'))
+                    .map_err(|e| format!("line {ln}: {e}"))?,
+                None => Vec::new(),
+            };
+            let mut le = None;
+            let mut rest: Vec<String> = Vec::new();
+            for (k, v) in labels {
+                if k == "le" {
+                    le = Some(v);
+                } else {
+                    rest.push(format!("{k}={v}"));
+                }
+            }
+            rest.sort();
+            let key = (fam.clone(), rest.join("\u{1}"));
+            let s = series.entry(key).or_insert_with(|| BucketSeries {
+                buckets: Vec::new(),
+                count: None,
+                has_sum: false,
+            });
+            let num = value.parse::<f64>().unwrap_or(f64::INFINITY);
+            match suffix {
+                "_bucket" => {
+                    let le = le.ok_or(format!("line {ln}: _bucket without le label"))?;
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse::<f64>()
+                            .map_err(|_| format!("line {ln}: bad le bound '{le}'"))?
+                    };
+                    s.buckets.push((bound, num));
+                }
+                "_sum" => s.has_sum = true,
+                "_count" => s.count = Some(num),
+                _ => unreachable!(),
+            }
+        }
+    }
+    for ((fam, labels), s) in &series {
+        let tag = if labels.is_empty() {
+            fam.clone()
+        } else {
+            format!("{fam}{{{}}}", labels.replace('\u{1}', ","))
+        };
+        if s.buckets.is_empty() {
+            return Err(format!("histogram {tag}: no _bucket samples"));
+        }
+        for w in s.buckets.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!(
+                    "histogram {tag}: le bounds out of order ({} then {})",
+                    format_value(w[0].0),
+                    format_value(w[1].0)
+                ));
+            }
+            if w[0].1 > w[1].1 {
+                return Err(format!(
+                    "histogram {tag}: bucket counts not cumulative ({} then {})",
+                    w[0].1, w[1].1
+                ));
+            }
+        }
+        let last = s.buckets.last().unwrap();
+        if !last.0.is_infinite() {
+            return Err(format!("histogram {tag}: missing +Inf bucket"));
+        }
+        let count = s
+            .count
+            .ok_or(format!("histogram {tag}: missing _count sample"))?;
+        if last.1 != count {
+            return Err(format!(
+                "histogram {tag}: +Inf bucket {} != _count {count}",
+                last.1
+            ));
+        }
+        if !s.has_sum {
+            return Err(format!("histogram {tag}: missing _sum sample"));
+        }
     }
     if samples == 0 {
         return Err("no samples in exposition".into());
@@ -527,6 +861,161 @@ mod tests {
         assert!(text.contains("lat_us_sum 60"), "{text}");
         assert!(text.contains("lat_us_count 3"), "{text}");
         assert_eq!(validate_exposition(&text), Ok(5));
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate_and_render_in_le_order() {
+        let mut h = Histogram::new(&[0.25, 0.5, 1.0, 2.0, 4.0]);
+        h.observe(0.125); // le=0.25
+        h.observe(0.375); // le=0.5
+        h.observe(0.375); // le=0.5
+        h.observe(1.0); // le=1 (boundary is inclusive)
+        h.observe(64.0); // +Inf
+        assert_eq!(h.count(), 5);
+        let mut e = Exposition::new();
+        e.histogram("req_seconds", "request latency", &[("verb", "append")], &h);
+        let text = e.render();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "req_seconds_bucket{verb=\"append\",le=\"0.25\"} 1",
+                "req_seconds_bucket{verb=\"append\",le=\"0.5\"} 3",
+                "req_seconds_bucket{verb=\"append\",le=\"1\"} 4",
+                "req_seconds_bucket{verb=\"append\",le=\"2\"} 4",
+                "req_seconds_bucket{verb=\"append\",le=\"4\"} 4",
+                "req_seconds_bucket{verb=\"append\",le=\"+Inf\"} 5",
+                "req_seconds_count{verb=\"append\"} 5",
+                "req_seconds_sum{verb=\"append\"} 65.875",
+            ],
+            "{text}"
+        );
+        assert_eq!(validate_exposition(&text), Ok(8), "{text}");
+    }
+
+    #[test]
+    fn numeric_le_bounds_sort_numerically_not_lexicographically() {
+        // "10" < "2" lexicographically — the order field must win.
+        let mut h = Histogram::new(&[2.0, 10.0]);
+        h.observe(1.0);
+        let mut e = Exposition::new();
+        e.histogram("x_seconds", "", &[], &h);
+        let text = e.render();
+        let two = text.find("le=\"2\"").unwrap();
+        let ten = text.find("le=\"10\"").unwrap();
+        assert!(two < ten, "{text}");
+        assert!(validate_exposition(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn histograms_with_distinct_label_sets_stay_grouped() {
+        let mut ha = Histogram::new(&[2.0, 10.0]);
+        ha.observe(1.0);
+        let mut hb = Histogram::new(&[2.0, 10.0]);
+        hb.observe(5.0);
+        let mut e = Exposition::new();
+        e.histogram("req_seconds", "latency", &[("verb", "detect")], &ha);
+        e.histogram("req_seconds", "latency", &[("verb", "append")], &hb);
+        let text = e.render();
+        // All append buckets precede all detect buckets (series grouped by
+        // non-le labels), each internally in le order.
+        let order: Vec<usize> = [
+            "req_seconds_bucket{verb=\"append\",le=\"2\"}",
+            "req_seconds_bucket{verb=\"append\",le=\"10\"}",
+            "req_seconds_bucket{verb=\"append\",le=\"+Inf\"}",
+            "req_seconds_bucket{verb=\"detect\",le=\"2\"}",
+            "req_seconds_bucket{verb=\"detect\",le=\"10\"}",
+            "req_seconds_bucket{verb=\"detect\",le=\"+Inf\"}",
+        ]
+        .iter()
+        .map(|needle| {
+            text.find(needle)
+                .unwrap_or_else(|| panic!("{needle}\n{text}"))
+        })
+        .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "{text}");
+        assert!(validate_exposition(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn histogram_merge_adds_and_rejects_mismatched_bounds() {
+        let mut a = Histogram::log_spaced(1e-6, 2.0, 8);
+        let mut b = Histogram::log_spaced(1e-6, 2.0, 8);
+        a.observe(1e-5);
+        b.observe(1e-3);
+        b.observe(100.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 3);
+        assert!((a.sum() - (1e-5 + 1e-3 + 100.0)).abs() < 1e-12);
+        let c = Histogram::new(&[1.0]);
+        assert!(a.merge(&c).is_err());
+        assert_eq!(a.count(), 3, "failed merge must not mutate");
+    }
+
+    #[test]
+    fn observe_duration_lands_in_a_latency_bucket() {
+        let mut h = Histogram::latency_seconds();
+        h.observe_duration(std::time::Duration::from_micros(3));
+        // 3µs ≤ 4µs bound (1µs·2²).
+        let mut e = Exposition::new();
+        e.histogram("lat", "", &[], &h);
+        assert!(e.render().contains("lat_bucket{le=\"0.000004\"} 1"));
+    }
+
+    #[test]
+    fn validator_checks_histogram_families() {
+        // A well-formed histogram passes.
+        let good = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n\
+                    h_sum 3\nh_count 2\n";
+        assert_eq!(validate_exposition(good), Ok(4));
+        // Non-cumulative bucket counts.
+        let shrink = "# TYPE h histogram\n\
+                      h_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 2\n\
+                      h_sum 3\nh_count 2\n";
+        assert!(validate_exposition(shrink)
+            .unwrap_err()
+            .contains("not cumulative"));
+        // le bounds out of numeric order.
+        let misordered = "# TYPE h histogram\n\
+                          h_bucket{le=\"10\"} 1\nh_bucket{le=\"2\"} 1\n\
+                          h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n";
+        assert!(validate_exposition(misordered)
+            .unwrap_err()
+            .contains("out of order"));
+        // +Inf bucket must equal _count.
+        let drift = "# TYPE h histogram\n\
+                     h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n\
+                     h_sum 3\nh_count 5\n";
+        assert!(validate_exposition(drift).unwrap_err().contains("+Inf"));
+        // Missing +Inf bucket.
+        let noinf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 3\nh_count 1\n";
+        assert!(validate_exposition(noinf)
+            .unwrap_err()
+            .contains("missing +Inf"));
+        // Missing _sum.
+        let nosum = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+        assert!(validate_exposition(nosum)
+            .unwrap_err()
+            .contains("missing _sum"));
+        // Series are checked independently per label set.
+        let per_series = "# TYPE h histogram\n\
+                          h_bucket{v=\"a\",le=\"1\"} 1\nh_bucket{v=\"a\",le=\"+Inf\"} 1\n\
+                          h_sum{v=\"a\"} 1\nh_count{v=\"a\"} 1\n\
+                          h_bucket{v=\"b\",le=\"1\"} 9\nh_bucket{v=\"b\",le=\"+Inf\"} 2\n\
+                          h_sum{v=\"b\"} 1\nh_count{v=\"b\"} 2\n";
+        let err = validate_exposition(per_series).unwrap_err();
+        assert!(err.contains("v=b"), "{err}");
+    }
+
+    #[test]
+    fn label_parser_round_trips_escapes() {
+        let parsed = parse_labels("a=\"x\",b=\"q\\\"u\\\\o\\nte\"").unwrap();
+        assert_eq!(
+            parsed,
+            vec![("a".into(), "x".into()), ("b".into(), "q\"u\\o\nte".into())]
+        );
+        assert!(parse_labels("a=\"unterminated").is_err());
     }
 
     #[test]

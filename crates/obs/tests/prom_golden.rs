@@ -6,10 +6,10 @@
 //! If an intentional format change breaks this test, regenerate the golden
 //! file by running the test with `UPDATE_GOLDEN=1` and reviewing the diff.
 
-use pctl_obs::prom::{validate_exposition, Exposition};
+use pctl_obs::prom::{validate_exposition, Exposition, Histogram};
 
 /// Build the document the golden file pins. Exercises every rendering
-/// feature: all three kinds, sanitization of an invalid family name,
+/// feature: all four kinds, sanitization of an invalid family name,
 /// label-value escaping, and out-of-order registration (render sorts).
 fn golden_exposition() -> Exposition {
     let mut e = Exposition::new();
@@ -46,6 +46,26 @@ fn golden_exposition() -> Exposition {
         &[("name", "arena_allocated_words")],
         4096.0,
     );
+    // A histogram with a numeric bound ladder whose le values would
+    // misorder under lexicographic label sorting ("10" < "2"), two label
+    // sets registered out of order, and an empty series.
+    let mut h = Histogram::new(&[0.5, 2.0, 10.0]);
+    h.observe(0.25);
+    h.observe(1.0);
+    h.observe(1.5);
+    h.observe(64.0);
+    e.histogram(
+        "pctl_sim_request_seconds",
+        "Request latency by verb",
+        &[("verb", "detect")],
+        &h,
+    );
+    e.histogram(
+        "pctl_sim_request_seconds",
+        "Request latency by verb",
+        &[("verb", "append")],
+        &Histogram::new(&[0.5, 2.0, 10.0]),
+    );
     e
 }
 
@@ -67,8 +87,9 @@ fn exposition_matches_golden_file() {
 #[test]
 fn golden_document_is_structurally_valid() {
     let rendered = golden_exposition().render();
-    // 1 prof gauge + 5 summary samples + 1 counter + 1 gauge + 2 labeled.
-    assert_eq!(validate_exposition(&rendered), Ok(10), "{rendered}");
+    // 1 prof gauge + 5 summary samples + 1 counter + 1 gauge + 2 labeled
+    // + 2 histogram series × (4 buckets + _sum + _count).
+    assert_eq!(validate_exposition(&rendered), Ok(22), "{rendered}");
 }
 
 #[test]

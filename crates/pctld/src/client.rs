@@ -181,9 +181,26 @@ impl Client {
         })
     }
 
+    /// Pull the session's recent telemetry events (for Chrome-trace
+    /// export — `pctl trace --remote`).
+    pub fn trace(&mut self, session: &str) -> std::io::Result<Response> {
+        self.request(Request::Trace {
+            session: session.into(),
+        })
+    }
+
     /// Daemon counters/gauges.
     pub fn stats(&mut self) -> std::io::Result<Response> {
         self.request(Request::Stats)
+    }
+
+    /// Daemon counters/gauges, unwrapped to the snapshot. Any other
+    /// response (e.g. `Draining`) is an error.
+    pub fn stats_snapshot(&mut self) -> std::io::Result<crate::proto::StatsSnapshot> {
+        match self.stats()? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(io_err(format!("unexpected stats answer: {other:?}"))),
+        }
     }
 
     /// Drain every session and stop the daemon.

@@ -32,6 +32,8 @@ pub mod stream;
 
 pub use client::{Client, RetryPolicy};
 pub use frame::{encode_frame, FrameDecoder, FrameError, DEFAULT_MAX_FRAME};
-pub use proto::{ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope, StatsSnapshot};
+pub use proto::{
+    ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope, SessionStat, StatsSnapshot,
+};
 pub use server::{Config, Daemon, MAX_SLEEP_MS};
-pub use stream::{stream_deposet, StreamReport};
+pub use stream::{stream_deposet, stream_deposet_with, StreamProgress, StreamReport};

@@ -67,6 +67,12 @@ pub enum Request {
         /// Target session.
         session: String,
     },
+    /// Pull the session's recent telemetry events (bounded ring,
+    /// drop-oldest) for Chrome-trace export — `pctl trace --remote`.
+    Trace {
+        /// Target session.
+        session: String,
+    },
     /// Admin: daemon-wide counters and gauges.
     Stats,
     /// Admin: drain every live session (flushing snapshots) and stop.
@@ -98,9 +104,29 @@ impl Request {
             | Request::Verify { session, .. }
             | Request::Snapshot { session }
             | Request::Close { session }
+            | Request::Trace { session }
             | Request::Crash { session }
             | Request::Sleep { session, .. } => Some(session),
             Request::Stats | Request::Shutdown => None,
+        }
+    }
+
+    /// The verb name, as used for the `verb` label on
+    /// `pctld_request_seconds` and in the slow-request log.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Append { .. } => "append",
+            Request::Detect { .. } => "detect",
+            Request::Control { .. } => "control",
+            Request::Verify { .. } => "verify",
+            Request::Snapshot { .. } => "snapshot",
+            Request::Close { .. } => "close",
+            Request::Trace { .. } => "trace",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::Crash { .. } => "crash",
+            Request::Sleep { .. } => "sleep",
         }
     }
 }
@@ -188,6 +214,19 @@ pub enum Response {
         /// Counter/gauge snapshot.
         stats: StatsSnapshot,
     },
+    /// Answer to [`Request::Trace`]: the session's recent telemetry
+    /// events, oldest first.
+    Trace {
+        /// Surviving ring contents (oldest first). Receive events whose
+        /// matching send was already evicted from the ring are included
+        /// verbatim — exporters prune them
+        /// ([`pctl_obs::chrome::prune_orphan_flows`]) before rendering.
+        events: Vec<pctl_obs::Event>,
+        /// Events dropped by the bounded ring since the session opened.
+        dropped: u64,
+        /// Process (lane) count of the session's computation.
+        processes: u32,
+    },
     /// Answer to [`Request::Shutdown`], sent after the drain completes.
     Draining {
         /// Sessions that failed to join cleanly during the drain.
@@ -217,6 +256,31 @@ pub struct StatsSnapshot {
     pub approx_bytes: u64,
     /// Configured hard memory budget.
     pub budget_bytes: u64,
+    /// Per-session breakdown, sorted by session name. `#[serde(default)]`
+    /// so snapshots from daemons predating this field still parse.
+    #[serde(default)]
+    pub per_session: Vec<SessionStat>,
+}
+
+/// One session's slice of the [`StatsSnapshot`], as consumed by
+/// `pctl top`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionStat {
+    /// Session name.
+    pub name: String,
+    /// Appends accepted (enqueued) for this session.
+    pub appends: u64,
+    /// Estimated bytes in this session's store.
+    pub approx_bytes: u64,
+    /// Commands currently waiting on the session's bounded queue.
+    pub queue_depth: u64,
+    /// Milliseconds since the session's last accepted command.
+    pub idle_ms: u64,
+    /// Exact nearest-rank p50 of recent append latencies (enqueue →
+    /// applied), microseconds; 0 until the first append is applied.
+    pub p50_us: u64,
+    /// Exact nearest-rank p95 over the same window.
+    pub p95_us: u64,
 }
 
 /// A response frame: the request's `seq` plus the response.

@@ -39,8 +39,10 @@ use crate::proto::{
 use pctl_core::offline::OfflineOptions;
 use pctl_core::StreamEngine;
 use pctl_deposet::AppendOp;
-use pctl_obs::prom::{prof_families, Exposition};
-use std::collections::HashMap;
+use pctl_obs::prom::{prof_families, Exposition, Histogram};
+use pctl_obs::{Event, EventKind, Recorder, RingRecorder};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -76,6 +78,22 @@ pub struct Config {
     /// the port is unauthenticated, and these verbs exist for torture
     /// tests and chaos drills, not production clients.
     pub fault_injection: bool,
+    /// Request telemetry (per-verb latency histograms, queue-wait/apply
+    /// split, per-session latency windows, trace rings, slow log). On by
+    /// default; turning it off leaves only the PR-6 counters/gauges —
+    /// the bench suite measures the difference to keep observation
+    /// honest about its cost.
+    pub telemetry: bool,
+    /// Capacity of each session's telemetry event ring (drop-oldest),
+    /// served by the `Trace` verb. 0 disables the rings (`Trace` answers
+    /// with an empty event list).
+    pub trace_ring: usize,
+    /// When set, requests at least [`Config::slow_ms`] slow append one
+    /// JSONL record (`ts_ms`, `session`, `verb`, `latency_us`,
+    /// `queue_depth`, `outcome`) to this file.
+    pub slow_log: Option<PathBuf>,
+    /// Slow-request threshold, milliseconds.
+    pub slow_ms: u64,
 }
 
 /// Hard clamp on a client-requested `Sleep` stall, even with
@@ -95,9 +113,18 @@ impl Default for Config {
             retry_after_ms: 20,
             snapshot_dir: None,
             fault_injection: false,
+            telemetry: true,
+            trace_ring: 256,
+            slow_log: None,
+            slow_ms: 100,
         }
     }
 }
+
+/// Per-session append-latency window: enough samples for a stable p95
+/// without unbounded growth (`Stats` percentiles are exact over this
+/// window, nearest-rank).
+const LATENCY_WINDOW: usize = 512;
 
 /// What a query command asks of the session worker.
 enum QueryKind {
@@ -105,6 +132,8 @@ enum QueryKind {
     Control,
     Verify(u64),
     Snapshot,
+    /// Snapshot the session's telemetry event ring.
+    Trace,
     /// Fault injection: panic inside the worker.
     Crash,
     /// Fault injection: stall the worker.
@@ -114,8 +143,10 @@ enum QueryKind {
 /// A command on a session's bounded queue.
 enum Cmd {
     /// Already acked to the client; errors become the session's sticky
-    /// error.
-    Apply(AppendOp),
+    /// error. The `Instant` is the enqueue time, stamped by the
+    /// connection thread — the worker splits total append latency into
+    /// queue wait (enqueue → dequeue) and store apply from it.
+    Apply(AppendOp, Instant),
     Query(QueryKind, mpsc::Sender<Response>),
     /// Flush + exit; the reply confirms the worker is done with its store.
     Close(mpsc::Sender<Response>),
@@ -140,11 +171,25 @@ struct SessionShared {
     last_active: Mutex<Instant>,
     approx_bytes: AtomicUsize,
     queue_len: AtomicUsize,
+    /// Appends accepted (enqueued) for this session.
+    appends: AtomicU64,
+    /// Recent append latencies (enqueue → applied), microseconds, bounded
+    /// to [`LATENCY_WINDOW`] (drop-oldest). `Stats` per-session p50/p95
+    /// are exact nearest-rank percentiles over this window.
+    lat_us: Mutex<VecDeque<u64>>,
 }
 
 impl SessionShared {
     fn touch(&self) {
         *self.last_active.lock().unwrap() = Instant::now();
+    }
+
+    fn push_latency(&self, us: u64) {
+        let mut lat = self.lat_us.lock().unwrap();
+        if lat.len() == LATENCY_WINDOW {
+            lat.pop_front();
+        }
+        lat.push_back(us);
     }
 
     fn idle_for(&self) -> Duration {
@@ -170,6 +215,73 @@ struct Stats {
     approx_bytes: AtomicUsize,
 }
 
+/// Request-telemetry state: per-verb latency histograms, the queue-wait /
+/// store-apply split for appends, and the slow-request log sink.
+///
+/// Everything here is strictly observational — no verb branches on it —
+/// so disabling it (`Config::telemetry = false`) changes no verdict, a
+/// property the torture test pins by comparing daemon verdicts against
+/// batch engines with telemetry on.
+struct Telemetry {
+    enabled: bool,
+    /// `pctld_request_seconds{verb=...}`: wall time of `dispatch`, i.e.
+    /// what the client waits for past framing.
+    request_seconds: Mutex<BTreeMap<&'static str, Histogram>>,
+    /// `pctld_append_queue_wait_seconds`: enqueue → worker dequeue.
+    queue_wait_seconds: Mutex<Histogram>,
+    /// `pctld_append_apply_seconds`: store apply proper.
+    apply_seconds: Mutex<Histogram>,
+    slow_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    slow_threshold: Duration,
+}
+
+impl Telemetry {
+    fn new(cfg: &Config) -> std::io::Result<Telemetry> {
+        let slow_log = match (&cfg.slow_log, cfg.telemetry) {
+            (Some(path), true) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?;
+                Some(Mutex::new(std::io::BufWriter::new(file)))
+            }
+            _ => None,
+        };
+        Ok(Telemetry {
+            enabled: cfg.telemetry,
+            request_seconds: Mutex::new(BTreeMap::new()),
+            queue_wait_seconds: Mutex::new(Histogram::latency_seconds()),
+            apply_seconds: Mutex::new(Histogram::latency_seconds()),
+            slow_log,
+            slow_threshold: Duration::from_millis(cfg.slow_ms),
+        })
+    }
+
+    fn observe_request(&self, verb: &'static str, dt: Duration) {
+        self.request_seconds
+            .lock()
+            .unwrap()
+            .entry(verb)
+            .or_insert_with(Histogram::latency_seconds)
+            .observe_duration(dt);
+    }
+}
+
+/// One slow-request log record (JSONL). Owned fields: the vendored
+/// serde derive does not handle generic (borrowing) structs.
+#[derive(Serialize)]
+struct SlowRecord {
+    /// Unix milliseconds at the time of logging.
+    ts_ms: u64,
+    session: Option<String>,
+    verb: String,
+    latency_us: u64,
+    /// The session's queue depth right after the request finished (0 for
+    /// admin verbs and vanished sessions).
+    queue_depth: u64,
+    outcome: String,
+}
+
 struct Inner {
     cfg: Config,
     addr: SocketAddr,
@@ -177,6 +289,7 @@ struct Inner {
     draining: AtomicBool,
     sessions: Mutex<HashMap<String, Arc<SessionShared>>>,
     stats: Stats,
+    telemetry: Telemetry,
 }
 
 /// A running daemon. Dropping it drains and stops the listener.
@@ -190,6 +303,7 @@ impl Daemon {
     pub fn spawn(cfg: Config) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let telemetry = Telemetry::new(&cfg)?;
         let inner = Arc::new(Inner {
             cfg,
             addr,
@@ -197,6 +311,7 @@ impl Daemon {
             draining: AtomicBool::new(false),
             sessions: Mutex::new(HashMap::new()),
             stats: Stats::default(),
+            telemetry,
         });
         let inner2 = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
@@ -255,6 +370,16 @@ impl Daemon {
         self.inner.stats_snapshot()
     }
 
+    /// The raw append-latency window (microseconds, oldest first) behind
+    /// a session's `Stats` percentiles. Diagnostic surface: tests use it
+    /// to assert the served p50/p95 are *exact* nearest-rank percentiles
+    /// of the recorded timings, not approximations.
+    pub fn session_append_latencies(&self, name: &str) -> Option<Vec<u64>> {
+        let sess = self.inner.sessions.lock().unwrap().get(name).cloned()?;
+        let lat = sess.lat_us.lock().unwrap();
+        Some(lat.iter().copied().collect())
+    }
+
     /// Fold the daemon's gauges/counters into a Prometheus exposition
     /// (`pctld_*` families), for mounting on the existing `/metrics`
     /// server.
@@ -300,8 +425,31 @@ impl Drop for Daemon {
 
 impl Inner {
     fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut per_session: Vec<crate::proto::SessionStat> = self
+            .sessions
+            .lock()
+            .unwrap()
+            .values()
+            .map(|sess| {
+                let lat: Vec<u64> = {
+                    let l = sess.lat_us.lock().unwrap();
+                    l.iter().copied().collect()
+                };
+                let pct = pctl_obs::stats::Percentiles::of(&lat);
+                crate::proto::SessionStat {
+                    name: sess.name.clone(),
+                    appends: sess.appends.load(Ordering::SeqCst),
+                    approx_bytes: sess.approx_bytes.load(Ordering::SeqCst) as u64,
+                    queue_depth: sess.queue_len.load(Ordering::SeqCst) as u64,
+                    idle_ms: sess.idle_for().as_millis() as u64,
+                    p50_us: pct.as_ref().map_or(0, |p| p.p50),
+                    p95_us: pct.as_ref().map_or(0, |p| p.p95),
+                }
+            })
+            .collect();
+        per_session.sort_by(|a, b| a.name.cmp(&b.name));
         StatsSnapshot {
-            sessions: self.sessions.lock().unwrap().len() as u64,
+            sessions: per_session.len() as u64,
             appends_total: self.stats.appends_total.load(Ordering::SeqCst),
             busy_total: self.stats.busy_total.load(Ordering::SeqCst),
             evictions_total: self.stats.evictions_total.load(Ordering::SeqCst),
@@ -310,6 +458,7 @@ impl Inner {
             poisoned_total: self.stats.poisoned_total.load(Ordering::SeqCst),
             approx_bytes: self.stats.approx_bytes.load(Ordering::SeqCst) as u64,
             budget_bytes: self.cfg.memory_budget as u64,
+            per_session,
         }
     }
 
@@ -371,6 +520,65 @@ impl Inner {
                 &[("session", sess.name.as_str())],
                 sess.queue_len.load(Ordering::SeqCst) as f64,
             );
+        }
+        if self.telemetry.enabled {
+            for (verb, h) in self.telemetry.request_seconds.lock().unwrap().iter() {
+                exp.histogram(
+                    "pctld_request_seconds",
+                    "Request dispatch latency by verb, seconds",
+                    &[("verb", verb)],
+                    h,
+                );
+            }
+            exp.histogram(
+                "pctld_append_queue_wait_seconds",
+                "Append latency spent waiting on the session queue (enqueue to worker dequeue), seconds",
+                &[],
+                &self.telemetry.queue_wait_seconds.lock().unwrap(),
+            );
+            exp.histogram(
+                "pctld_append_apply_seconds",
+                "Append latency spent applying to the session store, seconds",
+                &[],
+                &self.telemetry.apply_seconds.lock().unwrap(),
+            );
+        }
+    }
+
+    /// Append one slow-request record; called only when telemetry and the
+    /// slow log are configured and the request crossed the threshold.
+    fn write_slow_log(
+        &self,
+        verb: &'static str,
+        session: Option<&str>,
+        dt: Duration,
+        resp: &Response,
+    ) {
+        let Some(log) = &self.telemetry.slow_log else {
+            return;
+        };
+        let queue_depth = session
+            .and_then(|n| self.sessions.lock().unwrap().get(n).cloned())
+            .map_or(0, |s| s.queue_len.load(Ordering::SeqCst) as u64);
+        let outcome = match resp {
+            Response::Busy { .. } => "busy".to_owned(),
+            Response::Err { kind, .. } => format!("err:{kind:?}"),
+            _ => "ok".to_owned(),
+        };
+        let record = SlowRecord {
+            ts_ms: std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis() as u64),
+            session: session.map(str::to_owned),
+            verb: verb.to_owned(),
+            latency_us: dt.as_micros() as u64,
+            queue_depth,
+            outcome,
+        };
+        if let Ok(json) = serde_json::to_string(&record) {
+            let mut w = log.lock().unwrap();
+            let _ = writeln!(w, "{json}");
+            let _ = w.flush();
         }
     }
 
@@ -538,8 +746,33 @@ fn handle_payload(payload: &[u8], inner: &Arc<Inner>) -> (ResponseEnvelope, bool
     (ResponseEnvelope { seq, resp }, done)
 }
 
+/// Dispatch one request, timing it into `pctld_request_seconds{verb=...}`
+/// and the slow-request log. The telemetry wrapper is strictly
+/// observational: the response comes from [`dispatch_verb`] untouched.
 fn dispatch(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
     let _prof = pctl_prof::span("pctld_dispatch");
+    if !inner.telemetry.enabled {
+        return dispatch_verb(req, inner);
+    }
+    let verb = req.verb();
+    // The session name outlives `req` only when the slow log might need
+    // it — the common path stays allocation-free.
+    let session = if inner.telemetry.slow_log.is_some() {
+        req.session().map(str::to_owned)
+    } else {
+        None
+    };
+    let start = Instant::now();
+    let (resp, done) = dispatch_verb(req, inner);
+    let dt = start.elapsed();
+    inner.telemetry.observe_request(verb, dt);
+    if inner.telemetry.slow_log.is_some() && dt >= inner.telemetry.slow_threshold {
+        inner.write_slow_log(verb, session.as_deref(), dt, &resp);
+    }
+    (resp, done)
+}
+
+fn dispatch_verb(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
     match req {
         Request::Hello {
             session,
@@ -553,6 +786,7 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
             (query(&session, QueryKind::Verify(limit), inner), false)
         }
         Request::Snapshot { session } => (query(&session, QueryKind::Snapshot, inner), false),
+        Request::Trace { session } => (query(&session, QueryKind::Trace, inner), false),
         Request::Close { session } => (handle_close(&session, inner), false),
         Request::Stats => (
             Response::Stats {
@@ -694,7 +928,10 @@ fn spawn_session(
         last_active: Mutex::new(Instant::now()),
         approx_bytes: AtomicUsize::new(0),
         queue_len: AtomicUsize::new(0),
+        appends: AtomicU64::new(0),
+        lat_us: Mutex::new(VecDeque::new()),
     });
+    let processes = locals.len() as u32;
     let engine = match init {
         Some(init) => StreamEngine::new_with_init(locals, &init),
         None => StreamEngine::new(locals),
@@ -703,7 +940,7 @@ fn spawn_session(
     let worker_inner = Arc::clone(inner);
     let handle = std::thread::Builder::new()
         .name(format!("pctld-sess-{name}"))
-        .spawn(move || worker_loop(engine, rx, worker_sess, worker_inner))?;
+        .spawn(move || worker_loop(engine, rx, worker_sess, worker_inner, processes))?;
     *sess.worker.lock().unwrap() = Some(handle);
     Ok(sess)
 }
@@ -737,10 +974,11 @@ fn handle_append(name: &str, op: AppendOp, inner: &Arc<Inner>) -> Response {
             format!("session '{name}' is closing"),
         );
     };
-    match tx.try_send(Cmd::Apply(op)) {
+    match tx.try_send(Cmd::Apply(op, Instant::now())) {
         Ok(()) => {
             sess.queue_len.fetch_add(1, Ordering::SeqCst);
             sess.touch();
+            sess.appends.fetch_add(1, Ordering::SeqCst);
             inner.stats.appends_total.fetch_add(1, Ordering::SeqCst);
             Response::Ok
         }
@@ -803,23 +1041,104 @@ fn handle_close(name: &str, inner: &Arc<Inner>) -> Response {
     }
 }
 
+/// Session-worker telemetry: the trace ring the `Trace` verb serves, a
+/// `msg id → sender lane` map so receive events can name their source, and
+/// the session epoch that anchors ring timestamps.
+struct WorkerTelemetry {
+    ring: Option<RingRecorder>,
+    senders: HashMap<u64, u32>,
+    epoch: Instant,
+    processes: u32,
+}
+
+impl WorkerTelemetry {
+    fn new(cfg: &Config, processes: u32) -> WorkerTelemetry {
+        WorkerTelemetry {
+            ring: (cfg.telemetry && cfg.trace_ring > 0).then(|| RingRecorder::new(cfg.trace_ring)),
+            senders: HashMap::new(),
+            epoch: Instant::now(),
+            processes,
+        }
+    }
+
+    /// Record one applied op into the ring: message ops become flow
+    /// events keyed by the deposet's message id, and every variable
+    /// update becomes a counter sample (predicate truth renders as a
+    /// step function in trace viewers). A send's destination is unknown
+    /// until delivery in the deposet model, so it is recorded as
+    /// `u32::MAX`; the matching receive names its true source lane.
+    fn record(&mut self, op: &AppendOp) {
+        let Some(ring) = &mut self.ring else { return };
+        let ts = self.epoch.elapsed().as_micros() as u64;
+        let lane = op.process();
+        let (kind, name, updates) = match op {
+            AppendOp::Internal { updates, .. } => (EventKind::Instant, "internal", updates),
+            AppendOp::Send {
+                msg, tag, updates, ..
+            } => {
+                self.senders.insert(*msg, lane);
+                (
+                    EventKind::MsgSend {
+                        id: *msg,
+                        to: u32::MAX,
+                    },
+                    tag.as_str(),
+                    updates,
+                )
+            }
+            AppendOp::Recv { msg, updates, .. } => (
+                EventKind::MsgRecv {
+                    id: *msg,
+                    from: self.senders.get(msg).copied().unwrap_or(u32::MAX),
+                },
+                "recv",
+                updates,
+            ),
+        };
+        ring.record(Event {
+            ts,
+            lane,
+            name: name.to_owned(),
+            kind,
+            clock: None,
+        });
+        for (var, value) in updates {
+            ring.record(Event::counter(ts, lane, var, *value));
+        }
+    }
+
+    fn trace_response(&self) -> Response {
+        Response::Trace {
+            events: self.ring.as_ref().map(|r| r.snapshot()).unwrap_or_default(),
+            dropped: self.ring.as_ref().map(|r| r.dropped()).unwrap_or(0),
+            processes: self.processes,
+        }
+    }
+}
+
 fn worker_loop(
     mut engine: StreamEngine,
     rx: Receiver<Cmd>,
     sess: Arc<SessionShared>,
     inner: Arc<Inner>,
+    processes: u32,
 ) {
+    let telemetry = inner.telemetry.enabled;
+    let mut wt = WorkerTelemetry::new(&inner.cfg, processes);
     while let Ok(cmd) = rx.recv() {
         sess.queue_len.fetch_sub(1, Ordering::SeqCst);
         match cmd {
-            Cmd::Apply(op) => {
+            Cmd::Apply(op, enqueued) => {
                 if sess.sticky_error.lock().unwrap().is_some() {
                     continue; // wedged: drop queued appends, keep answering
                 }
+                let queue_wait = enqueued.elapsed();
+                let apply_start = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let _prof = pctl_prof::span("pctld_apply");
                     engine.apply(&op)
                 }));
+                let apply_dt = apply_start.elapsed();
                 match outcome {
                     Ok(Ok(())) => {
                         let now = engine.store().approx_bytes();
@@ -828,6 +1147,22 @@ fn worker_loop(
                             .stats
                             .approx_bytes
                             .fetch_add(now - before, Ordering::SeqCst);
+                        if telemetry {
+                            inner
+                                .telemetry
+                                .queue_wait_seconds
+                                .lock()
+                                .unwrap()
+                                .observe_duration(queue_wait);
+                            inner
+                                .telemetry
+                                .apply_seconds
+                                .lock()
+                                .unwrap()
+                                .observe_duration(apply_dt);
+                            sess.push_latency((queue_wait + apply_dt).as_micros() as u64);
+                            wt.record(&op);
+                        }
                     }
                     Ok(Err(e)) => {
                         *sess.sticky_error.lock().unwrap() = Some(e.to_string());
@@ -837,6 +1172,11 @@ fn worker_loop(
                         return;
                     }
                 }
+            }
+            Cmd::Query(QueryKind::Trace, reply) => {
+                // Answered from worker-local state; no engine involvement,
+                // so it cannot panic the session.
+                let _ = reply.send(wt.trace_response());
             }
             Cmd::Query(kind, reply) => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| run_query(&engine, &kind)));
@@ -889,7 +1229,7 @@ fn poison(sess: &Arc<SessionShared>, inner: &Arc<Inner>, rx: &Receiver<Cmd>) {
     while let Ok(cmd) = rx.try_recv() {
         sess.queue_len.fetch_sub(1, Ordering::SeqCst);
         match cmd {
-            Cmd::Apply(_) => {}
+            Cmd::Apply(..) => {}
             Cmd::Query(_, reply) => {
                 let _ = reply.send(err(ErrorKind::Poisoned, "session worker panicked"));
             }
@@ -946,6 +1286,9 @@ fn run_query(engine: &StreamEngine, kind: &QueryKind) -> Response {
                 trace: pctl_deposet::trace::to_json(&engine.snapshot()),
             }
         }
+        // Intercepted by the worker loop (answered from worker-local
+        // telemetry, not the engine).
+        QueryKind::Trace => unreachable!("Trace never reaches run_query"),
         QueryKind::Crash => panic!("injected fault (Request::Crash)"),
         QueryKind::Sleep(ms) => {
             std::thread::sleep(Duration::from_millis(*ms));

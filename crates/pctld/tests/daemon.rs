@@ -636,3 +636,352 @@ fn hello_rejects_bad_names_arity_and_duplicates() {
     assert_eq!(c.close("ok-name").unwrap(), Response::Ok);
     assert_eq!(d.shutdown(), 0);
 }
+
+/// Scrape the daemon's metrics endpoint once, returning the body.
+fn scrape(srv: &pctl_obs::prom::MetricsServer) -> String {
+    let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    resp.split("\r\n\r\n").nth(1).unwrap_or("").to_owned()
+}
+
+#[test]
+fn request_histograms_export_and_validate_on_metrics() {
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    let dep = random_deposet(
+        &RandomConfig {
+            processes: 3,
+            events: 30,
+            send_prob: 0.4,
+            flip_prob: 0.4,
+        },
+        5,
+    );
+    let pred = DisjunctivePredicate::at_least_one(3, "ok");
+    let (init, ops) = linearize(&dep);
+    let appended = ops.len() as f64;
+    assert_eq!(
+        c.hello("histo", pred.locals().to_vec(), Some(init))
+            .unwrap(),
+        Response::Ok
+    );
+    for op in ops {
+        assert_eq!(
+            c.append_retry("histo", op, RetryPolicy::default()).unwrap(),
+            Response::Ok
+        );
+    }
+    match c.detect("histo").unwrap() {
+        Response::Detect { .. } => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    let srv = d.spawn_metrics("127.0.0.1:0").expect("metrics bind");
+    let body = scrape(&srv);
+    pctl_obs::prom::validate_exposition(&body).expect("histograms validate");
+    // Per-verb request histograms: the +Inf bucket of each verb equals its
+    // _count, and every verb this test exercised is present.
+    for verb in ["hello", "append", "detect"] {
+        assert!(
+            body.contains(&format!(
+                "pctld_request_seconds_bucket{{verb=\"{verb}\",le=\"+Inf\"}}"
+            )),
+            "verb {verb} missing from exposition:\n{body}"
+        );
+        assert!(
+            body.contains(&format!("pctld_request_seconds_count{{verb=\"{verb}\"}}")),
+            "{body}"
+        );
+    }
+    assert!(
+        body.contains(&format!(
+            "pctld_request_seconds_count{{verb=\"append\"}} {appended}"
+        )),
+        "every accepted append is observed exactly once:\n{body}"
+    );
+    // The append split: queue-wait and store-apply histograms carry the
+    // same total count as the appends the worker applied.
+    assert!(
+        body.contains(&format!("pctld_append_queue_wait_seconds_count {appended}")),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!("pctld_append_apply_seconds_count {appended}")),
+        "{body}"
+    );
+    srv.shutdown();
+    assert_eq!(c.close("histo").unwrap(), Response::Ok);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn telemetry_off_exports_no_request_histograms_and_same_verdicts() {
+    let cfg = Config {
+        telemetry: false,
+        ..Config::default()
+    };
+    let d = daemon(cfg);
+    let mut c = client(&d);
+    let dep = random_deposet(
+        &RandomConfig {
+            processes: 3,
+            events: 24,
+            send_prob: 0.4,
+            flip_prob: 0.4,
+        },
+        17,
+    );
+    let pred = DisjunctivePredicate::at_least_one(3, "ok");
+    let (init, ops) = linearize(&dep);
+    assert_eq!(
+        c.hello("dark", pred.locals().to_vec(), Some(init)).unwrap(),
+        Response::Ok
+    );
+    for op in ops {
+        assert_eq!(
+            c.append_retry("dark", op, RetryPolicy::default()).unwrap(),
+            Response::Ok
+        );
+    }
+    // Verdicts are bit-identical to the batch engine with telemetry off.
+    let batch = PredicateEngine::new(&dep, pred);
+    match c.detect("dark").unwrap() {
+        Response::Detect { violation } => assert_eq!(
+            violation,
+            batch.detect_violation().map(|g| g.indices().to_vec())
+        ),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // The Trace verb degrades gracefully: no ring, empty answer.
+    match c.trace("dark").unwrap() {
+        Response::Trace {
+            events,
+            dropped,
+            processes,
+        } => {
+            assert!(events.is_empty(), "no ring when telemetry is off");
+            assert_eq!(dropped, 0);
+            assert_eq!(processes, 3);
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    let srv = d.spawn_metrics("127.0.0.1:0").expect("metrics bind");
+    let body = scrape(&srv);
+    pctl_obs::prom::validate_exposition(&body).expect("valid exposition");
+    assert!(
+        !body.contains("pctld_request_seconds"),
+        "telemetry off exports no request histograms:\n{body}"
+    );
+    srv.shutdown();
+    assert_eq!(c.close("dark").unwrap(), Response::Ok);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn stats_per_session_percentiles_are_exact() {
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    let dep = random_deposet(
+        &RandomConfig {
+            processes: 3,
+            events: 40,
+            send_prob: 0.4,
+            flip_prob: 0.4,
+        },
+        23,
+    );
+    let pred = DisjunctivePredicate::at_least_one(3, "ok");
+    let (init, ops) = linearize(&dep);
+    let total = ops.len() as u64;
+    assert_eq!(
+        c.hello("exact", pred.locals().to_vec(), Some(init))
+            .unwrap(),
+        Response::Ok
+    );
+    for op in ops {
+        assert_eq!(
+            c.append_retry("exact", op, RetryPolicy::default()).unwrap(),
+            Response::Ok
+        );
+    }
+    // Queries are answered by the same worker that applies appends, in
+    // order — one round trip quiesces the queue, so the latency window is
+    // complete before Stats reads it.
+    match c.detect("exact").unwrap() {
+        Response::Detect { .. } => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    let recorded = d
+        .session_append_latencies("exact")
+        .expect("session is live");
+    assert_eq!(
+        recorded.len() as u64,
+        total,
+        "one sample per applied append"
+    );
+    let expect = pctl_obs::stats::Percentiles::of(&recorded).expect("non-empty");
+    let stats = c.stats_snapshot().unwrap();
+    let s = stats
+        .per_session
+        .iter()
+        .find(|s| s.name == "exact")
+        .expect("per-session row present");
+    assert_eq!(s.appends, total);
+    assert_eq!(s.p50_us, expect.p50, "p50 is exact nearest-rank: {s:?}");
+    assert_eq!(s.p95_us, expect.p95, "p95 is exact nearest-rank: {s:?}");
+    assert_eq!(s.queue_depth, 0, "quiesced session has an empty queue");
+    assert!(s.approx_bytes > 0);
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(c.close("exact").unwrap(), Response::Ok);
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn trace_verb_round_trips_to_a_valid_chrome_trace() {
+    use pctl_obs::EventKind;
+    // A ring smaller than the event count forces drop-oldest, so the
+    // export path must prune orphaned receives to stay schema-valid.
+    let cfg = Config {
+        trace_ring: 16,
+        ..Config::default()
+    };
+    let d = daemon(cfg);
+    let mut c = client(&d);
+    let dep = random_deposet(
+        &RandomConfig {
+            processes: 3,
+            events: 48,
+            send_prob: 0.5,
+            flip_prob: 0.4,
+        },
+        11,
+    );
+    let pred = DisjunctivePredicate::at_least_one(3, "ok");
+    let (init, ops) = linearize(&dep);
+    let total = ops.len() as u64;
+    assert_eq!(
+        c.hello("traced", pred.locals().to_vec(), Some(init))
+            .unwrap(),
+        Response::Ok
+    );
+    for op in ops {
+        assert_eq!(
+            c.append_retry("traced", op, RetryPolicy::default())
+                .unwrap(),
+            Response::Ok
+        );
+    }
+    match c.detect("traced").unwrap() {
+        Response::Detect { .. } => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    let (mut events, dropped, processes) = match c.trace("traced").unwrap() {
+        Response::Trace {
+            events,
+            dropped,
+            processes,
+        } => (events, dropped, processes),
+        other => panic!("unexpected: {other:?}"),
+    };
+    assert_eq!(processes, 3);
+    assert!(!events.is_empty(), "ring holds the tail of the stream");
+    assert!(events.len() <= 16 + 1, "bounded by the configured ring");
+    assert!(
+        dropped > 0 && dropped < 2 * total,
+        "a 16-slot ring over {total} appends must drop: {dropped}"
+    );
+    // Timestamps are monotone oldest-first, and every lane is in range.
+    for w in events.windows(2) {
+        assert!(w[0].ts <= w[1].ts, "ring snapshot is oldest-first");
+    }
+    assert!(events
+        .iter()
+        .all(|e| e.lane < processes || matches!(e.kind, EventKind::Counter { .. })));
+    pctl_obs::chrome::prune_orphan_flows(&mut events);
+    let lanes: Vec<String> = (0..processes).map(|i| format!("p{i}")).collect();
+    let json = pctl_obs::chrome::chrome_trace(&events, &lanes);
+    pctl_obs::chrome::validate_chrome_trace(&json).expect("schema-valid Chrome trace");
+    assert_eq!(c.close("traced").unwrap(), Response::Ok);
+    // Trace on a closed session is a structured error, not silence.
+    match c.trace("traced").unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert_eq!(d.shutdown(), 0);
+}
+
+#[test]
+fn slow_log_records_requests_as_structured_jsonl() {
+    let dir = std::env::temp_dir().join(format!("pctld_slowlog_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("slow.jsonl");
+    // Threshold 0: every request is "slow", so the log records them all.
+    let cfg = Config {
+        slow_log: Some(log_path.clone()),
+        slow_ms: 0,
+        ..Config::default()
+    };
+    let d = daemon(cfg);
+    let mut c = client(&d);
+    assert_eq!(
+        c.hello("logged", vec![LocalPredicate::var("ok")], None)
+            .unwrap(),
+        Response::Ok
+    );
+    assert_eq!(
+        c.append(
+            "logged",
+            pctl_deposet::AppendOp::Internal {
+                process: 0,
+                updates: vec![("ok".into(), 1)],
+            },
+        )
+        .unwrap(),
+        Response::Ok
+    );
+    match c.detect("missing-session").unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert_eq!(c.close("logged").unwrap(), Response::Ok);
+    assert_eq!(d.shutdown(), 0);
+    let text = std::fs::read_to_string(&log_path).expect("slow log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 4,
+        "hello, append, failed detect, close all logged:\n{text}"
+    );
+    let mut verbs = Vec::new();
+    let mut outcomes = Vec::new();
+    for line in &lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        let obj = v.as_object().expect("record is an object");
+        let get = |k: &str| {
+            obj.iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing field {k} in {line}"))
+        };
+        verbs.push(get("verb").as_str().unwrap().to_owned());
+        outcomes.push(get("outcome").as_str().unwrap().to_owned());
+        for num in ["latency_us", "queue_depth", "ts_ms"] {
+            assert!(
+                matches!(
+                    get(num),
+                    serde_json::Value::UInt(_) | serde_json::Value::Int(_)
+                ),
+                "{num} is numeric in {line}"
+            );
+        }
+    }
+    for verb in ["hello", "append", "detect", "close"] {
+        assert!(verbs.iter().any(|v| v == verb), "{verbs:?}");
+    }
+    assert!(outcomes.iter().any(|o| o == "ok"), "{outcomes:?}");
+    assert!(
+        outcomes.iter().any(|o| o.starts_with("err:")),
+        "the failed detect records its error outcome: {outcomes:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

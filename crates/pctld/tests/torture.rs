@@ -38,13 +38,40 @@ fn retry() -> RetryPolicy {
     }
 }
 
+/// Queries share the session queue with appends, and appends are acked on
+/// enqueue — so a detect/control fired right after the last append Ok can
+/// land on a still-full queue and bounce with Busy. Absorb it like the
+/// append path does.
+fn query_retry(
+    c: &mut Client,
+    mut f: impl FnMut(&mut Client) -> std::io::Result<Response>,
+) -> Response {
+    loop {
+        match f(c).unwrap() {
+            Response::Busy { retry_after_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms))
+            }
+            other => return other,
+        }
+    }
+}
+
 #[test]
 fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
+    let slow_dir = std::env::temp_dir().join(format!("pctld_torture_{}", std::process::id()));
+    std::fs::create_dir_all(&slow_dir).expect("create slow-log dir");
+    let slow_path = slow_dir.join("slow.jsonl");
     let d = Daemon::spawn(Config {
         // A shallow queue so the Sleep-stalled sessions genuinely bounce
         // appends with Busy and the retry loop has to absorb it.
         queue_depth: 4,
         fault_injection: true,
+        // Full telemetry under fire: request histograms, per-session trace
+        // rings, and a log-everything slow log — the verdict asserts below
+        // prove observation stays strictly observational.
+        trace_ring: 64,
+        slow_log: Some(slow_path.clone()),
+        slow_ms: 0,
         ..Config::default()
     })
     .expect("bind daemon");
@@ -150,6 +177,43 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
         }));
     }
 
+    // 4. Concurrent scraper: hammer /metrics for the whole test, and every
+    //    single response must be a complete, validating exposition — the
+    //    histogram invariants (le ordering, cumulative buckets, +Inf ==
+    //    _count) must hold mid-torture, not just at rest.
+    let metrics = d.spawn_metrics("127.0.0.1:0").expect("metrics bind");
+    let scrapes = {
+        let stop = Arc::clone(&stop);
+        let maddr = metrics.local_addr();
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            let mut saw_request_histogram = false;
+            while !stop.load(Ordering::SeqCst) {
+                let Ok(mut s) = TcpStream::connect(maddr) else {
+                    continue;
+                };
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+                let mut resp = String::new();
+                if s.read_to_string(&mut resp).is_err() {
+                    continue;
+                }
+                let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+                pctl_obs::prom::validate_exposition(body)
+                    .unwrap_or_else(|e| panic!("mid-torture scrape invalid: {e}\n{body}"));
+                if body.contains("pctld_request_seconds_bucket") {
+                    saw_request_histogram = true;
+                }
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert!(
+                saw_request_histogram,
+                "request histograms never appeared across {scrapes} scrapes"
+            );
+            scrapes
+        })
+    };
+
     // Honest sessions: each streams its own seeded computation, drops its
     // connection halfway through (sessions belong to the daemon, not the
     // connection), and finally checks the daemon's verdicts against a
@@ -223,7 +287,7 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
                 h.join().expect("sleeper thread failed");
             }
             let batch = PredicateEngine::new(&dep, pred);
-            match c.detect(&name).unwrap() {
+            match query_retry(&mut c, |c| c.detect(&name)) {
                 Response::Detect { violation } => assert_eq!(
                     violation,
                     batch.detect_violation().map(|g| g.indices().to_vec()),
@@ -231,7 +295,7 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
                 ),
                 other => panic!("unexpected detect answer: {other:?}"),
             }
-            match c.control(&name).unwrap() {
+            match query_retry(&mut c, |c| c.control(&name)) {
                 Response::Control { relation, witness } => {
                     match batch.control(OfflineOptions::default()) {
                         Ok(rel) => {
@@ -258,6 +322,9 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
     for c in chaos {
         c.join().expect("a chaos thread panicked");
     }
+    let scrape_count = scrapes.join().expect("the scraper thread panicked");
+    assert!(scrape_count > 0, "the scraper never completed a scrape");
+    metrics.shutdown();
 
     // Every honest session closed itself; chaos opened none.
     assert_eq!(d.session_count(), 0, "leaked sessions before drain");
@@ -269,4 +336,16 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
     );
     assert_eq!(stats.appends_total, total_appends);
     assert_eq!(d.shutdown(), 0, "drain must leak nothing");
+
+    // The log-everything slow log captured the torture as structured JSONL.
+    let text = std::fs::read_to_string(&slow_path).expect("slow log written");
+    assert!(
+        text.lines().count() as u64 >= total_appends,
+        "every accepted append is a logged request"
+    );
+    for line in text.lines().take(50) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("slow-log line parses");
+        assert!(v.as_object().is_some(), "record is an object: {line}");
+    }
+    std::fs::remove_dir_all(&slow_dir).ok();
 }

@@ -41,6 +41,9 @@ USAGE:
   pctl trace <input> [--control <control.json>] [--out <chrome.json>]
               (input: deposet trace JSON or telemetry JSONL; emits Chrome
                trace_event JSON for chrome://tracing or ui.perfetto.dev)
+  pctl trace --remote HOST:PORT --session NAME [--out <chrome.json>]
+              (pull a live daemon session's recent events — the Trace verb's
+               bounded ring — and export them as a Chrome trace)
   pctl stats <input> [--prom]               (event-log statistics: per-kind
               counts, span durations, message latency percentiles;
               --prom emits Prometheus text exposition instead)
@@ -50,15 +53,25 @@ USAGE:
                                             (trace JSON on stdout)
   pctl serve [--addr HOST:PORT] [--metrics HOST:PORT] [--max-sessions N]
              [--memory-budget BYTES] [--queue-depth N] [--idle-timeout-ms N]
-             [--snapshot-dir DIR] [--fault-injection]
+             [--snapshot-dir DIR] [--fault-injection] [--no-telemetry]
+             [--trace-ring N] [--slow-log FILE] [--slow-ms N]
                                             (run the streaming daemon in the
               foreground; stops on stdin EOF or a client Shutdown;
-              --fault-injection enables the Crash/Sleep chaos verbs)
+              --fault-injection enables the Crash/Sleep chaos verbs;
+              --slow-log appends a JSONL record for every request slower
+              than --slow-ms; --trace-ring sizes the per-session event ring
+              the Trace verb serves, 0 disables; --no-telemetry turns all
+              request telemetry off)
   pctl stream <trace.json> --addr HOST:PORT
               (--at-least-one VAR | --at-least-one-not VAR)
               [--session NAME] [--limit N] [--keep-open]
               (stream the trace into a daemon session event by event, then
-               ask it to detect/control/verify at the final prefix)
+               ask it to detect/control/verify at the final prefix; progress
+               — events sent, Busy bounces, append p50 — goes to stderr)
+  pctl top --addr HOST:PORT [--interval-ms N] [--once]
+              (live per-session daemon dashboard over the Stats verb:
+               appends, bytes, queue depth, idle age, append p50/p95;
+               --once prints a single snapshot and exits)
 
 The predicate flags build the disjunctive property  B = ∨ᵢ lᵢ  with
 lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.
@@ -423,9 +436,48 @@ fn load_events(
     ))
 }
 
+/// Pull a live session's recent events from a daemon (the `Trace` verb's
+/// bounded ring). The ring drops oldest, so a receive whose matching send
+/// has been evicted is pruned before export — Chrome flow events must
+/// arrive in start/finish pairs.
+fn load_remote_events(
+    args: &Args,
+    addr: &str,
+) -> Result<(Vec<predicate_control::obs::Event>, Vec<String>), String> {
+    let session = args
+        .value("session")?
+        .ok_or("trace: --remote needs --session NAME")?;
+    let mut client =
+        pctld::Client::connect(addr).map_err(|e| format!("trace: connect {addr}: {e}"))?;
+    match client.trace(session).map_err(|e| format!("trace: {e}"))? {
+        pctld::Response::Trace {
+            mut events,
+            dropped,
+            processes,
+        } => {
+            if dropped > 0 && args.flag("quiet").is_none() {
+                eprintln!(
+                    "session '{session}': ring dropped {dropped} older event(s); \
+                     exporting the most recent {}",
+                    events.len()
+                );
+            }
+            chrome::prune_orphan_flows(&mut events);
+            let lanes = (0..processes.max(1)).map(|i| format!("p{i}")).collect();
+            Ok((events, lanes))
+        }
+        other => Err(format!("trace: unexpected Trace answer {other:?}")),
+    }
+}
+
 fn cmd_trace(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("trace: missing input path")?;
-    let (events, lanes) = load_events(args, path)?;
+    let (events, lanes) = match args.value("remote")? {
+        Some(addr) => load_remote_events(args, addr)?,
+        None => {
+            let path = args.positional.first().ok_or("trace: missing input path")?;
+            load_events(args, path)?
+        }
+    };
     let json = chrome::chrome_trace(&events, &lanes);
     match args.value("out")? {
         Some(f) => {
@@ -463,6 +515,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ),
         snapshot_dir: args.value("snapshot-dir")?.map(Into::into),
         fault_injection: args.flag("fault-injection").is_some(),
+        telemetry: args.flag("no-telemetry").is_none(),
+        trace_ring: args.num("trace-ring", defaults.trace_ring)?,
+        slow_log: args.value("slow-log")?.map(Into::into),
+        slow_ms: args.num("slow-ms", defaults.slow_ms)?,
         ..defaults
     };
     let daemon = pctld::Daemon::spawn(cfg).map_err(|e| format!("serve: {e}"))?;
@@ -520,17 +576,26 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let limit: u64 = args.num("limit", 200_000u64)?;
     let mut client =
         pctld::Client::connect(addr).map_err(|e| format!("stream: connect {addr}: {e}"))?;
-    let report = pctld::stream_deposet(
+    let quiet = args.flag("quiet").is_some();
+    let report = pctld::stream_deposet_with(
         &mut client,
         &session,
         pred.locals().to_vec(),
         &dep,
         pctld::RetryPolicy::default(),
+        |p: &pctld::StreamProgress| {
+            if !quiet {
+                eprintln!(
+                    "stream: {}/{} event(s) sent, {} busy bounce(s), append p50 {}µs",
+                    p.sent, p.total, p.busy_bounces, p.append_p50_us
+                );
+            }
+        },
     )
     .map_err(|e| format!("stream: {e}"))?;
     println!(
-        "streamed {} event(s) into session '{session}' ({} busy bounce(s))",
-        report.appends, report.busy_bounces
+        "streamed {} event(s) into session '{session}' ({} busy bounce(s), append p50 {}µs)",
+        report.appends, report.busy_bounces, report.append_p50_us
     );
     match client
         .detect(&session)
@@ -580,6 +645,62 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Render one `Stats` snapshot as the `pctl top` dashboard. Returns the
+/// formatted screen so `--once` and the redraw loop share one layout.
+fn render_top(stats: &pctld::StatsSnapshot, addr: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pctld {addr} — {} session(s), {} append(s), {} busy bounce(s), \
+         {}/{} bytes, {} eviction(s), {} poisoned",
+        stats.sessions,
+        stats.appends_total,
+        stats.busy_total,
+        stats.approx_bytes,
+        stats.budget_bytes,
+        stats.evictions_total,
+        stats.poisoned_total,
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>9} {:>12} {:>6} {:>9} {:>9} {:>9}",
+        "SESSION", "APPENDS", "BYTES", "QUEUE", "IDLE(ms)", "P50(µs)", "P95(µs)"
+    );
+    if stats.per_session.is_empty() {
+        let _ = writeln!(out, "(no live sessions)");
+    }
+    for s in &stats.per_session {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>12} {:>6} {:>9} {:>9} {:>9}",
+            s.name, s.appends, s.approx_bytes, s.queue_depth, s.idle_ms, s.p50_us, s.p95_us
+        );
+    }
+    out
+}
+
+fn cmd_top(args: &Args) -> Result<(), String> {
+    let addr = args.value("addr")?.ok_or("top: missing --addr")?;
+    let interval = std::time::Duration::from_millis(args.num("interval-ms", 1000u64)?);
+    let once = args.flag("once").is_some();
+    let mut client =
+        pctld::Client::connect(addr).map_err(|e| format!("top: connect {addr}: {e}"))?;
+    loop {
+        let stats = client.stats_snapshot().map_err(|e| format!("top: {e}"))?;
+        let screen = render_top(&stats, addr);
+        if once {
+            print!("{screen}");
+            return Ok(());
+        }
+        // ANSI clear + home; plain std, no terminal library.
+        print!("\x1b[2J\x1b[H{screen}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().cloned() else {
@@ -599,6 +720,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "serve" => cmd_serve(&args),
         "stream" => cmd_stream(&args),
+        "top" => cmd_top(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
