@@ -34,16 +34,18 @@
 
 use pctl_bench::report::{
     Baseline, CompareReport, OfflineCase, OfflineReport, OverlapCase, ShardCase, ShardSweep,
-    StreamingBench, SweepMode, SweepReport, WallStats, SCHEMA,
+    SlicingBench, StreamingBench, SweepMode, SweepReport, WallStats, SCHEMA,
 };
 use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
 use pctl_core::verify::sweep_faulty_run;
+use pctl_core::PredicateEngine;
 use pctl_deposet::generator::{
     cs_workload, pipelined_workload, random_deposet, CsConfig, RandomConfig,
 };
 use pctl_deposet::par::{ordered_map, worker_count};
 use pctl_deposet::{
-    Deposet, DisjunctivePredicate, FalseIntervals, IntervalIndex, LocalPredicate, ShardPlan,
+    Deposet, DisjunctivePredicate, FalseIntervals, IntervalIndex, LocalPredicate, PredicateClass,
+    RegularPredicate, ShardPlan, SlicedDeposet,
 };
 use pctl_obs::prof;
 use std::path::PathBuf;
@@ -214,6 +216,104 @@ fn run_offline(smoke: bool) -> OfflineReport {
         shard_sweep: None,
         overlap: None,
         streaming: None,
+        slicing: None,
+    }
+}
+
+// ---------------------------------------------------------------- slicing --
+
+/// The regular-predicate fast path: slice the computation w.r.t. a
+/// conjunctive-of-locals violation (processes 0 and 1 inside their
+/// critical sections at once — a cut the disjunctive engine cannot even
+/// express), then answer detect + control through the slice-then-delegate
+/// engine. The pruning ratio is counted exhaustively on both sides —
+/// consistent cuts of the full lattice vs consistent cuts surviving in
+/// the slice — so "exponential pruning" stays a measured number. The
+/// unsliced comparator is the brute-force lattice BFS, the only way to
+/// answer the same question without a slice; its verdict is hard-asserted
+/// to agree with the sliced one before anything is written.
+fn run_slicing(smoke: bool) -> SlicingBench {
+    use pctl_deposet::lattice;
+
+    // Individual slice builds are tens of µs, so the p50 needs many reps
+    // to be stable against scheduler noise (the whole loop is still
+    // sub-millisecond).
+    let (n, sections, reps, budget) = if smoke {
+        (3usize, 3usize, 5usize, 1_000_000usize)
+    } else {
+        (4, 8, 60, 20_000_000)
+    };
+    let cfg = CsConfig {
+        processes: n,
+        sections_per_process: sections,
+        ..CsConfig::default()
+    };
+    let dep = cs_workload(&cfg, 7);
+    let violation = RegularPredicate::conj_var(&[0, 1], "cs");
+    let class = PredicateClass::regular(n as u32, violation.clone());
+
+    // Slice construction alone.
+    let mut construct = Vec::with_capacity(reps);
+    let mut slice = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let s = SlicedDeposet::build(&dep, &violation).expect("violation is a valid regular class");
+        construct.push(micros(t0.elapsed()));
+        slice = Some(s);
+    }
+    let slice = slice.expect("reps >= 1");
+
+    // Exhaustive (budgeted) cut counts on both sides of the prune.
+    let lattice_cuts = lattice::count_consistent_global_states(&dep, budget)
+        .expect("slicing workload must stay within the enumeration budget");
+    let slice_cuts = slice
+        .cut_count(budget)
+        .expect("the slice lattice embeds into the full lattice");
+
+    // Slice-then-delegate detect + control synthesis on a prebuilt engine.
+    let opts = OfflineOptions {
+        policy: SelectPolicy::First,
+        engine: Engine::Optimized,
+    };
+    let eng = PredicateEngine::for_class(&dep, &class).expect("valid class");
+    let mut sliced = Vec::with_capacity(reps);
+    let mut detected = None;
+    let mut feasible = false;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        detected = eng.detect_violation();
+        feasible = eng.control(opts).is_ok();
+        sliced.push(micros(t0.elapsed()));
+    }
+
+    // Unsliced brute force: BFS the full cut lattice for a satisfying cut.
+    let mut unsliced = Vec::with_capacity(reps);
+    let mut brute = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        brute = lattice::possibly(&dep, budget, |d, g| violation.eval(d, g))
+            .expect("within the enumeration budget");
+        unsliced.push(micros(t0.elapsed()));
+    }
+    assert_eq!(
+        detected.is_some(),
+        brute.is_some(),
+        "sliced and brute-force detection must agree on the same workload"
+    );
+
+    SlicingBench {
+        workload: format!("cs_n{n}_p{sections}"),
+        processes: n,
+        states: dep.total_states(),
+        lattice_cuts,
+        slice_cuts,
+        pruning_ratio: lattice_cuts as f64 / slice_cuts.max(1) as f64,
+        surviving_states: slice.surviving_states(),
+        classes: slice.class_count(),
+        slice_construct: WallStats::of(&construct),
+        sliced_control: WallStats::of(&sliced),
+        unsliced_control: WallStats::of(&unsliced),
+        feasible,
     }
 }
 
@@ -679,6 +779,7 @@ fn main() {
     offline.shard_sweep = Some(run_shard_sweep(args.smoke));
     offline.overlap = Some(run_overlap(args.smoke));
     offline.streaming = Some(run_streaming(args.smoke));
+    offline.slicing = Some(run_slicing(args.smoke));
     let path = args.out_dir.join("BENCH_offline.json");
     pctl_bench::report::write_validated(&path, &offline).expect("write BENCH_offline.json");
     println!("wrote {} ({} cases)", path.display(), offline.cases.len());
@@ -733,6 +834,27 @@ fn main() {
                  measured, not assumed)"
             );
         }
+    }
+    if let Some(sl) = &offline.slicing {
+        println!(
+            "  slicing {} cuts: {} lattice → {} slice (pruning {:.1}x)  \
+             states: {}/{} survive in {} class(es)",
+            sl.workload,
+            sl.lattice_cuts,
+            sl.slice_cuts,
+            sl.pruning_ratio,
+            sl.surviving_states,
+            sl.states,
+            sl.classes
+        );
+        println!(
+            "    construct p50={}us  sliced detect+control p50={}us  \
+             unsliced brute-force p50={}us  feasible={}",
+            sl.slice_construct.p50_us,
+            sl.sliced_control.p50_us,
+            sl.unsliced_control.p50_us,
+            sl.feasible
+        );
     }
 
     let (sweep, prof_report) = run_sweep(args.smoke, &args.baseline);
@@ -817,6 +939,9 @@ fn main() {
                 .streaming
                 .as_ref()
                 .map(|s| s.query_under_load.p50_us),
+            slicing_construct_p50_us: offline.slicing.as_ref().map(|s| s.slice_construct.p50_us),
+            slicing_control_p50_us: offline.slicing.as_ref().map(|s| s.sliced_control.p50_us),
+            slicing_pruning_ratio: offline.slicing.as_ref().map(|s| s.pruning_ratio),
         };
         pctl_bench::report::write_validated(path, &b).expect("write baseline");
         println!("wrote {} (recorded sweep baseline)", path.display());
@@ -838,6 +963,7 @@ fn main() {
             &sweep.sequential,
             shard_p50,
             offline.streaming.as_ref(),
+            offline.slicing.as_ref(),
             args.threshold_pct,
             args.inject_slowdown,
             args.smoke,

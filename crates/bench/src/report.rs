@@ -160,6 +160,45 @@ pub struct StreamingBench {
     pub append_events_per_sec_telemetry_off: Option<f64>,
 }
 
+/// The `slicing` section: what the computation-slicing fast path buys on a
+/// regular (conjunctive-of-locals) predicate. `pruning_ratio` is the
+/// honest headline — consistent cuts in the full lattice over consistent
+/// cuts surviving in the slice, both counted by exhaustive (budgeted)
+/// enumeration, so an "exponential pruning" claim is a measured number.
+/// The sliced and unsliced timings answer the *same* question: find a
+/// satisfying cut of the violation (the sliced path additionally
+/// synthesizes the control relation; the unsliced path is the brute-force
+/// lattice BFS, the only way to answer without a slice).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlicingBench {
+    /// Workload label, e.g. `cs_n4_p8`.
+    pub workload: String,
+    /// Process count of the sliced computation.
+    pub processes: usize,
+    /// Total local states.
+    pub states: usize,
+    /// Consistent cuts in the full lattice (exhaustive count).
+    pub lattice_cuts: usize,
+    /// Consistent cuts surviving in the slice (exhaustive count).
+    pub slice_cuts: usize,
+    /// `lattice_cuts / max(slice_cuts, 1)` — the lattice-pruning factor.
+    pub pruning_ratio: f64,
+    /// Local states surviving in the slice.
+    pub surviving_states: usize,
+    /// Join-irreducible equivalence classes in the slice skeleton.
+    pub classes: usize,
+    /// Wall-time distribution of `SlicedDeposet::build` alone (µs).
+    pub slice_construct: WallStats,
+    /// Wall-time of slice-then-delegate detect + control synthesis on a
+    /// prebuilt engine (µs).
+    pub sliced_control: WallStats,
+    /// Wall-time of the brute-force unsliced answer: BFS over the full cut
+    /// lattice until a satisfying cut is found (µs).
+    pub unsliced_control: WallStats,
+    /// Whether control synthesis found a feasible strategy.
+    pub feasible: bool,
+}
+
 /// The `BENCH_offline.json` payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OfflineReport {
@@ -180,6 +219,10 @@ pub struct OfflineReport {
     /// Streaming-daemon section (absent in reports from older harnesses).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub streaming: Option<StreamingBench>,
+    /// Computation-slicing section (absent in reports from harnesses
+    /// predating the regular-predicate layer).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slicing: Option<SlicingBench>,
 }
 
 /// One execution mode of the multi-seed sweep bench.
@@ -224,6 +267,17 @@ pub struct Baseline {
     /// Baseline `Detect`-under-load p50 (µs).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub streaming_query_p50_us: Option<u64>,
+    /// Baseline slice-construction p50 of the `slicing` section (µs);
+    /// absent in baselines frozen before the regular-predicate layer.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slicing_construct_p50_us: Option<u64>,
+    /// Baseline slice-then-delegate detect + control p50 (µs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slicing_control_p50_us: Option<u64>,
+    /// Baseline lattice-pruning ratio (higher is better; deterministic for
+    /// a fixed workload, so any drop signals a slicing-engine change).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slicing_pruning_ratio: Option<f64>,
 }
 
 /// The `BENCH_sweep.json` payload.
@@ -319,6 +373,7 @@ impl CompareReport {
         current: &SweepMode,
         shard_construct_p50_us: Option<u64>,
         streaming: Option<&StreamingBench>,
+        slicing: Option<&SlicingBench>,
         threshold_pct: f64,
         inject_slowdown_pct: f64,
         smoke: bool,
@@ -420,6 +475,39 @@ impl CompareReport {
                 ));
             }
         }
+        // Slicing scenarios: same both-sides rule again. The pruning ratio
+        // is higher-is-better — a drop means the slice got *less* selective
+        // on the identical workload, which is a correctness smell as much
+        // as a perf one.
+        if let Some(sl) = slicing {
+            if let Some(base) = baseline.slicing_construct_p50_us {
+                cases.push(case(
+                    "slicing_construct_p50_us",
+                    "us",
+                    base as f64,
+                    sl.slice_construct.p50_us as f64,
+                    true,
+                ));
+            }
+            if let Some(base) = baseline.slicing_control_p50_us {
+                cases.push(case(
+                    "slicing_control_p50_us",
+                    "us",
+                    base as f64,
+                    sl.sliced_control.p50_us as f64,
+                    true,
+                ));
+            }
+            if let Some(base) = baseline.slicing_pruning_ratio {
+                cases.push(case(
+                    "slicing_pruning_ratio",
+                    "ratio",
+                    base,
+                    sl.pruning_ratio,
+                    false,
+                ));
+            }
+        }
         let regressions = cases.iter().filter(|c| c.regressed).count();
         CompareReport {
             schema: SCHEMA.into(),
@@ -495,6 +583,9 @@ mod tests {
                 streaming_append_events_per_sec: None,
                 streaming_append_p50_us: None,
                 streaming_query_p50_us: None,
+                slicing_construct_p50_us: None,
+                slicing_control_p50_us: None,
+                slicing_pruning_ratio: None,
             }),
             speedup_vs_baseline: Some(3.0),
         };
@@ -514,6 +605,9 @@ mod tests {
             streaming_append_events_per_sec: None,
             streaming_append_p50_us: None,
             streaming_query_p50_us: None,
+            slicing_construct_p50_us: None,
+            slicing_control_p50_us: None,
+            slicing_pruning_ratio: None,
         }
     }
 
@@ -537,13 +631,33 @@ mod tests {
     fn compare_passes_within_threshold_in_both_directions() {
         // 10% worse on time, 10% worse on throughput: under a 25% gate.
         let cur = mode(110.0, 0.9e6, 1100, 2200);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(r.passed, "{r:?}");
         assert_eq!(r.regressions, 0);
         assert_eq!(r.cases.len(), 4);
         // A faster run must never "regress" the lower-is-better scenarios.
         let fast = mode(50.0, 2e6, 500, 900);
-        let r = CompareReport::of(&baseline(), "b.json", &fast, None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &fast,
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(r.passed);
         assert!(r.cases.iter().all(|c| c.worse_pct < 0.0), "{r:?}");
     }
@@ -552,7 +666,17 @@ mod tests {
     fn compare_flags_regressions_past_threshold() {
         // 50% slower end to end.
         let cur = mode(150.0, 0.6e6, 1600, 3100);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(!r.passed);
         assert_eq!(r.regressions, 4, "{r:?}");
         let c = &r.cases[0];
@@ -566,9 +690,29 @@ mod tests {
         // every scenario must trip a 25% gate, including the
         // higher-is-better throughput one (which gets *divided*).
         let cur = mode(100.0, 1e6, 1000, 2000);
-        let clean = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, false);
+        let clean = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(clean.passed);
-        let slowed = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 100.0, false);
+        let slowed = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            25.0,
+            100.0,
+            false,
+        );
         assert!(!slowed.passed);
         assert_eq!(slowed.regressions, 4, "{slowed:?}");
         assert!((slowed.injected_slowdown_pct - 100.0).abs() < 1e-12);
@@ -577,7 +721,17 @@ mod tests {
     #[test]
     fn compare_report_roundtrips() {
         let cur = mode(150.0, 0.6e6, 1600, 3100);
-        let r = CompareReport::of(&baseline(), "b.json", &cur, None, None, 25.0, 0.0, true);
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            true,
+        );
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: CompareReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
@@ -593,6 +747,7 @@ mod tests {
             &cur,
             Some(500),
             None,
+            None,
             25.0,
             0.0,
             false,
@@ -601,19 +756,19 @@ mod tests {
         // Both sides carry shard numbers: fifth scenario participates.
         let mut b = baseline();
         b.shard_construct_p50_us = Some(400);
-        let r = CompareReport::of(&b, "b.json", &cur, Some(500), None, 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, Some(500), None, None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 5);
         let c = r.cases.last().unwrap();
         assert_eq!(c.scenario, "shard_construct_p50_us");
         assert!((c.worse_pct - 25.0).abs() < 1e-9, "{c:?}");
         assert!(!c.regressed, "exactly at threshold is not past it");
         // And it regresses past the gate like any other scenario.
-        let r = CompareReport::of(&b, "b.json", &cur, Some(600), None, 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, Some(600), None, None, 25.0, 0.0, false);
         assert!(!r.passed);
         assert_eq!(r.regressions, 1, "{r:?}");
         // A baseline with shard numbers but an old-harness run without them
         // also degrades to four scenarios.
-        let r = CompareReport::of(&b, "b.json", &cur, None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 4);
     }
 
@@ -627,6 +782,9 @@ mod tests {
         assert_eq!(b.streaming_append_events_per_sec, None);
         assert_eq!(b.streaming_append_p50_us, None);
         assert_eq!(b.streaming_query_p50_us, None);
+        assert_eq!(b.slicing_construct_p50_us, None);
+        assert_eq!(b.slicing_control_p50_us, None);
+        assert_eq!(b.slicing_pruning_ratio, None);
     }
 
     fn streaming_section(eps: f64, append_p50: u64, query_p50: u64) -> StreamingBench {
@@ -666,6 +824,7 @@ mod tests {
             &cur,
             None,
             Some(&s),
+            None,
             25.0,
             0.0,
             false,
@@ -676,7 +835,7 @@ mod tests {
         b.streaming_append_events_per_sec = Some(20_000.0);
         b.streaming_append_p50_us = Some(40);
         b.streaming_query_p50_us = Some(800);
-        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 7, "{r:?}");
         assert!(r.passed, "identical streaming numbers pass: {r:?}");
         let names: Vec<&str> = r.cases.iter().map(|c| c.scenario.as_str()).collect();
@@ -685,7 +844,17 @@ mod tests {
         assert!(names.contains(&"streaming_query_p50_us"));
         // Throughput is higher-is-better: halving it regresses past 25%.
         let slow = streaming_section(10_000.0, 40, 800);
-        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&slow), 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            Some(&slow),
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(!r.passed);
         assert_eq!(r.regressions, 1, "{r:?}");
         let c = r
@@ -696,7 +865,7 @@ mod tests {
         assert!(c.regressed && !c.lower_is_better, "{c:?}");
         // Injected slowdown worsens streaming scenarios too (gate
         // self-test covers the daemon path).
-        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), 25.0, 100.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), None, 25.0, 100.0, false);
         assert_eq!(r.regressions, 7, "{r:?}");
     }
 
@@ -743,6 +912,7 @@ mod tests {
                 found: false,
             }),
             streaming: None,
+            slicing: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
@@ -757,6 +927,7 @@ mod tests {
         assert_eq!(r.shard_sweep, None);
         assert_eq!(r.overlap, None);
         assert_eq!(r.streaming, None);
+        assert_eq!(r.slicing, None);
     }
 
     #[test]
@@ -778,9 +949,117 @@ mod tests {
                 busy_bounces: 3,
                 append_events_per_sec_telemetry_off: Some(26_500.0),
             }),
+            slicing: None,
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    fn slicing_section(construct_p50: u64, control_p50: u64, ratio: f64) -> SlicingBench {
+        SlicingBench {
+            workload: "cs_n4_p6".into(),
+            processes: 4,
+            states: 100,
+            lattice_cuts: 5000,
+            slice_cuts: (5000.0 / ratio) as usize,
+            pruning_ratio: ratio,
+            surviving_states: 40,
+            classes: 30,
+            slice_construct: WallStats {
+                reps: 5,
+                min_us: construct_p50 / 2,
+                p50_us: construct_p50,
+                p95_us: construct_p50 * 2,
+                max_us: construct_p50 * 3,
+            },
+            sliced_control: WallStats {
+                reps: 5,
+                min_us: control_p50 / 2,
+                p50_us: control_p50,
+                p95_us: control_p50 * 2,
+                max_us: control_p50 * 3,
+            },
+            unsliced_control: WallStats::of(&[control_p50 * 20]),
+            feasible: true,
+        }
+    }
+
+    #[test]
+    fn slicing_section_roundtrips() {
+        let r = OfflineReport {
+            schema: SCHEMA.into(),
+            bench: "offline".into(),
+            smoke: true,
+            cases: vec![],
+            shard_sweep: None,
+            overlap: None,
+            streaming: None,
+            slicing: Some(slicing_section(120, 60, 25.0)),
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: OfflineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn slicing_scenarios_require_both_sides() {
+        let cur = mode(100.0, 1e6, 1000, 2000);
+        let sl = slicing_section(120, 60, 25.0);
+        // Pre-slicing baseline: no slicing cases even though the run
+        // measured them.
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            Some(&sl),
+            25.0,
+            0.0,
+            false,
+        );
+        assert_eq!(r.cases.len(), 4, "{r:?}");
+        // Re-frozen baseline: all three slicing scenarios participate.
+        let mut b = baseline();
+        b.slicing_construct_p50_us = Some(120);
+        b.slicing_control_p50_us = Some(60);
+        b.slicing_pruning_ratio = Some(25.0);
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, Some(&sl), 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 7, "{r:?}");
+        assert!(r.passed, "identical slicing numbers pass: {r:?}");
+        let names: Vec<&str> = r.cases.iter().map(|c| c.scenario.as_str()).collect();
+        assert!(names.contains(&"slicing_construct_p50_us"));
+        assert!(names.contains(&"slicing_control_p50_us"));
+        assert!(names.contains(&"slicing_pruning_ratio"));
+        // The pruning ratio is higher-is-better: a slice that stops
+        // pruning (ratio collapses toward 1) regresses the gate.
+        let lax = slicing_section(120, 60, 5.0);
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, Some(&lax), 25.0, 0.0, false);
+        assert!(!r.passed);
+        assert_eq!(r.regressions, 1, "{r:?}");
+        let c = r
+            .cases
+            .iter()
+            .find(|c| c.scenario == "slicing_pruning_ratio")
+            .unwrap();
+        assert!(c.regressed && !c.lower_is_better, "{c:?}");
+        // An old-harness run without a slicing section degrades to the
+        // four sweep scenarios even against a slicing-aware baseline.
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 4);
+        // Injected slowdown worsens slicing scenarios too.
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            None,
+            Some(&sl),
+            25.0,
+            100.0,
+            false,
+        );
+        assert_eq!(r.regressions, 7, "{r:?}");
     }
 }

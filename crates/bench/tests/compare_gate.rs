@@ -100,12 +100,14 @@ fn compare_gate_passes_on_own_baseline_and_fails_on_injected_regression() {
     assert_eq!(field(&cmp, "passed"), serde_json::Value::Bool(false));
     let cases = field(&cmp, "cases");
     let cases = cases.as_array().expect("cases array");
-    // The self-written baseline carries shard and streaming numbers, so
-    // those scenarios participate alongside the four sweep scenarios.
+    // The self-written baseline carries shard, streaming, and slicing
+    // numbers, so those scenarios participate alongside the four sweep
+    // scenarios.
     assert_eq!(
         cases.len(),
-        8,
-        "four sweep scenarios + shard construction + three streaming scenarios"
+        11,
+        "four sweep scenarios + shard construction + three streaming \
+         scenarios + three slicing scenarios"
     );
     assert!(
         cases
@@ -113,16 +115,19 @@ fn compare_gate_passes_on_own_baseline_and_fails_on_injected_regression() {
             .any(|c| field(c, "scenario").as_str() == Some("shard_construct_p50_us")),
         "shard_sweep construction is gated: {cases:?}"
     );
-    for streaming in [
+    for scenario in [
         "streaming_append_events_per_sec",
         "streaming_append_p50_us",
         "streaming_query_p50_us",
+        "slicing_construct_p50_us",
+        "slicing_control_p50_us",
+        "slicing_pruning_ratio",
     ] {
         assert!(
             cases
                 .iter()
-                .any(|c| field(c, "scenario").as_str() == Some(streaming)),
-            "streaming scenario {streaming} is gated: {cases:?}"
+                .any(|c| field(c, "scenario").as_str() == Some(scenario)),
+            "scenario {scenario} is gated: {cases:?}"
         );
     }
     assert!(

@@ -206,6 +206,52 @@ impl ClockArena {
         self.words[r * self.width + p.index()] += 1;
     }
 
+    /// One Fidge–Mattern DP step — the single row-kernel shared by the
+    /// flat fill ([`fill_fidge_mattern`]), the sharded fill
+    /// (`fill_sharded`'s compute phase) and the incremental per-session
+    /// append. Row `r` becomes:
+    ///
+    /// 1. its local predecessor `r - 1` (skipped when `chain_start`; the
+    ///    arena row must then already be zeroed);
+    /// 2. merged with every row named in `intra_src` (sources *within this
+    ///    arena*, already final);
+    /// 3. merged with every `width()`-word row of `external` (rows gathered
+    ///    out of *other* arenas, concatenated);
+    /// 4. ticked in component `p`.
+    ///
+    /// Keeping this in one place is what makes "sharded ≡ flat
+    /// bit-identical" an invariant by construction rather than by parallel
+    /// maintenance of two loop bodies.
+    ///
+    /// # Panics
+    /// Panics if `external.len()` is not a multiple of `width()`.
+    pub fn fm_row(
+        &mut self,
+        r: usize,
+        chain_start: bool,
+        intra_src: &[u32],
+        external: &[u32],
+        p: ProcessId,
+    ) {
+        if !chain_start {
+            self.copy_row(r, r - 1);
+        }
+        for &s in intra_src {
+            self.merge_row(r, s as usize);
+        }
+        if !external.is_empty() {
+            assert_eq!(
+                external.len() % self.width,
+                0,
+                "external rows must be whole width()-word rows"
+            );
+            for row in external.chunks_exact(self.width) {
+                self.merge_from(r, row);
+            }
+        }
+        self.tick(r, p);
+    }
+
     /// Append one zeroed row, returning its index. Amortized O(width):
     /// `Vec` growth doubles, so a stream of appends costs O(1) reallocations
     /// per row on average — the storage primitive behind the incremental
@@ -388,13 +434,13 @@ pub fn fill_fidge_mattern(
     for &node in order {
         let r = node as usize;
         let p = proc_of[r] as usize;
-        if r != proc_starts[p] {
-            arena.copy_row(r, r - 1);
-        }
-        for &s in &merge_src[merge_off[r] as usize..merge_off[r + 1] as usize] {
-            arena.merge_row(r, s as usize);
-        }
-        arena.tick(r, ProcessId(p as u32));
+        arena.fm_row(
+            r,
+            r == proc_starts[p],
+            &merge_src[merge_off[r] as usize..merge_off[r + 1] as usize],
+            &[],
+            ProcessId(p as u32),
+        );
     }
 }
 

@@ -61,7 +61,7 @@ pub enum Engine {
 }
 
 /// Algorithm options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OfflineOptions {
     /// Tie-break policy for `select()`.
     pub policy: SelectPolicy,

@@ -27,20 +27,44 @@
 
 use crate::control::ControlRelation;
 use crate::offline::{control_intervals, Infeasible, OfflineOptions, OfflineStats};
-use crate::verify::{verify_disjunctive, VerifyError};
+use crate::verify::{verify_disjunctive, verify_regular, VerifyError};
 use pctl_deposet::store;
 use pctl_deposet::{
-    AppendOp, CausalStore, Deposet, DisjunctivePredicate, GlobalState, Interval, LocalPredicate,
-    ProcessId, SessionError, SessionStore,
+    AppendOp, CausalStore, ClassError, Deposet, DisjunctivePredicate, GlobalState, Interval,
+    LocalPredicate, PredicateClass, ProcessId, RegularPredicate, SessionError, SessionStore,
+    SlicedDeposet,
 };
 
-/// A growing computation + disjunctive predicate, answering the batch
-/// engine's queries at every prefix.
+/// Memoized query results for one store version (`appended_ops`). Every
+/// slot is filled lazily on first use and dropped wholesale when the store
+/// grows — queries between appends are answered without recomputing
+/// anything (the ROADMAP's PR-6 follow-up).
+#[derive(Default)]
+struct QueryCache {
+    version: u64,
+    detect: Option<Option<GlobalState>>,
+    control: Option<(
+        OfflineOptions,
+        Result<ControlRelation, Infeasible>,
+        OfflineStats,
+    )>,
+    witness: Option<Option<Vec<Interval>>>,
+    slice: Option<SlicedDeposet>,
+}
+
+/// A growing computation + predicate class, answering the batch engine's
+/// queries at every prefix, with per-prefix query memoization.
 ///
 /// Owns its [`SessionStore`] — in the daemon, one `StreamEngine` *is* one
-/// session.
+/// session. Query methods take `&mut self` purely for the cache; the
+/// store itself is only mutated by [`apply`](Self::apply).
 pub struct StreamEngine {
     store: SessionStore,
+    /// `None` = plain disjunctive session from raw locals (the historical
+    /// constructor path); `Some` = explicit class, possibly regular.
+    class: Option<PredicateClass>,
+    cache: QueryCache,
+    cache_hits: u64,
 }
 
 impl StreamEngine {
@@ -48,9 +72,7 @@ impl StreamEngine {
     /// predicate per process), with every process in its initial state and
     /// no variables assigned.
     pub fn new(locals: Vec<LocalPredicate>) -> Self {
-        StreamEngine {
-            store: SessionStore::new(locals),
-        }
+        Self::wrap(SessionStore::new(locals), None)
     }
 
     /// Like [`new`](Self::new), but seed each process's initial state with
@@ -59,14 +81,40 @@ impl StreamEngine {
     /// # Panics
     /// Panics if `init.len()` differs from the predicate arity.
     pub fn new_with_init(locals: Vec<LocalPredicate>, init: &[Vec<(String, i64)>]) -> Self {
-        StreamEngine {
-            store: SessionStore::new_with_init(locals, init),
-        }
+        Self::wrap(SessionStore::new_with_init(locals, init), None)
+    }
+
+    /// Start an empty session for any [`PredicateClass`]. The session
+    /// store's truth columns are seeded with
+    /// [`PredicateClass::session_locals`], so regular classes get their
+    /// conjunct truth maintained incrementally (the slicer reads it as
+    /// `!truth`) and disjunctive classes behave exactly like
+    /// [`new_with_init`](Self::new_with_init).
+    pub fn for_class(
+        class: PredicateClass,
+        init: Option<&[Vec<(String, i64)>]>,
+    ) -> Result<Self, ClassError> {
+        class.validate(class.arity())?;
+        let locals = class.session_locals();
+        let store = match init {
+            Some(init) => SessionStore::new_with_init(locals, init),
+            None => SessionStore::new(locals),
+        };
+        Ok(Self::wrap(store, Some(class)))
     }
 
     /// Wrap an already-populated store.
     pub fn from_store(store: SessionStore) -> Self {
-        StreamEngine { store }
+        Self::wrap(store, None)
+    }
+
+    fn wrap(store: SessionStore, class: Option<PredicateClass>) -> Self {
+        StreamEngine {
+            store,
+            class,
+            cache: QueryCache::default(),
+            cache_hits: 0,
+        }
     }
 
     /// Append one event. On error the store is unchanged.
@@ -80,62 +128,189 @@ impl StreamEngine {
         &self.store
     }
 
+    /// The predicate class this session answers queries for.
+    pub fn predicate_class(&self) -> PredicateClass {
+        self.class.clone().unwrap_or_else(|| {
+            PredicateClass::disjunctive(DisjunctivePredicate::new(self.store.locals().to_vec()))
+        })
+    }
+
+    /// Queries answered from the memo cache since the session opened.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
     /// The predicate under control/detection, rebuilt from the registered
-    /// locals.
+    /// locals. For a regular-class session these are the *session locals*
+    /// (`¬conjᵢ`), not user-facing disjuncts — prefer
+    /// [`predicate_class`](Self::predicate_class).
     pub fn predicate(&self) -> DisjunctivePredicate {
         DisjunctivePredicate::new(self.store.locals().to_vec())
     }
 
+    /// Drop the cache if the store has grown past the cached version.
+    fn refresh(&mut self) {
+        let v = self.store.appended_ops();
+        if self.cache.version != v {
+            self.cache = QueryCache {
+                version: v,
+                ..QueryCache::default()
+            };
+        }
+    }
+
+    /// The regular violation, if this is a regular-class session.
+    fn regular_violation(&self) -> Option<RegularPredicate> {
+        match &self.class {
+            Some(PredicateClass::Regular { violation, .. }) => Some(violation.clone()),
+            _ => None,
+        }
+    }
+
+    /// Fill `cache.slice` for the current prefix if absent. Conjunct truth
+    /// is read straight off the incremental truth columns (`conj = !truth`,
+    /// see [`PredicateClass::session_locals`]); channel constraints read
+    /// the live message table, so in-flight sends are modelled exactly.
+    fn ensure_slice(&mut self, violation: &RegularPredicate) {
+        if self.cache.slice.is_some() {
+            return;
+        }
+        let _prof = pctl_prof::span("stream_slice_build");
+        let n = self.store.process_count();
+        let conj: Vec<Vec<bool>> = (0..n)
+            .map(|p| {
+                self.store
+                    .truths_of(ProcessId(p as u32))
+                    .iter()
+                    .map(|&t| !t)
+                    .collect()
+            })
+            .collect();
+        let (mut delivered, mut in_flight) = (Vec::new(), Vec::new());
+        if violation.uses_channels() {
+            for (from, to) in self.store.message_endpoints() {
+                match to {
+                    Some(to) => delivered.push((from, to)),
+                    None => in_flight.push(from),
+                }
+            }
+        }
+        self.cache.slice = Some(SlicedDeposet::build_from_parts(
+            &self.store,
+            &conj,
+            &delivered,
+            &in_flight,
+        ));
+    }
+
     /// Run the off-line control algorithm over the incrementally-grown
-    /// intervals of the current prefix.
-    pub fn control(&self, opts: OfflineOptions) -> Result<ControlRelation, Infeasible> {
+    /// intervals of the current prefix (memoized per prefix + options).
+    pub fn control(&mut self, opts: OfflineOptions) -> Result<ControlRelation, Infeasible> {
         self.control_with_stats(opts).0
     }
 
     /// [`control`](Self::control), also returning operation counts.
     pub fn control_with_stats(
-        &self,
+        &mut self,
         opts: OfflineOptions,
     ) -> (Result<ControlRelation, Infeasible>, OfflineStats) {
+        self.refresh();
+        if let Some((o, r, st)) = &self.cache.control {
+            if *o == opts {
+                self.cache_hits += 1;
+                return (r.clone(), *st);
+            }
+        }
         let _prof = pctl_prof::span("stream_control");
-        control_intervals(&self.store, self.store.intervals(), opts)
+        let out = match self.regular_violation() {
+            Some(v) => {
+                self.ensure_slice(&v);
+                let slice = self.cache.slice.as_ref().expect("just filled");
+                control_intervals(&self.store, slice.frontier_intervals(), opts)
+            }
+            None => control_intervals(&self.store, self.store.intervals(), opts),
+        };
+        self.cache.control = Some((opts, out.0.clone(), out.1));
+        out
     }
 
     /// Strong detection at the current prefix: a pairwise-overlapping set
-    /// of false intervals (Lemma 2), `Some` iff no controller exists.
-    pub fn infeasibility_witness(&self) -> Option<Vec<Interval>> {
+    /// of intervals (Lemma 2), `Some` iff no interval controller exists.
+    /// Memoized per prefix.
+    pub fn infeasibility_witness(&mut self) -> Option<Vec<Interval>> {
+        self.refresh();
+        if let Some(w) = &self.cache.witness {
+            self.cache_hits += 1;
+            return w.clone();
+        }
         let _prof = pctl_prof::span("stream_infeasibility");
-        store::find_overlap(&self.store, self.store.intervals())
+        let out = match self.regular_violation() {
+            Some(v) => {
+                self.ensure_slice(&v);
+                let slice = self.cache.slice.as_ref().expect("just filled");
+                store::find_overlap(&self.store, slice.frontier_intervals())
+            }
+            None => store::find_overlap(&self.store, self.store.intervals()),
+        };
+        self.cache.witness = Some(out.clone());
+        out
     }
 
     /// Weak detection at the current prefix: the earliest consistent cut
-    /// where every local predicate is false. Candidate queues are read off
-    /// the incremental truth columns — no predicate re-evaluation.
-    pub fn detect_violation(&self) -> Option<GlobalState> {
+    /// where every local predicate is false (disjunctive), or the slice's
+    /// least satisfying cut (regular). Candidate truth is read off the
+    /// incremental columns — no predicate re-evaluation. Memoized per
+    /// prefix.
+    pub fn detect_violation(&mut self) -> Option<GlobalState> {
+        self.refresh();
+        if let Some(d) = &self.cache.detect {
+            self.cache_hits += 1;
+            return d.clone();
+        }
         let _prof = pctl_prof::span("stream_detect_violation");
-        let n = self.store.process_count();
-        let queues: Vec<Vec<u32>> = (0..n)
-            .map(|p| {
-                self.store
-                    .truths_of(ProcessId(p as u32))
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &t)| !t)
-                    .map(|(k, _)| k as u32)
-                    .collect()
-            })
-            .collect();
-        pctl_detect::possibly_from_queues(&self.store, &queues)
+        let out = match self.regular_violation() {
+            Some(v) => {
+                self.ensure_slice(&v);
+                self.cache
+                    .slice
+                    .as_ref()
+                    .expect("just filled")
+                    .min_cut()
+                    .cloned()
+            }
+            None => {
+                let n = self.store.process_count();
+                let queues: Vec<Vec<u32>> = (0..n)
+                    .map(|p| {
+                        self.store
+                            .truths_of(ProcessId(p as u32))
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &t)| !t)
+                            .map(|(k, _)| k as u32)
+                            .collect()
+                    })
+                    .collect();
+                pctl_detect::possibly_from_queues(&self.store, &queues)
+            }
+        };
+        self.cache.detect = Some(out.clone());
+        out
     }
 
     /// Exhaustively verify `rel` against the current prefix (bounded by
     /// `limit` visited cuts). Runs over a batch snapshot: in-flight sends
     /// are demoted to internal events, which leaves clocks — and therefore
-    /// the verified ordering — unchanged.
+    /// the verified ordering — unchanged. (A regular-class session with
+    /// channel terms is verified against that same snapshot view, i.e.
+    /// with the still-in-flight sends not counted as channel contents.)
     pub fn verify(&self, rel: &ControlRelation, limit: usize) -> Result<(), VerifyError> {
         let _prof = pctl_prof::span("stream_verify");
         let dep = self.snapshot();
-        verify_disjunctive(&dep, &self.predicate(), rel, limit)
+        match self.regular_violation() {
+            Some(v) => verify_regular(&dep, &v, rel, limit),
+            None => verify_disjunctive(&dep, &self.predicate(), rel, limit),
+        }
     }
 
     /// An immutable batch view of the current prefix (undelivered sends
@@ -181,7 +356,7 @@ mod tests {
                 seed,
             );
             let pred = DisjunctivePredicate::at_least_one(3, "ok");
-            let stream = replayed(&dep, pred.locals().to_vec());
+            let mut stream = replayed(&dep, pred.locals().to_vec());
             let batch = PredicateEngine::new(&dep, pred);
             let opts = OfflineOptions::default();
             assert_eq!(
@@ -214,7 +389,7 @@ mod tests {
                 seed,
             );
             let pred = DisjunctivePredicate::at_least_one(3, "ok");
-            let stream = replayed(&dep, pred.locals().to_vec());
+            let mut stream = replayed(&dep, pred.locals().to_vec());
             if let Ok(rel) = stream.control(OfflineOptions::default()) {
                 let batch = PredicateEngine::new(&dep, pred);
                 assert_eq!(
@@ -228,12 +403,12 @@ mod tests {
 
     #[test]
     fn empty_session_is_trivially_controllable() {
-        let eng = StreamEngine::new(vec![LocalPredicate::var("ok"), LocalPredicate::var("ok")]);
+        let mut eng = StreamEngine::new(vec![LocalPredicate::var("ok"), LocalPredicate::var("ok")]);
         // Both initial states have `ok` unset (false): a 2-process overlap.
         assert!(eng.detect_violation().is_some());
         assert!(eng.infeasibility_witness().is_some());
         assert!(eng.control(OfflineOptions::default()).is_err());
-        let eng2 = StreamEngine::new_with_init(
+        let mut eng2 = StreamEngine::new_with_init(
             vec![LocalPredicate::var("ok"), LocalPredicate::var("ok")],
             &[vec![("ok".to_string(), 1)], vec![("ok".to_string(), 0)]],
         );

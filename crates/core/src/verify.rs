@@ -81,6 +81,30 @@ pub fn verify_disjunctive(
     Ok(())
 }
 
+/// Exhaustively verify that `rel` *prevents* the regular violation
+/// `violation`: no consistent global state of the controlled computation
+/// satisfies it. Dual framing to [`verify_disjunctive`] (which maintains
+/// the good predicate); the slice-then-delegate pipeline produces `rel`
+/// from the slice's frontier intervals, and this is the independent audit.
+pub fn verify_regular(
+    dep: &Deposet,
+    violation: &pctl_deposet::RegularPredicate,
+    rel: &ControlRelation,
+    limit: usize,
+) -> Result<(), VerifyError> {
+    let _prof = pctl_prof::span("verify_regular");
+    let c = ControlledDeposet::new(dep, rel.clone()).map_err(VerifyError::Control)?;
+    for g in c
+        .consistent_global_states(limit)
+        .map_err(VerifyError::Budget)?
+    {
+        if violation.eval(dep, &g) {
+            return Err(VerifyError::Violation { state: g });
+        }
+    }
+    Ok(())
+}
+
 /// Structural facts about an algorithm output used in the paper's proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChainStructure {

@@ -17,7 +17,8 @@ use pctl_core::offline::OfflineOptions;
 use pctl_core::{PredicateEngine, StreamEngine};
 use pctl_deposet::generator::{random_deposet, RandomConfig};
 use pctl_deposet::{
-    linearize, CausalStore, Deposet, DisjunctivePredicate, IntervalIndex, ProcessId, StateId,
+    linearize, CausalStore, Deposet, DisjunctivePredicate, IntervalIndex, LocalPredicate,
+    PredicateClass, ProcessId, RegularPredicate, StateId,
 };
 use proptest::prelude::*;
 
@@ -43,7 +44,7 @@ fn all_state_ids<C: CausalStore + ?Sized>(c: &C) -> Vec<StateId> {
 
 /// Clocks, precedes, truths, intervals, and engine verdicts of the growing
 /// store versus a fresh batch build over the same states/events.
-fn assert_prefix_equivalent(stream: &StreamEngine, batch: &Deposet, ctx: &str) {
+fn assert_prefix_equivalent(stream: &mut StreamEngine, batch: &Deposet, ctx: &str) {
     let store = stream.store();
     let pred = stream.predicate();
     assert_eq!(store.process_count(), batch.process_count(), "{ctx}");
@@ -102,15 +103,97 @@ proptest! {
         let pred = DisjunctivePredicate::at_least_one(dep.process_count(), "ok");
         let (init, ops) = linearize(&dep);
         let mut stream = StreamEngine::new_with_init(pred.locals().to_vec(), &init);
-        assert_prefix_equivalent(&stream, &stream.snapshot(), "prefix 0");
+        let snap0 = stream.snapshot();
+        assert_prefix_equivalent(&mut stream, &snap0, "prefix 0");
         for (k, op) in ops.iter().enumerate() {
             stream.apply(op).unwrap();
             let snap = stream.snapshot();
-            assert_prefix_equivalent(&stream, &snap, &format!("prefix {}", k + 1));
+            assert_prefix_equivalent(&mut stream, &snap, &format!("prefix {}", k + 1));
         }
         // The fully-replayed store equals the original generator output:
         // every message is delivered, so the snapshot demotes nothing.
         prop_assert_eq!(stream.store().in_flight(), 0);
-        assert_prefix_equivalent(&stream, &dep, "full replay vs original");
+        assert_prefix_equivalent(&mut stream, &dep, "full replay vs original");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Query memoization: repeating a query between appends answers from
+    /// the cache (hit counter advances, verdicts unchanged), and any append
+    /// invalidates it (the next query recomputes against a fresh batch
+    /// rebuild — the memoized path can never go stale).
+    #[test]
+    fn query_cache_hits_between_appends_and_invalidates_on_append((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let pred = DisjunctivePredicate::at_least_one(dep.process_count(), "ok");
+        let (init, ops) = linearize(&dep);
+        let mut stream = StreamEngine::new_with_init(pred.locals().to_vec(), &init);
+        let opts = OfflineOptions::default();
+        for (k, op) in ops.iter().enumerate() {
+            stream.apply(op).unwrap();
+            let d1 = stream.detect_violation();
+            let c1 = stream.control(opts);
+            let w1 = stream.infeasibility_witness();
+            let hits_before = stream.cache_hits();
+            // Same prefix, same queries: all three must be cache hits with
+            // identical answers.
+            prop_assert_eq!(stream.detect_violation(), d1.clone(), "prefix {}", k + 1);
+            prop_assert_eq!(stream.control(opts), c1.clone(), "prefix {}", k + 1);
+            prop_assert_eq!(stream.infeasibility_witness(), w1.clone(), "prefix {}", k + 1);
+            prop_assert_eq!(stream.cache_hits(), hits_before + 3, "prefix {}", k + 1);
+            // And the (possibly cached) answers equal a fresh batch build.
+            let snap = stream.snapshot();
+            let eng = PredicateEngine::new(&snap, stream.predicate());
+            prop_assert_eq!(d1, eng.detect_violation(), "prefix {}", k + 1);
+            prop_assert_eq!(c1, eng.control(opts), "prefix {}", k + 1);
+            prop_assert_eq!(w1, eng.infeasibility_witness(), "prefix {}", k + 1);
+        }
+    }
+
+    /// Regular-class streaming: after every append, detect/control answer
+    /// identically to a fresh batch engine with slicing on, built over the
+    /// same prefix. Channel-free violations are checked at every prefix;
+    /// the batch snapshot demotes in-flight sends, so this stays an exact
+    /// equivalence.
+    #[test]
+    fn regular_class_stream_matches_batch_slicing_at_every_prefix((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let n = dep.process_count();
+        // Subset conjunction: every process with an even id must have `ok`.
+        let violation = RegularPredicate::And(
+            (0..n)
+                .filter(|i| i % 2 == 0)
+                .map(|i| RegularPredicate::local(i, LocalPredicate::var("ok")))
+                .collect(),
+        );
+        let class = PredicateClass::regular(n as u32, violation);
+        let (init, ops) = linearize(&dep);
+        let mut stream = StreamEngine::for_class(class.clone(), Some(&init)).unwrap();
+        let opts = OfflineOptions::default();
+        for (k, op) in ops.iter().enumerate() {
+            stream.apply(op).unwrap();
+            let snap = stream.snapshot();
+            let eng = PredicateEngine::for_class(&snap, &class).unwrap();
+            prop_assert_eq!(
+                stream.detect_violation(),
+                eng.detect_violation(),
+                "prefix {}: regular detect", k + 1
+            );
+            prop_assert_eq!(
+                stream.control(opts),
+                eng.control(opts),
+                "prefix {}: regular control", k + 1
+            );
+            prop_assert_eq!(
+                stream.infeasibility_witness(),
+                eng.infeasibility_witness(),
+                "prefix {}: regular witness", k + 1
+            );
+            if let Ok(rel) = stream.control(opts) {
+                prop_assert!(stream.verify(&rel, 500_000).is_ok(), "prefix {}", k + 1);
+            }
+        }
     }
 }

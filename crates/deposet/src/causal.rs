@@ -65,6 +65,35 @@ pub trait CausalStore {
             .map(|p| self.len_of(ProcessId(p as u32)))
             .sum()
     }
+
+    /// The Fidge–Mattern clock entry `V(s)[q]`: for `q = proc(s)` this is
+    /// `s.index + 1`; otherwise it is `k + 1` for the latest state `(q, k)`
+    /// causally preceding `s`, or `0` when no state of `q` precedes `s`.
+    ///
+    /// Consistency of a cut `G` is exactly `∀ i ≠ j:
+    /// clock_entry(G[j], i) ≤ G[i]` — the slicing engine leans on this.
+    ///
+    /// The default derives the entry from `precedes` by binary search along
+    /// `q`'s chain (precedence of `(q, k)` before `s` is monotone in `k`);
+    /// stores that keep materialised clock rows override it with an O(1)
+    /// word read.
+    fn clock_entry(&self, s: StateId, q: ProcessId) -> u32 {
+        if s.process == q {
+            return s.index + 1;
+        }
+        // Largest k with (q, k) → s, monotone in k: entries below `lo` all
+        // precede, entries at or above `hi` do not.
+        let (mut lo, mut hi) = (0u32, self.len_of(q) as u32);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.precedes(StateId::new(q, mid), s) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
 }
 
 impl CausalStore for crate::model::Deposet {
@@ -82,6 +111,11 @@ impl CausalStore for crate::model::Deposet {
     fn precedes(&self, s: StateId, t: StateId) -> bool {
         crate::model::Deposet::precedes(self, s, t)
     }
+
+    #[inline]
+    fn clock_entry(&self, s: StateId, q: ProcessId) -> u32 {
+        self.clock(s).get(q)
+    }
 }
 
 impl<T: CausalStore + ?Sized> CausalStore for &T {
@@ -98,6 +132,11 @@ impl<T: CausalStore + ?Sized> CausalStore for &T {
     #[inline]
     fn precedes(&self, s: StateId, t: StateId) -> bool {
         (**self).precedes(s, t)
+    }
+
+    #[inline]
+    fn clock_entry(&self, s: StateId, q: ProcessId) -> u32 {
+        (**self).clock_entry(s, q)
     }
 }
 

@@ -22,6 +22,10 @@
 //! * the [`shard`] layer — per-shard clock-arena slabs under a
 //!   [`shard::ShardPlan`], with a level-synchronised frontier-round DP that
 //!   scales construction toward multi-million-state computations;
+//! * computation [`slice`]s for *regular* predicates (Mittal–Garg) — the
+//!   join-irreducible sub-computation containing exactly the satisfying
+//!   consistent cuts, with the [`predicate::PredicateClass`] abstraction
+//!   that routes each class to the right engine path;
 //! * a stable JSON [`trace`] format and Graphviz [`dot`] export.
 
 #![warn(missing_docs)]
@@ -42,6 +46,7 @@ pub mod scenarios;
 pub mod sequences;
 pub mod session;
 pub mod shard;
+pub mod slice;
 pub mod state;
 pub mod store;
 pub mod trace;
@@ -52,10 +57,14 @@ pub use event::{EventKind, Message};
 pub use global::GlobalState;
 pub use intervals::{FalseIntervals, Interval};
 pub use model::{Deposet, DeposetError};
-pub use predicate::{CmpOp, DisjunctivePredicate, GlobalPredicate, LocalPredicate};
+pub use predicate::{
+    ClassError, CmpOp, DisjunctivePredicate, GlobalPredicate, LocalPredicate, PredicateClass,
+    RegularPredicate,
+};
 pub use sequences::{GlobalSequence, SequenceError};
 pub use session::{linearize, AppendOp, SessionError, SessionStore};
 pub use shard::{ShardPlan, ShardedClocks};
+pub use slice::SlicedDeposet;
 pub use state::{LocalState, Variables};
 pub use store::IntervalIndex;
 

@@ -271,6 +271,317 @@ impl DisjunctivePredicate {
     }
 }
 
+/// A *regular* predicate (Mittal–Garg): the consistent cuts satisfying it
+/// are closed under both meet (componentwise min) and join (componentwise
+/// max), so they form a sublattice of the cut lattice and admit a
+/// *computation slice* ([`crate::slice::SlicedDeposet`]).
+///
+/// The grammar deliberately excludes disjunction — `l₁ ∨ l₂` is not regular
+/// in general — and contains exactly the closed constructors:
+///
+/// * [`Local`](RegularPredicate::Local) — a local predicate on one process's
+///   frontier state (the min/max of two frontier indices is one of them);
+/// * [`ChannelsEmpty`](RegularPredicate::ChannelsEmpty) — no message in
+///   flight (closed because meet/join can only move a frontier onto one of
+///   the two argument frontiers, both of which have the channel condition);
+/// * [`And`](RegularPredicate::And) — intersection of sublattices.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegularPredicate {
+    /// `pred` holds on the frontier state of `process`.
+    Local {
+        /// Which process's frontier state the predicate reads.
+        process: ProcessId,
+        /// The local predicate.
+        pred: LocalPredicate,
+    },
+    /// Every message sent inside the cut is also received inside it.
+    ChannelsEmpty,
+    /// Conjunction (empty = true).
+    And(Vec<RegularPredicate>),
+}
+
+impl RegularPredicate {
+    /// Shorthand: bind a local predicate to a process.
+    pub fn local(process: impl Into<ProcessId>, pred: LocalPredicate) -> Self {
+        RegularPredicate::Local {
+            process: process.into(),
+            pred,
+        }
+    }
+
+    /// Conjunction of `var` being true on every listed process.
+    pub fn conj_var(processes: &[u32], var: &str) -> Self {
+        RegularPredicate::And(
+            processes
+                .iter()
+                .map(|&p| RegularPredicate::local(ProcessId(p), LocalPredicate::var(var)))
+                .collect(),
+        )
+    }
+
+    /// Evaluate on the global state `g` of `dep`.
+    ///
+    /// # Panics
+    /// Panics if `g` has the wrong arity or refers to out-of-range states.
+    pub fn eval(&self, dep: &Deposet, g: &crate::global::GlobalState) -> bool {
+        match self {
+            RegularPredicate::Local { process, pred } => pred.eval(dep.state(g.state_of(*process))),
+            RegularPredicate::ChannelsEmpty => dep.messages().iter().all(|m| {
+                let sent = g.index_of(m.from.process) > m.from.idx() as u32;
+                let received = g.index_of(m.to.process) >= m.to.idx() as u32;
+                !sent || received
+            }),
+            RegularPredicate::And(ps) => ps.iter().all(|p| p.eval(dep, g)),
+        }
+    }
+
+    /// Flatten the `And` tree into one conjunction of local predicates per
+    /// process (empty conjunction = true for that process).
+    ///
+    /// # Panics
+    /// Panics if a `Local` names a process `≥ n` (call
+    /// [`PredicateClass::validate`] first).
+    pub fn conjuncts_by_process(&self, n: usize) -> Vec<Vec<LocalPredicate>> {
+        let mut out = vec![Vec::new(); n];
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts(&self, out: &mut [Vec<LocalPredicate>]) {
+        match self {
+            RegularPredicate::Local { process, pred } => {
+                out[process.index()].push(pred.clone());
+            }
+            RegularPredicate::ChannelsEmpty => {}
+            RegularPredicate::And(ps) => {
+                for p in ps {
+                    p.collect_conjuncts(out);
+                }
+            }
+        }
+    }
+
+    /// Does the predicate constrain channel contents anywhere in its tree?
+    pub fn uses_channels(&self) -> bool {
+        match self {
+            RegularPredicate::Local { .. } => false,
+            RegularPredicate::ChannelsEmpty => true,
+            RegularPredicate::And(ps) => ps.iter().any(RegularPredicate::uses_channels),
+        }
+    }
+
+    fn max_process(&self) -> Option<u32> {
+        match self {
+            RegularPredicate::Local { process, .. } => Some(process.0),
+            RegularPredicate::ChannelsEmpty => None,
+            RegularPredicate::And(ps) => ps.iter().filter_map(RegularPredicate::max_process).max(),
+        }
+    }
+}
+
+impl fmt::Display for RegularPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegularPredicate::Local { process, pred } => write!(f, "P{}:{pred}", process.0),
+            RegularPredicate::ChannelsEmpty => write!(f, "channels-empty"),
+            RegularPredicate::And(ps) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// The unified predicate abstraction carried from trace to daemon: which
+/// *class* a safety property belongs to decides which engine path runs.
+///
+/// Both variants describe a **violation** to detect or prevent:
+///
+/// * [`Disjunctive`](PredicateClass::Disjunctive) keeps the paper's framing —
+///   the good predicate `B = l₁ ∨ … ∨ lₙ` is maintained, the violation is
+///   `∧ᵢ ¬lᵢ`; the engine runs the existing interval machinery untouched.
+/// * [`Regular`](PredicateClass::Regular) names the violation directly as a
+///   [`RegularPredicate`]; the engine slices first and delegates the control
+///   step to the same interval algorithms over the refined intervals.
+///
+/// The serde form is the wire form (`pctld` `Hello` carries an optional
+/// `PredicateClass`), so variants and field names are stability-sensitive.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicateClass {
+    /// Maintain a disjunctive predicate (one local disjunct per process).
+    Disjunctive(DisjunctivePredicate),
+    /// Prevent/detect a regular violation over `processes` processes.
+    Regular {
+        /// Number of processes the computation has (fixes cut arity).
+        processes: u32,
+        /// The violation predicate.
+        violation: RegularPredicate,
+    },
+}
+
+/// Why a [`PredicateClass`] cannot be applied to a given computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClassError {
+    /// A `Local` conjunct names a process the computation does not have.
+    ProcessOutOfRange {
+        /// The offending process id.
+        process: u32,
+        /// The computation's process count.
+        count: u32,
+    },
+    /// The class was declared for a different number of processes.
+    ArityMismatch {
+        /// Process count of the computation.
+        expected: u32,
+        /// Process count the class was built for.
+        got: u32,
+    },
+}
+
+impl fmt::Display for ClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassError::ProcessOutOfRange { process, count } => {
+                write!(
+                    f,
+                    "predicate names process {process} but the computation has {count}"
+                )
+            }
+            ClassError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "predicate class built for {got} processes, computation has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassError {}
+
+impl PredicateClass {
+    /// Wrap a disjunctive predicate.
+    pub fn disjunctive(pred: DisjunctivePredicate) -> Self {
+        PredicateClass::Disjunctive(pred)
+    }
+
+    /// A regular violation over `processes` processes.
+    pub fn regular(processes: u32, violation: RegularPredicate) -> Self {
+        PredicateClass::Regular {
+            processes,
+            violation,
+        }
+    }
+
+    /// Number of processes the class is declared for.
+    pub fn arity(&self) -> usize {
+        match self {
+            PredicateClass::Disjunctive(p) => p.arity(),
+            PredicateClass::Regular { processes, .. } => *processes as usize,
+        }
+    }
+
+    /// Check the class fits a computation with `n` processes.
+    pub fn validate(&self, n: usize) -> Result<(), ClassError> {
+        let n32 = n as u32;
+        if self.arity() != n {
+            return Err(ClassError::ArityMismatch {
+                expected: n32,
+                got: self.arity() as u32,
+            });
+        }
+        if let PredicateClass::Regular { violation, .. } = self {
+            if let Some(p) = violation.max_process() {
+                if p >= n32 {
+                    return Err(ClassError::ProcessOutOfRange {
+                        process: p,
+                        count: n32,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-process local predicates for a [`crate::session::SessionStore`]'s
+    /// incremental truth columns.
+    ///
+    /// For the disjunctive class these are the disjuncts themselves (truth =
+    /// "local disjunct holds", exactly today's meaning). For a regular class,
+    /// process `i` gets `¬(∧ conjunctsᵢ)`, so the stored truth bit is *false*
+    /// exactly when the violation's conjunction on `i` holds — the slicer
+    /// reads conjunct truth as `!truth` without re-evaluating states.
+    pub fn session_locals(&self) -> Vec<LocalPredicate> {
+        match self {
+            PredicateClass::Disjunctive(p) => p.locals().to_vec(),
+            PredicateClass::Regular {
+                processes,
+                violation,
+            } => violation
+                .conjuncts_by_process(*processes as usize)
+                .into_iter()
+                .map(|conj| LocalPredicate::And(conj).negated())
+                .collect(),
+        }
+    }
+
+    /// The violation, lowered to a general [`GlobalPredicate`] (used by the
+    /// verifier and the lattice oracle). For the disjunctive class this is
+    /// `¬(l₁ ∨ … ∨ lₙ)`.
+    pub fn violation_global(&self) -> GlobalPredicate {
+        match self {
+            PredicateClass::Disjunctive(p) => GlobalPredicate::Not(Box::new(p.to_global())),
+            PredicateClass::Regular { violation, .. } => violation.to_global(),
+        }
+    }
+}
+
+impl fmt::Display for PredicateClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredicateClass::Disjunctive(p) => {
+                write!(f, "disjunctive[")?;
+                for (i, l) in p.locals().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                write!(f, "]")
+            }
+            PredicateClass::Regular { violation, .. } => write!(f, "regular[{violation}]"),
+        }
+    }
+}
+
+impl RegularPredicate {
+    /// Lower into the general [`GlobalPredicate`] form. `ChannelsEmpty` has
+    /// no `GlobalPredicate` counterpart and is kept out of the lowering —
+    /// use [`RegularPredicate::eval`] when channel terms matter.
+    ///
+    /// # Panics
+    /// Panics if the predicate uses [`RegularPredicate::ChannelsEmpty`].
+    pub fn to_global(&self) -> GlobalPredicate {
+        match self {
+            RegularPredicate::Local { process, pred } => {
+                GlobalPredicate::local(*process, pred.clone())
+            }
+            RegularPredicate::ChannelsEmpty => {
+                panic!("ChannelsEmpty has no GlobalPredicate lowering")
+            }
+            RegularPredicate::And(ps) => {
+                GlobalPredicate::And(ps.iter().map(RegularPredicate::to_global).collect())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

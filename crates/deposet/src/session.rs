@@ -299,21 +299,26 @@ impl SessionStore {
         // Incremental Fidge–Mattern: copy the local predecessor, merge the
         // send-side clock for receives, tick own component. Every row read
         // here is already final (causal delivery order, see module docs).
-        let arena = &mut self.clocks[p];
-        let r = arena.push_zero_row();
+        let r = self.clocks[p].push_zero_row();
         debug_assert_eq!(r, k);
-        arena.copy_row(k, k - 1);
+        let mut intra: &[u32] = &[];
+        let mut same_proc_src = [0u32; 1];
+        let mut external: &[u32] = &[];
         if let Some(from) = recv_src {
             let q = from.process.index();
             if q == p {
-                self.clocks[p].merge_row(k, from.idx());
+                same_proc_src[0] = from.idx() as u32;
+                intra = &same_proc_src;
             } else {
                 self.scratch
                     .copy_from_slice(self.clocks[q].row(from.idx()).entries());
-                self.clocks[p].merge_from(k, &self.scratch);
+                external = &self.scratch;
             }
         }
-        self.clocks[p].tick(k, pid);
+        // `external` borrows `self.scratch` while `fm_row` borrows
+        // `self.clocks[p]` — disjoint fields, so this compiles without a
+        // copy of the merge logic.
+        self.clocks[p].fm_row(k, false, intra, external, pid);
 
         // Truth column + false intervals grow in place.
         let t = self.locals[p].eval(&state);
@@ -371,6 +376,14 @@ impl SessionStore {
     /// Messages sent but not yet received.
     pub fn in_flight(&self) -> usize {
         self.messages.len() - self.delivered
+    }
+
+    /// Every tracked message's endpoints, in send order: the state before
+    /// the send and, when delivered, the state after the receive (`None`
+    /// while the message is still in flight). The slicing engine's channel
+    /// rules consume exactly this view.
+    pub fn message_endpoints(&self) -> impl Iterator<Item = (StateId, Option<StateId>)> + '_ {
+        self.messages.iter().map(|m| (m.from, m.to))
     }
 
     /// Rough, monotone estimate of the heap footprint in bytes — the unit
@@ -525,6 +538,12 @@ impl CausalStore for SessionStore {
         s != t
             && self.clocks[s.process.index()].word(s.idx(), s.process)
                 <= self.clocks[t.process.index()].word(t.idx(), s.process)
+    }
+
+    /// O(1): one word read from the per-process arena row.
+    #[inline]
+    fn clock_entry(&self, s: StateId, q: ProcessId) -> u32 {
+        self.clocks[s.process.index()].word(s.idx(), q)
     }
 }
 

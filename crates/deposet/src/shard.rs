@@ -420,16 +420,13 @@ pub fn fill_sharded(
             let (lo, hi) = seg_round[s];
             for &r in &orders[s][lo..hi] {
                 let r = r as usize;
-                if !local.chain_start[r] {
-                    arena.copy_row(r, r - 1);
-                }
-                for &m in &local.msrc[local.moff[r] as usize..local.moff[r + 1] as usize] {
-                    arena.merge_row(r, m as usize);
-                }
-                for e in local.xoff[r] as usize..local.xoff[r + 1] as usize {
-                    arena.merge_from(r, &gather.buf[e * n..(e + 1) * n]);
-                }
-                arena.tick(r, ProcessId(local.proc_of[r]));
+                arena.fm_row(
+                    r,
+                    local.chain_start[r],
+                    &local.msrc[local.moff[r] as usize..local.moff[r + 1] as usize],
+                    &gather.buf[local.xoff[r] as usize * n..local.xoff[r + 1] as usize * n],
+                    ProcessId(local.proc_of[r]),
+                );
             }
         });
     }

@@ -1,0 +1,766 @@
+//! Computation slicing for regular predicates (Mittal–Garg).
+//!
+//! The slice of a computation w.r.t. a regular predicate `R` is the
+//! smallest sub-computation containing exactly the consistent cuts that
+//! satisfy `R`. Because `R` is regular, those cuts are closed under meet
+//! and join, so they form a sublattice of the full cut lattice — and a
+//! sublattice is described completely by its **join-irreducible** elements:
+//! the cuts `J(s) = ` *least satisfying cut whose frontier on `proc(s)` is
+//! at or past `s`*, one per local state `s`.
+//!
+//! The construction here is a per-process monotone sweep. `J((i, k))` is
+//! computed from `J((i, k-1))` by raising component `i` to `k` and closing
+//! upward under three *forced-advance* rules, each of which preserves every
+//! satisfying cut above the start point:
+//!
+//! * **conjunct** — the violation's conjunction on `i` is false at the
+//!   frontier state `(i, cut[i])` ⇒ advance `cut[i]`;
+//! * **consistency** — `clock_entry((j, cut[j]), i) > cut[i]` ⇒ raise
+//!   `cut[i]` to the clock entry (the repo's own consistency condition,
+//!   see [`CausalStore::clock_entry`]);
+//! * **channels** — a message sent inside the cut but not received inside
+//!   it ⇒ raise the receiver to the delivery point (or fail outright if
+//!   the message is still in flight).
+//!
+//! Running off the top of any chain means no satisfying cut exists above
+//! the start. The sweep is monotone (`J((i,k)) ≥ J((i,k-1))`), so the whole
+//! J-matrix costs one pass of amortised closures.
+//!
+//! The resulting [`SlicedDeposet`] is itself a columnar store: the J-matrix
+//! lives in a [`ClockArena`] (one row per local state), surviving states
+//! (those that can be the frontier of a satisfying cut) collapse into
+//! equivalence classes by J-value, and the class DAG is kept as CSR
+//! skeleton edges. Crucially the slice is *self-contained*: every
+//! satisfying cut is a join of J-rows (`G = ⋁ᵢ J((i, G[i]))`), so
+//! membership tests, counting, and enumeration need no further access to
+//! the underlying store.
+
+use crate::causal::CausalStore;
+use crate::global::GlobalState;
+use crate::intervals::{FalseIntervals, Interval};
+use crate::lattice::LatticeBudgetExceeded;
+use crate::model::Deposet;
+use crate::predicate::{ClassError, PredicateClass, RegularPredicate};
+use pctl_causality::arena::csr_from_edges;
+use pctl_causality::{ClockArena, ProcessId, StateId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Transient closure engine used only while building a slice.
+struct Slicer<'a, C: CausalStore + ?Sized> {
+    store: &'a C,
+    n: usize,
+    lens: Vec<u32>,
+    /// `conj[i][k]`: the violation's conjunction on process `i` holds in
+    /// state `(i, k)` (true everywhere for unconstrained processes).
+    conj: &'a [Vec<bool>],
+    /// Delivered messages `(from, to)` — empty unless the predicate
+    /// constrains channels.
+    delivered: &'a [(StateId, StateId)],
+    /// Send-side states of messages still in flight — empty unless the
+    /// predicate constrains channels.
+    in_flight: &'a [StateId],
+}
+
+impl<C: CausalStore + ?Sized> Slicer<'_, C> {
+    /// Close `cut` upward to the least satisfying cut ≥ the input, or
+    /// return `false` when none exists. Every raise is forced: any
+    /// satisfying cut ≥ the input is also ≥ the raised cut.
+    #[allow(clippy::needless_range_loop)] // cut[i] is mutated while cut[j] is read across processes
+    fn closure_up(&self, cut: &mut [u32]) -> bool {
+        loop {
+            let mut changed = false;
+            for i in 0..self.n {
+                let mut k = cut[i];
+                while k < self.lens[i] && !self.conj[i][k as usize] {
+                    k += 1;
+                }
+                if k >= self.lens[i] {
+                    return false;
+                }
+                if k != cut[i] {
+                    cut[i] = k;
+                    changed = true;
+                }
+            }
+            for j in 0..self.n {
+                let sj = StateId::new(ProcessId(j as u32), cut[j]);
+                for i in 0..self.n {
+                    if i == j {
+                        continue;
+                    }
+                    let e = self.store.clock_entry(sj, ProcessId(i as u32));
+                    if e > cut[i] {
+                        cut[i] = e;
+                        changed = true;
+                    }
+                }
+            }
+            for &(from, to) in self.delivered {
+                let fp = from.process.index();
+                let tp = to.process.index();
+                if cut[fp] > from.index && cut[tp] < to.index {
+                    cut[tp] = to.index;
+                    changed = true;
+                }
+            }
+            for &from in self.in_flight {
+                if cut[from.process.index()] > from.index {
+                    return false;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Close `cut` downward to the greatest satisfying cut ≤ the input, or
+    /// return `false` when none exists. Dual of [`Slicer::closure_up`];
+    /// a consistency violation forces the *knowing* frontier down by one.
+    #[allow(clippy::needless_range_loop)] // cut[i] is mutated while cut[j] is read across processes
+    fn closure_down(&self, cut: &mut [u32]) -> bool {
+        loop {
+            let mut changed = false;
+            for i in 0..self.n {
+                while !self.conj[i][cut[i] as usize] {
+                    if cut[i] == 0 {
+                        return false;
+                    }
+                    cut[i] -= 1;
+                    changed = true;
+                }
+            }
+            'outer: for j in 0..self.n {
+                loop {
+                    let sj = StateId::new(ProcessId(j as u32), cut[j]);
+                    let mut violated = false;
+                    for i in 0..self.n {
+                        if i != j && self.store.clock_entry(sj, ProcessId(i as u32)) > cut[i] {
+                            violated = true;
+                            break;
+                        }
+                    }
+                    if !violated {
+                        continue 'outer;
+                    }
+                    if cut[j] == 0 {
+                        return false;
+                    }
+                    cut[j] -= 1;
+                    changed = true;
+                }
+            }
+            for &(from, to) in self.delivered {
+                let fp = from.process.index();
+                let tp = to.process.index();
+                if cut[fp] > from.index && cut[tp] < to.index {
+                    cut[fp] = from.index;
+                    changed = true;
+                }
+            }
+            for &from in self.in_flight {
+                let fp = from.process.index();
+                if cut[fp] > from.index {
+                    cut[fp] = from.index;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+}
+
+/// The slice of a computation w.r.t. a regular violation predicate: a
+/// columnar sub-computation containing exactly the satisfying consistent
+/// cuts. See the [module docs](self) for the construction.
+#[derive(Clone, Debug)]
+pub struct SlicedDeposet {
+    n: usize,
+    lens: Vec<u32>,
+    /// Row offset of each process's chain in the J-matrix (n+1 entries).
+    offsets: Vec<usize>,
+    /// `J((i, k))` as row `offsets[i] + k`, valid where `j_exists`.
+    j: ClockArena,
+    j_exists: Vec<bool>,
+    /// Equivalence class (by J-value) of each *surviving* row, `u32::MAX`
+    /// elsewhere. Classes are numbered in first-seen row order.
+    class_of: Vec<u32>,
+    class_count: usize,
+    /// CSR skeleton over classes: `skel_src[skel_off[c]..skel_off[c+1]]`
+    /// lists the classes with an edge *into* `c`.
+    skel_off: Vec<u32>,
+    skel_src: Vec<u32>,
+    min_cut: Option<GlobalState>,
+    max_cut: Option<GlobalState>,
+    /// Per-process maximal runs of frontier-possible indices, in the same
+    /// [`FalseIntervals`] form the control algorithms consume.
+    frontier: FalseIntervals,
+}
+
+impl SlicedDeposet {
+    /// Slice a batch computation w.r.t. `violation`. Validates process
+    /// references, evaluates the violation's local conjunctions over every
+    /// state, and feeds [`SlicedDeposet::build_from_parts`].
+    pub fn build(dep: &Deposet, violation: &RegularPredicate) -> Result<Self, ClassError> {
+        PredicateClass::regular(dep.process_count() as u32, violation.clone())
+            .validate(dep.process_count())?;
+        let n = dep.process_count();
+        let by_proc = violation.conjuncts_by_process(n);
+        let conj: Vec<Vec<bool>> = (0..n)
+            .map(|i| {
+                let p = ProcessId(i as u32);
+                (0..dep.len_of(p))
+                    .map(|k| {
+                        let s = dep.state(StateId::new(p, k as u32));
+                        by_proc[i].iter().all(|c| c.eval(s))
+                    })
+                    .collect()
+            })
+            .collect();
+        let delivered: Vec<(StateId, StateId)> = if violation.uses_channels() {
+            dep.messages().iter().map(|m| (m.from, m.to)).collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Self::build_from_parts(dep, &conj, &delivered, &[]))
+    }
+
+    /// Build a slice from pre-computed parts, generically over any
+    /// [`CausalStore`] (the streaming engine passes a
+    /// [`crate::session::SessionStore`] whose incremental truth columns
+    /// already hold `¬conj`, see
+    /// [`PredicateClass::session_locals`]).
+    ///
+    /// `conj[i][k]` must be the violation's conjunction on process `i`
+    /// evaluated in state `(i, k)`; `delivered` and `in_flight` must be
+    /// empty when the violation does not constrain channels.
+    ///
+    /// # Panics
+    /// Panics if `conj` does not match the store's shape.
+    #[allow(clippy::needless_range_loop)] // cut[i] is mutated while cut[j] is read across processes
+    pub fn build_from_parts<C: CausalStore + ?Sized>(
+        store: &C,
+        conj: &[Vec<bool>],
+        delivered: &[(StateId, StateId)],
+        in_flight: &[StateId],
+    ) -> Self {
+        let _prof = pctl_prof::span("slice_build");
+        let n = store.process_count();
+        assert_eq!(conj.len(), n, "conjunct truth columns per process");
+        let lens: Vec<u32> = (0..n)
+            .map(|i| store.len_of(ProcessId(i as u32)) as u32)
+            .collect();
+        for i in 0..n {
+            assert_eq!(conj[i].len(), lens[i] as usize, "truth column length");
+        }
+        let slicer = Slicer {
+            store,
+            n,
+            lens: lens.clone(),
+            conj,
+            delivered,
+            in_flight,
+        };
+
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + lens[i] as usize;
+        }
+        let total = offsets[n];
+
+        // min/max satisfying cuts: closures from ⊥ and ⊤.
+        let mut lo = vec![0u32; n];
+        let min_cut = slicer
+            .closure_up(&mut lo)
+            .then(|| GlobalState::from_indices(lo));
+        let mut hi: Vec<u32> = lens.iter().map(|&l| l - 1).collect();
+        let max_cut = (min_cut.is_some() && slicer.closure_down(&mut hi))
+            .then(|| GlobalState::from_indices(hi));
+
+        // J-matrix by per-process monotone sweep.
+        let mut j = ClockArena::zeroed(n, total);
+        let mut j_exists = vec![false; total];
+        for i in 0..n {
+            let mut prev: Option<Vec<u32>> = min_cut.as_ref().map(|g| g.indices().to_vec());
+            for k in 0..lens[i] {
+                prev = prev.take().and_then(|mut c| {
+                    if c[i] < k {
+                        c[i] = k;
+                        if !slicer.closure_up(&mut c) {
+                            return None;
+                        }
+                    }
+                    Some(c)
+                });
+                if let Some(c) = &prev {
+                    let row = offsets[i] + k as usize;
+                    j.merge_from(row, c);
+                    j_exists[row] = true;
+                }
+            }
+        }
+
+        // Surviving states → classes by J-value (first-seen order), then
+        // skeleton edges: chain edges between consecutive surviving runs
+        // and, for each surviving state v, a cut edge from the frontier
+        // class of every other process in J(v).
+        let mut class_of = vec![u32::MAX; total];
+        let mut classes: HashMap<&[u32], u32> = HashMap::new();
+        let survives = |row: usize, i: usize, k: u32, j: &ClockArena, ex: &[bool]| {
+            ex[row] && j.word(row, ProcessId(i as u32)) == k
+        };
+        for i in 0..n {
+            for k in 0..lens[i] {
+                let row = offsets[i] + k as usize;
+                if survives(row, i, k, &j, &j_exists) {
+                    let key = j.row(row).entries();
+                    let next = classes.len() as u32;
+                    class_of[row] = *classes.entry(key).or_insert(next);
+                }
+            }
+        }
+        let class_count = classes.len();
+        drop(classes);
+
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            let mut prev_class: Option<u32> = None;
+            for k in 0..lens[i] {
+                let row = offsets[i] + k as usize;
+                let c = class_of[row];
+                if c == u32::MAX {
+                    continue;
+                }
+                if let Some(pc) = prev_class {
+                    if pc != c {
+                        edges.push((c, pc));
+                    }
+                }
+                prev_class = Some(c);
+                for q in 0..n {
+                    if q == i {
+                        continue;
+                    }
+                    let fq = j.word(row, ProcessId(q as u32));
+                    let qrow = offsets[q] + fq as usize;
+                    let qc = class_of[qrow];
+                    if qc != u32::MAX && qc != c {
+                        edges.push((c, qc));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let (skel_off, skel_src) = csr_from_edges(class_count, &edges);
+
+        // Frontier-possible runs as FalseIntervals (maximal runs are
+        // separated by ≥ 1 impossible index, so `from_raw`'s non-adjacency
+        // invariant holds by construction).
+        let mut per_proc: Vec<Vec<Interval>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut ivs = Vec::new();
+            let mut run: Option<(u32, u32)> = None;
+            for k in 0..lens[i] {
+                let row = offsets[i] + k as usize;
+                if survives(row, i, k, &j, &j_exists) {
+                    run = Some(match run {
+                        Some((lo, _)) => (lo, k),
+                        None => (k, k),
+                    });
+                } else if let Some((lo, hi)) = run.take() {
+                    ivs.push(Interval {
+                        process: ProcessId(i as u32),
+                        lo,
+                        hi,
+                    });
+                }
+            }
+            if let Some((lo, hi)) = run {
+                ivs.push(Interval {
+                    process: ProcessId(i as u32),
+                    lo,
+                    hi,
+                });
+            }
+            per_proc.push(ivs);
+        }
+        let frontier = FalseIntervals::from_raw(per_proc);
+
+        SlicedDeposet {
+            n,
+            lens,
+            offsets,
+            j,
+            j_exists,
+            class_of,
+            class_count,
+            skel_off,
+            skel_src,
+            min_cut,
+            max_cut,
+            frontier,
+        }
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Chain length of process `p` in the underlying computation.
+    pub fn len_of(&self, p: ProcessId) -> usize {
+        self.lens[p.index()] as usize
+    }
+
+    /// Total states in the underlying computation.
+    pub fn total_states(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// True when no consistent cut satisfies the predicate.
+    pub fn is_empty(&self) -> bool {
+        self.min_cut.is_none()
+    }
+
+    /// The least satisfying cut, if any.
+    pub fn min_cut(&self) -> Option<&GlobalState> {
+        self.min_cut.as_ref()
+    }
+
+    /// The greatest satisfying cut, if any.
+    pub fn max_cut(&self) -> Option<&GlobalState> {
+        self.max_cut.as_ref()
+    }
+
+    /// `J(s)` — the least satisfying cut whose frontier on `proc(s)` is at
+    /// or past `s` — as raw per-process indices, or `None` when no
+    /// satisfying cut lies at or above `s`.
+    pub fn j_cut(&self, s: StateId) -> Option<&[u32]> {
+        let row = self.row(s);
+        self.j_exists[row].then(|| self.j.row(row).entries())
+    }
+
+    /// Can `s` be the frontier state of its process in some satisfying
+    /// cut? (Exactly: `J(s)` exists and pins `proc(s)` at `s`.)
+    pub fn frontier_possible(&self, s: StateId) -> bool {
+        let row = self.row(s);
+        self.j_exists[row] && self.j.word(row, s.process) == s.index
+    }
+
+    /// Number of surviving (frontier-possible) states.
+    pub fn surviving_states(&self) -> usize {
+        self.class_of.iter().filter(|&&c| c != u32::MAX).count()
+    }
+
+    /// Number of join-irreducible equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// The equivalence class of a surviving state (`None` for states that
+    /// cannot be a satisfying frontier).
+    pub fn class_of(&self, s: StateId) -> Option<u32> {
+        let c = self.class_of[self.row(s)];
+        (c != u32::MAX).then_some(c)
+    }
+
+    /// CSR skeleton over classes: `(offsets, sources)`, where the sources
+    /// of class `c` are `sources[offsets[c]..offsets[c+1]]`.
+    pub fn skeleton(&self) -> (&[u32], &[u32]) {
+        (&self.skel_off, &self.skel_src)
+    }
+
+    /// Per-process maximal runs of frontier-possible indices, in the
+    /// [`FalseIntervals`] form [`crate::store`]'s control entry points
+    /// consume: a cut satisfying the predicate necessarily has *every*
+    /// frontier inside these runs, so preventing all-inside prevents all
+    /// satisfying cuts.
+    pub fn frontier_intervals(&self) -> &FalseIntervals {
+        &self.frontier
+    }
+
+    /// Does `g` satisfy the predicate? Self-contained test: `g` satisfies
+    /// iff every per-process J-row exists and their join is `g` itself.
+    #[allow(clippy::needless_range_loop)] // cut[i] is mutated while cut[j] is read across processes
+    pub fn satisfies(&self, g: &GlobalState) -> bool {
+        assert_eq!(g.arity(), self.n, "cut arity");
+        let cut = g.indices();
+        let mut join = vec![0u32; self.n];
+        for i in 0..self.n {
+            let row = self.offsets[i] + cut[i] as usize;
+            if !self.j_exists[row] {
+                return false;
+            }
+            let r = self.j.row(row);
+            for (q, acc) in join.iter_mut().enumerate() {
+                *acc = (*acc).max(r.get(ProcessId(q as u32)));
+            }
+        }
+        join == cut
+    }
+
+    /// Enumerate every satisfying cut, failing once more than `limit`
+    /// cuts have been produced. BFS over joins of J-rows: the successor of
+    /// `g` in direction `i` is `g ⊔ J((i, g[i]+1))`, which is the least
+    /// satisfying cut above `g` that advances `i` — so the walk visits the
+    /// whole sublattice without touching the underlying store.
+    pub fn cuts(&self, limit: usize) -> Result<Vec<GlobalState>, LatticeBudgetExceeded> {
+        let Some(min) = &self.min_cut else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        let mut queue: VecDeque<Vec<u32>> = VecDeque::new();
+        seen.insert(min.indices().to_vec());
+        queue.push_back(min.indices().to_vec());
+        while let Some(cur) = queue.pop_front() {
+            out.push(GlobalState::from_indices(cur.clone()));
+            if out.len() > limit {
+                return Err(LatticeBudgetExceeded { limit });
+            }
+            for i in 0..self.n {
+                let k = cur[i] + 1;
+                if k >= self.lens[i] {
+                    continue;
+                }
+                let row = self.offsets[i] + k as usize;
+                if !self.j_exists[row] {
+                    continue;
+                }
+                let r = self.j.row(row);
+                let mut next = cur.clone();
+                for (q, v) in next.iter_mut().enumerate() {
+                    *v = (*v).max(r.get(ProcessId(q as u32)));
+                }
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count the satisfying cuts without materialising them.
+    pub fn cut_count(&self, limit: usize) -> Result<usize, LatticeBudgetExceeded> {
+        self.cuts(limit).map(|v| v.len())
+    }
+
+    fn row(&self, s: StateId) -> usize {
+        assert!(
+            s.process.index() < self.n && s.idx() < self.lens[s.process.index()] as usize,
+            "state {s:?} out of range"
+        );
+        self.offsets[s.process.index()] + s.idx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeposetBuilder;
+    use crate::lattice::consistent_global_states;
+    use crate::predicate::{CmpOp, LocalPredicate};
+    use std::collections::BTreeSet;
+
+    const BUDGET: usize = 100_000;
+
+    /// Oracle: the slice's cut set equals the brute-force lattice filtered
+    /// by the violation; min/max are the extrema; `satisfies` and
+    /// `frontier_possible` agree with the enumeration.
+    fn assert_slice_matches_oracle(dep: &Deposet, violation: &RegularPredicate) {
+        let slice = SlicedDeposet::build(dep, violation).expect("valid violation");
+        let all = consistent_global_states(dep, BUDGET).unwrap();
+        let expected: BTreeSet<Vec<u32>> = all
+            .iter()
+            .filter(|g| violation.eval(dep, g))
+            .map(|g| g.indices().to_vec())
+            .collect();
+        let got: BTreeSet<Vec<u32>> = slice
+            .cuts(BUDGET)
+            .unwrap()
+            .iter()
+            .map(|g| g.indices().to_vec())
+            .collect();
+        assert_eq!(got, expected, "slice cuts ≠ satisfying lattice cuts");
+        assert_eq!(slice.is_empty(), expected.is_empty());
+        assert_eq!(
+            slice.min_cut().map(|g| g.indices().to_vec()),
+            expected.iter().next().cloned().map(|_| {
+                let mut m = expected.iter().next().unwrap().clone();
+                for c in &expected {
+                    for (a, b) in m.iter_mut().zip(c) {
+                        *a = (*a).min(*b);
+                    }
+                }
+                m
+            })
+        );
+        assert_eq!(
+            slice.max_cut().map(|g| g.indices().to_vec()),
+            expected.iter().next().cloned().map(|_| {
+                let mut m = expected.iter().next().unwrap().clone();
+                for c in &expected {
+                    for (a, b) in m.iter_mut().zip(c) {
+                        *a = (*a).max(*b);
+                    }
+                }
+                m
+            })
+        );
+        for g in &all {
+            assert_eq!(
+                slice.satisfies(g),
+                expected.contains(g.indices()),
+                "satisfies({g}) disagrees with the oracle"
+            );
+        }
+        for i in 0..dep.process_count() {
+            let p = ProcessId(i as u32);
+            for k in 0..dep.len_of(p) as u32 {
+                let truth = expected.iter().any(|c| c[i] == k);
+                assert_eq!(
+                    slice.frontier_possible(StateId::new(p, k)),
+                    truth,
+                    "frontier_possible(({i},{k})) disagrees"
+                );
+            }
+        }
+    }
+
+    fn two_proc_with_msg() -> Deposet {
+        // P0: ⊥(x=0) → send → x=2 ; P1: ⊥ → recv → y=1
+        let mut b = DeposetBuilder::new(2);
+        b.init_vars(0, &[("x", 0)]);
+        let t = b.send(0, "m");
+        b.internal(0, &[("x", 2)]);
+        b.recv(1, t, &[("y", 1)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn local_conjunction_matches_oracle() {
+        let dep = two_proc_with_msg();
+        assert_slice_matches_oracle(
+            &dep,
+            &RegularPredicate::local(0usize, LocalPredicate::cmp("x", CmpOp::Ge, 1)),
+        );
+        assert_slice_matches_oracle(
+            &dep,
+            &RegularPredicate::And(vec![
+                RegularPredicate::local(0usize, LocalPredicate::cmp("x", CmpOp::Ge, 2)),
+                RegularPredicate::local(1usize, LocalPredicate::var("y")),
+            ]),
+        );
+    }
+
+    #[test]
+    fn channels_empty_matches_oracle() {
+        let dep = two_proc_with_msg();
+        assert_slice_matches_oracle(&dep, &RegularPredicate::ChannelsEmpty);
+        assert_slice_matches_oracle(
+            &dep,
+            &RegularPredicate::And(vec![
+                RegularPredicate::ChannelsEmpty,
+                RegularPredicate::local(0usize, LocalPredicate::cmp("x", CmpOp::Ge, 1)),
+            ]),
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_violation_gives_empty_slice() {
+        let dep = two_proc_with_msg();
+        let slice = SlicedDeposet::build(
+            &dep,
+            &RegularPredicate::local(0usize, LocalPredicate::False),
+        )
+        .unwrap();
+        assert!(slice.is_empty());
+        assert!(slice.min_cut().is_none() && slice.max_cut().is_none());
+        assert_eq!(slice.cuts(BUDGET).unwrap(), Vec::<GlobalState>::new());
+        assert_eq!(slice.surviving_states(), 0);
+        assert_eq!(slice.class_count(), 0);
+        assert_eq!(slice.frontier_intervals().total(), 0);
+    }
+
+    #[test]
+    fn empty_conjunction_keeps_the_whole_lattice() {
+        let dep = two_proc_with_msg();
+        let slice = SlicedDeposet::build(&dep, &RegularPredicate::And(vec![])).unwrap();
+        let all = consistent_global_states(&dep, BUDGET).unwrap();
+        assert_eq!(slice.cut_count(BUDGET).unwrap(), all.len());
+        assert_eq!(slice.min_cut().unwrap(), &GlobalState::initial(2));
+        assert_eq!(slice.max_cut().unwrap(), &GlobalState::final_of(&dep));
+    }
+
+    #[test]
+    fn skeleton_reachability_is_j_dominance() {
+        let dep = two_proc_with_msg();
+        let slice = SlicedDeposet::build(
+            &dep,
+            &RegularPredicate::local(0usize, LocalPredicate::cmp("x", CmpOp::Ge, 1)),
+        )
+        .unwrap();
+        let (off, src) = slice.skeleton();
+        let nc = slice.class_count();
+        assert_eq!(off.len(), nc + 1);
+        // Transitive closure over the (dst ← src) CSR, by simple DP.
+        let mut reach = vec![vec![false; nc]; nc];
+        // classes are discovered in row order; an edge's sources always
+        // exist, so a fixpoint over the CSR converges.
+        loop {
+            let mut changed = false;
+            for c in 0..nc {
+                for &s in &src[off[c] as usize..off[c + 1] as usize] {
+                    let s = s as usize;
+                    if !reach[s][c] {
+                        reach[s][c] = true;
+                        changed = true;
+                    }
+                    for row in reach.iter_mut() {
+                        if row[s] && !row[c] {
+                            row[c] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // reach ⟺ strict J-dominance between class representatives.
+        let mut rep: Vec<Option<Vec<u32>>> = vec![None; nc];
+        for i in 0..dep.process_count() {
+            let p = ProcessId(i as u32);
+            for k in 0..dep.len_of(p) as u32 {
+                let s = StateId::new(p, k);
+                if let Some(c) = slice.class_of(s) {
+                    rep[c as usize].get_or_insert_with(|| slice.j_cut(s).unwrap().to_vec());
+                }
+            }
+        }
+        for a in 0..nc {
+            for b in 0..nc {
+                if a == b {
+                    continue;
+                }
+                let (ja, jb) = (rep[a].as_ref().unwrap(), rep[b].as_ref().unwrap());
+                let leq = ja.iter().zip(jb).all(|(x, y)| x <= y);
+                assert_eq!(
+                    reach[a][b], leq,
+                    "skeleton reachability {a}→{b} must equal J(a) ≤ J(b)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let dep = two_proc_with_msg();
+        let slice = SlicedDeposet::build(&dep, &RegularPredicate::And(vec![])).unwrap();
+        assert_eq!(slice.cuts(1), Err(LatticeBudgetExceeded { limit: 1 }));
+    }
+}

@@ -6,8 +6,10 @@ use pctl_deposet::generator::{random_deposet, RandomConfig};
 use pctl_deposet::lattice::consistent_global_states;
 use pctl_deposet::sequences::rand_compat::RngLike;
 use pctl_deposet::sequences::random_global_sequence;
-use pctl_deposet::{trace, Deposet, GlobalState};
+use pctl_deposet::slice::SlicedDeposet;
+use pctl_deposet::{trace, Deposet, GlobalState, LocalPredicate, RegularPredicate};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn arb_config() -> impl Strategy<Value = (RandomConfig, u64)> {
     (1usize..5, 0usize..25, 0u64..1_000_000).prop_map(|(n, events, seed)| {
@@ -280,4 +282,81 @@ fn processes_iterator_is_dense() {
     let dep = random_deposet(&RandomConfig::default(), 5);
     let ps: Vec<ProcessId> = dep.processes().collect();
     assert_eq!(ps, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+}
+
+/// Derive a pseudo-random regular violation from the seed: a conjunction of
+/// `ok`-constraints over a subset of processes, with `ChannelsEmpty` mixed
+/// in half the time.
+fn arb_regular(n: usize, seed: u64) -> RegularPredicate {
+    let mut conjuncts = Vec::new();
+    for i in 0..n {
+        match (seed >> (2 * i)) & 3 {
+            0 => conjuncts.push(RegularPredicate::local(i, LocalPredicate::var("ok"))),
+            1 => conjuncts.push(RegularPredicate::local(i, LocalPredicate::not_var("ok"))),
+            _ => {}
+        }
+    }
+    if seed & (1 << 16) != 0 {
+        conjuncts.push(RegularPredicate::ChannelsEmpty);
+    }
+    RegularPredicate::And(conjuncts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The slice contains exactly the consistent cuts satisfying the
+    /// regular violation (brute-force lattice enumeration as oracle), and
+    /// its min/max cuts, membership test, and frontier-possible bitmap all
+    /// agree with that set.
+    #[test]
+    fn slice_is_exactly_the_satisfying_sublattice((cfg, seed) in arb_config()) {
+        let dep = random_deposet(&cfg, seed);
+        let violation = arb_regular(dep.process_count(), seed ^ 0x9e3779b97f4a7c15);
+        let all = match consistent_global_states(&dep, 20_000) {
+            Ok(v) => v,
+            Err(_) => return Ok(()), // too big; skip
+        };
+        let expected: BTreeSet<&[u32]> = all
+            .iter()
+            .filter(|g| violation.eval(&dep, g))
+            .map(|g| g.indices())
+            .collect();
+
+        let slice = SlicedDeposet::build(&dep, &violation).unwrap();
+        let cuts = slice.cuts(20_000).unwrap();
+        let got: BTreeSet<&[u32]> = cuts.iter().map(|g| g.indices()).collect();
+        prop_assert_eq!(&got, &expected, "slice cuts ≠ oracle for {}", violation);
+
+        // Extremality of min/max.
+        prop_assert_eq!(slice.is_empty(), expected.is_empty());
+        if let Some(min) = slice.min_cut() {
+            for c in &expected {
+                prop_assert!(min.indices().iter().zip(*c).all(|(a, b)| a <= b));
+            }
+            prop_assert!(expected.contains(min.indices()));
+        }
+        if let Some(max) = slice.max_cut() {
+            for c in &expected {
+                prop_assert!(max.indices().iter().zip(*c).all(|(a, b)| a >= b));
+            }
+            prop_assert!(expected.contains(max.indices()));
+        }
+
+        // Membership test and frontier-possible bitmap agree with the set.
+        for g in &all {
+            prop_assert_eq!(slice.satisfies(g), expected.contains(g.indices()));
+        }
+        for i in 0..dep.process_count() {
+            let p = ProcessId(i as u32);
+            for k in 0..dep.len_of(p) as u32 {
+                let truth = expected.iter().any(|c| c[i] == k);
+                prop_assert_eq!(
+                    slice.frontier_possible(StateId::new(p, k)),
+                    truth,
+                    "frontier_possible(({},{}))", i, k
+                );
+            }
+        }
+    }
 }

@@ -10,7 +10,7 @@
 
 use crate::frame::{encode_frame, FrameDecoder, DEFAULT_MAX_FRAME};
 use crate::proto::{Request, RequestEnvelope, Response, ResponseEnvelope};
-use pctl_deposet::{AppendOp, LocalPredicate};
+use pctl_deposet::{AppendOp, LocalPredicate, PredicateClass};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -100,7 +100,7 @@ impl Client {
         }
     }
 
-    /// Open a session.
+    /// Open a classic disjunctive session.
     pub fn hello(
         &mut self,
         session: &str,
@@ -111,6 +111,23 @@ impl Client {
             session: session.into(),
             locals,
             init,
+            class: None,
+        })
+    }
+
+    /// Open a session over an explicit [`PredicateClass`] — regular
+    /// classes are answered through the slicing engine on the daemon side.
+    pub fn hello_class(
+        &mut self,
+        session: &str,
+        class: PredicateClass,
+        init: Option<Vec<Vec<(String, i64)>>>,
+    ) -> std::io::Result<Response> {
+        self.request(Request::Hello {
+            session: session.into(),
+            locals: vec![],
+            init,
+            class: Some(class),
         })
     }
 

@@ -36,4 +36,6 @@ pub use proto::{
     ErrorKind, Request, RequestEnvelope, Response, ResponseEnvelope, SessionStat, StatsSnapshot,
 };
 pub use server::{Config, Daemon, MAX_SLEEP_MS};
-pub use stream::{stream_deposet, stream_deposet_with, StreamProgress, StreamReport};
+pub use stream::{
+    stream_deposet, stream_deposet_class, stream_deposet_with, StreamProgress, StreamReport,
+};

@@ -15,7 +15,7 @@
 //! well-framed request with silence or a dropped connection.
 
 use pctl_core::ControlRelation;
-use pctl_deposet::{AppendOp, Interval, LocalPredicate};
+use pctl_deposet::{AppendOp, Interval, LocalPredicate, PredicateClass};
 use serde::{Deserialize, Serialize};
 
 /// A client request, one per frame, wrapped in [`RequestEnvelope`].
@@ -26,10 +26,19 @@ pub enum Request {
     Hello {
         /// Unique session name (rejected if already live).
         session: String,
-        /// The disjunctive predicate's locals, one per process.
+        /// The disjunctive predicate's locals, one per process. Ignored
+        /// (may be empty) when `class` is set — the class carries its own
+        /// predicate.
         locals: Vec<LocalPredicate>,
         /// Initial per-process variable assignments (empty = all unset).
         init: Option<Vec<Vec<(String, i64)>>>,
+        /// Optional predicate class. `None` (the wire default, so frames
+        /// from older clients still parse) means the classic disjunctive
+        /// session over `locals`; `Some` routes the session's queries
+        /// through the class-aware engine — in particular
+        /// [`PredicateClass::Regular`] answers via computation slicing.
+        #[serde(default)]
+        class: Option<PredicateClass>,
     },
     /// Append one event to a session's computation.
     Append {
@@ -256,6 +265,12 @@ pub struct StatsSnapshot {
     pub approx_bytes: u64,
     /// Configured hard memory budget.
     pub budget_bytes: u64,
+    /// Queries answered from a session engine's memoized verdict instead
+    /// of recomputing (the prefix had not changed since the same query
+    /// last ran). `#[serde(default)]` so snapshots from daemons predating
+    /// this field still parse.
+    #[serde(default)]
+    pub query_cache_hits_total: u64,
     /// Per-session breakdown, sorted by session name. `#[serde(default)]`
     /// so snapshots from daemons predating this field still parse.
     #[serde(default)]
@@ -305,6 +320,19 @@ mod tests {
                     session: "s".into(),
                     locals: vec![LocalPredicate::var("ok")],
                     init: Some(vec![vec![("ok".into(), 1)]]),
+                    class: None,
+                },
+            },
+            RequestEnvelope {
+                seq: 4,
+                req: Request::Hello {
+                    session: "r".into(),
+                    locals: vec![],
+                    init: None,
+                    class: Some(PredicateClass::regular(
+                        2,
+                        pctl_deposet::RegularPredicate::conj_var(&[0, 1], "cs"),
+                    )),
                 },
             },
             RequestEnvelope {
@@ -352,6 +380,27 @@ mod tests {
             let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
             assert_eq!(back, env);
         }
+    }
+
+    #[test]
+    fn hello_without_class_field_still_parses() {
+        // Frames from clients predating the predicate-class field omit
+        // `class` entirely; `#[serde(default)]` must fill in `None`.
+        let env = RequestEnvelope {
+            seq: 7,
+            req: Request::Hello {
+                session: "old".into(),
+                locals: vec![LocalPredicate::var("ok")],
+                init: None,
+                class: None,
+            },
+        };
+        // The vendored serde omits `None` options on serialize, so this
+        // IS the legacy wire form — no `class` key at all.
+        let json = serde_json::to_string(&env).unwrap();
+        assert!(!json.contains("class"), "legacy wire form: {json}");
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
     }
 
     #[test]

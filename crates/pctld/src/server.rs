@@ -38,7 +38,7 @@ use crate::proto::{
 };
 use pctl_core::offline::OfflineOptions;
 use pctl_core::StreamEngine;
-use pctl_deposet::AppendOp;
+use pctl_deposet::{AppendOp, PredicateClass};
 use pctl_obs::prom::{prof_families, Exposition, Histogram};
 use pctl_obs::{Event, EventKind, Recorder, RingRecorder};
 use serde::Serialize;
@@ -213,6 +213,9 @@ struct Stats {
     appends_refused_total: AtomicU64,
     poisoned_total: AtomicU64,
     approx_bytes: AtomicUsize,
+    /// Queries answered from a session engine's memoized verdict
+    /// (aggregated from per-worker deltas after every query).
+    query_cache_hits_total: AtomicU64,
 }
 
 /// Request-telemetry state: per-verb latency histograms, the queue-wait /
@@ -458,6 +461,7 @@ impl Inner {
             poisoned_total: self.stats.poisoned_total.load(Ordering::SeqCst),
             approx_bytes: self.stats.approx_bytes.load(Ordering::SeqCst) as u64,
             budget_bytes: self.cfg.memory_budget as u64,
+            query_cache_hits_total: self.stats.query_cache_hits_total.load(Ordering::SeqCst),
             per_session,
         }
     }
@@ -512,6 +516,12 @@ impl Inner {
             "Sessions quarantined after a worker panic",
             &[],
             s.poisoned_total as f64,
+        );
+        exp.counter(
+            "pctld_query_cache_hits_total",
+            "Queries answered from a session engine's memoized verdict",
+            &[],
+            s.query_cache_hits_total as f64,
         );
         for sess in self.sessions.lock().unwrap().values() {
             exp.gauge(
@@ -778,7 +788,8 @@ fn dispatch_verb(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
             session,
             locals,
             init,
-        } => (handle_hello(session, locals, init, inner), false),
+            class,
+        } => (handle_hello(session, locals, init, class, inner), false),
         Request::Append { session, op } => (handle_append(&session, op, inner), false),
         Request::Detect { session } => (query(&session, QueryKind::Detect, inner), false),
         Request::Control { session } => (query(&session, QueryKind::Control, inner), false),
@@ -833,12 +844,32 @@ fn handle_hello(
     name: String,
     locals: Vec<pctl_deposet::LocalPredicate>,
     init: Option<Vec<Vec<(String, i64)>>>,
+    class: Option<PredicateClass>,
     inner: &Arc<Inner>,
 ) -> Response {
     if inner.draining.load(Ordering::SeqCst) {
         return err(ErrorKind::Draining, "daemon is draining");
     }
-    if locals.is_empty() {
+    // With an explicit class the class is the predicate and carries its
+    // own arity; `locals` is legacy-wire baggage and may be empty (but
+    // must agree when present). Without one, the classic rule holds.
+    let processes = match &class {
+        Some(c) => {
+            if !locals.is_empty() && locals.len() != c.arity() {
+                return err(
+                    ErrorKind::Malformed,
+                    format!(
+                        "locals cover {} processes, class arity is {}",
+                        locals.len(),
+                        c.arity()
+                    ),
+                );
+            }
+            c.arity()
+        }
+        None => locals.len(),
+    };
+    if processes == 0 {
         return err(ErrorKind::Malformed, "at least one local predicate");
     }
     // Names become snapshot filenames and metric labels: keep them tame.
@@ -854,17 +885,30 @@ fn handle_hello(
         );
     }
     if let Some(init) = &init {
-        if init.len() != locals.len() {
+        if init.len() != processes {
             return err(
                 ErrorKind::Malformed,
                 format!(
-                    "init covers {} processes, predicate arity is {}",
-                    init.len(),
-                    locals.len()
+                    "init covers {} processes, predicate arity is {processes}",
+                    init.len()
                 ),
             );
         }
     }
+    // Build the engine before taking the sessions lock: class validation
+    // errors (bad process index, arity mismatch inside the class) are the
+    // client's fault and must answer Malformed, not Capacity.
+    let engine = match class {
+        Some(class) => match StreamEngine::for_class(class, init.as_deref()) {
+            Ok(engine) => engine,
+            Err(e) => return err(ErrorKind::Malformed, format!("bad predicate class: {e}")),
+        },
+        None => match &init {
+            Some(init) => StreamEngine::new_with_init(locals, init),
+            None => StreamEngine::new(locals),
+        },
+    };
+    let mut engine = Some(engine);
     // Admission ladder: evict idle LRU sessions while over a capacity
     // limit; once nothing idle remains, refuse the *newcomer* — live
     // sessions are never sacrificed for a new one.
@@ -881,7 +925,12 @@ fn handle_hello(
                 // A failed thread spawn (fd/thread exhaustion — exactly the
                 // degraded conditions this daemon must survive) is a
                 // capacity refusal, never a panic under the sessions lock.
-                return match spawn_session(name.clone(), locals, init, inner) {
+                return match spawn_session(
+                    name.clone(),
+                    engine.take().expect("hello spawns at most once"),
+                    processes as u32,
+                    inner,
+                ) {
                     Ok(sess) => {
                         map.insert(name, sess);
                         Response::Ok
@@ -914,8 +963,8 @@ fn handle_hello(
 
 fn spawn_session(
     name: String,
-    locals: Vec<pctl_deposet::LocalPredicate>,
-    init: Option<Vec<Vec<(String, i64)>>>,
+    engine: StreamEngine,
+    processes: u32,
     inner: &Arc<Inner>,
 ) -> std::io::Result<Arc<SessionShared>> {
     let (tx, rx) = sync_channel(inner.cfg.queue_depth);
@@ -931,11 +980,6 @@ fn spawn_session(
         appends: AtomicU64::new(0),
         lat_us: Mutex::new(VecDeque::new()),
     });
-    let processes = locals.len() as u32;
-    let engine = match init {
-        Some(init) => StreamEngine::new_with_init(locals, &init),
-        None => StreamEngine::new(locals),
-    };
     let worker_sess = Arc::clone(&sess);
     let worker_inner = Arc::clone(inner);
     let handle = std::thread::Builder::new()
@@ -1125,6 +1169,7 @@ fn worker_loop(
 ) {
     let telemetry = inner.telemetry.enabled;
     let mut wt = WorkerTelemetry::new(&inner.cfg, processes);
+    let mut cache_hits_seen = 0u64;
     while let Ok(cmd) = rx.recv() {
         sess.queue_len.fetch_sub(1, Ordering::SeqCst);
         match cmd {
@@ -1179,9 +1224,18 @@ fn worker_loop(
                 let _ = reply.send(wt.trace_response());
             }
             Cmd::Query(kind, reply) => {
-                let outcome = catch_unwind(AssertUnwindSafe(|| run_query(&engine, &kind)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_query(&mut engine, &kind)));
                 match outcome {
                     Ok(resp) => {
+                        // Fold this query's cache-hit delta into the
+                        // daemon-wide counter; the engine's own count is
+                        // monotone over the session's lifetime.
+                        let now = engine.cache_hits();
+                        inner
+                            .stats
+                            .query_cache_hits_total
+                            .fetch_add(now - cache_hits_seen, Ordering::SeqCst);
+                        cache_hits_seen = now;
                         let _ = reply.send(resp);
                     }
                     Err(_) => {
@@ -1240,7 +1294,7 @@ fn poison(sess: &Arc<SessionShared>, inner: &Arc<Inner>, rx: &Receiver<Cmd>) {
     }
 }
 
-fn run_query(engine: &StreamEngine, kind: &QueryKind) -> Response {
+fn run_query(engine: &mut StreamEngine, kind: &QueryKind) -> Response {
     match kind {
         QueryKind::Detect => {
             let _prof = pctl_prof::span("pctld_detect");

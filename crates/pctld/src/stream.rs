@@ -16,7 +16,7 @@
 
 use crate::client::{Client, RetryPolicy};
 use crate::proto::Response;
-use pctl_deposet::{linearize, Deposet, LocalPredicate};
+use pctl_deposet::{linearize, AppendOp, Deposet, LocalPredicate, PredicateClass};
 use std::time::{Duration, Instant};
 
 /// What happened while streaming one computation into a session.
@@ -73,13 +73,45 @@ pub fn stream_deposet_with(
     locals: Vec<LocalPredicate>,
     dep: &Deposet,
     policy: RetryPolicy,
-    mut progress: impl FnMut(&StreamProgress),
+    progress: impl FnMut(&StreamProgress),
 ) -> std::io::Result<StreamReport> {
     let (init, ops) = linearize(dep);
     let resp = client.hello(session, locals, Some(init))?;
     if resp != Response::Ok {
         return Err(std::io::Error::other(format!("hello refused: {resp:?}")));
     }
+    push_ops(client, session, ops, policy, progress)
+}
+
+/// [`stream_deposet`] for an explicit [`PredicateClass`] session: the
+/// `Hello` carries the class, so the daemon routes the session's queries
+/// through the class-aware engine (regular classes answer via slicing).
+/// The append loop — and therefore the backpressure behaviour — is the
+/// same code path as the disjunctive stream.
+pub fn stream_deposet_class(
+    client: &mut Client,
+    session: &str,
+    class: PredicateClass,
+    dep: &Deposet,
+    policy: RetryPolicy,
+) -> std::io::Result<StreamReport> {
+    let (init, ops) = linearize(dep);
+    let resp = client.hello_class(session, class, Some(init))?;
+    if resp != Response::Ok {
+        return Err(std::io::Error::other(format!("hello refused: {resp:?}")));
+    }
+    push_ops(client, session, ops, policy, |_| {})
+}
+
+/// The shared producer loop: push every op through the backoff-aware
+/// retry, timing client-side round-trips and reporting progress.
+fn push_ops(
+    client: &mut Client,
+    session: &str,
+    ops: Vec<AppendOp>,
+    policy: RetryPolicy,
+    mut progress: impl FnMut(&StreamProgress),
+) -> std::io::Result<StreamReport> {
     let total = ops.len();
     let mut report = StreamReport::default();
     let mut rtt_us: Vec<u64> = Vec::with_capacity(total);

@@ -985,3 +985,76 @@ fn slow_log_records_requests_as_structured_jsonl() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn regular_class_session_answers_via_slicing_and_memoizes() {
+    use pctl_deposet::{PredicateClass, RegularPredicate};
+    let d = daemon(Config::default());
+    let mut c = client(&d);
+    // Conjunction of locals across all three processes — a violation the
+    // disjunctive wire form cannot express at all.
+    let class = PredicateClass::regular(3, RegularPredicate::conj_var(&[0, 1, 2], "ok"));
+    for seed in [3u64, 17, 40] {
+        let dep = random_deposet(
+            &RandomConfig {
+                processes: 3,
+                events: 24,
+                send_prob: 0.4,
+                flip_prob: 0.4,
+            },
+            seed,
+        );
+        let name = format!("regular-{seed}");
+        let report =
+            pctld::stream_deposet_class(&mut c, &name, class.clone(), &dep, RetryPolicy::default())
+                .unwrap();
+        assert_eq!(report.appends, dep.total_states() - 3, "seed {seed}");
+        let batch = pctl_core::PredicateEngine::for_class(&dep, &class).unwrap();
+        match c.detect(&name).unwrap() {
+            Response::Detect { violation } => assert_eq!(
+                violation,
+                batch.detect_violation().map(|g| g.indices().to_vec()),
+                "seed {seed}: daemon slicing answers like the batch engine"
+            ),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match c.control(&name).unwrap() {
+            Response::Control { relation, witness } => {
+                match batch.control(OfflineOptions::default()) {
+                    Ok(rel) => {
+                        assert_eq!(relation, Some(rel), "seed {seed}");
+                        assert_eq!(witness, None);
+                    }
+                    Err(inf) => {
+                        assert_eq!(relation, None);
+                        assert_eq!(witness, Some(inf.witness), "seed {seed}");
+                    }
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Same prefix, same query again: answered from the memoized
+        // verdict, and the daemon-wide hit counter says so.
+        let hits_before = c.stats_snapshot().unwrap().query_cache_hits_total;
+        let first = c.detect(&name).unwrap();
+        assert_eq!(first, c.detect(&name).unwrap(), "seed {seed}");
+        let hits_after = c.stats_snapshot().unwrap().query_cache_hits_total;
+        assert!(
+            hits_after > hits_before,
+            "seed {seed}: cache hits {hits_before} -> {hits_after}"
+        );
+        assert_eq!(c.close(&name).unwrap(), Response::Ok);
+    }
+    // A class whose violation names a process outside its arity is the
+    // client's fault: structured Malformed, no session spawned.
+    let bad = PredicateClass::regular(2, RegularPredicate::conj_var(&[0, 5], "ok"));
+    match c.hello_class("bad-class", bad, None).unwrap() {
+        Response::Err { kind, detail } => {
+            assert_eq!(kind, ErrorKind::Malformed);
+            assert!(detail.contains("class"), "{detail}");
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    assert_eq!(d.session_count(), 0);
+    assert_eq!(d.shutdown(), 0);
+}

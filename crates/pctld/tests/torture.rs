@@ -7,7 +7,7 @@
 use pctl_core::offline::OfflineOptions;
 use pctl_core::PredicateEngine;
 use pctl_deposet::generator::{random_deposet, RandomConfig};
-use pctl_deposet::DisjunctivePredicate;
+use pctl_deposet::{DisjunctivePredicate, PredicateClass, RegularPredicate};
 use pctld::{
     encode_frame, Client, Config, Daemon, Request, RequestEnvelope, Response, RetryPolicy,
 };
@@ -231,13 +231,24 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
                 1000 + i as u64,
             );
             let pred = DisjunctivePredicate::at_least_one(3, "ok");
+            // Every third session streams a *regular* conjunctive class:
+            // its verdicts route through the slicing engine on the daemon
+            // side, under the same chaos as the disjunctive sessions.
+            let class = (i % 3 == 2)
+                .then(|| PredicateClass::regular(3, RegularPredicate::conj_var(&[0, 1, 2], "ok")));
             let (init, ops) = pctl_deposet::linearize(&dep);
             let name = format!("torture-{i}");
             let mut c = Client::connect(addr).expect("connect");
-            assert_eq!(
-                c.hello(&name, pred.locals().to_vec(), Some(init)).unwrap(),
-                Response::Ok
-            );
+            match &class {
+                Some(cl) => assert_eq!(
+                    c.hello_class(&name, cl.clone(), Some(init)).unwrap(),
+                    Response::Ok
+                ),
+                None => assert_eq!(
+                    c.hello(&name, pred.locals().to_vec(), Some(init)).unwrap(),
+                    Response::Ok
+                ),
+            }
             let midpoint = ops.len() / 2;
             let appended = ops.len() as u64;
             let mut sleeper = None;
@@ -286,7 +297,10 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
             if let Some(h) = sleeper {
                 h.join().expect("sleeper thread failed");
             }
-            let batch = PredicateEngine::new(&dep, pred);
+            let batch = match &class {
+                Some(cl) => PredicateEngine::for_class(&dep, cl).expect("valid class"),
+                None => PredicateEngine::new(&dep, pred),
+            };
             match query_retry(&mut c, |c| c.detect(&name)) {
                 Response::Detect { violation } => assert_eq!(
                     violation,

@@ -29,11 +29,14 @@ pctl — predicate control for active debugging of distributed programs
 USAGE:
   pctl info <trace.json> [--shards N]       (N: rebuild the store under an
                explicit shard plan and print its shape)
-  pctl detect <trace.json> (--at-least-one VAR | --at-least-one-not VAR)
-  pctl control <trace.json> (--at-least-one VAR | --at-least-one-not VAR)
+  pctl detect <trace.json> (--at-least-one VAR | --at-least-one-not VAR |
+               --conjunct PROC:VAR ... [--channels-empty])
+  pctl control <trace.json> (--at-least-one VAR | --at-least-one-not VAR |
+               --conjunct PROC:VAR ... [--channels-empty])
                [--naive] [--random-seed N]   (control relation JSON on stdout)
   pctl verify <trace.json> --control <control.json>
-               (--at-least-one VAR | --at-least-one-not VAR) [--limit N]
+               (--at-least-one VAR | --at-least-one-not VAR |
+               --conjunct PROC:VAR ...) [--limit N]
   pctl replay <trace.json> [--control <control.json>]
               [--at-least-one VAR | --at-least-one-not VAR]
               [--trace-out <chrome.json>] [--events-out <run.jsonl>]
@@ -63,7 +66,8 @@ USAGE:
               the Trace verb serves, 0 disables; --no-telemetry turns all
               request telemetry off)
   pctl stream <trace.json> --addr HOST:PORT
-              (--at-least-one VAR | --at-least-one-not VAR)
+              (--at-least-one VAR | --at-least-one-not VAR |
+               --conjunct PROC:VAR ...)
               [--session NAME] [--limit N] [--keep-open]
               (stream the trace into a daemon session event by event, then
                ask it to detect/control/verify at the final prefix; progress
@@ -75,6 +79,11 @@ USAGE:
 
 The predicate flags build the disjunctive property  B = ∨ᵢ lᵢ  with
 lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.
+
+Repeatable --conjunct PROC:VAR flags instead build the *regular* violation
+∧ (VAR on process PROC) — a conjunction of locals the disjunctive wire form
+cannot express — optionally ∧ channels-empty; queries then run through the
+computation-slicing engine (detect is exact, control slice-then-delegates).
 --quiet suppresses diagnostic output on stderr.";
 
 struct Args {
@@ -113,6 +122,19 @@ impl Args {
         }
     }
 
+    /// Every value of a repeatable flag, in order (`--conjunct 0:cs
+    /// --conjunct 1:cs`). Each occurrence must carry a value.
+    fn values(&self, name: &str) -> Result<Vec<&str>, String> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| {
+                v.as_deref()
+                    .ok_or_else(|| format!("--{name} requires a value"))
+            })
+            .collect()
+    }
+
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.value(name)? {
             None => Ok(default),
@@ -136,11 +158,55 @@ fn predicate(args: &Args, dep: &Deposet) -> Result<DisjunctivePredicate, String>
     match (args.value("at-least-one")?, args.value("at-least-one-not")?) {
         (Some(v), None) => Ok(DisjunctivePredicate::at_least_one(n, v)),
         (None, Some(v)) => Ok(DisjunctivePredicate::at_least_one_not(n, v)),
-        (None, None) => {
-            Err("missing predicate: --at-least-one VAR or --at-least-one-not VAR".into())
-        }
+        (None, None) => Err(
+            "missing predicate: --at-least-one VAR, --at-least-one-not VAR, \
+             or --conjunct PROC:VAR"
+                .into(),
+        ),
         _ => Err("give exactly one of --at-least-one / --at-least-one-not".into()),
     }
+}
+
+/// Parse the predicate-class flags. Repeatable `--conjunct PROC:VAR`
+/// (plus optional `--channels-empty`) builds a regular class; without
+/// them the classic disjunctive flags apply and this returns the
+/// disjunctive class. Exactly one family may be used.
+fn predicate_class(args: &Args, dep: &Deposet) -> Result<PredicateClass, String> {
+    let conjuncts = args.values("conjunct")?;
+    let channels = args.flag("channels-empty").is_some();
+    if conjuncts.is_empty() && !channels {
+        return Ok(PredicateClass::disjunctive(predicate(args, dep)?));
+    }
+    if args.flag("at-least-one").is_some() || args.flag("at-least-one-not").is_some() {
+        return Err(
+            "--conjunct/--channels-empty (regular class) cannot be combined with \
+             --at-least-one/--at-least-one-not (disjunctive class)"
+                .into(),
+        );
+    }
+    let mut parts = Vec::new();
+    for c in &conjuncts {
+        let (proc, var) = c
+            .split_once(':')
+            .ok_or_else(|| format!("--conjunct: expected PROC:VAR, got '{c}'"))?;
+        let proc: usize = proc
+            .parse()
+            .map_err(|_| format!("--conjunct: bad process index '{proc}'"))?;
+        parts.push(RegularPredicate::local(proc, LocalPredicate::var(var)));
+    }
+    if channels {
+        parts.push(RegularPredicate::ChannelsEmpty);
+    }
+    let violation = if parts.len() == 1 {
+        parts.pop().expect("one part")
+    } else {
+        RegularPredicate::And(parts)
+    };
+    let class = PredicateClass::regular(dep.process_count() as u32, violation);
+    class
+        .validate(dep.process_count())
+        .map_err(|e| format!("bad predicate class: {e}"))?;
+    Ok(class)
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
@@ -210,6 +276,30 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
         .first()
         .ok_or("detect: missing trace path")?;
     let dep = load_trace(path)?;
+    let class = predicate_class(args, &dep)?;
+    if let PredicateClass::Regular { .. } = &class {
+        let engine = PredicateEngine::for_class(&dep, &class).map_err(|e| format!("{e}"))?;
+        let slice = engine.slice().expect("regular engine carries a slice");
+        if args.flag("quiet").is_none() {
+            eprintln!(
+                "slice: {}/{} state(s) survive in {} join-irreducible class(es)",
+                slice.surviving_states(),
+                dep.total_states(),
+                slice.class_count()
+            );
+        }
+        match engine.detect_violation() {
+            Some(g) => {
+                println!("VIOLATION possible at consistent global state {g}");
+                for p in dep.processes() {
+                    let s = g.state_of(p);
+                    println!("  {p} @ state {}: {}", s.index, dep.state(s));
+                }
+            }
+            None => println!("no consistent global state violates the property"),
+        }
+        return Ok(());
+    }
     let pred = predicate(args, &dep)?;
     match detect_disjunctive_violation(&dep, &pred) {
         Some(g) => {
@@ -236,7 +326,7 @@ fn cmd_control(args: &Args) -> Result<(), String> {
         .first()
         .ok_or("control: missing trace path")?;
     let dep = load_trace(path)?;
-    let pred = predicate(args, &dep)?;
+    let class = predicate_class(args, &dep)?;
     let engine = if args.flag("naive").is_some() {
         Engine::Naive
     } else {
@@ -248,6 +338,23 @@ fn cmd_control(args: &Args) -> Result<(), String> {
         },
         None => SelectPolicy::First,
     };
+    if let PredicateClass::Regular { .. } = &class {
+        let eng = PredicateEngine::for_class(&dep, &class).map_err(|e| format!("{e}"))?;
+        return match eng.control(OfflineOptions { policy, engine }) {
+            Ok(rel) => {
+                if args.flag("quiet").is_none() {
+                    eprintln!("control relation with {} tuple(s): {rel}", rel.len());
+                }
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rel).expect("serializable")
+                );
+                Ok(())
+            }
+            Err(inf) => Err(format!("{inf}")),
+        };
+    }
+    let pred = predicate(args, &dep)?;
     match control_disjunctive(&dep, &pred, OfflineOptions { policy, engine }) {
         Ok(rel) => {
             if args.flag("quiet").is_none() {
@@ -269,10 +376,19 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         .first()
         .ok_or("verify: missing trace path")?;
     let dep = load_trace(path)?;
-    let pred = predicate(args, &dep)?;
+    let class = predicate_class(args, &dep)?;
     let cpath = args.value("control")?.ok_or("verify: missing --control")?;
     let rel = load_control(cpath)?;
     let limit = args.num("limit", 2_000_000usize)?;
+    if let PredicateClass::Regular { .. } = &class {
+        let eng = PredicateEngine::for_class(&dep, &class).map_err(|e| format!("{e}"))?;
+        eng.verify(&rel, limit).map_err(|e| format!("{e}"))?;
+        println!(
+            "OK: every consistent global state of the controlled computation satisfies the property"
+        );
+        return Ok(());
+    }
+    let pred = predicate(args, &dep)?;
     verify_disjunctive(&dep, &pred, &rel, limit).map_err(|e| format!("{e}"))?;
     println!(
         "OK: every consistent global state of the controlled computation satisfies the property"
@@ -570,28 +686,39 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         .first()
         .ok_or("stream: missing trace path")?;
     let dep = load_trace(path)?;
-    let pred = predicate(args, &dep)?;
+    let class = predicate_class(args, &dep)?;
     let addr = args.value("addr")?.ok_or("stream: missing --addr")?;
     let session = args.value("session")?.unwrap_or("cli").to_owned();
     let limit: u64 = args.num("limit", 200_000u64)?;
     let mut client =
         pctld::Client::connect(addr).map_err(|e| format!("stream: connect {addr}: {e}"))?;
     let quiet = args.flag("quiet").is_some();
-    let report = pctld::stream_deposet_with(
-        &mut client,
-        &session,
-        pred.locals().to_vec(),
-        &dep,
-        pctld::RetryPolicy::default(),
-        |p: &pctld::StreamProgress| {
-            if !quiet {
-                eprintln!(
-                    "stream: {}/{} event(s) sent, {} busy bounce(s), append p50 {}µs",
-                    p.sent, p.total, p.busy_bounces, p.append_p50_us
-                );
-            }
-        },
-    )
+    let report = match &class {
+        PredicateClass::Disjunctive(pred) => pctld::stream_deposet_with(
+            &mut client,
+            &session,
+            pred.locals().to_vec(),
+            &dep,
+            pctld::RetryPolicy::default(),
+            |p: &pctld::StreamProgress| {
+                if !quiet {
+                    eprintln!(
+                        "stream: {}/{} event(s) sent, {} busy bounce(s), append p50 {}µs",
+                        p.sent, p.total, p.busy_bounces, p.append_p50_us
+                    );
+                }
+            },
+        ),
+        // The class rides in the Hello: the daemon routes this session's
+        // queries through the slicing engine.
+        PredicateClass::Regular { .. } => pctld::stream_deposet_class(
+            &mut client,
+            &session,
+            class.clone(),
+            &dep,
+            pctld::RetryPolicy::default(),
+        ),
+    }
     .map_err(|e| format!("stream: {e}"))?;
     println!(
         "streamed {} event(s) into session '{session}' ({} busy bounce(s), append p50 {}µs)",

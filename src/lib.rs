@@ -79,15 +79,15 @@ pub mod prelude {
     pub use pctl_core::online::ft::{FtController, FtParams};
     pub use pctl_core::online::{PeerSelect, Phase, ScapegoatController};
     pub use pctl_core::verify::{
-        chain_structure, sweep_faulty_run, verify_disjunctive, FaultSweepReport,
+        chain_structure, sweep_faulty_run, verify_disjunctive, verify_regular, FaultSweepReport,
     };
     pub use pctl_core::{
         control_disjunctive, sgsd, ControlRelation, ControlledDeposet, Engine, Infeasible,
-        OfflineOptions, SelectPolicy, SgsdOutcome,
+        OfflineOptions, PredicateEngine, SelectPolicy, SgsdOutcome, StreamEngine,
     };
     pub use pctl_deposet::{
         CmpOp, Deposet, DeposetBuilder, DisjunctivePredicate, GlobalPredicate, GlobalState,
-        LocalPredicate, LocalState, Variables,
+        LocalPredicate, LocalState, PredicateClass, RegularPredicate, SlicedDeposet, Variables,
     };
     pub use pctl_detect::{
         definitely_all_false, detect_disjunctive_violation, possibly_conjunction,
