@@ -570,6 +570,42 @@ fn run_streaming(smoke: bool) -> StreamingBench {
     assert_eq!(c2.close("bench-off").expect("close"), Response::Ok);
     assert_eq!(off_daemon.shutdown(), 0, "telemetry-off daemon must drain");
 
+    // Flight-off pass: same ops again, fresh daemon with the flight
+    // recorder sampler disabled. Compared against the default (flight on)
+    // run to bound the recorder's steady-state overhead.
+    let flight_off_daemon = Daemon::spawn(Config {
+        flight: false,
+        ..Config::default()
+    })
+    .expect("bind flight-off bench daemon");
+    let (init3, ops3) = pctl_deposet::linearize(&dep);
+    let locals3 = DisjunctivePredicate::at_least_one(n, "ok")
+        .locals()
+        .to_vec();
+    let mut c3 = Client::connect(flight_off_daemon.local_addr()).expect("connect flight-off");
+    assert_eq!(
+        c3.hello("bench-flight-off", locals3, Some(init3))
+            .expect("hello flight-off"),
+        Response::Ok
+    );
+    let t_floff = Instant::now();
+    for op in ops3 {
+        match c3
+            .append_retry("bench-flight-off", op, RetryPolicy::default())
+            .expect("append flight-off")
+        {
+            Response::Ok => {}
+            other => panic!("flight-off append refused: {other:?}"),
+        }
+    }
+    let flight_off_total = t_floff.elapsed();
+    assert_eq!(c3.close("bench-flight-off").expect("close"), Response::Ok);
+    assert_eq!(
+        flight_off_daemon.shutdown(),
+        0,
+        "flight-off daemon must drain"
+    );
+
     StreamingBench {
         workload: format!("random_n{n}_e{events}"),
         processes: n,
@@ -580,6 +616,9 @@ fn run_streaming(smoke: bool) -> StreamingBench {
         busy_bounces: busy,
         append_events_per_sec_telemetry_off: Some(
             streamed as f64 / off_total.as_secs_f64().max(1e-9),
+        ),
+        append_events_per_sec_flight_off: Some(
+            streamed as f64 / flight_off_total.as_secs_f64().max(1e-9),
         ),
     }
 }
@@ -833,6 +872,27 @@ fn main() {
                 "    telemetry off: {off:.0} events/s (telemetry cost is \
                  measured, not assumed)"
             );
+        }
+        if let Some(off) = s.append_events_per_sec_flight_off {
+            let overhead_pct = (off - s.append_events_per_sec) / off.max(1e-9) * 100.0;
+            println!(
+                "    flight off: {off:.0} events/s (recorder overhead {}{:.1}%)",
+                if overhead_pct >= 0.0 { "+" } else { "" },
+                overhead_pct
+            );
+            if overhead_pct > 5.0 {
+                if args.smoke {
+                    println!(
+                        "WARNING: flight recorder overhead {overhead_pct:.1}% exceeds 5%, \
+                         but --smoke workloads are too small for a stable ratio; not failing"
+                    );
+                } else {
+                    eprintln!(
+                        "FAIL: flight recorder overhead {overhead_pct:.1}% exceeds the 5% budget"
+                    );
+                    std::process::exit(2);
+                }
+            }
         }
     }
     if let Some(sl) = &offline.slicing {

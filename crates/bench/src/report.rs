@@ -158,6 +158,12 @@ pub struct StreamingBench {
     /// reports from harnesses predating daemon telemetry.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub append_events_per_sec_telemetry_off: Option<f64>,
+    /// Append throughput of the same workload with the flight recorder
+    /// disabled (`Config::flight = false`) — the control measurement
+    /// behind the "<5% flight overhead" acceptance gate. Absent in
+    /// reports from harnesses predating the flight recorder.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub append_events_per_sec_flight_off: Option<f64>,
 }
 
 /// The `slicing` section: what the computation-slicing fast path buys on a
@@ -809,6 +815,7 @@ mod tests {
             },
             busy_bounces: 0,
             append_events_per_sec_telemetry_off: Some(eps * 1.02),
+            append_events_per_sec_flight_off: Some(eps * 1.01),
         }
     }
 
@@ -948,6 +955,7 @@ mod tests {
                 query_under_load: WallStats::of(&[400, 900]),
                 busy_bounces: 3,
                 append_events_per_sec_telemetry_off: Some(26_500.0),
+                append_events_per_sec_flight_off: Some(26_200.0),
             }),
             slicing: None,
         };

@@ -30,12 +30,18 @@
 //! attribution and store gauges, near-zero cost when disabled. [`prom`]
 //! renders metrics and profiler aggregates as Prometheus text exposition
 //! (format 0.0.4) and can serve them live over a `/metrics` TCP endpoint.
+//!
+//! [`flight`] is the black-box flight recorder: a bounded drop-oldest ring
+//! of whole-daemon state snapshots, an anomaly detector over consecutive
+//! snapshots, and self-contained postmortem bundles a long-running daemon
+//! dumps when something goes wrong.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod jsonl;
 pub mod prom;
 pub mod recorder;

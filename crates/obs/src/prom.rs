@@ -675,12 +675,26 @@ pub fn prof_families(report: &pctl_prof::ProfReport, exp: &mut Exposition) {
     }
 }
 
-/// A tiny `/metrics` HTTP endpoint on a background thread.
+/// One route's answer: HTTP status code, `Content-Type`, body.
+pub type RouteResponse = (u16, String, String);
+
+/// A route handler for [`MetricsServer::spawn_routes`]: given the path of
+/// a `GET` request, return `Some((status, content_type, body))`, or `None`
+/// for a 404.
+pub type RouteHandler = Arc<dyn Fn(&str) -> Option<RouteResponse> + Send + Sync>;
+
+/// The Prometheus text exposition content type.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A tiny HTTP endpoint on a background thread.
 ///
-/// Serves `GET /metrics` (and `GET /`) with whatever `render` returns at
-/// request time, `Content-Type: text/plain; version=0.0.4`. Anything else
-/// gets a 404. One request per connection; the listener thread exits on
-/// [`MetricsServer::shutdown`] (also invoked on drop).
+/// [`MetricsServer::spawn`] serves `GET /metrics` (and `GET /`) with
+/// whatever `render` returns at request time, `Content-Type: text/plain;
+/// version=0.0.4`; [`MetricsServer::spawn_routes`] generalizes to any
+/// path→response handler (daemon health endpoints ride on the same
+/// listener). Anything unhandled gets a 404. One request per connection;
+/// the listener thread exits on [`MetricsServer::shutdown`] (also invoked
+/// on drop).
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -689,11 +703,23 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// serving.
+    /// serving `/metrics` and `/` from `render`.
     pub fn spawn(
         addr: &str,
         render: Arc<dyn Fn() -> String + Send + Sync>,
     ) -> std::io::Result<MetricsServer> {
+        Self::spawn_routes(
+            addr,
+            Arc::new(move |path: &str| {
+                (path == "/metrics" || path == "/")
+                    .then(|| (200, EXPOSITION_CONTENT_TYPE.to_owned(), render()))
+            }),
+        )
+    }
+
+    /// Bind `addr` and answer each `GET` from `routes`; a `None` becomes
+    /// a 404.
+    pub fn spawn_routes(addr: &str, routes: RouteHandler) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -706,7 +732,7 @@ impl MetricsServer {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    let _ = serve_one(stream, render.as_ref());
+                    let _ = serve_one(stream, routes.as_ref());
                 }
             })?;
         Ok(MetricsServer {
@@ -750,7 +776,20 @@ impl Drop for MetricsServer {
 /// for `500ms × head size`; the wall-clock deadline caps the whole head.
 const HEAD_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
 
-fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Result<()> {
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    routes: &dyn Fn(&str) -> Option<RouteResponse>,
+) -> std::io::Result<()> {
     // Read until the end of the request head (`\r\n\r\n`). A client may
     // deliver the request line in several small writes (e.g. `write_fmt`
     // issues one syscall per formatted fragment), so a single read could
@@ -786,22 +825,26 @@ fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Res
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method == "GET" && (path == "/metrics" || path == "/") {
-        let body = render();
-        write!(
+    let answer = if method == "GET" { routes(path) } else { None };
+    match answer {
+        Some((code, content_type, body)) => write!(
             stream,
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            code,
+            status_text(code),
+            content_type,
             body.len(),
             body
-        )?;
-    } else {
-        let body = "not found; try /metrics\n";
-        write!(
-            stream,
-            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        )?;
+        )?,
+        None => {
+            let body = "not found; try /metrics\n";
+            write!(
+                stream,
+                "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            )?;
+        }
     }
     stream.flush()
 }

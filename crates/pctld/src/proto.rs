@@ -271,6 +271,17 @@ pub struct StatsSnapshot {
     /// this field still parse.
     #[serde(default)]
     pub query_cache_hits_total: u64,
+    /// Connections dropped after an unrecoverable framing error
+    /// (oversized or corrupt frame declaration). `#[serde(default)]` for
+    /// wire compatibility with older daemons.
+    #[serde(default)]
+    pub frames_rejected_total: u64,
+    /// Anomalies the flight recorder detected (post rate limit).
+    #[serde(default)]
+    pub anomalies_total: u64,
+    /// Postmortem bundles written.
+    #[serde(default)]
+    pub postmortems_total: u64,
     /// Per-session breakdown, sorted by session name. `#[serde(default)]`
     /// so snapshots from daemons predating this field still parse.
     #[serde(default)]
@@ -296,6 +307,14 @@ pub struct SessionStat {
     pub p50_us: u64,
     /// Exact nearest-rank p95 over the same window.
     pub p95_us: u64,
+    /// Engine queries (Detect/Control/Verify/Snapshot) answered for this
+    /// session. `#[serde(default)]` for wire compatibility.
+    #[serde(default)]
+    pub queries: u64,
+    /// How many of those were answered from the engine's memoized
+    /// verdict (`pctl top` renders the hit rate).
+    #[serde(default)]
+    pub cache_hits: u64,
 }
 
 /// A response frame: the request's `seq` plus the response.

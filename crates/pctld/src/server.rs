@@ -39,7 +39,11 @@ use crate::proto::{
 use pctl_core::offline::OfflineOptions;
 use pctl_core::StreamEngine;
 use pctl_deposet::{AppendOp, PredicateClass};
-use pctl_obs::prom::{prof_families, Exposition, Histogram};
+use pctl_obs::flight::{
+    write_bundle, AnomalyDetector, AnomalyRecord, AnomalyThresholds, FlightFrame, FlightRecorder,
+    SessionSample,
+};
+use pctl_obs::prom::{prof_families, Exposition, Histogram, EXPOSITION_CONTENT_TYPE};
 use pctl_obs::{Event, EventKind, Recorder, RingRecorder};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -94,6 +98,34 @@ pub struct Config {
     pub slow_log: Option<PathBuf>,
     /// Slow-request threshold, milliseconds.
     pub slow_ms: u64,
+    /// When > 0, the slow log rotates once it would exceed this many
+    /// bytes: the current file is atomically renamed to `<path>.1`
+    /// (replacing any previous `.1`) and a fresh file is started — at
+    /// most ~2× the cap on disk, instead of unbounded growth.
+    pub slow_log_max_bytes: u64,
+    /// The flight recorder: a background sampler snapshots daemon state
+    /// every [`Config::flight_interval`] into a bounded in-memory ring
+    /// and scans consecutive snapshots for anomalies. On by default —
+    /// strictly observational (the torture test pins verdicts
+    /// bit-identical with it on, and the bench suite prices it).
+    pub flight: bool,
+    /// Interval between flight-recorder snapshots.
+    pub flight_interval: Duration,
+    /// Snapshots retained in the in-memory history ring (drop-oldest).
+    /// The default covers 2 minutes at the default interval.
+    pub flight_history: usize,
+    /// When set, each detected anomaly (rate-limited per kind) dumps a
+    /// self-contained postmortem bundle directory under this path.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Per-anomaly-kind rate-limit window: one firing (and at most one
+    /// bundle) per kind per window.
+    pub anomaly_window: Duration,
+    /// Append-latency SLO: a merged p95 above this many microseconds is
+    /// an [`SloBurn`](pctl_obs::flight::AnomalyKind::SloBurn) anomaly.
+    pub slo_p95_us: u64,
+    /// `Busy` bounces per second above which a
+    /// [`BusySpike`](pctl_obs::flight::AnomalyKind::BusySpike) fires.
+    pub busy_spike_per_sec: f64,
 }
 
 /// Hard clamp on a client-requested `Sleep` stall, even with
@@ -117,6 +149,14 @@ impl Default for Config {
             trace_ring: 256,
             slow_log: None,
             slow_ms: 100,
+            slow_log_max_bytes: 0,
+            flight: true,
+            flight_interval: Duration::from_millis(500),
+            flight_history: 240,
+            postmortem_dir: None,
+            anomaly_window: Duration::from_secs(30),
+            slo_p95_us: 100_000,
+            busy_spike_per_sec: 50.0,
         }
     }
 }
@@ -177,6 +217,13 @@ struct SessionShared {
     /// to [`LATENCY_WINDOW`] (drop-oldest). `Stats` per-session p50/p95
     /// are exact nearest-rank percentiles over this window.
     lat_us: Mutex<VecDeque<u64>>,
+    /// Engine queries (Detect/Control/Verify/Snapshot) answered by this
+    /// session's worker.
+    queries: AtomicU64,
+    /// How many of those came from the engine's memoized verdict
+    /// (mirrors the engine's monotone count; the global counter
+    /// aggregates the deltas).
+    cache_hits: AtomicU64,
 }
 
 impl SessionShared {
@@ -216,6 +263,13 @@ struct Stats {
     /// Queries answered from a session engine's memoized verdict
     /// (aggregated from per-worker deltas after every query).
     query_cache_hits_total: AtomicU64,
+    /// Connections dropped after an unrecoverable framing error
+    /// (oversized or corrupt frame declaration).
+    frames_rejected_total: AtomicU64,
+    /// Anomalies the flight recorder detected (post rate limit).
+    anomalies_total: AtomicU64,
+    /// Postmortem bundles successfully written.
+    postmortems_total: AtomicU64,
 }
 
 /// Request-telemetry state: per-verb latency histograms, the queue-wait /
@@ -234,20 +288,78 @@ struct Telemetry {
     queue_wait_seconds: Mutex<Histogram>,
     /// `pctld_append_apply_seconds`: store apply proper.
     apply_seconds: Mutex<Histogram>,
-    slow_log: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    slow_log: Option<Mutex<SlowLogWriter>>,
     slow_threshold: Duration,
+    /// The last [`RECENT_SLOW`] slow-record lines (drop-oldest), kept
+    /// even without a slow-log file so postmortem bundles can include
+    /// them.
+    recent_slow: Mutex<VecDeque<String>>,
+}
+
+/// Recent slow-record lines retained in memory for postmortem bundles.
+const RECENT_SLOW: usize = 128;
+
+/// The slow-request log sink: a buffered appender with optional
+/// size-capped rotation. When `max_bytes > 0` and the next line would
+/// push the current file past the cap, the file is atomically renamed to
+/// `<path>.1` (replacing any previous rotation) and a fresh file is
+/// started — the log holds at most ~2× the cap on disk.
+struct SlowLogWriter {
+    path: PathBuf,
+    out: std::io::BufWriter<std::fs::File>,
+    bytes: u64,
+    max_bytes: u64,
+}
+
+impl SlowLogWriter {
+    fn open(path: &PathBuf, max_bytes: u64) -> std::io::Result<SlowLogWriter> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let bytes = file.metadata().map_or(0, |m| m.len());
+        Ok(SlowLogWriter {
+            path: path.clone(),
+            out: std::io::BufWriter::new(file),
+            bytes,
+            max_bytes,
+        })
+    }
+
+    /// Append one record line, rotating first when it would cross the
+    /// cap. Write errors are swallowed (the log is diagnostics, never a
+    /// reason to fail a request); rotation errors fall back to appending
+    /// in place.
+    fn write_line(&mut self, line: &str) {
+        let incoming = line.len() as u64 + 1;
+        if self.max_bytes > 0 && self.bytes > 0 && self.bytes + incoming > self.max_bytes {
+            let _ = self.out.flush();
+            let mut rotated = self.path.clone().into_os_string();
+            rotated.push(".1");
+            if std::fs::rename(&self.path, &rotated).is_ok() {
+                if let Ok(file) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                {
+                    self.out = std::io::BufWriter::new(file);
+                    self.bytes = 0;
+                }
+            }
+        }
+        let _ = writeln!(self.out, "{line}");
+        let _ = self.out.flush();
+        self.bytes += incoming;
+    }
 }
 
 impl Telemetry {
     fn new(cfg: &Config) -> std::io::Result<Telemetry> {
         let slow_log = match (&cfg.slow_log, cfg.telemetry) {
-            (Some(path), true) => {
-                let file = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)?;
-                Some(Mutex::new(std::io::BufWriter::new(file)))
-            }
+            (Some(path), true) => Some(Mutex::new(SlowLogWriter::open(
+                path,
+                cfg.slow_log_max_bytes,
+            )?)),
             _ => None,
         };
         Ok(Telemetry {
@@ -257,6 +369,7 @@ impl Telemetry {
             apply_seconds: Mutex::new(Histogram::latency_seconds()),
             slow_log,
             slow_threshold: Duration::from_millis(cfg.slow_ms),
+            recent_slow: Mutex::new(VecDeque::new()),
         })
     }
 
@@ -285,6 +398,22 @@ struct SlowRecord {
     outcome: String,
 }
 
+/// Recent anomaly records retained for bundles, health, and reports.
+const RECENT_ANOMALIES: usize = 32;
+
+/// Flight-recorder state: the snapshot ring, the stateful anomaly
+/// detector, and the recent-anomaly ring. `None` when `Config::flight`
+/// is off — every hook then costs one `Option` check.
+struct FlightState {
+    recorder: Mutex<FlightRecorder>,
+    detector: Mutex<AnomalyDetector>,
+    recent: Mutex<VecDeque<AnomalyRecord>>,
+    /// Daemon start, anchoring frame `uptime_ms`.
+    epoch: Instant,
+    /// Bundle sequence number, for unique directory names.
+    bundle_seq: AtomicU64,
+}
+
 struct Inner {
     cfg: Config,
     addr: SocketAddr,
@@ -293,12 +422,14 @@ struct Inner {
     sessions: Mutex<HashMap<String, Arc<SessionShared>>>,
     stats: Stats,
     telemetry: Telemetry,
+    flight: Option<FlightState>,
 }
 
 /// A running daemon. Dropping it drains and stops the listener.
 pub struct Daemon {
     inner: Arc<Inner>,
     accept: Option<JoinHandle<()>>,
+    flight: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -307,6 +438,19 @@ impl Daemon {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let telemetry = Telemetry::new(&cfg)?;
+        let flight_state = cfg.flight.then(|| FlightState {
+            recorder: Mutex::new(FlightRecorder::new(cfg.flight_history.max(1))),
+            detector: Mutex::new(AnomalyDetector::new(
+                AnomalyThresholds {
+                    busy_per_sec: cfg.busy_spike_per_sec,
+                    slo_p95_us: cfg.slo_p95_us,
+                },
+                cfg.anomaly_window,
+            )),
+            recent: Mutex::new(VecDeque::new()),
+            epoch: Instant::now(),
+            bundle_seq: AtomicU64::new(0),
+        });
         let inner = Arc::new(Inner {
             cfg,
             addr,
@@ -315,6 +459,7 @@ impl Daemon {
             sessions: Mutex::new(HashMap::new()),
             stats: Stats::default(),
             telemetry,
+            flight: flight_state,
         });
         let inner2 = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
@@ -334,9 +479,21 @@ impl Daemon {
                         .spawn(move || serve_connection(stream, conn_inner));
                 }
             })?;
+        let flight = match inner.flight.is_some() {
+            true => {
+                let flight_inner = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("pctld-flight".into())
+                        .spawn(move || flight_loop(flight_inner))?,
+                )
+            }
+            false => None,
+        };
         Ok(Daemon {
             inner,
             accept: Some(accept),
+            flight,
         })
     }
 
@@ -350,6 +507,9 @@ impl Daemon {
     pub fn shutdown(mut self) -> u64 {
         let leaked = self.stop_and_drain();
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.flight.take() {
             let _ = h.join();
         }
         leaked
@@ -390,19 +550,52 @@ impl Daemon {
         self.inner.prom_families(exp);
     }
 
-    /// Spawn a `/metrics` endpoint rendering this daemon's families plus
-    /// the hot-path profiler's.
+    /// Spawn the daemon's HTTP sidecar: `/metrics` (and `/`) render this
+    /// daemon's families plus the hot-path profiler's; `/healthz` answers
+    /// a JSON health report (ladder state, SLO burn, poisoned count);
+    /// `/readyz` answers `200 ready` until a drain starts, then
+    /// `503 draining` — load balancers stop routing before the listener
+    /// dies.
     pub fn spawn_metrics(&self, addr: &str) -> std::io::Result<pctl_obs::prom::MetricsServer> {
         let inner = Arc::clone(&self.inner);
-        pctl_obs::prom::MetricsServer::spawn(
+        pctl_obs::prom::MetricsServer::spawn_routes(
             addr,
-            Arc::new(move || {
-                let mut exp = Exposition::new();
-                inner.prom_families(&mut exp);
-                prof_families(&pctl_prof::report(), &mut exp);
-                exp.render()
+            Arc::new(move |path: &str| match path {
+                "/metrics" | "/" => {
+                    let mut exp = Exposition::new();
+                    inner.prom_families(&mut exp);
+                    prof_families(&pctl_prof::report(), &mut exp);
+                    Some((200, EXPOSITION_CONTENT_TYPE.to_owned(), exp.render()))
+                }
+                "/healthz" => Some((
+                    200,
+                    "application/json".to_owned(),
+                    inner.health_json() + "\n",
+                )),
+                "/readyz" => match inner.draining.load(Ordering::SeqCst)
+                    || inner.stop.load(Ordering::SeqCst)
+                {
+                    false => Some((200, "text/plain".to_owned(), "ready\n".to_owned())),
+                    true => Some((503, "text/plain".to_owned(), "draining\n".to_owned())),
+                },
+                _ => None,
             }),
         )
+    }
+
+    /// The daemon's JSON health report, as served on `/healthz`.
+    pub fn health_json(&self) -> String {
+        self.inner.health_json()
+    }
+
+    /// The flight recorder's in-memory history, oldest first (empty when
+    /// the recorder is disabled).
+    pub fn flight_history(&self) -> Vec<FlightFrame> {
+        self.inner
+            .flight
+            .as_ref()
+            .map(|f| f.recorder.lock().unwrap().history())
+            .unwrap_or_default()
     }
 
     fn stop_and_drain(&mut self) -> u64 {
@@ -422,6 +615,9 @@ impl Drop for Daemon {
             if let Some(h) = self.accept.take() {
                 let _ = h.join();
             }
+        }
+        if let Some(h) = self.flight.take() {
+            let _ = h.join();
         }
     }
 }
@@ -447,6 +643,8 @@ impl Inner {
                     idle_ms: sess.idle_for().as_millis() as u64,
                     p50_us: pct.as_ref().map_or(0, |p| p.p50),
                     p95_us: pct.as_ref().map_or(0, |p| p.p95),
+                    queries: sess.queries.load(Ordering::SeqCst),
+                    cache_hits: sess.cache_hits.load(Ordering::SeqCst),
                 }
             })
             .collect();
@@ -462,6 +660,9 @@ impl Inner {
             approx_bytes: self.stats.approx_bytes.load(Ordering::SeqCst) as u64,
             budget_bytes: self.cfg.memory_budget as u64,
             query_cache_hits_total: self.stats.query_cache_hits_total.load(Ordering::SeqCst),
+            frames_rejected_total: self.stats.frames_rejected_total.load(Ordering::SeqCst),
+            anomalies_total: self.stats.anomalies_total.load(Ordering::SeqCst),
+            postmortems_total: self.stats.postmortems_total.load(Ordering::SeqCst),
             per_session,
         }
     }
@@ -523,6 +724,24 @@ impl Inner {
             &[],
             s.query_cache_hits_total as f64,
         );
+        exp.counter(
+            "pctld_frames_rejected_total",
+            "Connections dropped after an unrecoverable framing error",
+            &[],
+            s.frames_rejected_total as f64,
+        );
+        exp.counter(
+            "pctld_anomalies_total",
+            "Anomalies detected by the flight recorder (post rate limit)",
+            &[],
+            s.anomalies_total as f64,
+        );
+        exp.counter(
+            "pctld_postmortems_total",
+            "Postmortem bundles written",
+            &[],
+            s.postmortems_total as f64,
+        );
         for sess in self.sessions.lock().unwrap().values() {
             exp.gauge(
                 "pctld_queue_depth",
@@ -555,8 +774,10 @@ impl Inner {
         }
     }
 
-    /// Append one slow-request record; called only when telemetry and the
-    /// slow log are configured and the request crossed the threshold.
+    /// Record one slow request: append to the slow-log file (when
+    /// configured, with rotation) and to the in-memory recent-slow ring
+    /// that postmortem bundles include. Called only when telemetry is on
+    /// and the request crossed the threshold.
     fn write_slow_log(
         &self,
         verb: &'static str,
@@ -564,9 +785,6 @@ impl Inner {
         dt: Duration,
         resp: &Response,
     ) {
-        let Some(log) = &self.telemetry.slow_log else {
-            return;
-        };
         let queue_depth = session
             .and_then(|n| self.sessions.lock().unwrap().get(n).cloned())
             .map_or(0, |s| s.queue_len.load(Ordering::SeqCst) as u64);
@@ -576,9 +794,7 @@ impl Inner {
             _ => "ok".to_owned(),
         };
         let record = SlowRecord {
-            ts_ms: std::time::SystemTime::now()
-                .duration_since(std::time::SystemTime::UNIX_EPOCH)
-                .map_or(0, |d| d.as_millis() as u64),
+            ts_ms: unix_ms(),
             session: session.map(str::to_owned),
             verb: verb.to_owned(),
             latency_us: dt.as_micros() as u64,
@@ -586,9 +802,14 @@ impl Inner {
             outcome,
         };
         if let Ok(json) = serde_json::to_string(&record) {
-            let mut w = log.lock().unwrap();
-            let _ = writeln!(w, "{json}");
-            let _ = w.flush();
+            if let Some(log) = &self.telemetry.slow_log {
+                log.lock().unwrap().write_line(&json);
+            }
+            let mut recent = self.telemetry.recent_slow.lock().unwrap();
+            if recent.len() == RECENT_SLOW {
+                recent.pop_front();
+            }
+            recent.push_back(json);
         }
     }
 
@@ -667,6 +888,226 @@ impl Inner {
         }
         leaked
     }
+
+    /// Snapshot the daemon into one [`FlightFrame`]: every counter and
+    /// gauge, the merged append-latency percentiles, and per-session
+    /// detail. Read-only over the same state `/metrics` scrapes — this is
+    /// what keeps the recorder strictly observational.
+    fn flight_frame(&self, epoch: Instant) -> FlightFrame {
+        let s = self.stats_snapshot();
+        let merged: Vec<u64> = {
+            let map = self.sessions.lock().unwrap();
+            map.values()
+                .flat_map(|sess| {
+                    let lat = sess.lat_us.lock().unwrap();
+                    lat.iter().copied().collect::<Vec<u64>>()
+                })
+                .collect()
+        };
+        let pct = pctl_obs::stats::Percentiles::of(&merged);
+        let counters: BTreeMap<String, u64> = [
+            ("appends_total", s.appends_total),
+            ("busy_total", s.busy_total),
+            ("evictions_total", s.evictions_total),
+            ("sessions_refused_total", s.sessions_refused_total),
+            ("appends_refused_total", s.appends_refused_total),
+            ("poisoned_total", s.poisoned_total),
+            ("query_cache_hits_total", s.query_cache_hits_total),
+            ("frames_rejected_total", s.frames_rejected_total),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+        let gauges: BTreeMap<String, u64> = [
+            ("sessions", s.sessions),
+            ("memory_bytes", s.approx_bytes),
+            ("memory_budget_bytes", s.budget_bytes),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+        FlightFrame {
+            ts_ms: unix_ms(),
+            uptime_ms: epoch.elapsed().as_millis() as u64,
+            counters,
+            gauges,
+            append_p50_us: pct.as_ref().map_or(0, |p| p.p50),
+            append_p95_us: pct.as_ref().map_or(0, |p| p.p95),
+            sessions: s
+                .per_session
+                .iter()
+                .map(|p| SessionSample {
+                    name: p.name.clone(),
+                    appends: p.appends,
+                    approx_bytes: p.approx_bytes,
+                    queue_depth: p.queue_depth,
+                    idle_ms: p.idle_ms,
+                    p50_us: p.p50_us,
+                    p95_us: p.p95_us,
+                    queries: p.queries,
+                    cache_hits: p.cache_hits,
+                })
+                .collect(),
+        }
+    }
+
+    /// Best-effort snapshot of a session's trace ring, for a postmortem
+    /// bundle. Goes through the worker queue like any `Trace` verb; a
+    /// busy, closing, or poisoned session simply contributes no events —
+    /// a bundle must never wait on (or wedge) the thing it is documenting.
+    fn bundle_trace(&self, session: Option<&str>) -> (Vec<Event>, u32) {
+        let Some(name) = session else {
+            return (Vec::new(), 1);
+        };
+        let Some(sess) = self.sessions.lock().unwrap().get(name).cloned() else {
+            return (Vec::new(), 1);
+        };
+        let Some(cmd_tx) = sess.sender() else {
+            return (Vec::new(), 1);
+        };
+        let (tx, rx) = mpsc::channel();
+        if cmd_tx.try_send(Cmd::Query(QueryKind::Trace, tx)).is_ok() {
+            sess.queue_len.fetch_add(1, Ordering::SeqCst);
+            if let Ok(Response::Trace {
+                events, processes, ..
+            }) = rx.recv_timeout(Duration::from_secs(1))
+            {
+                return (events, processes.max(1));
+            }
+        }
+        (Vec::new(), 1)
+    }
+
+    /// React to one rate-limited anomaly: remember it, count it, and —
+    /// when a postmortem directory is configured — dump a bundle.
+    fn handle_anomaly(&self, anomaly: AnomalyRecord) {
+        let Some(flight) = &self.flight else { return };
+        self.stats.anomalies_total.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut recent = flight.recent.lock().unwrap();
+            if recent.len() == RECENT_ANOMALIES {
+                recent.pop_front();
+            }
+            recent.push_back(anomaly.clone());
+        }
+        let Some(root) = &self.cfg.postmortem_dir else {
+            return;
+        };
+        let (history, dropped) = {
+            let rec = flight.recorder.lock().unwrap();
+            (rec.history(), rec.dropped())
+        };
+        let recent: Vec<AnomalyRecord> = flight.recent.lock().unwrap().iter().cloned().collect();
+        let (events, processes) = self.bundle_trace(anomaly.session.as_deref());
+        let slow: Vec<String> = self
+            .telemetry
+            .recent_slow
+            .lock()
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect();
+        let seq = flight.bundle_seq.fetch_add(1, Ordering::SeqCst);
+        let dir = root.join(format!("{}-{}-{}", anomaly.ts_ms, seq, anomaly.kind.slug()));
+        if write_bundle(
+            &dir, &anomaly, &history, dropped, &recent, &events, processes, &slow,
+        )
+        .is_ok()
+        {
+            self.stats.postmortems_total.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// The `/healthz` body: ladder state, SLO burn, poison count, and the
+    /// last anomaly, small enough for a probe to parse every second.
+    fn health_json(&self) -> String {
+        let s = self.stats_snapshot();
+        let draining = self.draining.load(Ordering::SeqCst) || self.stop.load(Ordering::SeqCst);
+        let append_p95_us = match &self.flight {
+            Some(f) => f
+                .recorder
+                .lock()
+                .unwrap()
+                .latest()
+                .map_or(0, |fr| fr.append_p95_us),
+            None => 0,
+        };
+        let last_anomaly = self.flight.as_ref().and_then(|f| {
+            f.recent
+                .lock()
+                .unwrap()
+                .back()
+                .map(|a| format!("{} at t={}ms", a.kind, a.ts_ms))
+        });
+        let report = HealthReport {
+            status: if draining { "draining" } else { "ok" }.to_owned(),
+            sessions: s.sessions,
+            max_sessions: self.cfg.max_sessions as u64,
+            memory_bytes: s.approx_bytes,
+            memory_budget_bytes: s.budget_bytes,
+            over_budget: s.approx_bytes > s.budget_bytes,
+            poisoned_total: s.poisoned_total,
+            append_p95_us,
+            slo_p95_us: self.cfg.slo_p95_us,
+            slo_burn: append_p95_us > self.cfg.slo_p95_us,
+            anomalies_total: s.anomalies_total,
+            postmortems_total: s.postmortems_total,
+            last_anomaly,
+        };
+        serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+/// The `/healthz` response body. Owned fields (vendored serde derive).
+#[derive(Serialize)]
+struct HealthReport {
+    status: String,
+    sessions: u64,
+    max_sessions: u64,
+    memory_bytes: u64,
+    memory_budget_bytes: u64,
+    over_budget: bool,
+    poisoned_total: u64,
+    append_p95_us: u64,
+    slo_p95_us: u64,
+    slo_burn: bool,
+    anomalies_total: u64,
+    postmortems_total: u64,
+    last_anomaly: Option<String>,
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// The flight sampler ("pctld-flight" thread): every
+/// [`Config::flight_interval`], snapshot the daemon into a frame, scan it
+/// against the previous one, record it, and hand any rate-limited
+/// anomalies to [`Inner::handle_anomaly`]. Sleeps in short chunks so
+/// shutdown joins promptly.
+fn flight_loop(inner: Arc<Inner>) {
+    let Some(flight) = &inner.flight else { return };
+    let epoch = flight.epoch;
+    while !inner.stop.load(Ordering::SeqCst) {
+        let frame = inner.flight_frame(epoch);
+        let anomalies = flight
+            .detector
+            .lock()
+            .unwrap()
+            .observe(&frame, Instant::now());
+        flight.recorder.lock().unwrap().record(frame);
+        for anomaly in anomalies {
+            inner.handle_anomaly(anomaly);
+        }
+        let mut remaining = inner.cfg.flight_interval;
+        while !remaining.is_zero() && !inner.stop.load(Ordering::SeqCst) {
+            let chunk = remaining.min(Duration::from_millis(25));
+            std::thread::sleep(chunk);
+            remaining = remaining.saturating_sub(chunk);
+        }
+    }
 }
 
 fn err(kind: ErrorKind, detail: impl Into<String>) -> Response {
@@ -697,6 +1138,10 @@ fn serve_connection(mut stream: TcpStream, inner: Arc<Inner>) {
             Err(e) => {
                 // Framing is unrecoverable: answer once, drop only this
                 // connection. The accept loop and all sessions live on.
+                inner
+                    .stats
+                    .frames_rejected_total
+                    .fetch_add(1, Ordering::SeqCst);
                 let env = ResponseEnvelope {
                     seq: 0,
                     resp: err(ErrorKind::Malformed, e.to_string()),
@@ -765,9 +1210,11 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
         return dispatch_verb(req, inner);
     }
     let verb = req.verb();
-    // The session name outlives `req` only when the slow log might need
-    // it — the common path stays allocation-free.
-    let session = if inner.telemetry.slow_log.is_some() {
+    // The session name outlives `req` only when a slow sink (the log
+    // file, or the bundle-feeding recent ring under the flight recorder)
+    // might need it — the common path stays allocation-free.
+    let slow_sink = inner.telemetry.slow_log.is_some() || inner.flight.is_some();
+    let session = if slow_sink {
         req.session().map(str::to_owned)
     } else {
         None
@@ -776,7 +1223,7 @@ fn dispatch(req: Request, inner: &Arc<Inner>) -> (Response, bool) {
     let (resp, done) = dispatch_verb(req, inner);
     let dt = start.elapsed();
     inner.telemetry.observe_request(verb, dt);
-    if inner.telemetry.slow_log.is_some() && dt >= inner.telemetry.slow_threshold {
+    if slow_sink && dt >= inner.telemetry.slow_threshold {
         inner.write_slow_log(verb, session.as_deref(), dt, &resp);
     }
     (resp, done)
@@ -979,6 +1426,8 @@ fn spawn_session(
         queue_len: AtomicUsize::new(0),
         appends: AtomicU64::new(0),
         lat_us: Mutex::new(VecDeque::new()),
+        queries: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
     });
     let worker_sess = Arc::clone(&sess);
     let worker_inner = Arc::clone(inner);
@@ -1229,13 +1678,17 @@ fn worker_loop(
                     Ok(resp) => {
                         // Fold this query's cache-hit delta into the
                         // daemon-wide counter; the engine's own count is
-                        // monotone over the session's lifetime.
+                        // monotone over the session's lifetime. The
+                        // per-session mirrors feed `Stats` (and the
+                        // `pctl top` hit-rate column).
                         let now = engine.cache_hits();
                         inner
                             .stats
                             .query_cache_hits_total
                             .fetch_add(now - cache_hits_seen, Ordering::SeqCst);
                         cache_hits_seen = now;
+                        sess.queries.fetch_add(1, Ordering::SeqCst);
+                        sess.cache_hits.store(now, Ordering::SeqCst);
                         let _ = reply.send(resp);
                     }
                     Err(_) => {

@@ -72,6 +72,13 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
         trace_ring: 64,
         slow_log: Some(slow_path.clone()),
         slow_ms: 0,
+        // The flight recorder sampling fast, dumping postmortem bundles on
+        // any anomaly the chaos provokes (garbage frames alone guarantee
+        // frame-rejected) — all while the verdict asserts below must stay
+        // bit-identical to the batch engines: the recorder is strictly
+        // observational even under fire.
+        flight_interval: Duration::from_millis(25),
+        postmortem_dir: Some(slow_dir.join("postmortems")),
         ..Config::default()
     })
     .expect("bind daemon");
@@ -349,7 +356,34 @@ fn torture_concurrent_sessions_survive_chaos_and_drain_clean() {
         "the stalled sessions should have bounced at least one append"
     );
     assert_eq!(stats.appends_total, total_appends);
+    // The garbage chaos thread guarantees frame rejections, so the flight
+    // recorder must have seen at least that anomaly and counted it.
+    assert!(
+        stats.frames_rejected_total > 0,
+        "garbage frames must be counted as rejections"
+    );
     assert_eq!(d.shutdown(), 0, "drain must leak nothing");
+
+    // Whatever bundles the chaos provoked must all be schema-valid and
+    // renderable — a corrupt postmortem is worse than none.
+    let pm_dir = slow_dir.join("postmortems");
+    let mut bundles = 0usize;
+    if let Ok(entries) = std::fs::read_dir(&pm_dir) {
+        for e in entries.flatten() {
+            let bundle = pctl_obs::flight::validate_bundle(&e.path())
+                .unwrap_or_else(|err| panic!("bundle {:?} invalid: {err}", e.path()));
+            let report = pctl_obs::flight::render_report(&bundle);
+            assert!(report.contains("postmortem:"), "{report}");
+            bundles += 1;
+        }
+    }
+    assert!(
+        bundles > 0,
+        "chaos (guaranteed frame rejections) must have dumped at least one bundle"
+    );
+    // `stats` was snapped before shutdown; the sampler may have dumped
+    // once more since, so the counter is a floor for what's on disk.
+    assert!(bundles >= stats.postmortems_total as usize);
 
     // The log-everything slow log captured the torture as structured JSONL.
     let text = std::fs::read_to_string(&slow_path).expect("slow log written");

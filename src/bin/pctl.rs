@@ -58,13 +58,27 @@ USAGE:
              [--memory-budget BYTES] [--queue-depth N] [--idle-timeout-ms N]
              [--snapshot-dir DIR] [--fault-injection] [--no-telemetry]
              [--trace-ring N] [--slow-log FILE] [--slow-ms N]
+             [--slow-log-max-bytes N] [--no-flight] [--flight-interval-ms N]
+             [--flight-history N] [--postmortem-dir DIR]
+             [--anomaly-window-ms N] [--slo-p95-us N] [--busy-spike-per-sec N]
                                             (run the streaming daemon in the
               foreground; stops on stdin EOF or a client Shutdown;
               --fault-injection enables the Crash/Sleep chaos verbs;
               --slow-log appends a JSONL record for every request slower
-              than --slow-ms; --trace-ring sizes the per-session event ring
-              the Trace verb serves, 0 disables; --no-telemetry turns all
-              request telemetry off)
+              than --slow-ms, rotating to FILE.1 past --slow-log-max-bytes;
+              --trace-ring sizes the per-session event ring the Trace verb
+              serves, 0 disables; --no-telemetry turns all request
+              telemetry off. The flight recorder snapshots daemon state
+              every --flight-interval-ms into a --flight-history-deep ring
+              and, on each anomaly (worker poison, eviction, Busy spike
+              over --busy-spike-per-sec, append p95 over --slo-p95-us,
+              budget breach, rejected frame; one per kind per
+              --anomaly-window-ms), dumps a postmortem bundle under
+              --postmortem-dir; --no-flight disables it. With --metrics,
+              /healthz and /readyz ride on the same endpoint)
+  pctl postmortem <bundle-dir>              (validate a postmortem bundle
+              dumped by the daemon and print its incident report: trigger,
+              anomaly timeline, p50/p95 trajectory, top sessions)
   pctl stream <trace.json> --addr HOST:PORT
               (--at-least-one VAR | --at-least-one-not VAR |
                --conjunct PROC:VAR ...)
@@ -74,8 +88,9 @@ USAGE:
                — events sent, Busy bounces, append p50 — goes to stderr)
   pctl top --addr HOST:PORT [--interval-ms N] [--once]
               (live per-session daemon dashboard over the Stats verb:
-               appends, bytes, queue depth, idle age, append p50/p95;
-               --once prints a single snapshot and exits)
+               appends, per-interval append/busy rates from poll deltas,
+               bytes, queue depth, idle age, append p50/p95, query
+               cache hit-rate; --once prints a single snapshot and exits)
 
 The predicate flags build the disjunctive property  B = ∨ᵢ lᵢ  with
 lᵢ = VAR (at-least-one) or lᵢ = ¬VAR (at-least-one-not) on every process.
@@ -635,6 +650,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         trace_ring: args.num("trace-ring", defaults.trace_ring)?,
         slow_log: args.value("slow-log")?.map(Into::into),
         slow_ms: args.num("slow-ms", defaults.slow_ms)?,
+        slow_log_max_bytes: args.num("slow-log-max-bytes", defaults.slow_log_max_bytes)?,
+        flight: args.flag("no-flight").is_none(),
+        flight_interval: std::time::Duration::from_millis(args.num(
+            "flight-interval-ms",
+            defaults.flight_interval.as_millis() as u64,
+        )?),
+        flight_history: args.num("flight-history", defaults.flight_history)?,
+        postmortem_dir: args.value("postmortem-dir")?.map(Into::into),
+        anomaly_window: std::time::Duration::from_millis(args.num(
+            "anomaly-window-ms",
+            defaults.anomaly_window.as_millis() as u64,
+        )?),
+        slo_p95_us: args.num("slo-p95-us", defaults.slo_p95_us)?,
+        busy_spike_per_sec: args.num("busy-spike-per-sec", defaults.busy_spike_per_sec)?,
         ..defaults
     };
     let daemon = pctld::Daemon::spawn(cfg).map_err(|e| format!("serve: {e}"))?;
@@ -644,7 +673,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             let m = daemon
                 .spawn_metrics(addr)
                 .map_err(|e| format!("serve: metrics on {addr}: {e}"))?;
-            eprintln!("metrics on http://{}/metrics", m.local_addr());
+            eprintln!(
+                "metrics on http://{0}/metrics, health on http://{0}/healthz and /readyz",
+                m.local_addr()
+            );
             Some(m)
         }
         None => None,
@@ -772,15 +804,53 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-interval rates computed from consecutive `Stats` polls — counters
+/// are cumulative on the wire, so the dashboard differentiates them
+/// client-side.
+struct TopRates {
+    appends_per_sec: f64,
+    busy_per_sec: f64,
+    /// Per-session appends/s, keyed by session name.
+    per_session: std::collections::HashMap<String, f64>,
+}
+
+fn top_rates(
+    prev: &pctld::StatsSnapshot,
+    cur: &pctld::StatsSnapshot,
+    dt: std::time::Duration,
+) -> TopRates {
+    let dt_s = dt.as_secs_f64().max(1e-9);
+    let rate = |before: u64, now: u64| now.saturating_sub(before) as f64 / dt_s;
+    let per_session = cur
+        .per_session
+        .iter()
+        .map(|s| {
+            let before = prev
+                .per_session
+                .iter()
+                .find(|p| p.name == s.name)
+                .map_or(0, |p| p.appends);
+            (s.name.clone(), rate(before, s.appends))
+        })
+        .collect();
+    TopRates {
+        appends_per_sec: rate(prev.appends_total, cur.appends_total),
+        busy_per_sec: rate(prev.busy_total, cur.busy_total),
+        per_session,
+    }
+}
+
 /// Render one `Stats` snapshot as the `pctl top` dashboard. Returns the
 /// formatted screen so `--once` and the redraw loop share one layout.
-fn render_top(stats: &pctld::StatsSnapshot, addr: &str) -> String {
+/// `rates` is `None` on the first poll (and under `--once`): rate columns
+/// render as `-` until a second poll gives a delta.
+fn render_top(stats: &pctld::StatsSnapshot, rates: Option<&TopRates>, addr: &str) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "pctld {addr} — {} session(s), {} append(s), {} busy bounce(s), \
-         {}/{} bytes, {} eviction(s), {} poisoned",
+         {}/{} bytes, {} eviction(s), {} poisoned{}",
         stats.sessions,
         stats.appends_total,
         stats.busy_total,
@@ -788,20 +858,42 @@ fn render_top(stats: &pctld::StatsSnapshot, addr: &str) -> String {
         stats.budget_bytes,
         stats.evictions_total,
         stats.poisoned_total,
+        match rates {
+            Some(r) => format!(
+                " | {:.0} append/s, {:.0} busy/s",
+                r.appends_per_sec, r.busy_per_sec
+            ),
+            None => String::new(),
+        },
     );
     let _ = writeln!(
         out,
-        "{:<20} {:>9} {:>12} {:>6} {:>9} {:>9} {:>9}",
-        "SESSION", "APPENDS", "BYTES", "QUEUE", "IDLE(ms)", "P50(µs)", "P95(µs)"
+        "{:<20} {:>9} {:>8} {:>12} {:>6} {:>9} {:>9} {:>9} {:>5}",
+        "SESSION", "APPENDS", "APP/s", "BYTES", "QUEUE", "IDLE(ms)", "P50(µs)", "P95(µs)", "HIT%"
     );
     if stats.per_session.is_empty() {
         let _ = writeln!(out, "(no live sessions)");
     }
     for s in &stats.per_session {
+        let app_rate = rates
+            .and_then(|r| r.per_session.get(&s.name))
+            .map_or("-".to_owned(), |r| format!("{r:.0}"));
+        let hit = match s.queries {
+            0 => "-".to_owned(),
+            q => format!("{:.0}", s.cache_hits as f64 * 100.0 / q as f64),
+        };
         let _ = writeln!(
             out,
-            "{:<20} {:>9} {:>12} {:>6} {:>9} {:>9} {:>9}",
-            s.name, s.appends, s.approx_bytes, s.queue_depth, s.idle_ms, s.p50_us, s.p95_us
+            "{:<20} {:>9} {:>8} {:>12} {:>6} {:>9} {:>9} {:>9} {:>5}",
+            s.name,
+            s.appends,
+            app_rate,
+            s.approx_bytes,
+            s.queue_depth,
+            s.idle_ms,
+            s.p50_us,
+            s.p95_us,
+            hit
         );
     }
     out
@@ -813,9 +905,14 @@ fn cmd_top(args: &Args) -> Result<(), String> {
     let once = args.flag("once").is_some();
     let mut client =
         pctld::Client::connect(addr).map_err(|e| format!("top: connect {addr}: {e}"))?;
+    let mut prev: Option<(pctld::StatsSnapshot, std::time::Instant)> = None;
     loop {
         let stats = client.stats_snapshot().map_err(|e| format!("top: {e}"))?;
-        let screen = render_top(&stats, addr);
+        let now = std::time::Instant::now();
+        let rates = prev
+            .as_ref()
+            .map(|(p, t)| top_rates(p, &stats, now.duration_since(*t)));
+        let screen = render_top(&stats, rates.as_ref(), addr);
         if once {
             print!("{screen}");
             return Ok(());
@@ -824,8 +921,20 @@ fn cmd_top(args: &Args) -> Result<(), String> {
         print!("\x1b[2J\x1b[H{screen}");
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
+        prev = Some((stats, now));
         std::thread::sleep(interval);
     }
+}
+
+fn cmd_postmortem(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("postmortem: missing bundle directory")?;
+    let bundle = predicate_control::obs::flight::validate_bundle(std::path::Path::new(path))
+        .map_err(|e| format!("postmortem: {path}: {e}"))?;
+    print!("{}", predicate_control::obs::flight::render_report(&bundle));
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -848,6 +957,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "stream" => cmd_stream(&args),
         "top" => cmd_top(&args),
+        "postmortem" => cmd_postmortem(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
