@@ -34,7 +34,7 @@
 
 use pctl_bench::report::{
     Baseline, CompareReport, OfflineCase, OfflineReport, OverlapCase, ShardCase, ShardSweep,
-    SlicingBench, StreamingBench, SweepMode, SweepReport, WallStats, SCHEMA,
+    SimCoreBench, SlicingBench, StreamingBench, SweepMode, SweepReport, WallStats, SCHEMA,
 };
 use pctl_core::offline::{control_intervals, Engine, OfflineOptions, SelectPolicy};
 use pctl_core::verify::sweep_faulty_run;
@@ -217,6 +217,7 @@ fn run_offline(smoke: bool) -> OfflineReport {
         overlap: None,
         streaming: None,
         slicing: None,
+        sim_core: None,
     }
 }
 
@@ -314,6 +315,84 @@ fn run_slicing(smoke: bool) -> SlicingBench {
         sliced_control: WallStats::of(&sliced),
         unsliced_control: WallStats::of(&unsliced),
         feasible,
+    }
+}
+
+// --------------------------------------------------------------- sim core --
+
+/// Raw throughput of the actor-model simulator engine: `ring_flood` keeps
+/// `processes × fanout` messages permanently in flight with near-empty
+/// handlers, so wall time is dominated by the wheel/arena/mailbox machinery
+/// itself. The full-size run dispatches ≥ 10⁷ events per rep. Before
+/// anything is written, the arena gauges are hard-asserted to stay within
+/// 2× the known live-state population — the scale invariant the engine
+/// exists to provide (peak memory tracks in-flight state, not trace
+/// length).
+fn run_sim_core(smoke: bool) -> SimCoreBench {
+    use pctl_sim::scenarios::ring_flood;
+    use pctl_sim::{DelayModel, SimConfig, SimTime, StopReason};
+
+    let (processes, fanout, hops, reps) = if smoke {
+        (8u32, 4u32, 64u32, 2usize)
+    } else {
+        // 64 × 16 × 9766 = 10 000 384 deliveries ≥ 10⁷.
+        (64, 16, 9_766, 3)
+    };
+    let expected = u64::from(processes) * u64::from(fanout) * u64::from(hops);
+    let live = u64::from(processes) * u64::from(fanout);
+
+    let run = || {
+        let cfg = SimConfig {
+            seed: 0x5CA1_E5EED,
+            delay: DelayModel::Uniform { min: 1, max: 20 },
+            max_events: usize::MAX,
+            max_time: SimTime(u64::MAX),
+            ..SimConfig::default()
+        };
+        ring_flood(processes, fanout, hops, cfg).run()
+    };
+
+    let mut samples = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run();
+        samples.push(micros(t0.elapsed()));
+        assert_eq!(r.stopped, StopReason::Quiescent, "ring_flood must drain");
+        assert_eq!(r.core.events_dispatched, expected);
+        last = Some(r);
+    }
+    let r = last.expect("reps >= 1");
+
+    // The invariant the section exists to witness, asserted before the
+    // report is written: engine memory is proportional to live state.
+    let memory_bounded = r.core.arena_high_water <= 2 * live && r.core.arena_slots <= 2 * live;
+    assert!(
+        memory_bounded,
+        "sim_core: arena gauges (high_water={}, slots={}) exceed 2x the \
+         live-state bound {live} — engine memory is no longer proportional \
+         to in-flight state",
+        r.core.arena_high_water, r.core.arena_slots
+    );
+    assert_eq!(
+        r.core.arena_live_at_end, 0,
+        "quiescent run must drain the arena"
+    );
+
+    let wall = WallStats::of(&samples);
+    SimCoreBench {
+        workload: format!("ring_flood_n{processes}_f{fanout}_h{hops}"),
+        processes: processes as usize,
+        events: expected,
+        events_per_sec: expected as f64 / (wall.p50_us.max(1) as f64 / 1e6),
+        wall,
+        arena_high_water: r.core.arena_high_water,
+        arena_slots: r.core.arena_slots,
+        live_state_bound: live,
+        inbox_high_water: r.core.inbox_high_water,
+        wheel_high_water: r.core.wheel_high_water,
+        timesteps: r.core.timesteps,
+        memory_bounded,
     }
 }
 
@@ -819,6 +898,7 @@ fn main() {
     offline.overlap = Some(run_overlap(args.smoke));
     offline.streaming = Some(run_streaming(args.smoke));
     offline.slicing = Some(run_slicing(args.smoke));
+    offline.sim_core = Some(run_sim_core(args.smoke));
     let path = args.out_dir.join("BENCH_offline.json");
     pctl_bench::report::write_validated(&path, &offline).expect("write BENCH_offline.json");
     println!("wrote {} ({} cases)", path.display(), offline.cases.len());
@@ -916,6 +996,24 @@ fn main() {
             sl.feasible
         );
     }
+    if let Some(sc) = &offline.sim_core {
+        println!(
+            "  sim_core {} events={} p50={}us  {:.2}M events/s  \
+             arena hw/slots={}/{} (live bound {})  inbox hw={} wheel hw={} \
+             timesteps={} memory_bounded={}",
+            sc.workload,
+            sc.events,
+            sc.wall.p50_us,
+            sc.events_per_sec / 1e6,
+            sc.arena_high_water,
+            sc.arena_slots,
+            sc.live_state_bound,
+            sc.inbox_high_water,
+            sc.wheel_high_water,
+            sc.timesteps,
+            sc.memory_bounded
+        );
+    }
 
     let (sweep, prof_report) = run_sweep(args.smoke, &args.baseline);
     let path = args.out_dir.join("BENCH_sweep.json");
@@ -1002,6 +1100,7 @@ fn main() {
             slicing_construct_p50_us: offline.slicing.as_ref().map(|s| s.slice_construct.p50_us),
             slicing_control_p50_us: offline.slicing.as_ref().map(|s| s.sliced_control.p50_us),
             slicing_pruning_ratio: offline.slicing.as_ref().map(|s| s.pruning_ratio),
+            sim_core_events_per_sec: offline.sim_core.as_ref().map(|s| s.events_per_sec),
         };
         pctl_bench::report::write_validated(path, &b).expect("write baseline");
         println!("wrote {} (recorded sweep baseline)", path.display());
@@ -1024,6 +1123,7 @@ fn main() {
             shard_p50,
             offline.streaming.as_ref(),
             offline.slicing.as_ref(),
+            offline.sim_core.as_ref(),
             args.threshold_pct,
             args.inject_slowdown,
             args.smoke,
@@ -1040,6 +1140,14 @@ fn main() {
             println!(
                 "  note: baseline {} predates streaming scenarios; the daemon \
                  path is not gated by this compare (re-freeze with \
+                 --write-baseline to gate it)",
+                compare_path.display()
+            );
+        }
+        if baseline.sim_core_events_per_sec.is_none() {
+            println!(
+                "  note: baseline {} predates the sim_core section; engine \
+                 throughput is not gated by this compare (re-freeze with \
                  --write-baseline to gate it)",
                 compare_path.display()
             );

@@ -140,6 +140,15 @@ fn main() {
                 FtParams::default(),
                 plan,
             );
+            // `deadlocked()` is useless here: a crashed-for-good P0 never
+            // reports done, so every no-restart run trips it. The refined
+            // predicate separates the dead process (expected) from live
+            // processes starving mid-protocol (a real liveness bug).
+            assert!(
+                !r.protocol_deadlock(),
+                "restart={restart:?} seed={seed}: live processes starved: {:?}",
+                r.outcomes()
+            );
             let report = sweep_faulty_run(&r.deposet, &LocalPredicate::not_var("cs"));
             (r, report)
         });

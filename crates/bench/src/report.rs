@@ -205,6 +205,42 @@ pub struct SlicingBench {
     pub feasible: bool,
 }
 
+/// The `sim_core` section: raw throughput and live-state footprint of the
+/// actor-model simulator engine on the `ring_flood` scenario (minimal
+/// handler work — this measures the wheel/arena/mailbox machinery, not a
+/// protocol). The full-size run generates ≥ 10⁷ events; the arena gauges
+/// prove peak engine memory tracked the in-flight population instead of
+/// the trace length.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimCoreBench {
+    /// Workload label, e.g. `ring_flood_n64_f16_h9766`.
+    pub workload: String,
+    /// Ring size (process count).
+    pub processes: usize,
+    /// Events dispatched per run.
+    pub events: u64,
+    /// Wall-time distribution of full runs (µs).
+    pub wall: WallStats,
+    /// Events per second at the median wall time.
+    pub events_per_sec: f64,
+    /// Peak simultaneous in-flight payloads (arena high-water gauge).
+    pub arena_high_water: u64,
+    /// Arena slots actually allocated (slab footprint).
+    pub arena_slots: u64,
+    /// The workload's known in-flight population (`processes × fanout`) —
+    /// the live-state yardstick the arena gauges are compared against.
+    pub live_state_bound: u64,
+    /// Peak single-inbox depth within a timestep.
+    pub inbox_high_water: u64,
+    /// Peak pending events in the scheduler (wheel + overflow).
+    pub wheel_high_water: u64,
+    /// Distinct simulated times that dispatched at least one event.
+    pub timesteps: u64,
+    /// `arena_high_water ≤ 2 × live_state_bound` (hard-asserted by the
+    /// harness before writing — recorded so the report is self-describing).
+    pub memory_bounded: bool,
+}
+
 /// The `BENCH_offline.json` payload.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OfflineReport {
@@ -229,6 +265,10 @@ pub struct OfflineReport {
     /// predating the regular-predicate layer).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub slicing: Option<SlicingBench>,
+    /// Simulator-engine section (absent in reports from harnesses
+    /// predating the actor-model core).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sim_core: Option<SimCoreBench>,
 }
 
 /// One execution mode of the multi-seed sweep bench.
@@ -284,6 +324,10 @@ pub struct Baseline {
     /// a fixed workload, so any drop signals a slicing-engine change).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub slicing_pruning_ratio: Option<f64>,
+    /// Baseline simulator-engine throughput of the `sim_core` section
+    /// (events/s); absent in baselines frozen before the actor core.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sim_core_events_per_sec: Option<f64>,
 }
 
 /// The `BENCH_sweep.json` payload.
@@ -380,6 +424,7 @@ impl CompareReport {
         shard_construct_p50_us: Option<u64>,
         streaming: Option<&StreamingBench>,
         slicing: Option<&SlicingBench>,
+        sim_core: Option<&SimCoreBench>,
         threshold_pct: f64,
         inject_slowdown_pct: f64,
         smoke: bool,
@@ -514,6 +559,21 @@ impl CompareReport {
                 ));
             }
         }
+        // Simulator-engine scenario: both-sides rule once more. Throughput
+        // is higher-is-better; the memory gauges are hard-asserted by the
+        // harness rather than thresholded (a bound is pass/fail, not a
+        // percentage).
+        if let Some(sc) = sim_core {
+            if let Some(base) = baseline.sim_core_events_per_sec {
+                cases.push(case(
+                    "sim_core_events_per_sec",
+                    "events/s",
+                    base,
+                    sc.events_per_sec,
+                    false,
+                ));
+            }
+        }
         let regressions = cases.iter().filter(|c| c.regressed).count();
         CompareReport {
             schema: SCHEMA.into(),
@@ -592,6 +652,7 @@ mod tests {
                 slicing_construct_p50_us: None,
                 slicing_control_p50_us: None,
                 slicing_pruning_ratio: None,
+                sim_core_events_per_sec: None,
             }),
             speedup_vs_baseline: Some(3.0),
         };
@@ -614,6 +675,7 @@ mod tests {
             slicing_construct_p50_us: None,
             slicing_control_p50_us: None,
             slicing_pruning_ratio: None,
+            sim_core_events_per_sec: None,
         }
     }
 
@@ -644,6 +706,7 @@ mod tests {
             None,
             None,
             None,
+            None,
             25.0,
             0.0,
             false,
@@ -657,6 +720,7 @@ mod tests {
             &baseline(),
             "b.json",
             &fast,
+            None,
             None,
             None,
             None,
@@ -676,6 +740,7 @@ mod tests {
             &baseline(),
             "b.json",
             &cur,
+            None,
             None,
             None,
             None,
@@ -703,6 +768,7 @@ mod tests {
             None,
             None,
             None,
+            None,
             25.0,
             0.0,
             false,
@@ -712,6 +778,7 @@ mod tests {
             &baseline(),
             "b.json",
             &cur,
+            None,
             None,
             None,
             None,
@@ -731,6 +798,7 @@ mod tests {
             &baseline(),
             "b.json",
             &cur,
+            None,
             None,
             None,
             None,
@@ -754,6 +822,7 @@ mod tests {
             Some(500),
             None,
             None,
+            None,
             25.0,
             0.0,
             false,
@@ -762,19 +831,41 @@ mod tests {
         // Both sides carry shard numbers: fifth scenario participates.
         let mut b = baseline();
         b.shard_construct_p50_us = Some(400);
-        let r = CompareReport::of(&b, "b.json", &cur, Some(500), None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            Some(500),
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert_eq!(r.cases.len(), 5);
         let c = r.cases.last().unwrap();
         assert_eq!(c.scenario, "shard_construct_p50_us");
         assert!((c.worse_pct - 25.0).abs() < 1e-9, "{c:?}");
         assert!(!c.regressed, "exactly at threshold is not past it");
         // And it regresses past the gate like any other scenario.
-        let r = CompareReport::of(&b, "b.json", &cur, Some(600), None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            Some(600),
+            None,
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(!r.passed);
         assert_eq!(r.regressions, 1, "{r:?}");
         // A baseline with shard numbers but an old-harness run without them
         // also degrades to four scenarios.
-        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 4);
     }
 
@@ -791,6 +882,7 @@ mod tests {
         assert_eq!(b.slicing_construct_p50_us, None);
         assert_eq!(b.slicing_control_p50_us, None);
         assert_eq!(b.slicing_pruning_ratio, None);
+        assert_eq!(b.sim_core_events_per_sec, None);
     }
 
     fn streaming_section(eps: f64, append_p50: u64, query_p50: u64) -> StreamingBench {
@@ -832,6 +924,7 @@ mod tests {
             None,
             Some(&s),
             None,
+            None,
             25.0,
             0.0,
             false,
@@ -842,7 +935,18 @@ mod tests {
         b.streaming_append_events_per_sec = Some(20_000.0);
         b.streaming_append_p50_us = Some(40);
         b.streaming_query_p50_us = Some(800);
-        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), None, 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            Some(&s),
+            None,
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert_eq!(r.cases.len(), 7, "{r:?}");
         assert!(r.passed, "identical streaming numbers pass: {r:?}");
         let names: Vec<&str> = r.cases.iter().map(|c| c.scenario.as_str()).collect();
@@ -858,6 +962,7 @@ mod tests {
             None,
             Some(&slow),
             None,
+            None,
             25.0,
             0.0,
             false,
@@ -872,7 +977,18 @@ mod tests {
         assert!(c.regressed && !c.lower_is_better, "{c:?}");
         // Injected slowdown worsens streaming scenarios too (gate
         // self-test covers the daemon path).
-        let r = CompareReport::of(&b, "b.json", &cur, None, Some(&s), None, 25.0, 100.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            Some(&s),
+            None,
+            None,
+            25.0,
+            100.0,
+            false,
+        );
         assert_eq!(r.regressions, 7, "{r:?}");
     }
 
@@ -920,6 +1036,7 @@ mod tests {
             }),
             streaming: None,
             slicing: None,
+            sim_core: None,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
@@ -935,6 +1052,7 @@ mod tests {
         assert_eq!(r.overlap, None);
         assert_eq!(r.streaming, None);
         assert_eq!(r.slicing, None);
+        assert_eq!(r.sim_core, None);
     }
 
     #[test]
@@ -958,6 +1076,7 @@ mod tests {
                 append_events_per_sec_flight_off: Some(26_200.0),
             }),
             slicing: None,
+            sim_core: None,
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
@@ -1004,6 +1123,7 @@ mod tests {
             overlap: None,
             streaming: None,
             slicing: Some(slicing_section(120, 60, 25.0)),
+            sim_core: None,
         };
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back: OfflineReport = serde_json::from_str(&json).unwrap();
@@ -1023,6 +1143,7 @@ mod tests {
             None,
             None,
             Some(&sl),
+            None,
             25.0,
             0.0,
             false,
@@ -1033,7 +1154,18 @@ mod tests {
         b.slicing_construct_p50_us = Some(120);
         b.slicing_control_p50_us = Some(60);
         b.slicing_pruning_ratio = Some(25.0);
-        let r = CompareReport::of(&b, "b.json", &cur, None, None, Some(&sl), 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            None,
+            Some(&sl),
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert_eq!(r.cases.len(), 7, "{r:?}");
         assert!(r.passed, "identical slicing numbers pass: {r:?}");
         let names: Vec<&str> = r.cases.iter().map(|c| c.scenario.as_str()).collect();
@@ -1043,7 +1175,18 @@ mod tests {
         // The pruning ratio is higher-is-better: a slice that stops
         // pruning (ratio collapses toward 1) regresses the gate.
         let lax = slicing_section(120, 60, 5.0);
-        let r = CompareReport::of(&b, "b.json", &cur, None, None, Some(&lax), 25.0, 0.0, false);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            None,
+            Some(&lax),
+            None,
+            25.0,
+            0.0,
+            false,
+        );
         assert!(!r.passed);
         assert_eq!(r.regressions, 1, "{r:?}");
         let c = r
@@ -1054,7 +1197,7 @@ mod tests {
         assert!(c.regressed && !c.lower_is_better, "{c:?}");
         // An old-harness run without a slicing section degrades to the
         // four sweep scenarios even against a slicing-aware baseline.
-        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, 25.0, 0.0, false);
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, None, 25.0, 0.0, false);
         assert_eq!(r.cases.len(), 4);
         // Injected slowdown worsens slicing scenarios too.
         let r = CompareReport::of(
@@ -1064,10 +1207,120 @@ mod tests {
             None,
             None,
             Some(&sl),
+            None,
             25.0,
             100.0,
             false,
         );
         assert_eq!(r.regressions, 7, "{r:?}");
+    }
+
+    fn sim_core_section(eps: f64) -> SimCoreBench {
+        SimCoreBench {
+            workload: "ring_flood_n64_f16_h9766".into(),
+            processes: 64,
+            events: 10_000_384,
+            wall: WallStats::of(&[900_000, 950_000, 1_000_000]),
+            events_per_sec: eps,
+            arena_high_water: 1024,
+            arena_slots: 1024,
+            live_state_bound: 1024,
+            inbox_high_water: 40,
+            wheel_high_water: 1100,
+            timesteps: 200_000,
+            memory_bounded: true,
+        }
+    }
+
+    #[test]
+    fn sim_core_section_roundtrips() {
+        let r = OfflineReport {
+            schema: SCHEMA.into(),
+            bench: "offline".into(),
+            smoke: true,
+            cases: vec![],
+            shard_sweep: None,
+            overlap: None,
+            streaming: None,
+            slicing: None,
+            sim_core: Some(sim_core_section(1.0e7)),
+        };
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: OfflineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn sim_core_scenario_requires_both_sides() {
+        let cur = mode(100.0, 1e6, 1000, 2000);
+        let sc = sim_core_section(1.0e7);
+        // Pre-actor-core baseline: no sim_core case even though the run
+        // measured one.
+        let r = CompareReport::of(
+            &baseline(),
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            Some(&sc),
+            25.0,
+            0.0,
+            false,
+        );
+        assert_eq!(r.cases.len(), 4, "{r:?}");
+        // Re-frozen baseline: the engine-throughput scenario participates.
+        let mut b = baseline();
+        b.sim_core_events_per_sec = Some(1.0e7);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            Some(&sc),
+            25.0,
+            0.0,
+            false,
+        );
+        assert_eq!(r.cases.len(), 5, "{r:?}");
+        assert!(r.passed, "identical throughput passes: {r:?}");
+        let c = r.cases.last().unwrap();
+        assert_eq!(c.scenario, "sim_core_events_per_sec");
+        assert!(!c.lower_is_better);
+        // Throughput is higher-is-better: halving it regresses past 25%.
+        let slow = sim_core_section(0.5e7);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            Some(&slow),
+            25.0,
+            0.0,
+            false,
+        );
+        assert!(!r.passed);
+        assert_eq!(r.regressions, 1, "{r:?}");
+        // Old-harness run without the section degrades against the new
+        // baseline, and the injected slowdown worsens the scenario too.
+        let r = CompareReport::of(&b, "b.json", &cur, None, None, None, None, 25.0, 0.0, false);
+        assert_eq!(r.cases.len(), 4);
+        let r = CompareReport::of(
+            &b,
+            "b.json",
+            &cur,
+            None,
+            None,
+            None,
+            Some(&sc),
+            25.0,
+            100.0,
+            false,
+        );
+        assert_eq!(r.regressions, 5, "{r:?}");
     }
 }

@@ -100,14 +100,14 @@ fn compare_gate_passes_on_own_baseline_and_fails_on_injected_regression() {
     assert_eq!(field(&cmp, "passed"), serde_json::Value::Bool(false));
     let cases = field(&cmp, "cases");
     let cases = cases.as_array().expect("cases array");
-    // The self-written baseline carries shard, streaming, and slicing
-    // numbers, so those scenarios participate alongside the four sweep
-    // scenarios.
+    // The self-written baseline carries shard, streaming, slicing, and
+    // sim_core numbers, so those scenarios participate alongside the four
+    // sweep scenarios.
     assert_eq!(
         cases.len(),
-        11,
+        12,
         "four sweep scenarios + shard construction + three streaming \
-         scenarios + three slicing scenarios"
+         scenarios + three slicing scenarios + sim_core throughput"
     );
     assert!(
         cases
@@ -122,6 +122,7 @@ fn compare_gate_passes_on_own_baseline_and_fails_on_injected_regression() {
         "slicing_construct_p50_us",
         "slicing_control_p50_us",
         "slicing_pruning_ratio",
+        "sim_core_events_per_sec",
     ] {
         assert!(
             cases

@@ -662,6 +662,12 @@ mod tests {
         };
         let r = Simulation::new(config, procs).run();
         assert!(r.deadlocked(), "violating A1 must deadlock the strategy");
+        assert!(
+            r.protocol_deadlock(),
+            "the A1-violation deadlock is a genuine protocol deadlock \
+             (engaged processes starved), not an inert script: {:?}",
+            r.outcomes()
+        );
         // Safety is still never violated — the strategy blocks rather than
         // let B break.
         let pred = DisjunctivePredicate::at_least_one(2, "ok");

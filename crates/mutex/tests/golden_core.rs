@@ -1,0 +1,99 @@
+//! Golden-fingerprint pins for the simulator dispatch core.
+//!
+//! These fixtures were captured against the pre-actor-core dispatcher (the
+//! single global `BinaryHeap` loop) and pin its observable behavior byte for
+//! byte: the traced deposet (FNV-1a hash + length of the canonical trace
+//! JSON), the full metrics JSON, and the run verdict. Any engine rework must
+//! reproduce them exactly — same `(time, seq)` dispatch order, same RNG draw
+//! order, same trace and metrics — for both the k-mutex and the
+//! fault-tolerant mutex scenarios, with and without an active `FaultPlan`.
+//!
+//! If a fingerprint legitimately changes (it should not, short of a
+//! deliberate semantic change to the simulator), regenerate with
+//! `UPDATE_GOLDEN=1` and review the diff.
+
+use pctl_core::online::ft::FtParams;
+use pctl_core::online::PeerSelect;
+use pctl_deposet::trace;
+use pctl_mutex::{run_antitoken, run_ft_antitoken, WorkloadConfig};
+use pctl_sim::{FaultPlan, ProcessId, SimResult, SimTime};
+
+/// FNV-1a 64-bit — dependency-free stable hash for the deposet trace JSON.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The pinned fingerprint: everything downstream layers can observe from a
+/// run, with the (large) deposet JSON collapsed to hash+length.
+fn fingerprint(r: &SimResult) -> String {
+    let dep_json = trace::to_json(&r.deposet);
+    format!(
+        "deposet fnv1a={:016x} len={}\nmetrics {}\nend_time {:?}\ndone {:?}\nstopped {:?}\n",
+        fnv1a(dep_json.as_bytes()),
+        dep_json.len(),
+        serde_json::to_string(&r.metrics).expect("metrics serialize"),
+        r.end_time,
+        r.done,
+        r.stopped,
+    )
+}
+
+fn workload(seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        processes: 4,
+        entries_per_process: 5,
+        think: (20, 60),
+        cs: (5, 15),
+        seed,
+        delay: 10,
+    }
+}
+
+fn check(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, got).expect("update golden file");
+    }
+    let golden = std::fs::read_to_string(&path).expect("read golden file");
+    assert_eq!(
+        got, golden,
+        "sim-core fingerprint drifted from tests/golden/{name}.txt — the \
+         engine no longer reproduces the pre-refactor dispatcher bit for bit \
+         (UPDATE_GOLDEN=1 regenerates, but treat any diff as a determinism \
+         regression until proven otherwise)"
+    );
+}
+
+#[test]
+fn kmutex_empty_plan_matches_prerefactor_golden() {
+    let r = run_antitoken(&workload(0xD51A_BE11), PeerSelect::NextInRing);
+    check("kmutex_empty_plan", &fingerprint(&r));
+}
+
+#[test]
+fn ft_mutex_empty_plan_matches_prerefactor_golden() {
+    let r = run_ft_antitoken(
+        &workload(0xD51A_BE12),
+        PeerSelect::NextInRing,
+        FtParams::default(),
+        FaultPlan::none(),
+    );
+    check("ft_mutex_empty_plan", &fingerprint(&r));
+}
+
+#[test]
+fn ft_mutex_faulty_plan_matches_prerefactor_golden() {
+    let plan = FaultPlan::uniform_loss(0.05).with_crash(ProcessId(1), SimTime(300), Some(400));
+    let r = run_ft_antitoken(
+        &workload(0xD51A_BE13),
+        PeerSelect::NextInRing,
+        FtParams::default(),
+        plan,
+    );
+    check("ft_mutex_faulty_plan", &fingerprint(&r));
+}

@@ -165,6 +165,41 @@ impl FaultPlan {
     pub fn severed(&self, src: ProcessId, dst: ProcessId, now: SimTime) -> bool {
         self.partitions.iter().any(|p| p.severs(src, dst, now))
     }
+
+    /// The crash plan as a flat event schedule, in the exact order the
+    /// simulator must enqueue it: for each crash in plan order, the
+    /// [`CrashPhase::Down`] entry, then (if the crash restarts) the
+    /// [`CrashPhase::Up`] entry. The simulator schedules these *before*
+    /// any process runs, so at equal times plan events always carry the
+    /// lowest sequence numbers and win ties against deliveries.
+    ///
+    /// Panics if a crash targets a process outside `0..process_count`.
+    pub fn crash_schedule(
+        &self,
+        process_count: usize,
+    ) -> impl Iterator<Item = (SimTime, ProcessId, CrashPhase)> + '_ {
+        self.crashes.iter().flat_map(move |c| {
+            assert!(
+                c.process.index() < process_count,
+                "fault plan crashes unknown process {:?}",
+                c.process
+            );
+            let down = (c.at, c.process, CrashPhase::Down);
+            let up = c
+                .restart_after
+                .map(|after| (c.at + after, c.process, CrashPhase::Up));
+            std::iter::once(down).chain(up)
+        })
+    }
+}
+
+/// One step of a crash's lifecycle in [`FaultPlan::crash_schedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// The process goes down.
+    Down,
+    /// The process comes back up (only for crashes with a restart).
+    Up,
 }
 
 #[cfg(test)]

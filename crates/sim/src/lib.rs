@@ -10,15 +10,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod faults;
 pub mod metrics;
+pub mod scenarios;
 pub mod sim;
 pub mod time;
+pub mod wheel;
 
-pub use faults::{Crash, FaultPlan, LinkFaults, Partition};
+pub use faults::{Crash, CrashPhase, FaultPlan, LinkFaults, Partition};
 pub use metrics::{LiveMetrics, Metrics, Summary, FAULT_COUNTERS};
 pub use sim::{
-    Ctx, DelayModel, Payload, Process, SimConfig, SimResult, Simulation, StopReason, TimerId,
+    CoreStats, Ctx, DelayModel, Payload, Process, ProcessOutcome, SimConfig, SimResult, Simulation,
+    StopReason, TimerId,
 };
 pub use time::SimTime;
 

@@ -40,24 +40,30 @@ pub struct Summary {
 /// the smallest sample with at least `p`% of the distribution at or below
 /// it.
 fn nearest_rank(sorted: &[u64], p: u32) -> u64 {
-    let rank = (sorted.len() as u64 * u64::from(p)).div_ceil(100) as usize;
+    // Widened: `len * p` overflows u64 for series past ~2^57 samples.
+    let rank = (sorted.len() as u128 * u128::from(p)).div_ceil(100) as usize;
     sorted[rank - 1]
 }
 
 impl Metrics {
-    /// Increment counter `name` by `by`.
+    /// Increment counter `name` by `by`. Saturates at `u64::MAX` instead of
+    /// wrapping (release builds don't check `+=`, and a wrapped counter is
+    /// silently, catastrophically wrong in a report).
     pub fn add(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+        let c = self.counters.entry(name.to_owned()).or_insert(0);
+        *c = c.saturating_add(by);
     }
 
     /// Increment a labeled counter: the registry key is `name{label}`, so
     /// e.g. `add_labeled("retransmissions", "p2", 1)` tracks
-    /// `retransmissions{p2}` separately from the plain total.
+    /// `retransmissions{p2}` separately from the plain total. Saturating,
+    /// like [`Metrics::add`].
     pub fn add_labeled(&mut self, name: &str, label: &str, by: u64) {
-        *self
+        let c = self
             .counters
             .entry(format!("{name}{{{label}}}"))
-            .or_insert(0) += by;
+            .or_insert(0);
+        *c = c.saturating_add(by);
     }
 
     /// Current value of counter `name` (0 if never touched).
@@ -138,7 +144,8 @@ impl Metrics {
     /// run's final level.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+            let c = self.counters.entry(k.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
         }
         for (k, v) in &other.samples {
             self.samples
@@ -396,6 +403,51 @@ mod tests {
         let n = pctl_obs::prom::validate_exposition(&text).expect("valid exposition");
         // 1 plain counter + 1 labeled counter + 1 gauge + 5 summary samples.
         assert_eq!(n, 8, "{text}");
+    }
+
+    #[test]
+    fn summary_is_exact_near_u64_max() {
+        // Mirrors the PR 5 `Percentiles::of` regression: accumulating in
+        // u64 (or f64) would overflow / lose the sum for samples near
+        // u64::MAX; the u128 accumulator must keep mean and percentiles
+        // exact.
+        let mut m = Metrics::default();
+        let big = u64::MAX - 4;
+        for v in [big, big + 1, big + 2, big + 3, big + 4] {
+            m.record("huge", v);
+        }
+        let s = m.summary("huge").unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, big);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p50, big + 2);
+        assert_eq!((s.p95, s.p99), (u64::MAX, u64::MAX));
+        // Exact u128 mean is big+2; f64 can't hold every u64 exactly, so
+        // compare in ULP-scale terms.
+        let want = (big + 2) as f64;
+        assert!(
+            (s.mean - want).abs() <= want * 1e-9,
+            "mean {} drifted from {want}",
+            s.mean
+        );
+        // And the Prometheus sum survives the same widening.
+        let text = m.to_prometheus("x_");
+        assert!(text.contains("x_huge_count 5"), "{text}");
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut m = Metrics::default();
+        m.add("c", u64::MAX - 1);
+        m.add("c", 5);
+        assert_eq!(m.counter("c"), u64::MAX, "add saturates");
+        m.add_labeled("c", "p0", u64::MAX);
+        m.add_labeled("c", "p0", 1);
+        assert_eq!(m.counter_labeled("c", "p0"), u64::MAX, "labeled saturates");
+        let mut other = Metrics::default();
+        other.add("c", 7);
+        m.merge(&other);
+        assert_eq!(m.counter("c"), u64::MAX, "merge saturates");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The discrete-event simulator.
+//! The discrete-event simulator: an actor-model engine.
 //!
 //! An asynchronous message-passing system in the paper's model: `n`
 //! sequential processes, reliable channels, no shared memory, no message
@@ -12,17 +12,35 @@
 //! the "substitution" substrate described in DESIGN.md: the paper's
 //! (unspecified) runtime becomes a simulator with parameterized message
 //! delay `T`, which makes the paper's analytic overhead claims measurable.
+//!
+//! ## Engine shape (see DESIGN.md §15)
+//!
+//! Each process is a mailbox actor: in-flight payloads live in a
+//! generation-checked [`PayloadArena`], scheduling moves only `Copy` events
+//! through a hierarchical [`TimingWheel`], and execution proceeds in
+//! *timestep batches* — the wheel yields every event due at the earliest
+//! occupied time, deliveries are staged into per-process inboxes in global
+//! `(time, seq)` order, and the run queue then executes them in exactly
+//! that order. The end of a timestep is the paper's "controlled deadlock":
+//! nothing at time `t` remains runnable, so the wheel advances.
+//!
+//! The batch structure is an implementation detail, not a semantic change:
+//! dispatch order, RNG draw order, trace construction and metrics are
+//! bit-for-bit identical to the original global-heap dispatcher (pinned by
+//! golden fingerprints in `pctl-mutex` and the determinism proptests).
 
-use crate::faults::FaultPlan;
+use crate::arena::{MsgHandle, PayloadArena};
+use crate::faults::{CrashPhase, FaultPlan};
 use crate::metrics::Metrics;
 use crate::time::SimTime;
+use crate::wheel::{TimingWheel, WheelEntry};
 use pctl_causality::VectorClock;
 use pctl_deposet::{Deposet, DeposetBuilder, MsgToken, ProcessId};
 use pctl_obs::{Event, EventKind, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use serde::Serialize;
+use std::collections::VecDeque;
 
 /// Messages exchanged by simulated processes.
 pub trait Payload: Clone + std::fmt::Debug + 'static {
@@ -84,9 +102,21 @@ impl DelayModel {
     pub fn mean(&self) -> f64 {
         match *self {
             DelayModel::Fixed(d) => d as f64,
-            DelayModel::Uniform { min, max } => (min + max) as f64 / 2.0,
+            // Widened per addend: `min + max` can overflow u64.
+            DelayModel::Uniform { min, max } => (min as f64 + max as f64) / 2.0,
         }
     }
+}
+
+/// Hard cap on the number of processes, so lane indices always fit the
+/// `u32` lanes used by trace events and `ProcessId` (the `MAX_ROWS`-style
+/// guard used across the workspace).
+pub const MAX_PROCESSES: usize = u32::MAX as usize;
+
+/// Checked lane cast: every `ProcessId → u32` conversion in the engine
+/// funnels through here instead of a bare `as` cast.
+fn lane(p: ProcessId) -> u32 {
+    u32::try_from(p.index()).expect("process lane exceeds u32 range")
 }
 
 /// Simulation parameters.
@@ -103,6 +133,12 @@ pub struct SimConfig {
     /// Fault schedule. The default (empty) plan keeps the run bit-for-bit
     /// identical to the original fault-free simulator.
     pub faults: FaultPlan,
+    /// Soft bound on a process's inbox depth. The simulator models
+    /// *reliable* channels, so staging beyond the bound never drops a
+    /// message — it increments [`CoreStats::inbox_overflows`] and shows up
+    /// in [`CoreStats::inbox_high_water`], making runaway mailboxes
+    /// observable without perturbing the run.
+    pub inbox_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -113,6 +149,7 @@ impl Default for SimConfig {
             max_time: SimTime(u64::MAX),
             max_events: 1_000_000,
             faults: FaultPlan::default(),
+            inbox_capacity: 4096,
         }
     }
 }
@@ -127,6 +164,57 @@ pub enum StopReason {
     MaxEvents,
     /// Simulated clock passed `max_time`.
     MaxTime,
+}
+
+/// Engine-level accounting for one run: how big the machinery itself got.
+///
+/// Deliberately kept *out* of [`Metrics`] — the metrics registry is part of
+/// the bit-identity surface (fingerprinted against pre-refactor goldens),
+/// while these gauges describe the engine, not the modeled system. The
+/// arena/inbox/wheel high-water marks are the "memory proportional to live
+/// state" evidence: they track peak in-flight messages and pending events,
+/// not total traffic.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CoreStats {
+    /// Events dispatched (deliveries, timer fires, crashes, restarts).
+    pub events_dispatched: u64,
+    /// Distinct simulated times at which at least one event ran.
+    pub timesteps: u64,
+    /// Largest single timestep batch.
+    pub max_batch: u64,
+    /// Peak simultaneous in-flight message payloads.
+    pub arena_high_water: u64,
+    /// Arena slots ever allocated (its real footprint; `≥ high_water` only
+    /// by free-list fragmentation, in practice equal).
+    pub arena_slots: u64,
+    /// Payloads still in flight when the run stopped (0 for quiescent runs).
+    pub arena_live_at_end: u64,
+    /// Peak depth of any single process inbox within a timestep.
+    pub inbox_high_water: u64,
+    /// Times a staged delivery found its inbox past
+    /// [`SimConfig::inbox_capacity`] (soft bound: counted, never dropped).
+    pub inbox_overflows: u64,
+    /// Peak pending events in the scheduler (wheel + overflow heap).
+    pub wheel_high_water: u64,
+    /// Entries the timing wheel moved between levels while advancing.
+    pub wheel_cascades: u64,
+}
+
+/// How one process ended the run — the refinement behind
+/// [`SimResult::deadlocked`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// Called [`Ctx::set_done`].
+    Done,
+    /// Crashed and still down at the end of the run.
+    Down,
+    /// Took part in the protocol (sent, received, or armed a timer) but
+    /// never finished — starved waiting on messages that never came. This
+    /// is the *protocol deadlock* predicate control exists to catch.
+    Blocked,
+    /// Never interacted with the protocol at all: a script that simply
+    /// never calls `set_done` (or never ran). Not a protocol deadlock.
+    Inert,
 }
 
 /// Result of a completed run.
@@ -144,13 +232,57 @@ pub struct SimResult {
     /// The telemetry sink the run recorded into (a [`NullRecorder`] unless
     /// the simulation was built with [`Simulation::with_recorder`]).
     pub recorder: Box<dyn Recorder>,
+    /// Engine accounting (arena/inbox/wheel gauges, batch shape).
+    pub core: CoreStats,
+    /// Per-process down flags at the end of the run.
+    down: Vec<bool>,
+    /// Per-process "took part in the protocol" flags.
+    engaged: Vec<bool>,
 }
 
 impl SimResult {
     /// Quiescent but some process never reported done — a protocol-level
-    /// deadlock (or a process that simply never finishes its script).
+    /// deadlock *or* a process that simply never finishes its script. Use
+    /// [`SimResult::outcomes`] / [`SimResult::protocol_deadlock`] /
+    /// [`SimResult::never_finished`] to tell the two apart.
     pub fn deadlocked(&self) -> bool {
         self.stopped == StopReason::Quiescent && !self.done.iter().all(|&d| d)
+    }
+
+    /// Per-process end-of-run classification, in process-id order.
+    pub fn outcomes(&self) -> Vec<ProcessOutcome> {
+        (0..self.done.len())
+            .map(|i| {
+                if self.done[i] {
+                    ProcessOutcome::Done
+                } else if self.down[i] {
+                    ProcessOutcome::Down
+                } else if self.engaged[i] {
+                    ProcessOutcome::Blocked
+                } else {
+                    ProcessOutcome::Inert
+                }
+            })
+            .collect()
+    }
+
+    /// Quiescent with at least one *engaged* process starved mid-protocol —
+    /// the genuine deadlock case (distinct from a script that never calls
+    /// `set_done`; see [`SimResult::never_finished`]).
+    pub fn protocol_deadlock(&self) -> bool {
+        self.stopped == StopReason::Quiescent && self.outcomes().contains(&ProcessOutcome::Blocked)
+    }
+
+    /// Processes that ended unfinished without ever engaging the protocol
+    /// (no send, no receive, no timer): scripts that never finish, not
+    /// deadlock victims.
+    pub fn never_finished(&self) -> Vec<ProcessId> {
+        self.outcomes()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == ProcessOutcome::Inert)
+            .map(|(i, _)| ProcessId(u32::try_from(i).expect("process lane exceeds u32 range")))
+            .collect()
     }
 
     /// Snapshot of the recorded telemetry (empty for null/streaming sinks).
@@ -159,20 +291,18 @@ impl SimResult {
     }
 }
 
-enum Action<M> {
+/// A scheduler event: `Copy`, payload-free (payloads stay in the arena).
+/// These are what flow through the timing wheel and the run queue.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Deliver the in-flight payload behind `handle` to `dst`.
     Deliver {
-        src: ProcessId,
         dst: ProcessId,
-        msg: M,
-        token: MsgToken,
-        // Telemetry-only fields: the flow id pairing this delivery with its
-        // send event, and the sender's vector clock at the send (present
-        // only when recording).
-        flow: u64,
-        clock: Option<VectorClock>,
+        handle: MsgHandle,
     },
-    // `inc` pins the timer to the incarnation that set it, so timers armed
-    // before a crash never fire into the restarted incarnation.
+    /// Fire a timer. `inc` pins the timer to the incarnation that set it,
+    /// so timers armed before a crash never fire into the restarted
+    /// incarnation.
     Timer {
         dst: ProcessId,
         id: TimerId,
@@ -186,32 +316,42 @@ enum Action<M> {
     },
 }
 
-struct Scheduled<M> {
-    time: SimTime,
+/// A run-queue token: one event of the current timestep batch, executed in
+/// `seq` order.
+#[derive(Clone, Copy, Debug)]
+struct Tok {
     seq: u64,
-    action: Action<M>,
+    ev: Ev,
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+/// Everything a message carries besides its scheduling key: the payload,
+/// its trace token, and telemetry baggage. Lives in the arena from send to
+/// delivery.
+struct InFlight<M> {
+    src: ProcessId,
+    msg: M,
+    token: MsgToken,
+    // Telemetry-only fields: the flow id pairing this delivery with its
+    // send event, and the sender's vector clock at the send (present only
+    // when recording).
+    flow: u64,
+    clock: Option<VectorClock>,
 }
 
 struct Inner<M> {
-    queue: BinaryHeap<Scheduled<M>>,
+    wheel: TimingWheel<Ev>,
+    arena: PayloadArena<InFlight<M>>,
+    /// Per-process mailbox of staged (routed, not yet executed) deliveries.
+    inboxes: Vec<VecDeque<MsgHandle>>,
+    /// The current timestep's run queue. Zero-delay sends made *during*
+    /// the batch append here (their seq is necessarily the largest yet, so
+    /// appending preserves seq order).
+    run_queue: Vec<Tok>,
+    run_pos: usize,
+    /// True while the run queue of the current timestep is executing.
+    in_batch: bool,
+    inbox_capacity: usize,
+    stats: CoreStats,
     builder: DeposetBuilder,
     metrics: Metrics,
     rng: StdRng,
@@ -220,6 +360,9 @@ struct Inner<M> {
     seq: u64,
     next_timer: u64,
     done: Vec<bool>,
+    /// Set when a process sends, receives, or arms a timer — the signal
+    /// separating [`ProcessOutcome::Blocked`] from [`ProcessOutcome::Inert`].
+    engaged: Vec<bool>,
     faults: FaultPlan,
     // Dedicated fault-decision stream: fault sampling must not perturb the
     // main `rng` stream handlers draw from, or a fault plan would change
@@ -241,10 +384,38 @@ struct Inner<M> {
 const FAULT_STREAM_SALT: u64 = 0xFA_17_5E_ED_00_00_00_01;
 
 impl<M: Payload> Inner<M> {
-    fn schedule(&mut self, time: SimTime, action: Action<M>) {
+    /// Assign the next global sequence number and either enqueue the event
+    /// in the wheel or, for zero-delay events scheduled mid-batch, append
+    /// it to the live run queue (its seq is the largest so far, so the
+    /// batch stays seq-sorted).
+    fn schedule(&mut self, time: SimTime, ev: Ev) {
         let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { time, seq, action });
+        self.seq = self
+            .seq
+            .checked_add(1)
+            .expect("scheduling sequence overflowed u64");
+        debug_assert!(time >= self.now, "scheduling into the past");
+        if self.in_batch && time == self.now {
+            self.route(Tok { seq, ev });
+        } else {
+            self.wheel.push(time.0, seq, ev);
+        }
+    }
+
+    /// Stage one event of the current timestep: deliveries go into the
+    /// destination mailbox (bounded-inbox accounting happens here), and the
+    /// token joins the run queue.
+    fn route(&mut self, tok: Tok) {
+        if let Ev::Deliver { dst, handle } = tok.ev {
+            let inbox = &mut self.inboxes[dst.index()];
+            inbox.push_back(handle);
+            let depth = inbox.len() as u64;
+            self.stats.inbox_high_water = self.stats.inbox_high_water.max(depth);
+            if inbox.len() > self.inbox_capacity {
+                self.stats.inbox_overflows += 1;
+            }
+        }
+        self.run_queue.push(tok);
     }
 
     /// Record an instant event on `p`'s lane, stamped with its live clock.
@@ -252,13 +423,13 @@ impl<M: Payload> Inner<M> {
         if self.rec.enabled() {
             let clock = self.clocks[p.index()].entries().to_vec();
             self.rec
-                .record(Event::instant(self.now.0, p.index() as u32, name).with_clock(clock));
+                .record(Event::instant(self.now.0, lane(p), name).with_clock(clock));
         }
     }
 
     /// Telemetry for one message copy leaving `src`: advance the sender's
     /// clock, allocate a flow id, and emit the send event. Returns the
-    /// `(flow, clock)` pair the matching [`Action::Deliver`] must carry;
+    /// `(flow, clock)` pair the matching [`Ev::Deliver`] must carry;
     /// `(0, None)` when recording is off.
     fn rec_send(
         &mut self,
@@ -271,19 +442,48 @@ impl<M: Payload> Inner<M> {
         }
         self.clocks[src.index()].tick(src);
         let flow = self.next_flow;
-        self.next_flow += 1;
+        self.next_flow = self
+            .next_flow
+            .checked_add(1)
+            .expect("flow id overflowed u64");
         let clock = self.clocks[src.index()].clone();
         self.rec.record(Event {
             ts: self.now.0,
-            lane: src.index() as u32,
+            lane: lane(src),
             name: tag.to_owned(),
             kind: EventKind::MsgSend {
                 id: flow,
-                to: dst.index() as u32,
+                to: lane(dst),
             },
             clock: Some(clock.entries().to_vec()),
         });
         (flow, Some(clock))
+    }
+
+    /// Park an in-flight payload in the arena and schedule its delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_delivery(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        msg: M,
+        token: MsgToken,
+        at: SimTime,
+        flow: u64,
+        clock: Option<VectorClock>,
+    ) {
+        let handle = self.arena.alloc(InFlight {
+            src,
+            msg,
+            token,
+            flow,
+            clock,
+        });
+        self.stats.arena_high_water = self
+            .stats
+            .arena_high_water
+            .max(self.arena.high_water() as u64);
+        self.schedule(at, Ev::Deliver { dst, handle });
     }
 
     /// Faulty-path continuation of [`Ctx::send`]: the send event is already
@@ -330,29 +530,9 @@ impl<M: Payload> Inner<M> {
             self.metrics.add("msgs_duplicated", 1);
             self.rec_instant(src, "msg_duplicated");
             let msg2 = msg.clone();
-            self.schedule(
-                at2,
-                Action::Deliver {
-                    src,
-                    dst,
-                    msg: msg2,
-                    token: token2,
-                    flow: flow2,
-                    clock: clock2,
-                },
-            );
+            self.schedule_delivery(src, dst, msg2, token2, at2, flow2, clock2);
         }
-        self.schedule(
-            at,
-            Action::Deliver {
-                src,
-                dst,
-                msg,
-                token,
-                flow,
-                clock,
-            },
-        );
+        self.schedule_delivery(src, dst, msg, token, at, flow, clock);
     }
 }
 
@@ -378,6 +558,7 @@ impl<M: Payload> Ctx<'_, M> {
     pub fn send(&mut self, to: ProcessId, msg: M) {
         let delay = self.inner.delay.sample(&mut self.inner.rng);
         let token = self.inner.builder.send_with(self.me, msg.tag(), &[]);
+        self.inner.engaged[self.me.index()] = true;
         self.inner.metrics.add("msgs_total", 1);
         if msg.is_control() {
             self.inner.metrics.add("msgs_ctrl", 1);
@@ -387,17 +568,8 @@ impl<M: Payload> Ctx<'_, M> {
         let (flow, clock) = self.inner.rec_send(self.me, to, msg.tag());
         let at = self.inner.now + delay;
         if !self.inner.faulty {
-            self.inner.schedule(
-                at,
-                Action::Deliver {
-                    src: self.me,
-                    dst: to,
-                    msg,
-                    token,
-                    flow,
-                    clock,
-                },
-            );
+            self.inner
+                .schedule_delivery(self.me, to, msg, token, at, flow, clock);
             return;
         }
         self.inner
@@ -407,12 +579,17 @@ impl<M: Payload> Ctx<'_, M> {
     /// Set a timer `delay` ticks from now.
     pub fn set_timer(&mut self, delay: u64) -> TimerId {
         let id = TimerId(self.inner.next_timer);
-        self.inner.next_timer += 1;
+        self.inner.next_timer = self
+            .inner
+            .next_timer
+            .checked_add(1)
+            .expect("timer id overflowed u64");
+        self.inner.engaged[self.me.index()] = true;
         let at = self.inner.now + delay;
         let inc = self.inner.incarnation[self.me.index()];
         self.inner.schedule(
             at,
-            Action::Timer {
+            Ev::Timer {
                 dst: self.me,
                 id,
                 inc,
@@ -433,7 +610,7 @@ impl<M: Payload> Ctx<'_, M> {
             let clock = self.inner.clocks[self.me.index()].entries().to_vec();
             for (name, value) in updates {
                 self.inner.rec.record(
-                    Event::counter(self.inner.now.0, self.me.index() as u32, name, *value)
+                    Event::counter(self.inner.now.0, lane(self.me), name, *value)
                         .with_clock(clock.clone()),
                 );
             }
@@ -514,11 +691,10 @@ impl<M: Payload> Ctx<'_, M> {
     /// nest.
     pub fn trace_begin(&mut self, name: &str) {
         if self.inner.rec.enabled() {
-            let lane = self.me.index() as u32;
             let clock = self.inner.clocks[self.me.index()].entries().to_vec();
             self.inner.rec.record(Event {
                 ts: self.inner.now.0,
-                lane,
+                lane: lane(self.me),
                 name: name.to_owned(),
                 kind: EventKind::SpanBegin,
                 clock: Some(clock),
@@ -529,11 +705,10 @@ impl<M: Payload> Ctx<'_, M> {
     /// Close the innermost open span with this name on this process's lane.
     pub fn trace_end(&mut self, name: &str) {
         if self.inner.rec.enabled() {
-            let lane = self.me.index() as u32;
             let clock = self.inner.clocks[self.me.index()].entries().to_vec();
             self.inner.rec.record(Event {
                 ts: self.inner.now.0,
-                lane,
+                lane: lane(self.me),
                 name: name.to_owned(),
                 kind: EventKind::SpanEnd,
                 clock: Some(clock),
@@ -545,11 +720,10 @@ impl<M: Payload> Ctx<'_, M> {
     /// track).
     pub fn trace_counter(&mut self, name: &str, value: i64) {
         if self.inner.rec.enabled() {
-            let lane = self.me.index() as u32;
             let clock = self.inner.clocks[self.me.index()].entries().to_vec();
-            self.inner
-                .rec
-                .record(Event::counter(self.inner.now.0, lane, name, value).with_clock(clock));
+            self.inner.rec.record(
+                Event::counter(self.inner.now.0, lane(self.me), name, value).with_clock(clock),
+            );
         }
     }
 }
@@ -580,13 +754,21 @@ impl<M: Payload> Simulation<M> {
         recorder: Box<dyn Recorder>,
     ) -> Self {
         let n = processes.len();
+        assert!(n <= MAX_PROCESSES, "process count exceeds u32 lane range");
         let mut builder = DeposetBuilder::new(n);
         builder.allow_in_flight();
         let faulty = !config.faults.is_empty();
         Simulation {
             procs: processes.into_iter().map(Some).collect(),
             inner: Inner {
-                queue: BinaryHeap::new(),
+                wheel: TimingWheel::new(0),
+                arena: PayloadArena::new(),
+                inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+                run_queue: Vec::new(),
+                run_pos: 0,
+                in_batch: false,
+                inbox_capacity: config.inbox_capacity,
+                stats: CoreStats::default(),
                 builder,
                 metrics: Metrics::default(),
                 rng: StdRng::seed_from_u64(config.seed),
@@ -595,6 +777,7 @@ impl<M: Payload> Simulation<M> {
                 seq: 0,
                 next_timer: 0,
                 done: vec![false; n],
+                engaged: vec![false; n],
                 faults: config.faults.clone(),
                 frng: StdRng::seed_from_u64(config.seed ^ FAULT_STREAM_SALT),
                 faulty,
@@ -640,118 +823,175 @@ impl<M: Payload> Simulation<M> {
 
     /// Run to quiescence (or a configured limit) and return the traced
     /// computation plus metrics.
+    ///
+    /// The loop alternates two phases per timestep: *route* — the wheel's
+    /// batch of same-time events is staged into per-process mailboxes in
+    /// global `(time, seq)` order — and *run* — the staged tokens execute
+    /// in exactly that order, with zero-delay follow-ups appended to the
+    /// live batch. When the batch drains the timestep is over (the paper's
+    /// controlled deadlock) and the wheel advances. Dispatch order is
+    /// therefore identical to the old single-heap loop, which the golden
+    /// fingerprints and determinism proptests pin down.
     pub fn run(mut self) -> SimResult {
         let n = self.procs.len();
         // Schedule the crash plan before anything else so crash/restart
         // order among same-time events is fixed (and independent of what
-        // the processes do).
-        let crashes = self.inner.faults.crashes.clone();
-        for c in crashes {
-            assert!(
-                c.process.index() < n,
-                "crash plan names unknown process {:?}",
-                c.process
-            );
-            self.inner.schedule(c.at, Action::Crash { dst: c.process });
-            if let Some(after) = c.restart_after {
-                self.inner
-                    .schedule(c.at + after, Action::Restart { dst: c.process });
-            }
+        // the processes do): plan entries take the lowest seq numbers, so
+        // at equal times a crash always dispatches before deliveries.
+        let plan: Vec<_> = self.inner.faults.crash_schedule(n).collect();
+        for (at, p, phase) in plan {
+            let ev = match phase {
+                CrashPhase::Down => Ev::Crash { dst: p },
+                CrashPhase::Up => Ev::Restart { dst: p },
+            };
+            self.inner.schedule(at, ev);
         }
         for i in 0..n {
-            self.dispatch(ProcessId(i as u32), |p, ctx| p.on_start(ctx));
+            let p = ProcessId(u32::try_from(i).expect("process lane exceeds u32 range"));
+            self.dispatch(p, |p, ctx| p.on_start(ctx));
         }
         let mut dispatched = 0usize;
-        let stopped = loop {
-            let Some(ev) = self.inner.queue.pop() else {
+        let mut batch: Vec<WheelEntry<Ev>> = Vec::new();
+        let stopped = 'outer: loop {
+            let Some(t) = self.inner.wheel.pop_batch(&mut batch) else {
                 break StopReason::Quiescent;
             };
-            if ev.time > self.config.max_time {
-                break StopReason::MaxTime;
+            let t = SimTime(t);
+            debug_assert!(t >= self.inner.now, "timesteps advance monotonically");
+            self.inner.stats.timesteps += 1;
+            self.inner.stats.max_batch = self.inner.stats.max_batch.max(batch.len() as u64);
+            // Route phase: stage the batch in seq order.
+            self.inner.run_queue.clear();
+            self.inner.run_pos = 0;
+            for e in batch.drain(..) {
+                self.inner.route(Tok {
+                    seq: e.seq,
+                    ev: e.item,
+                });
             }
-            if dispatched >= self.config.max_events {
-                break StopReason::MaxEvents;
-            }
-            dispatched += 1;
-            if let Some((cell, every)) = &self.live {
-                if (dispatched as u64).is_multiple_of(*every) {
-                    cell.publish(self.inner.metrics.to_prometheus("pctl_sim_"));
+            // Run phase.
+            self.inner.in_batch = true;
+            let mut prev_seq: Option<u64> = None;
+            while self.inner.run_pos < self.inner.run_queue.len() {
+                let tok = self.inner.run_queue[self.inner.run_pos];
+                self.inner.run_pos += 1;
+                if t > self.config.max_time {
+                    self.inner.in_batch = false;
+                    break 'outer StopReason::MaxTime;
                 }
-            }
-            debug_assert!(ev.time >= self.inner.now, "events dispatched in time order");
-            self.inner.now = ev.time;
-            match ev.action {
-                Action::Deliver {
-                    src,
-                    dst,
-                    msg,
-                    token,
-                    flow,
-                    clock,
-                } => {
-                    if self.inner.down[dst.index()] {
-                        // Lost at a dead receiver; the unreceived token is
-                        // rewritten to an internal event at finish().
-                        self.inner.metrics.add("msgs_dropped", 1);
-                        self.inner.rec_instant(dst, "msg_lost_receiver_down");
-                        drop(token);
-                    } else {
-                        self.inner.builder.recv(dst, token, &[]);
-                        if self.inner.rec.enabled() {
-                            if let Some(sender_clock) = &clock {
-                                self.inner.clocks[dst.index()].merge(sender_clock);
+                if dispatched >= self.config.max_events {
+                    self.inner.in_batch = false;
+                    break 'outer StopReason::MaxEvents;
+                }
+                dispatched += 1;
+                if let Some((cell, every)) = &self.live {
+                    if (dispatched as u64).is_multiple_of(*every) {
+                        cell.publish(self.inner.metrics.to_prometheus("pctl_sim_"));
+                    }
+                }
+                // Equal-time events — including Crash/Restart interleaved
+                // with deliveries to the same process — must dispatch in
+                // seq order; this is the engine's core ordering invariant.
+                debug_assert!(
+                    prev_seq.is_none_or(|p| tok.seq > p),
+                    "same-time dispatch out of seq order"
+                );
+                prev_seq = Some(tok.seq);
+                self.inner.now = t;
+                match tok.ev {
+                    Ev::Deliver { dst, handle } => {
+                        let staged = self.inner.inboxes[dst.index()]
+                            .pop_front()
+                            .expect("mailbox drained out of sync with run queue");
+                        debug_assert_eq!(staged, handle, "mailbox/run-queue coherence");
+                        let InFlight {
+                            src,
+                            msg,
+                            token,
+                            flow,
+                            clock,
+                        } = self.inner.arena.take(staged);
+                        if self.inner.down[dst.index()] {
+                            // Lost at a dead receiver; the unreceived token
+                            // is rewritten to an internal event at finish().
+                            self.inner.metrics.add("msgs_dropped", 1);
+                            self.inner.rec_instant(dst, "msg_lost_receiver_down");
+                            drop(token);
+                        } else {
+                            self.inner.engaged[dst.index()] = true;
+                            self.inner.builder.recv(dst, token, &[]);
+                            if self.inner.rec.enabled() {
+                                if let Some(sender_clock) = &clock {
+                                    self.inner.clocks[dst.index()].merge(sender_clock);
+                                }
+                                self.inner.clocks[dst.index()].tick(dst);
+                                let entries = self.inner.clocks[dst.index()].entries().to_vec();
+                                self.inner.rec.record(Event {
+                                    ts: self.inner.now.0,
+                                    lane: lane(dst),
+                                    name: msg.tag().to_owned(),
+                                    kind: EventKind::MsgRecv {
+                                        id: flow,
+                                        from: lane(src),
+                                    },
+                                    clock: Some(entries),
+                                });
                             }
-                            self.inner.clocks[dst.index()].tick(dst);
-                            let entries = self.inner.clocks[dst.index()].entries().to_vec();
-                            self.inner.rec.record(Event {
-                                ts: self.inner.now.0,
-                                lane: dst.index() as u32,
-                                name: msg.tag().to_owned(),
-                                kind: EventKind::MsgRecv {
-                                    id: flow,
-                                    from: src.index() as u32,
-                                },
-                                clock: Some(entries),
-                            });
+                            self.dispatch(dst, |p, ctx| p.on_message(src, msg, ctx));
                         }
-                        self.dispatch(dst, |p, ctx| p.on_message(src, msg, ctx));
                     }
-                }
-                Action::Timer { dst, id, inc } => {
-                    // Stale timers (armed by a dead or pre-crash incarnation)
-                    // are discarded silently.
-                    if !self.inner.down[dst.index()] && inc == self.inner.incarnation[dst.index()] {
-                        self.dispatch(dst, |p, ctx| p.on_timer(id, ctx));
+                    Ev::Timer { dst, id, inc } => {
+                        // Stale timers (armed by a dead or pre-crash
+                        // incarnation) are discarded silently.
+                        if !self.inner.down[dst.index()]
+                            && inc == self.inner.incarnation[dst.index()]
+                        {
+                            self.inner.engaged[dst.index()] = true;
+                            self.dispatch(dst, |p, ctx| p.on_timer(id, ctx));
+                        }
                     }
-                }
-                Action::Crash { dst } => {
-                    if !self.inner.down[dst.index()] {
-                        self.inner.down[dst.index()] = true;
-                        self.inner.metrics.add("crashes", 1);
-                        self.inner.builder.internal(dst, &[("down", 1)]);
-                        self.inner.rec_instant(dst, "crash");
+                    Ev::Crash { dst } => {
+                        if !self.inner.down[dst.index()] {
+                            self.inner.down[dst.index()] = true;
+                            self.inner.metrics.add("crashes", 1);
+                            self.inner.builder.internal(dst, &[("down", 1)]);
+                            self.inner.rec_instant(dst, "crash");
+                        }
                     }
-                }
-                Action::Restart { dst } => {
-                    if self.inner.down[dst.index()] {
-                        self.inner.down[dst.index()] = false;
-                        self.inner.incarnation[dst.index()] += 1;
-                        self.inner.metrics.add("restarts", 1);
-                        self.inner.builder.internal(dst, &[("down", 0)]);
-                        self.inner.rec_instant(dst, "restart");
-                        self.dispatch(dst, |p, ctx| p.on_restart(ctx));
+                    Ev::Restart { dst } => {
+                        if self.inner.down[dst.index()] {
+                            self.inner.down[dst.index()] = false;
+                            self.inner.incarnation[dst.index()] += 1;
+                            self.inner.metrics.add("restarts", 1);
+                            self.inner.builder.internal(dst, &[("down", 0)]);
+                            self.inner.rec_instant(dst, "restart");
+                            self.dispatch(dst, |p, ctx| p.on_restart(ctx));
+                        }
                     }
                 }
             }
+            self.inner.in_batch = false;
         };
+        self.inner.in_batch = false;
         let Inner {
             builder,
             metrics,
             now,
             done,
             mut rec,
+            mut stats,
+            arena,
+            wheel,
+            down,
+            engaged,
             ..
         } = self.inner;
+        stats.events_dispatched = dispatched as u64;
+        stats.arena_high_water = arena.high_water() as u64;
+        stats.arena_slots = arena.capacity() as u64;
+        stats.arena_live_at_end = arena.live() as u64;
+        stats.wheel_high_water = wheel.high_water() as u64;
+        stats.wheel_cascades = wheel.cascades();
         rec.flush();
         if let Some((cell, _)) = &self.live {
             // Final publish so short runs still expose their end state.
@@ -767,6 +1007,9 @@ impl<M: Payload> Simulation<M> {
             done,
             stopped,
             recorder: rec,
+            core: stats,
+            down,
+            engaged,
         }
     }
 }
@@ -1060,6 +1303,42 @@ mod tests {
         let r = Simulation::new(SimConfig::default(), vec![Box::new(Stuck) as _]).run();
         assert_eq!(r.stopped, StopReason::Quiescent);
         assert!(r.deadlocked());
+        // Refinement: Stuck never engaged the protocol — it is inert, not
+        // deadlocked mid-protocol.
+        assert_eq!(r.outcomes(), vec![ProcessOutcome::Inert]);
+        assert!(!r.protocol_deadlock());
+        assert_eq!(r.never_finished(), vec![ProcessId(0)]);
+    }
+
+    #[test]
+    fn blocked_waiters_report_protocol_deadlock() {
+        // Both processes send one request and then wait forever for a
+        // response that never comes: engaged but starved.
+        struct Waiter;
+        #[derive(Clone, Debug)]
+        struct Req;
+        impl Payload for Req {}
+        impl Process<Req> for Waiter {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Req>) {
+                let other = ProcessId(1 - ctx.me().0);
+                ctx.send(other, Req);
+            }
+            fn on_message(&mut self, _: ProcessId, _: Req, _: &mut Ctx<'_, Req>) {
+                // Swallow the request; never answer, never finish.
+            }
+        }
+        let r = Simulation::new(
+            SimConfig::default(),
+            vec![Box::new(Waiter) as _, Box::new(Waiter) as _],
+        )
+        .run();
+        assert!(r.deadlocked(), "legacy predicate still holds");
+        assert!(r.protocol_deadlock(), "both engaged and starved");
+        assert_eq!(
+            r.outcomes(),
+            vec![ProcessOutcome::Blocked, ProcessOutcome::Blocked]
+        );
+        assert!(r.never_finished().is_empty());
     }
 
     #[test]
@@ -1361,6 +1640,88 @@ mod tests {
     }
 
     #[test]
+    fn crash_at_delivery_time_orders_deterministically() {
+        // Regression for the batch dispatcher: a crash scheduled at the
+        // exact SimTime an in-flight delivery lands must dispatch first —
+        // the crash plan is scheduled before any process runs, so its seq
+        // is lower, and equal-time events dispatch in seq order. The
+        // delivery then finds the receiver down and is dropped.
+        struct Sender;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl Payload for B {}
+        impl Process<B> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                if ctx.me() == ProcessId(0) {
+                    ctx.send(ProcessId(1), B); // Fixed(10) ⇒ lands exactly at t=10
+                    ctx.set_done();
+                }
+                // P1 stays unfinished so its crash shows up as Down.
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, ctx: &mut Ctx<'_, B>) {
+                ctx.count("delivered", 1);
+            }
+        }
+        let run = || {
+            let faults =
+                crate::faults::FaultPlan::none().with_crash(ProcessId(1), SimTime(10), None);
+            let cfg = SimConfig {
+                seed: 1,
+                delay: DelayModel::Fixed(10),
+                faults,
+                ..SimConfig::default()
+            };
+            Simulation::new(cfg, vec![Box::new(Sender) as _, Box::new(Sender) as _]).run()
+        };
+        let a = run();
+        assert_eq!(a.metrics.counter("delivered"), 0, "crash wins the tie");
+        assert_eq!(a.metrics.counter("msgs_dropped"), 1);
+        assert_eq!(a.outcomes()[1], ProcessOutcome::Down);
+        // And deterministically so.
+        let b = run();
+        assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
+        assert_eq!(trace::to_json(&a.deposet), trace::to_json(&b.deposet));
+    }
+
+    #[test]
+    fn zero_delay_sends_dispatch_within_the_same_timestep() {
+        // A zero-delay chain scheduled mid-batch joins the live batch and
+        // dispatches at the same simulated time, in causal (seq) order.
+        struct Chain;
+        #[derive(Clone, Debug)]
+        struct Hop(u32);
+        impl Payload for Hop {}
+        impl Process<Hop> for Chain {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Hop>) {
+                if ctx.me() == ProcessId(0) {
+                    ctx.send(ProcessId(1), Hop(4));
+                }
+                ctx.set_done();
+            }
+            fn on_message(&mut self, from: ProcessId, m: Hop, ctx: &mut Ctx<'_, Hop>) {
+                ctx.count("hops", 1);
+                ctx.step(&[("at", ctx.now().0 as i64)]);
+                if m.0 > 0 {
+                    ctx.send(from, Hop(m.0 - 1));
+                }
+            }
+        }
+        let cfg = SimConfig {
+            seed: 0,
+            delay: DelayModel::Fixed(0),
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, vec![Box::new(Chain) as _, Box::new(Chain) as _]).run();
+        assert_eq!(r.stopped, StopReason::Quiescent);
+        assert_eq!(r.metrics.counter("hops"), 5);
+        assert_eq!(r.end_time, SimTime(0), "whole chain ran inside t=0");
+        assert_eq!(r.core.timesteps, 1);
+    }
+
+    #[test]
     fn same_seed_and_plan_give_identical_faulty_runs() {
         let run = |seed: u64| {
             let faults = crate::faults::FaultPlan {
@@ -1426,5 +1787,57 @@ mod tests {
         assert_eq!(r.stopped, StopReason::MaxEvents);
         // In-flight message at cutoff is tolerated (allow_in_flight).
         assert!(r.deposet.total_states() > 0);
+    }
+
+    #[test]
+    fn core_stats_track_live_state_not_total_traffic() {
+        // One message in flight at a time: the arena must stay at one slot
+        // no matter how many messages the run sends in total.
+        let r = ping_sim(13, 50);
+        assert_eq!(r.metrics.counter("msgs_total"), 100);
+        assert_eq!(r.core.events_dispatched, 100);
+        assert_eq!(r.core.arena_high_water, 1, "ping-pong has 1 msg in flight");
+        assert_eq!(r.core.arena_slots, 1, "slab reuses the freed slot");
+        assert_eq!(r.core.arena_live_at_end, 0, "quiescent runs drain fully");
+        assert_eq!(r.core.inbox_high_water, 1);
+        assert_eq!(r.core.inbox_overflows, 0);
+        assert!(r.core.timesteps > 0 && r.core.timesteps <= 100);
+    }
+
+    #[test]
+    fn inbox_soft_bound_counts_overflow_without_dropping() {
+        // 200 same-tick deliveries against a capacity-8 inbox: everything
+        // still arrives (reliable channels), but the pressure is counted.
+        struct Blast;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl Payload for B {}
+        impl Process<B> for Blast {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                if ctx.me() == ProcessId(0) {
+                    for _ in 0..200 {
+                        ctx.send(ProcessId(1), B);
+                    }
+                }
+                ctx.set_done();
+            }
+            fn on_message(&mut self, _: ProcessId, _: B, ctx: &mut Ctx<'_, B>) {
+                ctx.count("delivered", 1);
+            }
+        }
+        let cfg = SimConfig {
+            seed: 2,
+            delay: DelayModel::Fixed(5),
+            inbox_capacity: 8,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(cfg, vec![Box::new(Blast) as _, Box::new(Blast) as _]).run();
+        assert_eq!(
+            r.metrics.counter("delivered"),
+            200,
+            "soft bound never drops"
+        );
+        assert_eq!(r.core.inbox_high_water, 200);
+        assert_eq!(r.core.inbox_overflows, 192);
     }
 }

@@ -28,13 +28,13 @@ impl SimTime {
 impl Add<u64> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: u64) -> SimTime {
-        SimTime(self.0 + rhs)
+        SimTime(self.0.checked_add(rhs).expect("simulated time overflowed"))
     }
 }
 
 impl AddAssign<u64> for SimTime {
     fn add_assign(&mut self, rhs: u64) {
-        self.0 += rhs;
+        self.0 = self.0.checked_add(rhs).expect("simulated time overflowed");
     }
 }
 

@@ -103,7 +103,12 @@ fn main() {
     );
 
     println!("outcome        : {:?} at t={}", r.stopped, r.end_time.0);
-    println!("deadlocked     : {}", r.deadlocked());
+    println!(
+        "deadlocked     : {} (protocol deadlock: {}, per-process: {:?})",
+        r.deadlocked(),
+        r.protocol_deadlock(),
+        r.outcomes()
+    );
     println!(
         "entries        : {} (quota {})",
         r.metrics.counter("entries"),

@@ -51,9 +51,12 @@ USAGE:
               counts, span durations, message latency percentiles;
               --prom emits Prometheus text exposition instead)
   pctl dot <trace.json> [--control <control.json>] [--vars]
-  pctl gen --workload (cs|pipelined|random) [--processes N] [--sections N]
-           [--events N] [--seed N] [--trace-out <chrome.json>]
-                                            (trace JSON on stdout)
+  pctl gen --workload (cs|pipelined|random|ring) [--processes N]
+           [--sections N] [--events N] [--seed N] [--fanout N] [--hops N]
+           [--trace-out <chrome.json>]      (trace JSON on stdout; `ring`
+            runs the actor-core ring_flood scenario through the simulator
+            and exports its recorded deposet — processes × fanout × hops
+            deliveries)
   pctl serve [--addr HOST:PORT] [--metrics HOST:PORT] [--max-sessions N]
              [--memory-budget BYTES] [--queue-depth N] [--idle-timeout-ms N]
              [--snapshot-dir DIR] [--fault-injection] [--no-telemetry]
@@ -524,9 +527,30 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             },
             seed,
         ),
+        "ring" => {
+            // Drive the actor-model simulator core itself: ring_flood keeps
+            // processes × fanout messages in flight for the whole run, so
+            // this is also the cheapest way to produce a genuinely
+            // message-dense trace for the downstream tools.
+            use predicate_control::sim::scenarios::ring_flood;
+            use predicate_control::sim::{DelayModel, SimConfig, SimTime};
+            let fanout = args.num("fanout", 4u32)?;
+            let hops = args.num("hops", 8u32)?;
+            let procs = u32::try_from(processes)
+                .map_err(|_| format!("gen: --processes {processes} exceeds u32"))?;
+            let cfg = SimConfig {
+                seed,
+                delay: DelayModel::Uniform { min: 1, max: 20 },
+                max_events: usize::MAX,
+                max_time: SimTime(u64::MAX),
+                ..SimConfig::default()
+            };
+            let r = ring_flood(procs, fanout, hops, cfg).run();
+            r.deposet
+        }
         other => {
             return Err(format!(
-                "gen: unknown workload '{other}' (cs|pipelined|random)"
+                "gen: unknown workload '{other}' (cs|pipelined|random|ring)"
             ))
         }
     };
